@@ -1,0 +1,50 @@
+"""Section 5's attribution of attacked parties (GoDaddy / Google Cloud / Wix)."""
+
+from repro.core.attribution import TargetAttributor
+from repro.core.report import render_table
+
+
+def test_top_attacked_parties(benchmark, sim, write_report):
+    attributor = TargetAttributor(sim.zones, sim.topology, sim.providers)
+    top = benchmark(
+        attributor.top_attacked_parties, sim.fused.combined.events, 8
+    )
+    write_report(
+        "attribution",
+        render_table(
+            ["party", "#events"],
+            [[party, count] for party, count in top],
+            title="Most attacked parties (Section 5 attribution)",
+        ),
+    )
+    parties = [party for party, _ in top]
+    # The giant hosting platforms the paper names dominate the ranking.
+    named = {"godaddy", "automattic", "wix", "squarespace", "OVH",
+             "aws-reseller", "google"}
+    # Over longer windows eyeball carriers accumulate more raw events;
+    # the platforms must still appear prominently.
+    assert any(party in named for party in parties)
+
+
+def test_cname_pierces_cloud_hosting(benchmark, sim, write_report):
+    """Wix hosts in AWS; its customer CNAME still attributes the platform.
+
+    Only pool addresses that actually carry customers have CNAME evidence;
+    empty tail addresses legitimately fall back to AWS routing.
+    """
+    attributor = TargetAttributor(sim.zones, sim.topology, sim.providers)
+    wix = sim.ecosystem.hoster_by_name("Wix")
+    populated = [ip for ip in wix.ips if sim.web_index.hosts_anything(ip)]
+    assert populated, "expected Wix customers in the namespace"
+
+    def attribute_pool():
+        return [attributor.attribute(ip) for ip in populated]
+
+    attributions = benchmark(attribute_pool)
+    assert all(a.party == "wix" for a in attributions)
+    assert all(a.evidence == "cname" for a in attributions)
+    write_report(
+        "attribution_wix",
+        f"{len(populated)} populated Wix addresses attributed via CNAME "
+        "despite AWS routing",
+    )

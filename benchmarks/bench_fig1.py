@@ -1,0 +1,28 @@
+"""Figure 1: daily attacks / targets / /16s / ASNs, three panels."""
+
+from repro.core.report import render_series_summary
+from repro.core.timeseries import figure1_series
+
+
+def test_fig1_daily_series(benchmark, sim, write_report):
+    panels = benchmark(figure1_series, sim.fused, sim.config.n_days)
+    text = "\n\n".join(
+        render_series_summary(panel) for panel in panels.values()
+    )
+    write_report("fig1", text)
+    telescope, honeypot, combined = (
+        panels["telescope"],
+        panels["honeypot"],
+        panels["combined"],
+    )
+    # Attacks visible every typical day, on tens of targets spread over
+    # many /16s and ASNs; the combined panel is the sum of the two sources.
+    assert (combined.attacks == telescope.attacks + honeypot.attacks).all()
+    assert combined.mean_daily_attacks() > telescope.mean_daily_attacks()
+    assert (combined.unique_targets <= combined.attacks).all()
+    assert (combined.targeted_slash16s <= combined.unique_targets).all()
+    # Unique targets sit visibly below attacks (repeat victimization),
+    # more so for the telescope than the honeypot (paper Section 4).
+    tel_ratio = telescope.unique_targets.sum() / max(1, telescope.attacks.sum())
+    hp_ratio = honeypot.unique_targets.sum() / max(1, honeypot.attacks.sum())
+    assert tel_ratio < hp_ratio

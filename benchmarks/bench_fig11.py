@@ -1,0 +1,32 @@
+"""Figure 11: migration delay after long (>=4h, honeypot-observed) attacks."""
+
+import os
+
+import pytest
+
+from repro.core.migration import MigrationAnalysis
+from repro.core.report import render_delay_cdf
+
+
+@pytest.fixture(scope="module")
+def migration(sim, histories, intensity_model):
+    return MigrationAnalysis(
+        histories, sim.dps_usage.first_day_by_domain(), intensity_model
+    )
+
+
+def test_fig11_long_attack_migration(benchmark, migration, write_report):
+    cdf = benchmark(migration.delay_cdf_long_attacks, 4 * 3600.0)
+    write_report("fig11", render_delay_cdf({">=4h attacks": cdf}))
+    # Paper: 67.64% migrate within a day, 76% within five days, with a
+    # long tail (~18% take two weeks or more) — duration alone does not
+    # decide. Durations come from the honeypot data only, because a
+    # collapsing victim truncates telescope-observed durations. At paper
+    # scale almost every migrating site accumulates *some* >=4h prior
+    # event over 731 days, diluting the Wix cohort; the bounds relax there.
+    paper_scale = os.environ.get("REPRO_BENCH_SCALE") == "paper"
+    one_day_floor = 0.10 if paper_scale else 0.35
+    five_day_floor = 0.15 if paper_scale else 0.5
+    assert cdf.fraction_at_or_below(1) > one_day_floor
+    assert cdf.fraction_at_or_below(5) > five_day_floor
+    assert cdf.fraction_at_or_below(5) >= cdf.fraction_at_or_below(1)

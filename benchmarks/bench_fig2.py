@@ -1,0 +1,30 @@
+"""Figure 2: attack duration CDFs for both data sets."""
+
+from repro.core.distributions import duration_cdf
+from repro.core.report import render_duration_cdf
+
+
+def test_fig2_duration_cdfs(benchmark, sim, write_report):
+    def compute():
+        return (
+            duration_cdf(sim.fused.telescope),
+            duration_cdf(sim.fused.honeypot),
+        )
+
+    telescope, honeypot = benchmark(compute)
+    text = (
+        render_duration_cdf(telescope, "Telescope")
+        + "\n\n"
+        + render_duration_cdf(honeypot, "Honeypot")
+    )
+    write_report("fig2", text)
+    # Paper: telescope median 454s / mean 48min; honeypot median 255s /
+    # mean 18min; ~40% of telescope attacks last <=5min; honeypot capped 24h.
+    assert 150 < telescope.median < 1500
+    assert 60 < honeypot.median < 900
+    assert telescope.median > honeypot.median
+    assert telescope.mean > telescope.median  # heavy tail
+    assert 0.2 < telescope.fraction_at_or_below(300) < 0.7
+    assert honeypot.values[-1] <= 86400.0 + 1.0  # the 24h cap
+    # Telescope events can cross a day; the extreme tail is scarce.
+    assert 1.0 - telescope.fraction_at_or_below(86400) < 0.02

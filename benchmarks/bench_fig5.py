@@ -1,0 +1,24 @@
+"""Figure 5: medium-or-higher-intensity attack events over time."""
+
+from repro.core.report import render_series_summary
+from repro.core.timeseries import daily_series
+
+
+def test_fig5_medium_plus_series(
+    benchmark, sim, intensity_model, write_report
+):
+    def compute():
+        medium = intensity_model.medium_plus(sim.fused.combined.events)
+        return daily_series(medium, sim.config.n_days, "Medium+ combined")
+
+    series = benchmark(compute)
+    write_report("fig5", render_series_summary(series))
+    total = daily_series(
+        sim.fused.combined.events, sim.config.n_days, "All combined"
+    )
+    # Paper: ~1.4k/day medium+ vs 28.7k/day overall — a small minority,
+    # present on most days.
+    ratio = series.attacks.sum() / max(1, total.attacks.sum())
+    assert 0.01 < ratio < 0.40
+    assert (series.attacks <= total.attacks).all()
+    assert (series.attacks > 0).mean() > 0.5

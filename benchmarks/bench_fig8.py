@@ -1,0 +1,32 @@
+"""Figure 8: the Web-site taxonomy tree."""
+
+from repro.core.report import render_taxonomy
+from repro.core.taxonomy import classify_sites, taxonomy_counts
+
+
+def test_fig8_taxonomy(benchmark, sim, histories, write_report):
+    first_attack = {d: h.first_attack_day() for d, h in histories.items()}
+    dps_first = sim.dps_usage.first_day_by_domain()
+
+    def compute():
+        return taxonomy_counts(
+            classify_sites(sim.openintel.first_seen, first_attack, dps_first)
+        )
+
+    counts = benchmark(compute)
+    write_report("fig8", render_taxonomy(counts))
+    # Paper: 64% attacked; 18.6% of attacked are preexisting customers vs
+    # 0.89% of unattacked; 4.31% of attacked migrate vs 3.32% unattacked;
+    # protection overall far more common among attacked (22.1% vs 4.2%).
+    assert 0.45 < counts.attacked_fraction < 0.85
+    assert counts.attacked_preexisting_fraction > counts.unattacked_preexisting_fraction
+    assert 0.015 < counts.attacked_migrating_fraction < 0.10
+    assert counts.attacked_protected_fraction > counts.unattacked_protected_fraction
+    assert counts.total == (
+        counts.attacked_preexisting
+        + counts.attacked_migrating
+        + counts.attacked_non_migrating
+        + counts.unattacked_preexisting
+        + counts.unattacked_migrating
+        + counts.unattacked_non_migrating
+    )

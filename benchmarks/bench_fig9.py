@@ -1,0 +1,42 @@
+"""Figure 9: attack-frequency CDFs, all vs migrating Web sites."""
+
+import pytest
+
+from repro.core.migration import MigrationAnalysis
+from repro.core.report import render_table
+
+
+@pytest.fixture(scope="module")
+def migration(sim, histories, intensity_model):
+    return MigrationAnalysis(
+        histories, sim.dps_usage.first_day_by_domain(), intensity_model
+    )
+
+
+def test_fig9_attack_frequency(benchmark, migration, write_report):
+    def compute():
+        return (
+            migration.attack_frequency_cdf_all(),
+            migration.attack_frequency_cdf_migrating(),
+            migration.repetition_effect(threshold=5),
+        )
+
+    all_cdf, migrating_cdf, (all_over, migrating_over) = benchmark(compute)
+    rows = [
+        ["attacked >1 time, all sites",
+         f"{1 - all_cdf.fraction_at_or_below(1):.1%}"],
+        ["attacked >5 times, all sites", f"{all_over:.2%}"],
+        ["attacked >5 times, migrating sites", f"{migrating_over:.2%}"],
+    ]
+    write_report(
+        "fig9",
+        render_table(["statistic", "value"], rows,
+                     title="Figure 9: attack frequency, all vs migrating"),
+    )
+    # Paper: 7.65% of all attacked sites see >5 attacks vs 2.17% of
+    # migrating sites — repetition is not what drives migration. The
+    # reproduction asserts the weak form: migrating sites are not
+    # dramatically more repeat-attacked.
+    assert migrating_over < all_over + 0.25
+    # A significant fraction of sites is attacked more than once (~14%).
+    assert 1 - all_cdf.fraction_at_or_below(1) > 0.05

@@ -1,0 +1,60 @@
+"""Extension benches: mail and authoritative-DNS impact (paper Section 8).
+
+Not a paper table — the paper proposes these analyses as future work; the
+bench regenerates them so the extension has the same harness as the
+reproduced evaluation.
+"""
+
+from repro.core.infra import dns_impact, mail_impact, shared_fate_domains
+from repro.core.report import render_table
+
+
+def test_extension_mail_impact(benchmark, sim, write_report):
+    impact = benchmark(
+        mail_impact, sim.fused.combined.events, sim.openintel.mail_intervals
+    )
+    write_report(
+        "ext_mail",
+        render_table(
+            ["statistic", "value"],
+            [
+                ["attacked mail IPs", impact.attacked_infrastructure_ips],
+                ["events hitting mail infra", impact.events_with_impact],
+                ["domains with affected mail", impact.affected_domains],
+                ["share of mail-bearing domains",
+                 f"{impact.affected_fraction:.1%}"],
+            ],
+            title="Extension: mail-infrastructure impact",
+        ),
+    )
+    assert impact.attacked_infrastructure_ips > 0
+    assert impact.affected_domains > 0
+
+
+def test_extension_dns_impact(benchmark, sim, write_report):
+    impact = benchmark(
+        dns_impact, sim.fused.combined.events, sim.openintel.ns_intervals
+    )
+    fate = shared_fate_domains(
+        sim.fused.combined.events,
+        sim.web_index,
+        sim.openintel.ns_intervals,
+    )
+    write_report(
+        "ext_dns",
+        render_table(
+            ["statistic", "value"],
+            [
+                ["attacked NS IPs", impact.attacked_infrastructure_ips],
+                ["domains with affected DNS", impact.affected_domains],
+                ["share of domains", f"{impact.affected_fraction:.1%}"],
+                ["exposure web-only", len(fate["web"])],
+                ["exposure dns-only", len(fate["dns"])],
+                ["exposure both", len(fate["both"])],
+            ],
+            title="Extension: authoritative-DNS impact",
+        ),
+    )
+    # One NS pair serves many domains: the amplification the paper expects.
+    assert impact.affected_domains > impact.attacked_infrastructure_ips
+    assert len(fate["both"]) >= 0

@@ -1,0 +1,41 @@
+"""Section 4's joint-attack study: simultaneous spoofed + reflection."""
+
+from repro.core.ports import port_cardinality
+from repro.core.rankings import reflection_protocol_distribution
+from repro.core.report import render_table
+
+
+def test_joint_attack_analysis(benchmark, sim, write_report):
+    analysis = benchmark(sim.fused.joint_analysis)
+    overall_single = port_cardinality(sim.fused.telescope).single_fraction
+    overall_ntp = next(
+        e.share
+        for e in reflection_protocol_distribution(sim.fused.honeypot)
+        if e.key == "NTP"
+    )
+    rows = [
+        ["shared targets", analysis.n_shared_targets],
+        ["simultaneously attacked targets", analysis.n_joint_targets],
+        ["joint single-port fraction", f"{analysis.single_port_fraction:.1%}"],
+        ["overall single-port fraction", f"{overall_single:.1%}"],
+        ["joint UDP on 27015", f"{analysis.udp_27015_fraction:.1%}"],
+        ["joint NTP share",
+         f"{analysis.reflection_protocol_shares.get('NTP', 0.0):.1%}"],
+        ["overall NTP share", f"{overall_ntp:.1%}"],
+        ["top joint ASNs",
+         ", ".join(f"AS{a} {s:.1%}" for a, s in analysis.top_asns[:3] if a)],
+        ["top joint countries",
+         ", ".join(f"{c} {s:.1%}" for c, s in analysis.top_countries[:4])],
+    ]
+    write_report(
+        "joint",
+        render_table(["statistic", "value"], rows,
+                     title="Joint attacks (Section 4)"),
+    )
+    # Paper: 282k shared targets, 137k simultaneous; joint direct attacks
+    # are single-port 77.1% (vs 60.6% overall) with 27015/UDP at 53%;
+    # NTP rises to 47.0% among joint reflection attacks.
+    assert 0 < analysis.n_joint_targets <= analysis.n_shared_targets
+    assert analysis.single_port_fraction > overall_single
+    assert analysis.udp_27015_fraction > 0.25
+    assert analysis.reflection_protocol_shares.get("NTP", 0.0) > overall_ntp

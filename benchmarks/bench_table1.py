@@ -1,0 +1,22 @@
+"""Table 1: DoS attack events data (events/targets//24s//16s/ASNs)."""
+
+from repro.core.report import render_table1
+
+
+def test_table1_summary(benchmark, sim, write_report):
+    rows = benchmark(sim.fused.summary_rows)
+    text = render_table1(rows)
+    write_report("table1", text)
+    by_source = {r["source"]: r for r in rows}
+    combined = by_source["Combined"]
+    assert combined["events"] > 0
+    assert combined["targets"] >= combined["slash24s"] >= combined["slash16s"]
+    # Headline ratio: attacked share of the active /24 census.
+    fraction = sim.census.attacked_fraction(
+        sim.fused.combined.unique_slash24s()
+    )
+    write_report(
+        "table1_headline",
+        f"active /24s attacked at least once: {fraction:.1%} "
+        f"(paper: ~33% of ~6.5M active /24s)",
+    )

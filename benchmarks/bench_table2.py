@@ -1,0 +1,20 @@
+"""Table 2: the active DNS data set (Web sites and data points per gTLD)."""
+
+from repro.core.report import render_table2
+from repro.dns.openintel import OpenIntelPlatform
+
+
+def test_table2_dns_dataset(benchmark, sim, write_report):
+    platform = OpenIntelPlatform(sim.zones, sim.config.n_days)
+    dataset = benchmark(platform.measure)
+    text = render_table2(
+        dataset.zone_stats, dataset.total_web_sites, dataset.total_data_points
+    )
+    write_report("table2", text)
+    by_tld = {z.tld: z for z in dataset.zone_stats}
+    assert set(by_tld) == {"com", "net", "org"}
+    # .com dominates the namespace, as in the paper (173.7M of 210M).
+    assert by_tld["com"].web_sites > by_tld["net"].web_sites
+    assert by_tld["com"].web_sites > by_tld["org"].web_sites
+    assert by_tld["com"].web_sites / dataset.total_web_sites > 0.7
+    assert dataset.total_data_points > dataset.total_web_sites

@@ -1,0 +1,18 @@
+"""Table 3: Web sites per DDoS Protection Service provider."""
+
+from repro.core.report import render_table3
+from repro.dps.detection import DPSDetector
+
+
+def test_table3_dps_use(benchmark, sim, write_report):
+    detector = DPSDetector(sim.providers, diversion_log=sim.diversion_log)
+    dataset = benchmark(detector.scan, sim.zones, sim.config.n_days)
+    counts = dataset.provider_site_counts()
+    write_report("table3", render_table3(counts))
+    # All ten providers are detectable; market-share order holds at the top.
+    assert counts.get("Neustar", 0) >= counts.get("CenturyLink", 0)
+    assert counts.get("Neustar", 0) >= counts.get("Level3", 0)
+    assert counts.get("VirtualRoad", 0) <= min(
+        counts.get("Neustar", 1), counts.get("DOSarrest", 1)
+    )
+    assert sum(counts.values()) == len(dataset.first_day_by_domain())

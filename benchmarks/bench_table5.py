@@ -1,0 +1,14 @@
+"""Table 5: IP protocol distribution of randomly spoofed attacks."""
+
+from repro.core.rankings import ip_protocol_distribution
+from repro.core.report import render_table5
+
+
+def test_table5_ip_protocols(benchmark, sim, write_report):
+    distribution = benchmark(ip_protocol_distribution, sim.fused.telescope)
+    write_report("table5", render_table5(distribution))
+    # Paper: TCP 79.4%, UDP 15.9%, ICMP 4.5%, other 0.2%.
+    assert 0.70 < distribution["TCP"] < 0.88
+    assert distribution["TCP"] > distribution.get("UDP", 0.0)
+    assert distribution.get("UDP", 0.0) > distribution.get("ICMP", 0.0)
+    assert distribution.get("Other", 0.0) + distribution.get("IGMP", 0.0) < 0.02

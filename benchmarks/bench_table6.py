@@ -1,0 +1,17 @@
+"""Table 6: reflection protocol distribution in the honeypot data."""
+
+from repro.core.rankings import reflection_protocol_distribution
+from repro.core.report import render_table6
+
+
+def test_table6_reflection_protocols(benchmark, sim, write_report):
+    entries = benchmark(reflection_protocol_distribution, sim.fused.honeypot)
+    write_report("table6", render_table6(entries))
+    # Paper: NTP 40.08%, DNS 26.17%, CharGen 22.37%, SSDP 8.38%, RIPv1 2.27%.
+    order = [e.key for e in entries]
+    assert order[0] == "NTP"
+    assert set(order[:3]) == {"NTP", "DNS", "CharGen"}
+    shares = {e.key: e.share for e in entries}
+    assert 0.30 < shares["NTP"] < 0.60
+    assert shares["DNS"] > shares.get("SSDP", 0.0)
+    assert shares.get("SSDP", 0.0) > shares.get("RIPv1", 0.0)

@@ -1,0 +1,12 @@
+"""Table 7: single-port vs multi-port randomly spoofed attacks."""
+
+from repro.core.ports import port_cardinality
+from repro.core.report import render_table7
+
+
+def test_table7_port_cardinality(benchmark, sim, write_report):
+    cardinality = benchmark(port_cardinality, sim.fused.telescope)
+    write_report("table7", render_table7(cardinality))
+    # Paper: 60.6% single-port, 39.4% multi-port.
+    assert 0.50 < cardinality.single_fraction < 0.75
+    assert cardinality.total == len(sim.fused.telescope)

@@ -1,0 +1,48 @@
+"""Table 8: top targeted services among single-port attacks (TCP & UDP),
+plus the Web-port intensity/duration comparison from Section 4."""
+
+from repro.core.ports import (
+    service_table,
+    web_infrastructure_share,
+    web_port_comparison,
+)
+from repro.core.report import render_table8
+from repro.net.packet import PROTO_TCP, PROTO_UDP
+
+
+def test_table8_services(benchmark, sim, write_report):
+    def compute():
+        return (
+            service_table(sim.fused.telescope, PROTO_TCP),
+            service_table(sim.fused.telescope, PROTO_UDP),
+        )
+
+    tcp, udp = benchmark(compute)
+    write_report("table8", render_table8(tcp, udp))
+    # Paper: HTTP 48.68% and HTTPS 20.68% lead TCP; 27015 leads UDP (18.54%).
+    assert tcp[0].key == "HTTP" and tcp[0].share > 0.35
+    assert tcp[1].key == "HTTPS"
+    assert udp[0].key == "27015"
+    assert udp[-1].key == "Other" and udp[-1].share > 0.4
+
+
+def test_web_port_intensity(benchmark, sim, write_report):
+    comparison = benchmark(web_port_comparison, sim.fused.telescope)
+    share = web_infrastructure_share(sim.fused.telescope)
+    write_report(
+        "table8_webports",
+        "\n".join(
+            [
+                f"single-port TCP on Web ports: {share:.1%} (paper: 69.36%)",
+                f"median intensity web/all: {comparison.median_intensity_web:.1f}"
+                f" / {comparison.median_intensity_all:.1f}",
+                f"mean duration web/all: {comparison.mean_duration_web:.0f}s"
+                f" / {comparison.mean_duration_all:.0f}s",
+            ]
+        ),
+    )
+    # Paper: two-thirds of single-port TCP targets Web infrastructure;
+    # Web-port attacks are more intense but shorter.
+    assert 0.5 < share < 0.9
+    assert comparison.web_more_intense
+    assert comparison.web_shorter

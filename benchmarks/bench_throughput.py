@@ -1,0 +1,85 @@
+"""Substrate throughput: how fast the detection pipelines process input.
+
+Not a paper table — these benches characterize the reproduction itself:
+RSDoS batches/second, honeypot request-batches/second, LPM lookups/second
+and hosting-index queries/second, so performance regressions in the
+substrates are caught alongside the analysis benches.
+"""
+
+import random
+
+import pytest
+
+from repro.honeypot.detection import HoneypotDetector
+from repro.telescope.backscatter import BackscatterModel
+from repro.telescope.darknet import NetworkTelescope
+from repro.telescope.rsdos import RSDoSDetector
+
+
+@pytest.fixture(scope="module")
+def capture(sim):
+    telescope = NetworkTelescope(
+        backscatter=BackscatterModel(sim.config.backscatter_config()),
+        noise=None,
+    )
+    return telescope.capture(sim.ground_truth)
+
+
+@pytest.fixture(scope="module")
+def request_log(sim):
+    from repro.honeypot.amppot import AmpPotFleet
+
+    fleet = AmpPotFleet(sim.config.fleet_config())
+    return fleet.capture(sim.ground_truth)
+
+
+def test_rsdos_throughput(benchmark, capture):
+    def run():
+        detector = RSDoSDetector()
+        events = list(detector.run(iter(capture)))
+        return detector.batches_seen, len(events)
+
+    batches, events = benchmark(run)
+    assert batches == len(capture)
+    assert events > 0
+    benchmark.extra_info["batches"] = batches
+    benchmark.extra_info["events"] = events
+
+
+def test_honeypot_throughput(benchmark, request_log):
+    def run():
+        detector = HoneypotDetector()
+        events = list(detector.run(iter(request_log)))
+        return detector.batches_seen, len(events)
+
+    batches, events = benchmark(run)
+    assert batches == len(request_log)
+    assert events > 0
+
+
+def test_routing_lookup_throughput(benchmark, sim):
+    rng = random.Random(1)
+    addresses = [rng.randrange(1 << 32) for _ in range(20_000)]
+
+    def run():
+        routing = sim.topology.routing
+        return sum(
+            1 for a in addresses if routing.origin_asn(a) is not None
+        )
+
+    routed = benchmark(run)
+    assert 0 < routed <= len(addresses)
+
+
+def test_web_index_query_throughput(benchmark, sim):
+    rng = random.Random(2)
+    targets = [e.target for e in sim.fused.combined.events]
+    queries = [(rng.choice(targets), rng.randrange(sim.n_days))
+               for _ in range(20_000)]
+
+    def run():
+        index = sim.web_index
+        return sum(index.count_on(ip, day) for ip, day in queries)
+
+    total = benchmark(run)
+    assert total >= 0

@@ -1,0 +1,68 @@
+"""Shared benchmark fixtures.
+
+One default-scale simulation is built per session; each benchmark times the
+*analysis* that regenerates its table or figure and writes the rendered
+artifact under ``benchmarks/out/`` so a single
+``pytest benchmarks/ --benchmark-only`` run reproduces the paper's entire
+evaluation section.
+
+Set ``REPRO_BENCH_SCALE=paper`` to run the full 731-day window instead
+(minutes rather than seconds).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.intensity import IntensityModel
+from repro.core.webmap import WebImpactAnalysis
+from repro.pipeline.config import ScenarioConfig
+from repro.pipeline.simulation import run_simulation
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ScenarioConfig:
+    if os.environ.get("REPRO_BENCH_SCALE") == "paper":
+        return ScenarioConfig.paper()
+    return ScenarioConfig.default()
+
+
+@pytest.fixture(scope="session")
+def sim(bench_config):
+    return run_simulation(bench_config)
+
+
+@pytest.fixture(scope="session")
+def impact(sim) -> WebImpactAnalysis:
+    return WebImpactAnalysis(sim.web_index)
+
+
+@pytest.fixture(scope="session")
+def histories(sim, impact):
+    return impact.site_histories(sim.fused.combined.events)
+
+
+@pytest.fixture(scope="session")
+def intensity_model(sim) -> IntensityModel:
+    return IntensityModel(sim.fused.combined.events)
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture()
+def write_report(report_dir):
+    """Writer saving a rendered table/figure under benchmarks/out/."""
+
+    def _write(name: str, text: str) -> None:
+        (report_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return _write

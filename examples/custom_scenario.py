@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Compose a custom scenario and persist/reload the event data sets.
+
+Demonstrates the configuration surface: a bespoke attack wave against one
+hosting platform, stricter detection thresholds, JSON-Lines persistence of
+the observed events, and re-running an analysis from the saved file alone —
+the workflow a measurement group would use to decouple collection from
+analysis.
+
+Usage::
+
+    python examples/custom_scenario.py [output.jsonl]
+"""
+
+import sys
+import tempfile
+from dataclasses import replace
+from pathlib import Path
+
+from repro import ScenarioConfig, run_simulation
+from repro.attacks.schedule import SpikeEvent
+from repro.core.events import AttackDataset, SOURCE_TELESCOPE
+from repro.core.fusion import FusedDataset
+from repro.core.rankings import country_ranking
+from repro.core.report import render_table1, render_table4
+from repro.pipeline.datasets import load_events_jsonl, save_events_jsonl
+from repro.pipeline.simulation import run_simulation as run
+
+
+def main() -> None:
+    out_path = Path(
+        sys.argv[1]
+        if len(sys.argv) > 1
+        else Path(tempfile.gettempdir()) / "dos_events.jsonl"
+    )
+
+    # A scenario dominated by one sustained campaign against OVH, the
+    # hoster whose 2016 bombardment the paper repeatedly references.
+    config = ScenarioConfig.small().with_seed(7)
+    schedule = config.schedule_config()
+    ovh_campaign = SpikeEvent(
+        day_fraction=0.5,
+        hoster_names=("OVH",),
+        n_attacks=120,
+        intensity_multiplier=20.0,
+        joint=True,
+        label="OVH campaign",
+    )
+    schedule = replace(schedule, spikes=(ovh_campaign,))
+
+    # Monkey-free composition: ScenarioConfig derives component configs, so
+    # a custom run just calls the pipeline pieces with overrides. The
+    # simplest override point is a subclass-free copy of the config methods:
+    class CustomConfig(ScenarioConfig):
+        def schedule_config(self):  # noqa: D102 - narrow override
+            return schedule
+
+    result = run(CustomConfig(**vars(config)))
+
+    print(render_table1(result.fused.summary_rows()))
+    print()
+    ovh = result.ecosystem.hoster_by_name("OVH")
+    ovh_events = [
+        e for e in result.fused.combined.events if e.target in set(ovh.ips)
+    ]
+    print(f"Events on OVH hosting addresses: {len(ovh_events)}")
+    print()
+    print(render_table4(country_ranking(result.fused.combined), "Combined"))
+    print("(France rises with the OVH campaign, as in the paper.)")
+    print()
+
+    # Persist the observed events and re-analyze from the file alone.
+    written = save_events_jsonl(result.fused.combined.events, out_path)
+    print(f"Saved {written} events to {out_path}")
+    reloaded = load_events_jsonl(out_path)
+    telescope = AttackDataset(
+        [e for e in reloaded if e.source == SOURCE_TELESCOPE],
+        "Network Telescope",
+    )
+    honeypot = AttackDataset(
+        [e for e in reloaded if e.source != SOURCE_TELESCOPE],
+        "Amplification Honeypot",
+    )
+    refused = FusedDataset(telescope, honeypot)
+    assert refused.summary_rows() == result.fused.summary_rows()
+    print("Reloaded data set reproduces the original summary — "
+          "collection and analysis are fully decoupled.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""repro: a reproduction of "Millions of Targets Under Attack" (IMC 2017).
+
+A macroscopic characterization framework for the DoS ecosystem, built on
+simulated equivalents of four global measurement infrastructures: a /8
+network telescope (randomly spoofed attacks via backscatter), an AmpPot
+honeypot fleet (reflection & amplification attacks), an OpenINTEL-style
+active DNS platform (Web-site-to-IP mapping), and a DNS-derived DDoS
+Protection Service adoption data set.
+
+Quickstart::
+
+    from repro import ScenarioConfig, run_simulation
+
+    result = run_simulation(ScenarioConfig.small())
+    for row in result.fused.summary_rows():
+        print(row)
+"""
+
+from repro.core.events import (
+    AttackDataset,
+    AttackEvent,
+    SOURCE_HONEYPOT,
+    SOURCE_TELESCOPE,
+)
+from repro.core.fusion import FusedDataset
+from repro.pipeline.config import ScenarioConfig
+from repro.pipeline.simulation import SimulationResult, run_simulation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttackDataset",
+    "AttackEvent",
+    "SOURCE_HONEYPOT",
+    "SOURCE_TELESCOPE",
+    "FusedDataset",
+    "ScenarioConfig",
+    "SimulationResult",
+    "run_simulation",
+    "__version__",
+]

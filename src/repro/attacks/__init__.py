@@ -1,0 +1,33 @@
+"""Attacker ecosystem: ground-truth DoS attacks over the observation window.
+
+The measurement substrates (telescope, honeypots) never see this package's
+output directly — they *observe* the attacks it generates, with all the loss
+and bias of the real infrastructures. Ground truth exists so tests can check
+detection fidelity and so the analysis results are emergent rather than
+hard-coded.
+"""
+
+from repro.attacks.attacker import (
+    ATTACK_DIRECT,
+    ATTACK_REFLECTION,
+    GroundTruthAttack,
+)
+from repro.attacks.direct import DirectAttackConfig, DirectAttackGenerator
+from repro.attacks.reflection import (
+    ReflectionAttackConfig,
+    ReflectionAttackGenerator,
+)
+from repro.attacks.schedule import AttackSchedule, ScheduleConfig, TargetPools
+
+__all__ = [
+    "ATTACK_DIRECT",
+    "ATTACK_REFLECTION",
+    "GroundTruthAttack",
+    "DirectAttackConfig",
+    "DirectAttackGenerator",
+    "ReflectionAttackConfig",
+    "ReflectionAttackGenerator",
+    "AttackSchedule",
+    "ScheduleConfig",
+    "TargetPools",
+]

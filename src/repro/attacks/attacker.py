@@ -1,0 +1,72 @@
+"""Ground-truth attack model.
+
+A :class:`GroundTruthAttack` is what an attacker actually launched — not what
+any vantage point observed. Direct attacks carry an IP protocol, a flooding
+vector and a set of targeted ports; reflection attacks carry the abused
+reflector protocol and the per-reflector request rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+ATTACK_DIRECT = "direct"
+ATTACK_REFLECTION = "reflection"
+
+# Direct-flood vectors and the backscatter they elicit.
+VECTOR_SYN_FLOOD = "syn-flood"  # -> TCP SYN/ACK (or RST) backscatter
+VECTOR_UDP_FLOOD = "udp-flood"  # -> ICMP dest-unreachable quoting UDP
+VECTOR_ICMP_FLOOD = "icmp-flood"  # -> ICMP echo-reply backscatter
+VECTOR_OTHER_FLOOD = "other-flood"  # -> ICMP proto-unreachable, other proto
+
+
+@dataclass(frozen=True)
+class GroundTruthAttack:
+    """One attack as launched (simulation ground truth).
+
+    ``rate`` is packets/second arriving at the victim for direct attacks and
+    average requests/second sent to *each* reflector for reflection attacks.
+    ``joint_id`` groups attacks launched together against the same victim
+    (e.g. a SYN flood plus an NTP reflection attack).
+    """
+
+    attack_id: int
+    kind: str
+    target: int
+    start: float
+    duration: float
+    rate: float
+    vector: str
+    ip_proto: int = 0
+    ports: Tuple[int, ...] = ()
+    reflector_protocol: Optional[str] = None
+    attacker_id: int = 0
+    joint_id: Optional[int] = None
+    # Direct attacks only: whether source addresses are randomly spoofed.
+    # Unspoofed floods (e.g. botnets revealing their bots' addresses) send
+    # no backscatter into unused space — they are the blind spot the paper
+    # notes in Section 3.1.3 (footnote 4).
+    spoofed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in (ATTACK_DIRECT, ATTACK_REFLECTION):
+            raise ValueError(f"unknown attack kind: {self.kind!r}")
+        if self.duration <= 0:
+            raise ValueError("attack duration must be positive")
+        if self.rate <= 0:
+            raise ValueError("attack rate must be positive")
+        if self.kind == ATTACK_REFLECTION and not self.reflector_protocol:
+            raise ValueError("reflection attack requires a reflector protocol")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def overlaps(self, other: "GroundTruthAttack") -> bool:
+        """Whether the two attacks are simultaneous (time intervals meet)."""
+        return self.start <= other.end and other.start <= self.end
+
+    def shifted(self, delta: float) -> "GroundTruthAttack":
+        """Copy of this attack translated in time by *delta* seconds."""
+        return replace(self, start=self.start + delta)

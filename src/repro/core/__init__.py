@@ -1,0 +1,35 @@
+"""The characterization framework: fusion and analysis of DoS data sets.
+
+This package is the paper's contribution proper — everything under
+:mod:`repro.telescope`, :mod:`repro.honeypot`, :mod:`repro.dns` and
+:mod:`repro.dps` produces the four raw data sets; the modules here unify,
+correlate and characterize them:
+
+* :mod:`repro.core.events` / :mod:`repro.core.fusion` — the unified attack
+  event model, Table 1 summaries, shared-target and joint-attack analysis;
+* :mod:`repro.core.timeseries`, :mod:`repro.core.rankings`,
+  :mod:`repro.core.distributions`, :mod:`repro.core.ports`,
+  :mod:`repro.core.intensity` — Section 4's characterizations;
+* :mod:`repro.core.webmap`, :mod:`repro.core.cohosting` — Section 5's
+  Web-impact analysis;
+* :mod:`repro.core.taxonomy`, :mod:`repro.core.migration` — Section 6's
+  DPS-migration study;
+* :mod:`repro.core.report` — textual renderers for every table and figure.
+"""
+
+from repro.core.events import (
+    AttackDataset,
+    AttackEvent,
+    SOURCE_HONEYPOT,
+    SOURCE_TELESCOPE,
+)
+from repro.core.fusion import FusedDataset, JointAttack
+
+__all__ = [
+    "AttackDataset",
+    "AttackEvent",
+    "SOURCE_HONEYPOT",
+    "SOURCE_TELESCOPE",
+    "FusedDataset",
+    "JointAttack",
+]

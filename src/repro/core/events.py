@@ -1,0 +1,173 @@
+"""Unified attack-event model and per-source data sets.
+
+Telescope and honeypot detections have different native schemas and
+intensity semantics (max backscatter pps vs. average per-reflector request
+rate). The fusion framework lifts both into :class:`AttackEvent`, keeping
+the source tag so intensity normalization and per-source statistics remain
+well-defined, and annotates events with geolocation and origin-AS metadata
+the way the paper does with NetAcuity and Routeviews.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.honeypot.detection import AmpPotEvent
+from repro.net.addressing import slash16, slash24
+from repro.net.geo import GeoDatabase, UNKNOWN_COUNTRY
+from repro.net.routing import RoutingTable
+from repro.telescope.rsdos import TelescopeEvent
+
+SOURCE_TELESCOPE = "telescope"
+SOURCE_HONEYPOT = "honeypot"
+
+DAY = 86400.0
+
+
+@dataclass(frozen=True)
+class AttackEvent:
+    """One attack event in the unified schema."""
+
+    source: str
+    target: int
+    start_ts: float
+    end_ts: float
+    intensity: float
+    ip_proto: int = 0
+    ports: Tuple[int, ...] = ()
+    reflector_protocol: Optional[str] = None
+    packets: int = 0
+    country: str = UNKNOWN_COUNTRY
+    asn: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.source not in (SOURCE_TELESCOPE, SOURCE_HONEYPOT):
+            raise ValueError(f"unknown event source: {self.source!r}")
+        if self.end_ts < self.start_ts:
+            raise ValueError("event ends before it starts")
+
+    @property
+    def duration(self) -> float:
+        return self.end_ts - self.start_ts
+
+    @property
+    def start_day(self) -> int:
+        """Day index the attack started on; multi-day attacks count here."""
+        return int(self.start_ts // DAY)
+
+    @property
+    def single_port(self) -> bool:
+        return len(self.ports) <= 1
+
+    def overlaps(self, other: "AttackEvent") -> bool:
+        return self.start_ts <= other.end_ts and other.start_ts <= self.end_ts
+
+    @classmethod
+    def from_telescope(cls, event: TelescopeEvent) -> "AttackEvent":
+        return cls(
+            source=SOURCE_TELESCOPE,
+            target=event.victim,
+            start_ts=event.start_ts,
+            end_ts=event.end_ts,
+            intensity=event.max_pps,
+            ip_proto=event.ip_proto,
+            ports=event.ports,
+            packets=event.packets,
+        )
+
+    @classmethod
+    def from_honeypot(cls, event: AmpPotEvent) -> "AttackEvent":
+        return cls(
+            source=SOURCE_HONEYPOT,
+            target=event.victim,
+            start_ts=event.start_ts,
+            end_ts=event.end_ts,
+            intensity=event.avg_rps,
+            reflector_protocol=event.protocol,
+            packets=event.requests,
+        )
+
+    def annotated(
+        self, geo: GeoDatabase, routing: RoutingTable
+    ) -> "AttackEvent":
+        """Copy with country and origin-AS metadata attached."""
+        return replace(
+            self,
+            country=geo.country(self.target),
+            asn=routing.origin_asn(self.target),
+        )
+
+
+class AttackDataset:
+    """An ordered collection of events from one source (or combined)."""
+
+    def __init__(self, events: Iterable[AttackEvent], label: str = "") -> None:
+        self.events: List[AttackEvent] = sorted(
+            events, key=lambda e: (e.start_ts, e.target)
+        )
+        self.label = label
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def unique_targets(self) -> Set[int]:
+        return {event.target for event in self.events}
+
+    def unique_slash24s(self) -> Set[int]:
+        return {slash24(event.target) for event in self.events}
+
+    def unique_slash16s(self) -> Set[int]:
+        return {slash16(event.target) for event in self.events}
+
+    def unique_asns(self) -> Set[int]:
+        return {
+            event.asn for event in self.events if event.asn is not None
+        }
+
+    def summary(self) -> dict:
+        """One row of Table 1."""
+        return {
+            "source": self.label,
+            "events": len(self.events),
+            "targets": len(self.unique_targets()),
+            "slash24s": len(self.unique_slash24s()),
+            "slash16s": len(self.unique_slash16s()),
+            "asns": len(self.unique_asns()),
+        }
+
+    def annotated(
+        self, geo: GeoDatabase, routing: RoutingTable
+    ) -> "AttackDataset":
+        return AttackDataset(
+            (event.annotated(geo, routing) for event in self.events),
+            label=self.label,
+        )
+
+    def filter(self, predicate) -> "AttackDataset":
+        return AttackDataset(
+            (event for event in self.events if predicate(event)),
+            label=self.label,
+        )
+
+    def events_per_target(self) -> float:
+        """Mean number of events per unique target (repeat victimization)."""
+        targets = self.unique_targets()
+        if not targets:
+            return 0.0
+        return len(self.events) / len(targets)
+
+    @classmethod
+    def from_telescope_events(
+        cls, events: Iterable[TelescopeEvent], label: str = "Network Telescope"
+    ) -> "AttackDataset":
+        return cls((AttackEvent.from_telescope(e) for e in events), label)
+
+    @classmethod
+    def from_honeypot_events(
+        cls, events: Iterable[AmpPotEvent], label: str = "Amplification Honeypot"
+    ) -> "AttackDataset":
+        return cls((AttackEvent.from_honeypot(e) for e in events), label)

@@ -1,0 +1,122 @@
+"""Infrastructure impact: attacks on mail and authoritative DNS.
+
+The paper's Section 8 outlines two extensions this module implements:
+
+* **Mail impact** — Section 5 already observed that MX-referenced addresses
+  (e.g. GoDaddy's mail servers, used by tens of millions of domains) are
+  frequently attacked. Joining attack events against the MX hosting
+  intervals quantifies how many domains' mail delivery was potentially
+  affected.
+* **DNS impact** — mapping targeted addresses to authoritative name
+  servers shows attacks on the DNS itself: a hit on a hoster's NS pair
+  potentially affects resolution for every domain it serves, and a
+  protected domain's migration onto DPS name servers changes its exposure.
+
+Both analyses reuse the generic interval index from :mod:`repro.core.webmap`
+— the machinery is identical, only the record type differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Set, Tuple
+
+from repro.core.events import AttackEvent
+from repro.core.webmap import WebHostingIndex, WebImpactAnalysis
+
+
+@dataclass(frozen=True)
+class InfrastructureImpact:
+    """Aggregate impact of attacks on one infrastructure class."""
+
+    label: str
+    attacked_infrastructure_ips: int
+    affected_domains: int
+    total_domains: int
+    events_with_impact: int
+
+    @property
+    def affected_fraction(self) -> float:
+        if not self.total_domains:
+            return 0.0
+        return self.affected_domains / self.total_domains
+
+
+def build_infra_index(
+    intervals: Iterable[Tuple[str, int, int, int]]
+) -> WebHostingIndex:
+    """An interval index over (domain, ip, start, end) records.
+
+    Works for mail (MX address) and name-server intervals alike; the
+    resulting index answers "which domains depended on this address on
+    this day?".
+    """
+    return WebHostingIndex(intervals)
+
+
+def infrastructure_impact(
+    events: Iterable[AttackEvent],
+    intervals: Iterable[Tuple[str, int, int, int]],
+    label: str,
+) -> InfrastructureImpact:
+    """Join attack events against one infrastructure interval set."""
+    index = build_infra_index(intervals)
+    analysis = WebImpactAnalysis(index)
+    event_list = list(events)
+    associations = analysis.associate(event_list)
+    affected = analysis.unique_affected_sites(event_list)
+    return InfrastructureImpact(
+        label=label,
+        attacked_infrastructure_ips=len(
+            {a.event.target for a in associations if a.site_count > 0}
+        ),
+        affected_domains=len(affected),
+        total_domains=len(index.all_domains()),
+        events_with_impact=sum(1 for a in associations if a.site_count > 0),
+    )
+
+
+def mail_impact(
+    events: Iterable[AttackEvent],
+    mail_intervals: Iterable[Tuple[str, int, int, int]],
+) -> InfrastructureImpact:
+    """Impact of attacks on mail-exchanger addresses."""
+    return infrastructure_impact(events, mail_intervals, "mail")
+
+
+def dns_impact(
+    events: Iterable[AttackEvent],
+    ns_intervals: Iterable[Tuple[str, int, int, int]],
+) -> InfrastructureImpact:
+    """Impact of attacks on authoritative name servers."""
+    return infrastructure_impact(events, ns_intervals, "dns")
+
+
+def shared_fate_domains(
+    events: Iterable[AttackEvent],
+    web_index: WebHostingIndex,
+    ns_intervals: Iterable[Tuple[str, int, int, int]],
+) -> Dict[str, Set[str]]:
+    """Split affected domains by *how* they were exposed.
+
+    Returns {"web": ..., "dns": ..., "both": ...} — domains whose Web
+    hosting was attacked, whose authoritative DNS was attacked, and those
+    hit through both dependencies (compound risk the paper's future-work
+    discussion motivates).
+    """
+    event_list = list(events)
+    web_affected = WebImpactAnalysis(web_index).unique_affected_sites(
+        event_list
+    )
+    # Web domains are keyed by their www name; strip for comparison.
+    web_bare = {name[4:] if name.startswith("www.") else name
+                for name in web_affected}
+    dns_index = build_infra_index(ns_intervals)
+    dns_affected = WebImpactAnalysis(dns_index).unique_affected_sites(
+        event_list
+    )
+    return {
+        "web": web_bare - dns_affected,
+        "dns": dns_affected - web_bare,
+        "both": web_bare & dns_affected,
+    }

@@ -1,0 +1,103 @@
+"""Intensity normalization and thresholds (Figure 5, Table 9).
+
+Intensities from the two data sets live on incomparable scales (backscatter
+pps vs. per-reflector request rate), so cross-source comparisons use
+*normalized* intensity: min-max scaling within each source, landing every
+event in [0, 1]. The "medium or higher" intensity class of Figure 5 uses
+the paper's rule — intensity at least the mean of its own data set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.events import AttackEvent
+
+
+@dataclass(frozen=True)
+class SourceScale:
+    """Min/max/mean of one source's raw intensity values."""
+
+    minimum: float
+    maximum: float
+    mean: float
+
+    def normalize(self, value: float) -> float:
+        if self.maximum <= self.minimum:
+            return 0.0
+        scaled = (value - self.minimum) / (self.maximum - self.minimum)
+        return min(1.0, max(0.0, scaled))
+
+
+class IntensityModel:
+    """Per-source scales computed once over the fused data."""
+
+    def __init__(self, events: Iterable[AttackEvent]) -> None:
+        by_source: Dict[str, List[float]] = {}
+        for event in events:
+            by_source.setdefault(event.source, []).append(event.intensity)
+        if not by_source:
+            raise ValueError("cannot build an intensity model with no events")
+        self.scales: Dict[str, SourceScale] = {
+            source: SourceScale(
+                minimum=float(min(values)),
+                maximum=float(max(values)),
+                mean=float(np.mean(values)),
+            )
+            for source, values in by_source.items()
+        }
+
+    def normalized(self, event: AttackEvent) -> float:
+        """The event's intensity scaled into [0, 1] within its source."""
+        return self.scales[event.source].normalize(event.intensity)
+
+    def is_medium_or_higher(self, event: AttackEvent) -> bool:
+        """The paper's Figure 5 rule: at least the mean of its data set."""
+        return event.intensity >= self.scales[event.source].mean
+
+    def medium_plus(self, events: Iterable[AttackEvent]) -> List[AttackEvent]:
+        return [e for e in events if self.is_medium_or_higher(e)]
+
+
+# Percentiles reported in Table 9.
+TABLE9_PERCENTILES = (11.1, 95.0, 97.5, 99.0, 99.9, 100.0)
+
+
+def intensity_percentile_table(
+    site_intensities: Iterable[float],
+    percentiles: Sequence[float] = TABLE9_PERCENTILES,
+) -> List[Tuple[float, float]]:
+    """Table 9: normalized intensity value at selected site percentiles.
+
+    *site_intensities* is the per-Web-site maximum normalized intensity
+    (a site hit by several — possibly simultaneous — attacks contributes
+    its highest value).
+    """
+    values = np.sort(np.fromiter(site_intensities, dtype=float))
+    if values.size == 0:
+        return []
+    rows: List[Tuple[float, float]] = []
+    for percentile in percentiles:
+        rows.append(
+            (percentile, float(np.percentile(values, percentile, method="lower")))
+        )
+    return rows
+
+
+def top_fraction_threshold(
+    values: Iterable[float], top_fraction: float
+) -> float:
+    """The intensity value separating the top *top_fraction* of values.
+
+    Used by the migration analysis to slice Figure 10's top-5 %/1 %/0.1 %
+    classes.
+    """
+    if not 0.0 < top_fraction <= 1.0:
+        raise ValueError("top_fraction must be in (0, 1]")
+    array = np.fromiter(values, dtype=float)
+    if array.size == 0:
+        raise ValueError("no values to threshold")
+    return float(np.quantile(array, 1.0 - top_fraction))

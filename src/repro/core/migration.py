@@ -1,0 +1,175 @@
+"""Migration correlation analysis (Figures 9, 10, 11).
+
+Joins per-site attack histories with detected DPS adoption days to answer
+the paper's three questions:
+
+* Does attack *repetition* drive migration? (Figure 9 — it does not: the
+  migrating population's attack-count CDF sits above the overall one.)
+* Does attack *intensity* accelerate migration? (Figure 10 — strongly: the
+  top-0.1 %-intensity victims migrate almost entirely within days.)
+* Does attack *duration* matter? (Figure 11 — only weakly; durations come
+  from the honeypot data set because a collapsing victim truncates
+  telescope-observed durations.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.distributions import EmpiricalCDF
+from repro.core.events import SOURCE_HONEYPOT
+from repro.core.intensity import IntensityModel, top_fraction_threshold
+from repro.core.webmap import SiteAttackHistory
+
+
+@dataclass(frozen=True)
+class MigrationObservation:
+    """One migrating Web site with its triggering-attack attributes.
+
+    ``days_to_migration`` measures from the most intense pre-migration
+    attack (the plausible trigger) to the first day the site is seen
+    using a DPS.
+    """
+
+    domain: str
+    migration_day: int
+    trigger_day: int
+    days_to_migration: int
+    trigger_intensity: float  # normalized
+    trigger_duration: float
+    trigger_source: str
+    n_attacks_total: int
+
+
+class MigrationAnalysis:
+    """Builds migration observations and the paper's three figures."""
+
+    def __init__(
+        self,
+        histories: Dict[str, SiteAttackHistory],
+        dps_first_day: Dict[str, int],
+        intensity_model: IntensityModel,
+    ) -> None:
+        self.histories = histories
+        self.dps_first_day = dps_first_day
+        self.intensity_model = intensity_model
+        self.observations = self._build_observations()
+        # The paper's Figure 10 classes are percentiles of the *site-level*
+        # normalized intensity distribution (Table 9): every attacked site's
+        # maximum normalized intensity, migrating or not.
+        self.site_intensities: List[float] = [
+            max(intensity_model.normalized(e) for e in history.events)
+            for history in histories.values()
+        ]
+
+    def _build_observations(self) -> List[MigrationObservation]:
+        observations: List[MigrationObservation] = []
+        for domain, history in self.histories.items():
+            dps_day = self.dps_first_day.get(domain)
+            if dps_day is None:
+                continue
+            prior = [e for e in history.events if e.start_day < dps_day]
+            if not prior:
+                continue  # protected before any observed attack: preexisting
+            trigger = max(prior, key=self.intensity_model.normalized)
+            observations.append(
+                MigrationObservation(
+                    domain=domain,
+                    migration_day=dps_day,
+                    trigger_day=trigger.start_day,
+                    days_to_migration=max(1, dps_day - trigger.start_day),
+                    trigger_intensity=self.intensity_model.normalized(trigger),
+                    trigger_duration=trigger.duration,
+                    trigger_source=trigger.source,
+                    n_attacks_total=history.n_attacks,
+                )
+            )
+        return observations
+
+    # -- Figure 9 --------------------------------------------------------------
+
+    def attack_frequency_cdf_all(self) -> EmpiricalCDF:
+        """Attack-count distribution over all attacked Web sites."""
+        return EmpiricalCDF(
+            history.n_attacks for history in self.histories.values()
+        )
+
+    def attack_frequency_cdf_migrating(self) -> EmpiricalCDF:
+        """Attack-count distribution over migrating Web sites only."""
+        if not self.observations:
+            raise ValueError("no migrating sites observed")
+        return EmpiricalCDF(o.n_attacks_total for o in self.observations)
+
+    def repetition_effect(self, threshold: int = 5) -> Tuple[float, float]:
+        """(all, migrating) fractions attacked more than *threshold* times.
+
+        The paper reports 7.65 % vs 2.17 % at threshold 5 — repetition does
+        not push sites toward protection.
+        """
+        all_cdf = self.attack_frequency_cdf_all()
+        migrating_cdf = self.attack_frequency_cdf_migrating()
+        return (
+            1.0 - all_cdf.fraction_at_or_below(threshold),
+            1.0 - migrating_cdf.fraction_at_or_below(threshold),
+        )
+
+    # -- Figure 10 --------------------------------------------------------------
+
+    def delay_cdf(
+        self, top_fraction: Optional[float] = None
+    ) -> EmpiricalCDF:
+        """Days-to-migration CDF, optionally restricted by trigger intensity.
+
+        ``top_fraction=0.01`` keeps migrations whose trigger intensity falls
+        in the top 1 % of the *site-level* normalized intensity distribution
+        — the Table 9 distribution, exactly as the paper slices Figure 10.
+        """
+        observations = self.observations
+        if not observations:
+            raise ValueError("no migrating sites observed")
+        if top_fraction is not None:
+            threshold = top_fraction_threshold(
+                self.site_intensities, top_fraction
+            )
+            observations = [
+                o for o in observations if o.trigger_intensity >= threshold
+            ]
+            if not observations:
+                raise ValueError(
+                    f"no migrations in the top {top_fraction:.2%} intensity class"
+                )
+        return EmpiricalCDF(o.days_to_migration for o in observations)
+
+    def migration_within(
+        self, days: int, top_fraction: Optional[float] = None
+    ) -> float:
+        """Fraction of migrating sites that migrated within *days* days."""
+        return self.delay_cdf(top_fraction).fraction_at_or_below(days)
+
+    # -- Figure 11 --------------------------------------------------------------
+
+    def delay_cdf_long_attacks(
+        self, min_duration: float = 4 * 3600.0
+    ) -> EmpiricalCDF:
+        """Days-to-migration for sites whose honeypot-observed attack lasted
+        at least *min_duration* seconds before migration."""
+        delays: List[int] = []
+        for domain, history in self.histories.items():
+            dps_day = self.dps_first_day.get(domain)
+            if dps_day is None:
+                continue
+            long_prior = [
+                e
+                for e in history.events
+                if e.source == SOURCE_HONEYPOT
+                and e.start_day < dps_day
+                and e.duration >= min_duration
+            ]
+            if not long_prior:
+                continue
+            trigger = max(long_prior, key=lambda e: e.duration)
+            delays.append(max(1, dps_day - trigger.start_day))
+        if not delays:
+            raise ValueError("no migrations following long attacks")
+        return EmpiricalCDF(delays)

@@ -1,0 +1,109 @@
+"""Country, protocol and AS rankings (Tables 4, 5 and 6).
+
+Country rankings count *unique target IP addresses* per country, as the
+paper does; protocol distributions count *events*.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.events import AttackEvent
+from repro.net.packet import ip_proto_name
+
+
+@dataclass(frozen=True)
+class RankedEntry:
+    """One row of a ranking table."""
+
+    key: str
+    count: int
+    share: float
+
+
+def country_ranking(
+    events: Iterable[AttackEvent], top_n: int = 5
+) -> List[RankedEntry]:
+    """Top countries by unique targeted addresses, plus an "Other" row."""
+    country_by_target: Dict[int, str] = {}
+    for event in events:
+        country_by_target.setdefault(event.target, event.country)
+    counts = Counter(country_by_target.values())
+    total = sum(counts.values())
+    if total == 0:
+        return []
+    ranked = [
+        RankedEntry(country, count, count / total)
+        for country, count in counts.most_common(top_n)
+    ]
+    covered = sum(entry.count for entry in ranked)
+    ranked.append(RankedEntry("Other", total - covered, (total - covered) / total))
+    return ranked
+
+
+def country_rank_of(
+    events: Iterable[AttackEvent], country: str
+) -> Optional[int]:
+    """1-based rank of *country* by unique targets (None if absent).
+
+    Used to verify the paper's Table 4 anomalies (e.g. Japan ranking far
+    below its address-space usage).
+    """
+    country_by_target: Dict[int, str] = {}
+    for event in events:
+        country_by_target.setdefault(event.target, event.country)
+    counts = Counter(country_by_target.values())
+    for rank, (name, _) in enumerate(counts.most_common(), start=1):
+        if name == country:
+            return rank
+    return None
+
+
+def ip_protocol_distribution(
+    events: Iterable[AttackEvent],
+) -> Dict[str, float]:
+    """Share of events per IP protocol (Table 5); keys are protocol names."""
+    counts = Counter(ip_proto_name(event.ip_proto) for event in events)
+    total = sum(counts.values())
+    if total == 0:
+        return {}
+    return {name: count / total for name, count in counts.items()}
+
+
+def reflection_protocol_distribution(
+    events: Iterable[AttackEvent],
+) -> List[RankedEntry]:
+    """Events per reflector protocol, descending (Table 6)."""
+    counts = Counter(
+        event.reflector_protocol
+        for event in events
+        if event.reflector_protocol is not None
+    )
+    total = sum(counts.values())
+    if total == 0:
+        return []
+    return [
+        RankedEntry(protocol, count, count / total)
+        for protocol, count in counts.most_common()
+    ]
+
+
+def asn_ranking(
+    events: Iterable[AttackEvent], top_n: int = 5
+) -> List[RankedEntry]:
+    """Top origin ASes by unique targeted addresses."""
+    asn_by_target: Dict[int, Optional[int]] = {}
+    for event in events:
+        asn_by_target.setdefault(event.target, event.asn)
+    counts = Counter(
+        str(asn) for asn in asn_by_target.values() if asn is not None
+    )
+    total = sum(counts.values())
+    if total == 0:
+        return []
+    return [
+        RankedEntry(asn, count, count / total)
+        for asn, count in counts.most_common(top_n)
+    ]

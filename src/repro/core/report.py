@@ -1,0 +1,273 @@
+"""Textual renderers for every table and figure in the paper.
+
+Each ``render_*`` function takes analysis outputs and returns an aligned
+ASCII block mirroring the corresponding table or (for figures) the key
+series/CDF values the paper annotates. The benchmark harness prints these
+so a run regenerates the paper's evaluation section end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.cohosting import CoHostingBin
+from repro.core.distributions import (
+    DURATION_POINTS,
+    EmpiricalCDF,
+    INTENSITY_POINTS,
+)
+from repro.core.rankings import RankedEntry
+from repro.core.taxonomy import TaxonomyCounts
+from repro.core.timeseries import DailySeries
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), max((len(r[i]) for r in cells), default=0))
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _pct(value: float) -> str:
+    return f"{100.0 * value:.2f}%"
+
+
+def render_table1(summary_rows: Sequence[dict]) -> str:
+    """Table 1: attack events per source."""
+    rows = [
+        [
+            r["source"],
+            r["events"],
+            r["targets"],
+            r["slash24s"],
+            r["slash16s"],
+            r["asns"],
+        ]
+        for r in summary_rows
+    ]
+    return render_table(
+        ["source", "#events", "#targets", "#/24s", "#/16s", "#ASNs"],
+        rows,
+        title="Table 1: DoS attack events data",
+    )
+
+
+def render_table2(zone_stats, total_sites: int, total_points: int) -> str:
+    """Table 2: active DNS data set."""
+    rows = [
+        [f".{z.tld}", z.web_sites, z.data_points, f"{z.size_bytes / 2**30:.2f} GiB"]
+        for z in zone_stats
+    ]
+    rows.append(["Combined", total_sites, total_points, ""])
+    return render_table(
+        ["source", "#Web sites", "#data points", "size"],
+        rows,
+        title="Table 2: Active DNS data set",
+    )
+
+
+def render_table3(site_counts: Dict[str, int]) -> str:
+    """Table 3: Web sites per DPS provider."""
+    rows = [
+        [provider, count]
+        for provider, count in sorted(site_counts.items())
+    ]
+    return render_table(
+        ["provider", "#Web sites"],
+        rows,
+        title="Table 3: DDoS Protection Service use",
+    )
+
+
+def render_table4(entries: Sequence[RankedEntry], label: str) -> str:
+    """Table 4: per-country target ranking for one data set."""
+    rows = [[e.key, e.count, _pct(e.share)] for e in entries]
+    return render_table(
+        ["country", "#targets", "%"],
+        rows,
+        title=f"Table 4 ({label}): targets per country",
+    )
+
+
+def render_table5(distribution: Dict[str, float]) -> str:
+    """Table 5: IP protocol distribution."""
+    order = sorted(distribution.items(), key=lambda kv: kv[1], reverse=True)
+    rows = [[name, _pct(share)] for name, share in order]
+    return render_table(
+        ["IP protocol", "events (%)"],
+        rows,
+        title="Table 5: IP protocol distribution (telescope)",
+    )
+
+
+def render_table6(entries: Sequence[RankedEntry]) -> str:
+    """Table 6: reflection protocol distribution."""
+    rows = [[e.key, e.count, _pct(e.share)] for e in entries]
+    return render_table(
+        ["type", "#events", "%"],
+        rows,
+        title="Table 6: Reflection protocol distribution (honeypot)",
+    )
+
+
+def render_table7(cardinality) -> str:
+    """Table 7: single- vs multi-port attacks."""
+    rows = [
+        ["single-port", cardinality.single_port, _pct(cardinality.single_fraction)],
+        [
+            "multi-port",
+            cardinality.multi_port,
+            _pct(1.0 - cardinality.single_fraction),
+        ],
+    ]
+    return render_table(
+        ["type", "#events", "%"],
+        rows,
+        title="Table 7: Number of target ports distribution (telescope)",
+    )
+
+
+def render_table8(
+    tcp_entries: Sequence[RankedEntry], udp_entries: Sequence[RankedEntry]
+) -> str:
+    """Table 8: top targeted services for TCP and UDP."""
+    tcp = render_table(
+        ["type", "#events", "%"],
+        [[e.key, e.count, _pct(e.share)] for e in tcp_entries],
+        title="Table 8a: top targeted services, single-port TCP",
+    )
+    udp = render_table(
+        ["type", "#events", "%"],
+        [[e.key, e.count, _pct(e.share)] for e in udp_entries],
+        title="Table 8b: top targeted services, single-port UDP",
+    )
+    return tcp + "\n\n" + udp
+
+
+def render_table9(rows: Sequence[Tuple[float, float]]) -> str:
+    """Table 9: normalized attack intensity over Web sites."""
+    return render_table(
+        ["Web sites (%)", "Intensity (<=)"],
+        [[f"{p:.1f}", f"{v:.2f}"] for p, v in rows],
+        title="Table 9: attack intensity distribution over Web sites",
+    )
+
+
+def render_series_summary(series: DailySeries) -> str:
+    """Figure 1 (one panel): daily statistics summary."""
+    rows = [
+        ["attacks/day (mean)", f"{series.mean_daily_attacks():.1f}"],
+        ["attacks/day (max)", int(series.attacks.max()) if series.n_days else 0],
+        ["targets/day (mean)", f"{series.unique_targets.mean():.1f}"],
+        ["/16s/day (mean)", f"{series.targeted_slash16s.mean():.1f}"],
+        ["ASNs/day (mean)", f"{series.targeted_asns.mean():.1f}"],
+        ["peak day", series.peak_day()],
+    ]
+    return render_table(
+        ["statistic", "value"],
+        rows,
+        title=f"Figure 1 ({series.label}): daily attack statistics",
+    )
+
+
+def render_duration_cdf(cdf: EmpiricalCDF, label: str) -> str:
+    """Figure 2 (one panel): duration CDF at the paper's x positions."""
+    rows = [
+        [_format_seconds(x), _pct(cdf.fraction_at_or_below(x))]
+        for x in DURATION_POINTS
+    ]
+    rows.append(["mean", _format_seconds(cdf.mean)])
+    rows.append(["median", _format_seconds(cdf.median)])
+    return render_table(
+        ["duration <=", "CDF"],
+        rows,
+        title=f"Figure 2 ({label}): attack duration CDF",
+    )
+
+
+def render_intensity_cdf(cdf: EmpiricalCDF, label: str) -> str:
+    """Figures 3/4: intensity CDF at log-decade positions."""
+    rows = [
+        [str(x), _pct(cdf.fraction_at_or_below(x))] for x in INTENSITY_POINTS
+    ]
+    rows.append(["mean", f"{cdf.mean:.1f}"])
+    rows.append(["median", f"{cdf.median:.1f}"])
+    return render_table(
+        ["intensity <=", "CDF"],
+        rows,
+        title=f"Intensity CDF ({label})",
+    )
+
+
+def render_cohosting(bins: Sequence[CoHostingBin]) -> str:
+    """Figure 6: co-hosting group histogram."""
+    rows = [[b.label, b.target_ips] for b in bins]
+    return render_table(
+        ["co-hosted sites", "target IPs"],
+        rows,
+        title="Figure 6: Web site associations per targeted IP",
+    )
+
+
+def render_taxonomy(counts: TaxonomyCounts) -> str:
+    """Figure 8: the Web-site taxonomy tree."""
+    def node(label: str, value: int, parent: int) -> str:
+        share = f" ({_pct(value / parent)})" if parent else ""
+        return f"{label}: {value}{share}"
+
+    lines = [
+        "Figure 8: Web site taxonomy",
+        node("all Web sites", counts.total, 0),
+        "  " + node("attack observed", counts.attacked, counts.total),
+        "    " + node("preexisting", counts.attacked_preexisting, counts.attacked),
+        "    " + node("migrating", counts.attacked_migrating, counts.attacked),
+        "    "
+        + node("non-migrating", counts.attacked_non_migrating, counts.attacked),
+        "  " + node("no attack observed", counts.not_attacked, counts.total),
+        "    "
+        + node(
+            "preexisting", counts.unattacked_preexisting, counts.not_attacked
+        ),
+        "    "
+        + node("migrating", counts.unattacked_migrating, counts.not_attacked),
+        "    "
+        + node(
+            "non-migrating",
+            counts.unattacked_non_migrating,
+            counts.not_attacked,
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def render_delay_cdf(
+    cdfs: Dict[str, EmpiricalCDF], days: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8, 16)
+) -> str:
+    """Figures 10/11: days-to-migration CDFs for labelled populations."""
+    headers = ["days <="] + list(cdfs.keys())
+    rows = []
+    for day in days:
+        rows.append(
+            [day] + [_pct(cdf.fraction_at_or_below(day)) for cdf in cdfs.values()]
+        )
+    return render_table(headers, rows, title="Migration delay CDFs")
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds < 120:
+        return f"{seconds:.0f}s"
+    if seconds < 7200:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds / 3600:.1f}h"

@@ -1,0 +1,147 @@
+"""Web-site taxonomy (Figure 8).
+
+Classifies every Web site in the measured namespace along the paper's tree:
+
+    all sites
+      |- attack observed
+      |    |- preexisting customer
+      |    |- migrating            (DPS appears after first observed attack)
+      |    '- non-migrating
+      '- no attack observed
+           |- preexisting customer
+           |- migrating            (DPS appears after the site is first seen)
+           '- non-migrating
+
+"Preexisting" means protected from the beginning of the data set or from
+the first day the site appears in the DNS. Sites protected before their
+first observed attack (but after first appearing) are counted as
+preexisting: they did not migrate *because of* an observed attack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+CLASS_PREEXISTING = "preexisting"
+CLASS_MIGRATING = "migrating"
+CLASS_NON_MIGRATING = "non-migrating"
+
+
+@dataclass(frozen=True)
+class SiteClassification:
+    """One Web site's position in the taxonomy."""
+
+    domain: str
+    attacked: bool
+    customer_class: str
+
+
+@dataclass
+class TaxonomyCounts:
+    """Aggregated Figure 8 node populations."""
+
+    total: int = 0
+    attacked: int = 0
+    not_attacked: int = 0
+    attacked_preexisting: int = 0
+    attacked_migrating: int = 0
+    attacked_non_migrating: int = 0
+    unattacked_preexisting: int = 0
+    unattacked_migrating: int = 0
+    unattacked_non_migrating: int = 0
+
+    def fraction(self, part: int, whole: int) -> float:
+        return part / whole if whole else 0.0
+
+    @property
+    def attacked_fraction(self) -> float:
+        """The paper's 64 % headline."""
+        return self.fraction(self.attacked, self.total)
+
+    @property
+    def attacked_migrating_fraction(self) -> float:
+        """The paper's 4.31 % (of attacked sites)."""
+        return self.fraction(self.attacked_migrating, self.attacked)
+
+    @property
+    def unattacked_migrating_fraction(self) -> float:
+        """The paper's 3.32 % (of unattacked sites)."""
+        return self.fraction(self.unattacked_migrating, self.not_attacked)
+
+    @property
+    def attacked_preexisting_fraction(self) -> float:
+        return self.fraction(self.attacked_preexisting, self.attacked)
+
+    @property
+    def unattacked_preexisting_fraction(self) -> float:
+        return self.fraction(self.unattacked_preexisting, self.not_attacked)
+
+    @property
+    def attacked_protected_fraction(self) -> float:
+        """Preexisting or migrating, among attacked sites (paper: 22.1 %)."""
+        return self.fraction(
+            self.attacked_preexisting + self.attacked_migrating, self.attacked
+        )
+
+    @property
+    def unattacked_protected_fraction(self) -> float:
+        """Preexisting or migrating, among unattacked sites (paper: 4.2 %)."""
+        return self.fraction(
+            self.unattacked_preexisting + self.unattacked_migrating,
+            self.not_attacked,
+        )
+
+
+def classify_sites(
+    first_seen: Dict[str, int],
+    first_attack_day: Dict[str, int],
+    dps_first_day: Dict[str, int],
+) -> List[SiteClassification]:
+    """Classify every site in *first_seen* along the Figure 8 tree."""
+    classifications: List[SiteClassification] = []
+    for domain, seen_day in first_seen.items():
+        attack_day = first_attack_day.get(domain)
+        dps_day = dps_first_day.get(domain)
+        attacked = attack_day is not None
+        if dps_day is None:
+            customer_class = CLASS_NON_MIGRATING
+        elif attacked:
+            if dps_day > attack_day:
+                customer_class = CLASS_MIGRATING
+            else:
+                customer_class = CLASS_PREEXISTING
+        else:
+            if dps_day > seen_day:
+                customer_class = CLASS_MIGRATING
+            else:
+                customer_class = CLASS_PREEXISTING
+        classifications.append(
+            SiteClassification(domain, attacked, customer_class)
+        )
+    return classifications
+
+
+def taxonomy_counts(
+    classifications: Iterable[SiteClassification],
+) -> TaxonomyCounts:
+    counts = TaxonomyCounts()
+    for classification in classifications:
+        counts.total += 1
+        if classification.attacked:
+            counts.attacked += 1
+            if classification.customer_class == CLASS_PREEXISTING:
+                counts.attacked_preexisting += 1
+            elif classification.customer_class == CLASS_MIGRATING:
+                counts.attacked_migrating += 1
+            else:
+                counts.attacked_non_migrating += 1
+        else:
+            counts.not_attacked += 1
+            if classification.customer_class == CLASS_PREEXISTING:
+                counts.unattacked_preexisting += 1
+            elif classification.customer_class == CLASS_MIGRATING:
+                counts.unattacked_migrating += 1
+            else:
+                counts.unattacked_non_migrating += 1
+    return counts

@@ -1,0 +1,81 @@
+"""Daily time series over attack events (Figures 1, 5 and 7's x-axis).
+
+Every series counts multi-day attacks only toward the day on which the
+attack started, matching the paper's convention (footnote 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set
+
+import numpy as np
+
+from repro.core.events import AttackEvent
+from repro.net.addressing import slash16
+
+
+@dataclass
+class DailySeries:
+    """Per-day counts for one event collection (one panel of Figure 1)."""
+
+    label: str
+    n_days: int
+    attacks: np.ndarray
+    unique_targets: np.ndarray
+    targeted_slash16s: np.ndarray
+    targeted_asns: np.ndarray
+
+    def mean_daily_attacks(self) -> float:
+        return float(self.attacks.mean()) if self.n_days else 0.0
+
+    def peak_day(self) -> int:
+        return int(self.attacks.argmax()) if self.n_days else 0
+
+    def as_dict(self) -> Dict[str, List[int]]:
+        return {
+            "attacks": self.attacks.tolist(),
+            "unique_targets": self.unique_targets.tolist(),
+            "targeted_slash16s": self.targeted_slash16s.tolist(),
+            "targeted_asns": self.targeted_asns.tolist(),
+        }
+
+
+def daily_series(
+    events: Iterable[AttackEvent], n_days: int, label: str = ""
+) -> DailySeries:
+    """Build the four per-day curves of one Figure 1 panel."""
+    if n_days <= 0:
+        raise ValueError("n_days must be positive")
+    attacks = np.zeros(n_days, dtype=np.int64)
+    targets: List[Set[int]] = [set() for _ in range(n_days)]
+    nets: List[Set[int]] = [set() for _ in range(n_days)]
+    asns: List[Set[int]] = [set() for _ in range(n_days)]
+    for event in events:
+        day = event.start_day
+        if not 0 <= day < n_days:
+            continue
+        attacks[day] += 1
+        targets[day].add(event.target)
+        nets[day].add(slash16(event.target))
+        if event.asn is not None:
+            asns[day].add(event.asn)
+    return DailySeries(
+        label=label,
+        n_days=n_days,
+        attacks=attacks,
+        unique_targets=np.array([len(s) for s in targets], dtype=np.int64),
+        targeted_slash16s=np.array([len(s) for s in nets], dtype=np.int64),
+        targeted_asns=np.array([len(s) for s in asns], dtype=np.int64),
+    )
+
+
+def figure1_series(
+    fused, n_days: int
+) -> Dict[str, DailySeries]:
+    """The three panels of Figure 1: telescope, honeypot, combined."""
+    return {
+        "telescope": daily_series(fused.telescope, n_days, "Telescope"),
+        "honeypot": daily_series(fused.honeypot, n_days, "Honeypot"),
+        "combined": daily_series(fused.combined, n_days, "Combined"),
+    }

@@ -1,0 +1,38 @@
+"""Active DNS measurement substitute (OpenINTEL).
+
+Synthetic registries for `.com`, `.net` and `.org` with realistic hosting
+concentration, a daily snapshot engine producing the resource records the
+paper's analysis consumes (`www` A records, CNAME chains, NS and MX), and a
+resolver that follows CNAME chains the way attribution in Section 5 does.
+Domain hosting is a *timeline*: migrations to DDoS Protection Services
+change the records a snapshot reports from the migration day onward.
+"""
+
+from repro.dns.records import (
+    DomainTimeline,
+    HostingState,
+    ResourceRecord,
+    RRTYPE_A,
+    RRTYPE_CNAME,
+    RRTYPE_MX,
+    RRTYPE_NS,
+)
+from repro.dns.zone import Zone, ZoneConfig, ZoneGenerator
+from repro.dns.openintel import OpenIntelDataset, OpenIntelPlatform
+from repro.dns.resolver import resolve_www
+
+__all__ = [
+    "DomainTimeline",
+    "HostingState",
+    "ResourceRecord",
+    "RRTYPE_A",
+    "RRTYPE_CNAME",
+    "RRTYPE_MX",
+    "RRTYPE_NS",
+    "Zone",
+    "ZoneConfig",
+    "ZoneGenerator",
+    "OpenIntelDataset",
+    "OpenIntelPlatform",
+    "resolve_www",
+]

@@ -1,0 +1,82 @@
+"""Authoritative name-server directory.
+
+The paper's future-work list (Section 8) proposes mapping targeted IP
+addresses to authoritative name servers to study the effect of DoS attacks
+on the DNS itself. Hosting states carry NS *names*; this directory assigns
+each name a stable address inside its operator's network — hoster NS in the
+hoster's AS, DPS NS on the provider's prefix, registrar NS in enterprise
+space — so attacks on those addresses can be joined against the domains
+they serve.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.dps.providers import DPSProvider
+from repro.internet.hosting import HostingEcosystem
+from repro.internet.topology import AS_KIND_ENTERPRISE, InternetTopology
+
+#: NS names the zone generator assigns to self-hosted domains.
+REGISTRAR_NS = ("ns1.registrar.example", "ns2.registrar.example")
+
+
+class NameServerDirectory:
+    """name server hostname -> address, with reverse lookup."""
+
+    def __init__(self, mapping: Dict[str, int]) -> None:
+        self._by_name = dict(mapping)
+        self._by_address: Dict[int, List[str]] = {}
+        for name, address in self._by_name.items():
+            self._by_address.setdefault(address, []).append(name)
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def resolve(self, name: str) -> Optional[int]:
+        return self._by_name.get(name)
+
+    def names_at(self, address: int) -> List[str]:
+        return list(self._by_address.get(address, ()))
+
+    def addresses(self) -> List[int]:
+        """All distinct name-server addresses (attack-pool input)."""
+        return sorted(self._by_address)
+
+    def resolve_all(self, names: Iterable[str]) -> List[int]:
+        """Addresses for the resolvable subset of *names*."""
+        resolved = (self.resolve(name) for name in names)
+        return [address for address in resolved if address is not None]
+
+    @classmethod
+    def build(
+        cls,
+        ecosystem: HostingEcosystem,
+        providers: Sequence[DPSProvider],
+        topology: InternetTopology,
+        seed: int = 9,
+    ) -> "NameServerDirectory":
+        """Assign every known NS name an address in its operator's space."""
+        rng = Random(seed)
+        mapping: Dict[str, int] = {}
+
+        for hoster in ecosystem.hosters:
+            home = topology.as_by_asn(hoster.asn)
+            for name in hoster.ns_names:
+                if home is not None:
+                    mapping[name] = home.random_address(rng)
+
+        for provider in providers:
+            for name in provider.protection_ns():
+                mapping[name] = provider.prefix.random_address(rng)
+
+        enterprise = topology.ases_of_kind(AS_KIND_ENTERPRISE)
+        host_space = enterprise or topology.ases
+        for name in REGISTRAR_NS:
+            mapping[name] = rng.choice(host_space).random_address(rng)
+
+        return cls(mapping)

@@ -1,0 +1,169 @@
+"""Resource records and per-domain hosting timelines.
+
+A domain's DNS configuration is modelled as a piecewise-constant timeline of
+:class:`HostingState` values: where the `www` label points (directly via an
+A record or through a CNAME chain), which name servers serve the zone, and
+where mail goes. Migrations to a DPS append a new state effective from the
+migration day; the snapshot engine renders whichever state is in force.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+RRTYPE_A = "A"
+RRTYPE_CNAME = "CNAME"
+RRTYPE_NS = "NS"
+RRTYPE_MX = "MX"
+
+
+@dataclass(frozen=True)
+class ResourceRecord:
+    """One DNS data point, as an OpenINTEL snapshot row."""
+
+    name: str
+    rtype: str
+    value: str
+    address: Optional[int] = None  # set for A records
+
+    def __post_init__(self) -> None:
+        if self.rtype == RRTYPE_A and self.address is None:
+            raise ValueError("A records must carry an integer address")
+
+
+@dataclass(frozen=True)
+class HostingState:
+    """Where a domain's Web presence lives during one timeline segment.
+
+    ``cname`` (when present) is the intermediate name the `www` label
+    expands through — this is how cloud-hosted platforms (Wix in AWS) and
+    CNAME-based DPS providers are identified even though the A record points
+    into someone else's address space.
+    """
+
+    ip: int
+    hoster: Optional[str] = None
+    cname: Optional[str] = None
+    ns: Tuple[str, ...] = ()
+    mx_ip: Optional[int] = None
+    dps_provider: Optional[str] = None
+
+
+@dataclass
+class DomainTimeline:
+    """A registered domain and the history of its hosting configuration."""
+
+    name: str
+    tld: str
+    registered_day: int
+    has_www: bool
+    _days: List[int] = field(default_factory=list)
+    _states: List[HostingState] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if "." not in self.name or not self.name.endswith("." + self.tld):
+            raise ValueError(f"domain {self.name!r} does not match tld {self.tld!r}")
+
+    @property
+    def www_name(self) -> str:
+        return f"www.{self.name}"
+
+    def set_state(self, day: int, state: HostingState) -> None:
+        """Install *state* effective from *day* (inclusive).
+
+        Appending at or before an existing change day replaces the segment,
+        keeping the timeline strictly ordered.
+        """
+        index = bisect.bisect_left(self._days, day)
+        if index < len(self._days) and self._days[index] == day:
+            self._states[index] = state
+        else:
+            self._days.insert(index, day)
+            self._states.insert(index, state)
+        del self._days[index + 1 :]
+        del self._states[index + 1 :]
+
+    def state_on(self, day: int) -> Optional[HostingState]:
+        """The hosting state in force on *day*; None before registration."""
+        if day < self.registered_day or not self._days:
+            return None
+        index = bisect.bisect_right(self._days, day) - 1
+        if index < 0:
+            return None
+        return self._states[index]
+
+    def exists_on(self, day: int) -> bool:
+        return day >= self.registered_day
+
+    def ip_on(self, day: int) -> Optional[int]:
+        state = self.state_on(day)
+        return state.ip if state else None
+
+    def change_days(self) -> Tuple[int, ...]:
+        """Days on which the hosting state changes (ascending)."""
+        return tuple(self._days)
+
+    def states(self) -> Tuple[HostingState, ...]:
+        return tuple(self._states)
+
+    def hosting_intervals(self, n_days: int) -> List[Tuple[int, int, int]]:
+        """(start_day, end_day_exclusive, ip) segments within [0, n_days).
+
+        Only segments where the domain exists and has a Web presence are
+        returned; this is the compiled form the IP-to-site index builds on.
+        """
+        if not self.has_www or not self._days:
+            return []
+        intervals: List[Tuple[int, int, int]] = []
+        for index, start in enumerate(self._days):
+            end = self._days[index + 1] if index + 1 < len(self._days) else n_days
+            start = max(start, self.registered_day, 0)
+            end = min(end, n_days)
+            if start < end:
+                intervals.append((start, end, self._states[index].ip))
+        return intervals
+
+    def mail_intervals(self, n_days: int) -> List[Tuple[int, int, int]]:
+        """(start_day, end_day_exclusive, mx ip) segments within [0, n_days).
+
+        Unlike :meth:`hosting_intervals`, mail presence does not require a
+        `www` label — a domain can receive mail without serving a Web site.
+        """
+        if not self._days:
+            return []
+        intervals: List[Tuple[int, int, int]] = []
+        for index, start in enumerate(self._days):
+            state = self._states[index]
+            if state.mx_ip is None:
+                continue
+            end = self._days[index + 1] if index + 1 < len(self._days) else n_days
+            start = max(start, self.registered_day, 0)
+            end = min(end, n_days)
+            if start < end:
+                intervals.append((start, end, state.mx_ip))
+        return intervals
+
+    def ns_name_intervals(self, n_days: int) -> List[Tuple[int, int, str]]:
+        """(start_day, end_day_exclusive, ns name) segments within the window."""
+        if not self._days:
+            return []
+        intervals: List[Tuple[int, int, str]] = []
+        for index, start in enumerate(self._days):
+            state = self._states[index]
+            end = self._days[index + 1] if index + 1 < len(self._days) else n_days
+            start = max(start, self.registered_day, 0)
+            end = min(end, n_days)
+            if start >= end:
+                continue
+            for ns_name in state.ns:
+                intervals.append((start, end, ns_name))
+        return intervals
+
+    def first_dps_day(self, n_days: int) -> Optional[int]:
+        """First day on which the domain is DPS-protected, if ever."""
+        for day, state in zip(self._days, self._states):
+            if state.dps_provider is not None and day < n_days:
+                return max(day, self.registered_day)
+        return None

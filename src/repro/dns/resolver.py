@@ -1,0 +1,51 @@
+"""Minimal resolver over snapshot records.
+
+Follows CNAME chains from a `www` label to its A record the way the paper's
+attribution does when identifying hosters (and cloud-resident platforms)
+behind an address.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.dns.records import ResourceRecord, RRTYPE_A, RRTYPE_CNAME
+
+MAX_CHAIN_LENGTH = 8
+
+
+class ResolutionError(Exception):
+    """The name could not be resolved from the given record set."""
+
+
+def resolve_www(
+    name: str, records: Iterable[ResourceRecord]
+) -> Tuple[Optional[int], List[str]]:
+    """Resolve *name* to an address, returning (address, cname_chain).
+
+    Returns ``(None, chain)`` when the chain dead-ends (no A record), and
+    raises :class:`ResolutionError` on loops or over-long chains — both of
+    which indicate a malformed snapshot.
+    """
+    a_records: Dict[str, int] = {}
+    cnames: Dict[str, str] = {}
+    for record in records:
+        if record.rtype == RRTYPE_A and record.address is not None:
+            a_records[record.name] = record.address
+        elif record.rtype == RRTYPE_CNAME:
+            cnames[record.name] = record.value
+
+    chain: List[str] = []
+    current = name
+    seen = {current}
+    for _ in range(MAX_CHAIN_LENGTH):
+        if current in a_records:
+            return a_records[current], chain
+        if current not in cnames:
+            return None, chain
+        current = cnames[current]
+        chain.append(current)
+        if current in seen:
+            raise ResolutionError(f"CNAME loop at {current!r}")
+        seen.add(current)
+    raise ResolutionError(f"CNAME chain too long resolving {name!r}")

@@ -1,0 +1,38 @@
+"""DDoS Protection Services: providers, detection, and migration behaviour.
+
+Mirrors the paper's fourth data set: DNS-derived adoption of ten protection
+services (nine commercial leaders plus VirtualRoad). Detection follows the
+Jonker et al. IMC'16 methodology — CNAME signatures, NS signatures, and
+A records falling in provider-announced (BGP-diverted) prefixes. The
+behavioural migration simulator edits domain hosting timelines so that
+protection adoption *follows attacks* with intensity-dependent urgency,
+which the analysis layer then rediscovers independently from DNS snapshots.
+"""
+
+from repro.dps.providers import DPSProvider, build_providers, PROVIDER_TABLE
+from repro.dps.detection import (
+    BGPDiversionLog,
+    DPSDetector,
+    DPSUsage,
+    DPSUsageDataset,
+)
+from repro.dps.migration_sim import (
+    HosterStoryline,
+    MigrationConfig,
+    MigrationLedger,
+    MigrationSimulator,
+)
+
+__all__ = [
+    "DPSProvider",
+    "build_providers",
+    "PROVIDER_TABLE",
+    "BGPDiversionLog",
+    "DPSDetector",
+    "DPSUsage",
+    "DPSUsageDataset",
+    "HosterStoryline",
+    "MigrationConfig",
+    "MigrationLedger",
+    "MigrationSimulator",
+]

@@ -1,0 +1,152 @@
+"""Event extraction from the honeypot request logs.
+
+Request batches from all instances are merged per (victim, protocol) into
+attack events. A gap longer than the aggregation timeout closes the event;
+events shorter than the 100-request threshold are dropped (scans and
+dribble), and — matching how AmpPot operates — event durations are capped at
+24 hours by closing and reopening the flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.honeypot.amppot import RequestBatch
+
+DAY_SECONDS = 86400.0
+
+
+@dataclass(frozen=True)
+class DetectionConfig:
+    """Aggregation and filtering parameters (defaults per the paper)."""
+
+    gap_timeout: float = 3600.0
+    min_requests: int = 100
+    max_event_duration: float = DAY_SECONDS
+
+
+@dataclass(frozen=True)
+class AmpPotEvent:
+    """One reflection/amplification attack event."""
+
+    victim: int
+    start_ts: float
+    end_ts: float
+    protocol: str
+    requests: int
+    honeypots: int
+
+    @property
+    def duration(self) -> float:
+        return self.end_ts - self.start_ts
+
+    @property
+    def avg_rps(self) -> float:
+        """Average requests/second made to *each* abused reflector.
+
+        This is the paper's intensity metric for the honeypot data set: the
+        total request volume normalized by duration and by the number of
+        honeypot instances that logged the attack.
+        """
+        duration = max(self.duration, 1.0)
+        return self.requests / duration / max(self.honeypots, 1)
+
+
+@dataclass
+class _OpenFlow:
+    victim: int
+    protocol: str
+    first_ts: float
+    last_ts: float
+    requests: int = 0
+    honeypot_ids: Set[int] = field(default_factory=set)
+
+    def add(self, batch: RequestBatch) -> None:
+        self.last_ts = max(self.last_ts, batch.timestamp)
+        self.requests += batch.count
+        self.honeypot_ids.add(batch.honeypot_id)
+
+
+class HoneypotDetector:
+    """Streaming aggregation of request batches into attack events."""
+
+    def __init__(self, config: DetectionConfig = DetectionConfig()) -> None:
+        self.config = config
+        self._flows: Dict[Tuple[int, str], _OpenFlow] = {}
+        self._last_sweep = float("-inf")
+        self.batches_seen = 0
+        self.flows_discarded = 0
+
+    def process(self, batch: RequestBatch) -> List[AmpPotEvent]:
+        """Feed one batch (time-sorted input); return closed events."""
+        self.batches_seen += 1
+        closed = self._maybe_sweep(batch.timestamp)
+        key = (batch.victim, batch.protocol)
+        flow = self._flows.get(key)
+        if flow is not None:
+            gap_exceeded = batch.timestamp - flow.last_ts > self.config.gap_timeout
+            cap_exceeded = (
+                batch.timestamp - flow.first_ts > self.config.max_event_duration
+            )
+            if gap_exceeded or cap_exceeded:
+                event = self._close(self._flows.pop(key), capped=cap_exceeded)
+                if event is not None:
+                    closed.append(event)
+                flow = None
+        if flow is None:
+            flow = _OpenFlow(
+                victim=batch.victim,
+                protocol=batch.protocol,
+                first_ts=batch.timestamp,
+                last_ts=batch.timestamp,
+            )
+            self._flows[key] = flow
+        flow.add(batch)
+        return closed
+
+    def run(self, batches: Iterable[RequestBatch]) -> Iterator[AmpPotEvent]:
+        """Process a full capture, including the final flush."""
+        for batch in batches:
+            yield from self.process(batch)
+        yield from self.flush()
+
+    def flush(self) -> List[AmpPotEvent]:
+        """Close every open flow at end of capture."""
+        events = []
+        for flow in self._flows.values():
+            event = self._close(flow)
+            if event is not None:
+                events.append(event)
+        self._flows.clear()
+        return events
+
+    def _maybe_sweep(self, now: float) -> List[AmpPotEvent]:
+        """Expire idle flows periodically so memory stays bounded."""
+        if now - self._last_sweep < self.config.gap_timeout / 4:
+            return []
+        self._last_sweep = now
+        cutoff = now - self.config.gap_timeout
+        expired_keys = [k for k, f in self._flows.items() if f.last_ts < cutoff]
+        events = []
+        for key in expired_keys:
+            event = self._close(self._flows.pop(key))
+            if event is not None:
+                events.append(event)
+        return events
+
+    def _close(self, flow: _OpenFlow, capped: bool = False) -> Optional[AmpPotEvent]:
+        if flow.requests <= self.config.min_requests:
+            self.flows_discarded += 1
+            return None
+        end_ts = flow.last_ts
+        if capped:
+            end_ts = min(end_ts, flow.first_ts + self.config.max_event_duration)
+        return AmpPotEvent(
+            victim=flow.victim,
+            start_ts=flow.first_ts,
+            end_ts=end_ts,
+            protocol=flow.protocol,
+            requests=flow.requests,
+            honeypots=len(flow.honeypot_ids),
+        )

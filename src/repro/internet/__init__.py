@@ -1,0 +1,34 @@
+"""Synthetic Internet model: topology, hosting ecosystem, address census.
+
+The real study annotates observations with Routeviews, NetAcuity and the
+hosting relationships implied by OpenINTEL. This package generates a
+deterministic, scaled-down Internet with the same first-order structure:
+country-skewed address allocation, a heavy-tailed AS size distribution,
+named hosting/cloud companies matching the parties the paper calls out
+(GoDaddy, OVH, Google Cloud, Amazon, Wix, Squarespace, ...), and an
+active-/24 census used for the "one third of the Internet" headline ratio.
+"""
+
+from repro.internet.topology import (
+    AutonomousSystem,
+    InternetTopology,
+    TopologyConfig,
+    COUNTRY_SPACE_WEIGHTS,
+)
+from repro.internet.hosting import (
+    Hoster,
+    HostingConfig,
+    HostingEcosystem,
+)
+from repro.internet.population import ActiveAddressCensus
+
+__all__ = [
+    "AutonomousSystem",
+    "InternetTopology",
+    "TopologyConfig",
+    "COUNTRY_SPACE_WEIGHTS",
+    "Hoster",
+    "HostingConfig",
+    "HostingEcosystem",
+    "ActiveAddressCensus",
+]

@@ -1,0 +1,56 @@
+"""Networking substrate: addressing, packets, protocol registry, routing, geo.
+
+These modules provide the low-level building blocks shared by every
+measurement substrate in this reproduction: integer-based IPv4 address
+handling, a compact packet model with count-compressed batches, the
+IANA-style port registry used for Table 8, a longest-prefix-match routing
+table (Routeviews substitute), and a range-based geolocation database
+(NetAcuity substitute).
+"""
+
+from repro.net.addressing import (
+    IPv4_MAX,
+    Prefix,
+    format_ipv4,
+    parse_ipv4,
+    slash8,
+    slash16,
+    slash24,
+)
+from repro.net.packet import Packet, PacketBatch, ip_proto_name
+from repro.net.protocols import (
+    PORT_SERVICES,
+    REFLECTION_PROTOCOLS,
+    ReflectionProtocol,
+    service_for_port,
+)
+from repro.net.routing import RoutingTable
+from repro.net.geo import GeoDatabase, GeoRange
+from repro.net.wire import decode_packet, encode_packet
+from repro.net.pcap import read_pcap, read_pcap_as_batches, write_pcap, write_batches_pcap
+
+__all__ = [
+    "IPv4_MAX",
+    "Prefix",
+    "format_ipv4",
+    "parse_ipv4",
+    "slash8",
+    "slash16",
+    "slash24",
+    "Packet",
+    "PacketBatch",
+    "ip_proto_name",
+    "PORT_SERVICES",
+    "REFLECTION_PROTOCOLS",
+    "ReflectionProtocol",
+    "service_for_port",
+    "RoutingTable",
+    "GeoDatabase",
+    "GeoRange",
+    "decode_packet",
+    "encode_packet",
+    "read_pcap",
+    "read_pcap_as_batches",
+    "write_pcap",
+    "write_batches_pcap",
+]

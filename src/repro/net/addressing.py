@@ -1,0 +1,151 @@
+"""IPv4 addressing utilities.
+
+Addresses are plain ``int`` values throughout the code base: the analysis in
+the paper operates on millions of addresses and integers keep joins,
+set-membership tests and network-block rollups cheap. This module provides
+the conversions and block arithmetic (/8, /16, /24) the paper's tables rely
+on, plus a :class:`Prefix` type used by the routing table, the geolocation
+database and the topology generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+IPv4_MAX = 2**32 - 1
+
+_OCTET_SHIFTS = (24, 16, 8, 0)
+
+
+def parse_ipv4(text: str) -> int:
+    """Parse dotted-quad notation into an integer address.
+
+    >>> parse_ipv4("1.2.3.4")
+    16909060
+    """
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not a dotted quad: {text!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_ipv4(address: int) -> str:
+    """Render an integer address in dotted-quad notation.
+
+    >>> format_ipv4(16909060)
+    '1.2.3.4'
+    """
+    if not 0 <= address <= IPv4_MAX:
+        raise ValueError(f"address out of range: {address}")
+    return ".".join(str((address >> shift) & 0xFF) for shift in _OCTET_SHIFTS)
+
+
+def slash24(address: int) -> int:
+    """Return the /24 network block containing *address* (as a base address)."""
+    return address & 0xFFFFFF00
+
+
+def slash16(address: int) -> int:
+    """Return the /16 network block containing *address* (as a base address)."""
+    return address & 0xFFFF0000
+
+
+def slash8(address: int) -> int:
+    """Return the /8 network block containing *address* (as a base address)."""
+    return address & 0xFF000000
+
+
+def mask_for(length: int) -> int:
+    """Return the 32-bit netmask for a prefix *length*."""
+    if not 0 <= length <= 32:
+        raise ValueError(f"prefix length out of range: {length}")
+    if length == 0:
+        return 0
+    return (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True, order=True)
+class Prefix:
+    """An IPv4 prefix (network base address plus length).
+
+    The base address is canonicalized at construction: host bits are
+    cleared, so ``Prefix(parse_ipv4("10.0.0.1"), 8)`` equals
+    ``Prefix(parse_ipv4("10.0.0.0"), 8)``.
+    """
+
+    network: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 32:
+            raise ValueError(f"prefix length out of range: {self.length}")
+        canonical = self.network & mask_for(self.length)
+        if canonical != self.network:
+            object.__setattr__(self, "network", canonical)
+
+    @classmethod
+    def from_string(cls, text: str) -> "Prefix":
+        """Parse ``"a.b.c.d/len"`` notation."""
+        address, _, length = text.partition("/")
+        if not length:
+            raise ValueError(f"missing prefix length in {text!r}")
+        return cls(parse_ipv4(address), int(length))
+
+    @property
+    def size(self) -> int:
+        """Number of addresses covered by this prefix."""
+        return 1 << (32 - self.length)
+
+    @property
+    def last(self) -> int:
+        """Highest address inside the prefix."""
+        return self.network + self.size - 1
+
+    def contains(self, address: int) -> bool:
+        """Whether *address* falls inside this prefix."""
+        return self.network <= address <= self.last
+
+    def contains_prefix(self, other: "Prefix") -> bool:
+        """Whether *other* is fully covered by this prefix."""
+        return other.length >= self.length and self.contains(other.network)
+
+    def overlaps(self, other: "Prefix") -> bool:
+        """Whether the two prefixes share any address."""
+        return self.network <= other.last and other.network <= self.last
+
+    def slash24_blocks(self) -> Iterator[int]:
+        """Yield the base address of every /24 block covered by this prefix.
+
+        A prefix longer than /24 yields the single /24 containing it.
+        """
+        if self.length >= 24:
+            yield slash24(self.network)
+            return
+        for block in range(self.network, self.last + 1, 256):
+            yield block
+
+    def random_address(self, rng) -> int:
+        """Draw a uniformly random address from the prefix.
+
+        *rng* is a ``random.Random``-compatible generator.
+        """
+        return self.network + rng.randrange(self.size)
+
+    def __str__(self) -> str:
+        return f"{format_ipv4(self.network)}/{self.length}"
+
+
+def count_unique_blocks(addresses, block_fn=slash24) -> int:
+    """Count distinct network blocks covering *addresses*.
+
+    >>> count_unique_blocks([parse_ipv4("10.0.0.1"), parse_ipv4("10.0.0.9")])
+    1
+    """
+    return len({block_fn(a) for a in addresses})

@@ -1,0 +1,197 @@
+"""Compact packet model with count-compressed batches.
+
+The telescope detection pipeline (the Corsaro RSDoS plugin re-implementation
+in :mod:`repro.telescope.rsdos`) is packet-driven, exactly like the original.
+Replaying a two-year window packet-by-packet in Python would be prohibitively
+slow, so the capture layer emits :class:`PacketBatch` objects: *count*
+identical-shaped packets observed within a one-second bucket. The detector
+consumes either individual :class:`Packet` objects or batches through the
+same code path; a batch is semantically equivalent to ``count`` packets with
+the given attributes spread over the bucket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterator, Optional
+
+# IP protocol numbers (IANA).
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+PROTO_IGMP = 2
+PROTO_GRE = 47
+
+_PROTO_NAMES = {
+    PROTO_ICMP: "ICMP",
+    PROTO_TCP: "TCP",
+    PROTO_UDP: "UDP",
+    PROTO_IGMP: "IGMP",
+    PROTO_GRE: "GRE",
+}
+
+
+def ip_proto_name(proto: int) -> str:
+    """Human-readable name of an IP protocol number (``"Other"`` fallback)."""
+    return _PROTO_NAMES.get(proto, "Other")
+
+
+# TCP flag bits.
+TCP_FIN = 0x01
+TCP_SYN = 0x02
+TCP_RST = 0x04
+TCP_ACK = 0x10
+
+# ICMP types considered "response" packets by the Moore et al. backscatter
+# classifier (type, code ignored except for unreachable sub-analysis).
+ICMP_ECHO_REPLY = 0
+ICMP_DEST_UNREACH = 3
+ICMP_SOURCE_QUENCH = 4
+ICMP_REDIRECT = 5
+ICMP_TIME_EXCEEDED = 11
+ICMP_PARAM_PROBLEM = 12
+ICMP_TIMESTAMP_REPLY = 14
+ICMP_INFO_REPLY = 16
+ICMP_ADDR_MASK_REPLY = 18
+
+BACKSCATTER_ICMP_TYPES: FrozenSet[int] = frozenset(
+    {
+        ICMP_ECHO_REPLY,
+        ICMP_DEST_UNREACH,
+        ICMP_SOURCE_QUENCH,
+        ICMP_REDIRECT,
+        ICMP_TIME_EXCEEDED,
+        ICMP_PARAM_PROBLEM,
+        ICMP_TIMESTAMP_REPLY,
+        ICMP_INFO_REPLY,
+        ICMP_ADDR_MASK_REPLY,
+    }
+)
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A single IPv4 packet as seen by a passive capture point.
+
+    Only the fields the detection pipelines inspect are modelled. For ICMP
+    error messages that quote an offending packet (e.g. destination
+    unreachable), ``quoted_proto`` carries the protocol of the quoted packet,
+    mirroring how the RSDoS plugin attributes attack protocol.
+    """
+
+    timestamp: float
+    src: int
+    dst: int
+    proto: int
+    length: int = 40
+    src_port: int = 0
+    dst_port: int = 0
+    tcp_flags: int = 0
+    icmp_type: int = -1
+    quoted_proto: Optional[int] = None
+
+    @property
+    def is_tcp_response(self) -> bool:
+        """SYN/ACK or RST — the TCP backscatter signatures."""
+        if self.proto != PROTO_TCP:
+            return False
+        syn_ack = (self.tcp_flags & (TCP_SYN | TCP_ACK)) == (TCP_SYN | TCP_ACK)
+        rst = bool(self.tcp_flags & TCP_RST)
+        return syn_ack or rst
+
+    @property
+    def is_icmp_response(self) -> bool:
+        """Whether the packet is one of the backscatter ICMP reply types."""
+        return self.proto == PROTO_ICMP and self.icmp_type in BACKSCATTER_ICMP_TYPES
+
+
+@dataclass(frozen=True)
+class PacketBatch:
+    """``count`` packets with identical shape inside a one-second bucket.
+
+    ``distinct_dsts`` and ``distinct_src_ports`` preserve the cardinality
+    information the RSDoS classifier computes from raw packets (number of
+    unique telescope addresses hit, i.e. spoofed sources from the victim's
+    point of view, and number of distinct attacked ports).
+    """
+
+    timestamp: float
+    src: int
+    proto: int
+    count: int
+    bytes: int
+    distinct_dsts: int = 1
+    src_ports: FrozenSet[int] = field(default_factory=frozenset)
+    tcp_flags: int = 0
+    icmp_type: int = -1
+    quoted_proto: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError("batch count must be positive")
+        if self.distinct_dsts <= 0:
+            raise ValueError("batch must hit at least one destination")
+
+    @property
+    def is_backscatter(self) -> bool:
+        """Whether the batch matches a backscatter response signature."""
+        if self.proto == PROTO_TCP:
+            syn_ack = (self.tcp_flags & (TCP_SYN | TCP_ACK)) == (TCP_SYN | TCP_ACK)
+            return syn_ack or bool(self.tcp_flags & TCP_RST)
+        if self.proto == PROTO_ICMP:
+            return self.icmp_type in BACKSCATTER_ICMP_TYPES
+        return False
+
+    @property
+    def attack_proto(self) -> int:
+        """Protocol attributed to the *attack* that elicited this backscatter.
+
+        TCP backscatter implies a TCP attack; ICMP error messages are
+        attributed to the quoted packet's protocol when present (e.g. a UDP
+        flood eliciting port-unreachable), otherwise to ICMP itself (e.g. a
+        ping flood eliciting echo replies).
+        """
+        if self.proto == PROTO_TCP:
+            return PROTO_TCP
+        if self.proto == PROTO_ICMP and self.quoted_proto is not None:
+            return self.quoted_proto
+        return self.proto
+
+
+def batch_from_packet(packet: Packet) -> PacketBatch:
+    """Lift a single :class:`Packet` into an equivalent one-packet batch."""
+    return PacketBatch(
+        timestamp=packet.timestamp,
+        src=packet.src,
+        proto=packet.proto,
+        count=1,
+        bytes=packet.length,
+        distinct_dsts=1,
+        src_ports=frozenset({packet.src_port}) if packet.src_port else frozenset(),
+        tcp_flags=packet.tcp_flags,
+        icmp_type=packet.icmp_type,
+        quoted_proto=packet.quoted_proto,
+    )
+
+
+def expand_batch(batch: PacketBatch) -> Iterator[Packet]:
+    """Expand a batch into individual packets (testing/debug helper).
+
+    The expansion spreads packets uniformly over the one-second bucket and
+    round-robins the recorded source ports; it is the inverse of the
+    compression the capture layer performs, up to sub-second timing.
+    """
+    ports = sorted(batch.src_ports) or [0]
+    step = 1.0 / batch.count
+    for i in range(batch.count):
+        yield Packet(
+            timestamp=batch.timestamp + i * step,
+            src=batch.src,
+            dst=0,
+            proto=batch.proto,
+            length=max(1, batch.bytes // batch.count),
+            src_port=ports[i % len(ports)],
+            tcp_flags=batch.tcp_flags,
+            icmp_type=batch.icmp_type,
+            quoted_proto=batch.quoted_proto,
+        )

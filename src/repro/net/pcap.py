@@ -1,0 +1,106 @@
+"""Minimal pcap reader/writer for raw-IP captures.
+
+Writes the classic libpcap file format (magic ``0xa1b2c3d4``, microsecond
+timestamps, linktype ``LINKTYPE_RAW`` = 101: packets begin directly with
+the IPv4 header) so simulated telescope captures can be inspected with
+tcpdump/Wireshark, and external raw-IP pcaps can be replayed through the
+RSDoS detector.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Iterable, Iterator, Union
+
+from repro.net.packet import Packet, PacketBatch, batch_from_packet, expand_batch
+from repro.net.wire import decode_packet, encode_packet
+
+PCAP_MAGIC = 0xA1B2C3D4
+PCAP_VERSION = (2, 4)
+LINKTYPE_RAW = 101
+_GLOBAL_HEADER = struct.Struct("!IHHiIII")
+_RECORD_HEADER = struct.Struct("!IIII")
+
+
+class PcapFormatError(ValueError):
+    """Raised on malformed pcap input."""
+
+
+def write_pcap(
+    packets: Iterable[Packet], path: Union[str, Path], snaplen: int = 65535
+) -> int:
+    """Write packets to *path*; returns the number written."""
+    count = 0
+    with open(path, "wb") as handle:
+        handle.write(
+            _GLOBAL_HEADER.pack(
+                PCAP_MAGIC, *PCAP_VERSION, 0, 0, snaplen, LINKTYPE_RAW
+            )
+        )
+        for packet in packets:
+            frame = encode_packet(packet)[:snaplen]
+            seconds = int(packet.timestamp)
+            micros = int(round((packet.timestamp - seconds) * 1_000_000))
+            handle.write(
+                _RECORD_HEADER.pack(
+                    seconds, micros, len(frame), max(len(frame), packet.length)
+                )
+            )
+            handle.write(frame)
+            count += 1
+    return count
+
+
+def write_batches_pcap(
+    batches: Iterable[PacketBatch], path: Union[str, Path]
+) -> int:
+    """Expand count-compressed batches and write them as a pcap."""
+    def packets() -> Iterator[Packet]:
+        for batch in batches:
+            yield from expand_batch(batch)
+
+    return write_pcap(packets(), path)
+
+
+def read_pcap(path: Union[str, Path]) -> Iterator[Packet]:
+    """Yield packets from a raw-IP pcap written by :func:`write_pcap`.
+
+    Big- and little-endian classic pcap files are accepted; nanosecond
+    variants and non-raw linktypes are rejected explicitly.
+    """
+    with open(path, "rb") as handle:
+        header = handle.read(_GLOBAL_HEADER.size)
+        if len(header) < _GLOBAL_HEADER.size:
+            raise PcapFormatError("truncated pcap global header")
+        magic_be = struct.unpack("!I", header[:4])[0]
+        if magic_be == PCAP_MAGIC:
+            order = "!"
+        elif magic_be == 0xD4C3B2A1:
+            order = "<"
+        else:
+            raise PcapFormatError(f"unrecognized pcap magic {magic_be:#x}")
+        fields = struct.unpack(order + "IHHiIII", header)
+        linktype = fields[6]
+        if linktype != LINKTYPE_RAW:
+            raise PcapFormatError(
+                f"unsupported linktype {linktype} (need RAW/101)"
+            )
+        record = struct.Struct(order + "IIII")
+        while True:
+            raw = handle.read(record.size)
+            if not raw:
+                return
+            if len(raw) < record.size:
+                raise PcapFormatError("truncated pcap record header")
+            seconds, micros, captured, _original = record.unpack(raw)
+            frame = handle.read(captured)
+            if len(frame) < captured:
+                raise PcapFormatError("truncated pcap record body")
+            yield decode_packet(frame, timestamp=seconds + micros / 1e6)
+
+
+def read_pcap_as_batches(path: Union[str, Path]) -> Iterator[PacketBatch]:
+    """Read a pcap as one-packet batches for the detection pipelines."""
+    for packet in read_pcap(path):
+        yield batch_from_packet(packet)

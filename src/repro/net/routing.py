@@ -1,0 +1,107 @@
+"""Longest-prefix-match routing table (Routeviews prefix-to-AS substitute).
+
+The paper annotates every target IP address with its origin AS using CAIDA's
+Routeviews prefix-to-AS data set. This module provides the same lookup
+semantics over the synthetic BGP table produced by the topology generator: a
+binary trie keyed on address bits, returning the most-specific announced
+prefix and its origin ASN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.net.addressing import Prefix
+
+
+@dataclass
+class _TrieNode:
+    __slots__ = ("children", "asn", "prefix")
+
+    def __init__(self) -> None:
+        self.children: List[Optional["_TrieNode"]] = [None, None]
+        self.asn: Optional[int] = None
+        self.prefix: Optional[Prefix] = None
+
+
+class RoutingTable:
+    """Prefix-to-AS mapping with longest-prefix-match lookup.
+
+    >>> table = RoutingTable()
+    >>> table.announce(Prefix.from_string("10.0.0.0/8"), asn=64500)
+    >>> table.announce(Prefix.from_string("10.1.0.0/16"), asn=64501)
+    >>> table.origin_asn(Prefix.from_string("10.1.2.0/24").network)
+    64501
+    """
+
+    def __init__(self) -> None:
+        self._root = _TrieNode()
+        self._announcements: Dict[Prefix, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._announcements)
+
+    def announce(self, prefix: Prefix, asn: int) -> None:
+        """Install an announcement; a re-announcement replaces the origin."""
+        node = self._root
+        for depth in range(prefix.length):
+            bit = (prefix.network >> (31 - depth)) & 1
+            if node.children[bit] is None:
+                node.children[bit] = _TrieNode()
+            node = node.children[bit]
+        node.asn = asn
+        node.prefix = prefix
+        self._announcements[prefix] = asn
+
+    def withdraw(self, prefix: Prefix) -> bool:
+        """Remove an announcement. Returns whether it existed."""
+        if prefix not in self._announcements:
+            return False
+        del self._announcements[prefix]
+        node = self._root
+        for depth in range(prefix.length):
+            bit = (prefix.network >> (31 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                return False
+            node = child
+        node.asn = None
+        node.prefix = None
+        return True
+
+    def lookup(self, address: int) -> Optional[Tuple[Prefix, int]]:
+        """Longest-prefix match; returns (prefix, origin ASN) or ``None``."""
+        node = self._root
+        best: Optional[Tuple[Prefix, int]] = None
+        for depth in range(32):
+            if node.asn is not None and node.prefix is not None:
+                best = (node.prefix, node.asn)
+            bit = (address >> (31 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                return best
+            node = child
+        if node.asn is not None and node.prefix is not None:
+            best = (node.prefix, node.asn)
+        return best
+
+    def origin_asn(self, address: int) -> Optional[int]:
+        """Origin ASN for *address*, or ``None`` if unrouted."""
+        match = self.lookup(address)
+        return match[1] if match else None
+
+    def announced_prefixes(self) -> Iterator[Tuple[Prefix, int]]:
+        """Iterate over all (prefix, asn) announcements, sorted by prefix."""
+        for prefix in sorted(self._announcements):
+            yield prefix, self._announcements[prefix]
+
+    @classmethod
+    def from_announcements(
+        cls, announcements: Iterable[Tuple[Prefix, int]]
+    ) -> "RoutingTable":
+        """Bulk-build a table from (prefix, asn) pairs."""
+        table = cls()
+        for prefix, asn in announcements:
+            table.announce(prefix, asn)
+        return table

@@ -1,0 +1,162 @@
+"""Wire-format encoding and decoding of packets.
+
+Serializes the :class:`~repro.net.packet.Packet` model to real IPv4 frames
+(IP header plus TCP/UDP/ICMP) and parses them back. This is what lets the
+simulated telescope captures round-trip through standard tooling (see
+:mod:`repro.net.pcap`) and lets the detection pipeline consume raw frames
+from outside the simulator.
+
+Only the fields the analysis inspects are modelled; everything else is
+emitted as sane defaults (TTL 64, no options, checksums computed for the
+IP header, zeroed for the transport layer as many capture pipelines do).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.net.packet import (
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+    Packet,
+)
+
+IP_HEADER_LEN = 20
+TCP_HEADER_LEN = 20
+UDP_HEADER_LEN = 8
+ICMP_HEADER_LEN = 8
+
+
+class WireFormatError(ValueError):
+    """Raised when a frame cannot be parsed as an IPv4 packet."""
+
+
+def ip_checksum(header: bytes) -> int:
+    """The standard Internet checksum over *header* (even length)."""
+    if len(header) % 2:
+        header += b"\x00"
+    total = sum(struct.unpack(f"!{len(header) // 2}H", header))
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+def encode_packet(packet: Packet) -> bytes:
+    """Encode a packet as a raw IPv4 frame.
+
+    The declared total length honours ``packet.length`` when it is at least
+    as large as the headers actually emitted (padding is appended); shorter
+    declared lengths are corrected upward.
+    """
+    if packet.proto == PROTO_TCP:
+        transport = _encode_tcp(packet)
+    elif packet.proto == PROTO_UDP:
+        transport = _encode_udp(packet)
+    elif packet.proto == PROTO_ICMP:
+        transport = _encode_icmp(packet)
+    else:
+        transport = b""
+    total_length = max(IP_HEADER_LEN + len(transport), packet.length)
+    padding = b"\x00" * (total_length - IP_HEADER_LEN - len(transport))
+    header = struct.pack(
+        "!BBHHHBBH4s4s",
+        (4 << 4) | (IP_HEADER_LEN // 4),  # version + IHL
+        0,  # DSCP/ECN
+        total_length,
+        0,  # identification
+        0,  # flags/fragment offset
+        64,  # TTL
+        packet.proto,
+        0,  # checksum placeholder
+        packet.src.to_bytes(4, "big"),
+        packet.dst.to_bytes(4, "big"),
+    )
+    checksum = ip_checksum(header)
+    header = header[:10] + struct.pack("!H", checksum) + header[12:]
+    return header + transport + padding
+
+
+def _encode_tcp(packet: Packet) -> bytes:
+    return struct.pack(
+        "!HHIIBBHHH",
+        packet.src_port,
+        packet.dst_port,
+        0,  # seq
+        0,  # ack
+        (TCP_HEADER_LEN // 4) << 4,
+        packet.tcp_flags,
+        8192,  # window
+        0,  # checksum (left zero)
+        0,  # urgent pointer
+    )
+
+
+def _encode_udp(packet: Packet) -> bytes:
+    return struct.pack(
+        "!HHHH", packet.src_port, packet.dst_port, UDP_HEADER_LEN, 0
+    )
+
+
+def _encode_icmp(packet: Packet) -> bytes:
+    body = struct.pack(
+        "!BBHI", max(0, packet.icmp_type), 0, 0, 0
+    )
+    if packet.quoted_proto is not None:
+        # ICMP errors quote the offending IP header; emit a minimal quoted
+        # header carrying the protocol so attribution survives round-trips.
+        quoted = struct.pack(
+            "!BBHHHBBH4s4s",
+            (4 << 4) | 5, 0, IP_HEADER_LEN, 0, 0, 64,
+            packet.quoted_proto, 0,
+            packet.dst.to_bytes(4, "big"),
+            packet.src.to_bytes(4, "big"),
+        )
+        body += quoted
+    return body
+
+
+def decode_packet(frame: bytes, timestamp: float = 0.0) -> Packet:
+    """Parse a raw IPv4 frame back into a :class:`Packet`."""
+    if len(frame) < IP_HEADER_LEN:
+        raise WireFormatError("frame shorter than an IPv4 header")
+    version_ihl = frame[0]
+    if version_ihl >> 4 != 4:
+        raise WireFormatError("not an IPv4 frame")
+    ihl = (version_ihl & 0x0F) * 4
+    if ihl < IP_HEADER_LEN or len(frame) < ihl:
+        raise WireFormatError("truncated IPv4 header")
+    total_length = struct.unpack("!H", frame[2:4])[0]
+    proto = frame[9]
+    src = int.from_bytes(frame[12:16], "big")
+    dst = int.from_bytes(frame[16:20], "big")
+    payload = frame[ihl:]
+
+    src_port = dst_port = 0
+    tcp_flags = 0
+    icmp_type = -1
+    quoted_proto: Optional[int] = None
+    if proto == PROTO_TCP and len(payload) >= TCP_HEADER_LEN:
+        src_port, dst_port = struct.unpack("!HH", payload[:4])
+        tcp_flags = payload[13]
+    elif proto == PROTO_UDP and len(payload) >= UDP_HEADER_LEN:
+        src_port, dst_port = struct.unpack("!HH", payload[:4])
+    elif proto == PROTO_ICMP and len(payload) >= ICMP_HEADER_LEN:
+        icmp_type = payload[0]
+        if len(payload) >= ICMP_HEADER_LEN + IP_HEADER_LEN:
+            quoted = payload[ICMP_HEADER_LEN:]
+            if quoted[0] >> 4 == 4:
+                quoted_proto = quoted[9]
+    return Packet(
+        timestamp=timestamp,
+        src=src,
+        dst=dst,
+        proto=proto,
+        length=total_length,
+        src_port=src_port,
+        dst_port=dst_port,
+        tcp_flags=tcp_flags,
+        icmp_type=icmp_type,
+        quoted_proto=quoted_proto,
+    )

@@ -1,0 +1,16 @@
+"""End-to-end orchestration: scenario configs, simulation, serialization."""
+
+from repro.pipeline.config import ScenarioConfig
+from repro.pipeline.simulation import SimulationResult, run_simulation
+from repro.pipeline.datasets import (
+    load_events_jsonl,
+    save_events_jsonl,
+)
+
+__all__ = [
+    "ScenarioConfig",
+    "SimulationResult",
+    "run_simulation",
+    "load_events_jsonl",
+    "save_events_jsonl",
+]

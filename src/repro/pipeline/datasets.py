@@ -1,0 +1,69 @@
+"""Serialization of event data sets (JSON Lines).
+
+A run's observed events can be persisted and reloaded without re-simulating,
+the way the real study's event data sets are files decoupled from the
+infrastructure that produced them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.core.events import AttackEvent
+
+
+def event_to_dict(event: AttackEvent) -> dict:
+    return {
+        "source": event.source,
+        "target": event.target,
+        "start_ts": event.start_ts,
+        "end_ts": event.end_ts,
+        "intensity": event.intensity,
+        "ip_proto": event.ip_proto,
+        "ports": list(event.ports),
+        "reflector_protocol": event.reflector_protocol,
+        "packets": event.packets,
+        "country": event.country,
+        "asn": event.asn,
+    }
+
+
+def event_from_dict(data: dict) -> AttackEvent:
+    return AttackEvent(
+        source=data["source"],
+        target=data["target"],
+        start_ts=data["start_ts"],
+        end_ts=data["end_ts"],
+        intensity=data["intensity"],
+        ip_proto=data.get("ip_proto", 0),
+        ports=tuple(data.get("ports", ())),
+        reflector_protocol=data.get("reflector_protocol"),
+        packets=data.get("packets", 0),
+        country=data.get("country", "??"),
+        asn=data.get("asn"),
+    )
+
+
+def save_events_jsonl(
+    events: Iterable[AttackEvent], path: Union[str, Path]
+) -> int:
+    """Write events as JSON Lines; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event_to_dict(event)) + "\n")
+            count += 1
+    return count
+
+
+def load_events_jsonl(path: Union[str, Path]) -> List[AttackEvent]:
+    """Read events back from a JSON Lines file."""
+    events: List[AttackEvent] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(event_from_dict(json.loads(line)))
+    return events

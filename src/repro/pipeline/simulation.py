@@ -1,0 +1,170 @@
+"""End-to-end simulation: generate the Internet, attack it, measure it.
+
+``run_simulation`` executes the full reproduction pipeline:
+
+1. generate topology, address census, hosting ecosystem, DNS zones;
+2. schedule two years of ground-truth attacks;
+3. run the behavioural DPS-migration model (mutating DNS timelines);
+4. observe the attacks through the telescope (backscatter + RSDoS) and the
+   honeypot fleet (request logs + event extraction);
+5. compile the OpenINTEL measurement and detect DPS usage from DNS;
+6. annotate and fuse the event data sets.
+
+The result object carries every layer so tests, examples and benchmarks can
+reach both ground truth and observations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.attacks.attacker import GroundTruthAttack
+from repro.attacks.schedule import AttackSchedule, TargetPools
+from repro.core.events import AttackDataset
+from repro.core.fusion import FusedDataset
+from repro.core.webmap import WebHostingIndex
+from repro.dns.openintel import OpenIntelDataset, OpenIntelPlatform
+from repro.dns.nameservers import NameServerDirectory
+from repro.dns.zone import Zone, ZoneGenerator
+from repro.dps.detection import BGPDiversionLog, DPSDetector, DPSUsageDataset
+from repro.dps.migration_sim import MigrationLedger, MigrationSimulator
+from repro.dps.providers import DPSProvider, build_providers
+from repro.honeypot.amppot import AmpPotFleet
+from repro.honeypot.detection import AmpPotEvent, HoneypotDetector
+from repro.internet.hosting import HostingEcosystem
+from repro.internet.population import ActiveAddressCensus
+from repro.internet.topology import InternetTopology
+from repro.pipeline.config import ScenarioConfig
+from repro.telescope.backscatter import BackscatterModel
+from repro.telescope.darknet import NetworkTelescope, TelescopeNoise
+from repro.telescope.rsdos import RSDoSDetector, TelescopeEvent
+
+
+@dataclass
+class SimulationResult:
+    """Everything one scenario run produces."""
+
+    config: ScenarioConfig
+    topology: InternetTopology
+    census: ActiveAddressCensus
+    ecosystem: HostingEcosystem
+    zones: List[Zone]
+    providers: List[DPSProvider]
+    ns_directory: NameServerDirectory
+    diversion_log: BGPDiversionLog
+    ledger: MigrationLedger
+    ground_truth: List[GroundTruthAttack]
+    telescope_events: List[TelescopeEvent]
+    honeypot_events: List[AmpPotEvent]
+    fused: FusedDataset
+    openintel: OpenIntelDataset
+    dps_usage: DPSUsageDataset
+    web_index: WebHostingIndex
+
+    @property
+    def n_days(self) -> int:
+        return self.config.n_days
+
+
+def run_simulation(config: ScenarioConfig = ScenarioConfig()) -> SimulationResult:
+    """Run the full pipeline for one scenario."""
+    # 1. The Internet.
+    topology = InternetTopology.generate(config.topology_config())
+    census = ActiveAddressCensus.from_topology(
+        topology, config.active_fraction, config.census_seed()
+    )
+    ecosystem = HostingEcosystem.generate(topology, config.hosting_config())
+    zone_generator = ZoneGenerator(ecosystem, config.zone_config())
+    zones = zone_generator.generate()
+    providers = build_providers(topology)
+    ns_directory = NameServerDirectory.build(ecosystem, providers, topology)
+
+    # 2. Ground-truth attacks.
+    dps_infra_ips = [
+        address for provider in providers for address in provider.edge_addresses()
+    ]
+    pools = TargetPools.build(
+        topology,
+        ecosystem,
+        self_hosted_web_ips=zone_generator.self_hosted_web_ips(),
+        dps_infra_ips=dps_infra_ips,
+    )
+    # Name servers share the mail/infrastructure target pool: both are
+    # non-Web supporting services the paper found under attack.
+    pools.mail.extend(ns_directory.addresses())
+    schedule = AttackSchedule(
+        pools,
+        topology.geo,
+        config.schedule_config(),
+        config.direct_attack_config(),
+        config.reflection_attack_config(),
+    )
+    ground_truth = schedule.generate()
+
+    # 3. Behavioural DPS migration (mutates zone timelines).
+    diversion_log = BGPDiversionLog()
+    migration = MigrationSimulator(
+        zones,
+        providers,
+        ecosystem,
+        config.migration_config(),
+        diversion_log=diversion_log,
+    )
+    ledger = migration.run(ground_truth, config.n_days)
+
+    # 4. Observation: telescope.
+    noise = (
+        TelescopeNoise(config.telescope_noise_config())
+        if config.telescope_noise
+        else None
+    )
+    telescope = NetworkTelescope(
+        backscatter=BackscatterModel(config.backscatter_config()), noise=noise
+    )
+    capture = telescope.capture(ground_truth, n_days=config.n_days)
+    telescope_events = list(RSDoSDetector(config.rsdos_config()).run(capture))
+
+    # 4b. Observation: honeypots.
+    fleet = AmpPotFleet(config.fleet_config())
+    request_log = fleet.capture(
+        ground_truth, n_days=config.n_days if config.honeypot_noise else 0
+    )
+    honeypot_events = list(
+        HoneypotDetector(config.honeypot_detection_config()).run(request_log)
+    )
+
+    # 5. DNS measurement and DPS detection.
+    platform = OpenIntelPlatform(zones, config.n_days)
+    openintel = platform.measure(ns_directory=ns_directory)
+    detector = DPSDetector(providers, diversion_log=diversion_log)
+    dps_usage = detector.scan(zones, config.n_days)
+
+    # 6. Fusion.
+    telescope_dataset = AttackDataset.from_telescope_events(
+        telescope_events
+    ).annotated(topology.geo, topology.routing)
+    honeypot_dataset = AttackDataset.from_honeypot_events(
+        honeypot_events
+    ).annotated(topology.geo, topology.routing)
+    fused = FusedDataset(telescope_dataset, honeypot_dataset)
+    web_index = WebHostingIndex(openintel.hosting_intervals)
+
+    return SimulationResult(
+        config=config,
+        topology=topology,
+        census=census,
+        ecosystem=ecosystem,
+        zones=zones,
+        providers=providers,
+        ns_directory=ns_directory,
+        diversion_log=diversion_log,
+        ledger=ledger,
+        ground_truth=ground_truth,
+        telescope_events=telescope_events,
+        honeypot_events=honeypot_events,
+        fused=fused,
+        openintel=openintel,
+        dps_usage=dps_usage,
+        web_index=web_index,
+    )

@@ -1,0 +1,174 @@
+"""The darknet itself: capture assembly and non-attack noise.
+
+A telescope receives far more than backscatter — scans, misconfigurations
+and bugs all land in unused space. The RSDoS pipeline must filter that
+pollution, so the capture layer mixes in a configurable noise load:
+scan traffic (TCP SYNs, not a response signature), misconfigured UDP
+senders, and sub-threshold backscatter-like dribbles that real detectors
+must discard via the Moore et al. filters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import Iterable, Iterator, List
+
+from repro.attacks.attacker import GroundTruthAttack
+from repro.net.addressing import Prefix
+from repro.net.packet import (
+    ICMP_ECHO_REPLY,
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+    PacketBatch,
+    TCP_ACK,
+    TCP_SYN,
+)
+from repro.telescope.backscatter import BackscatterConfig, BackscatterModel
+
+DEFAULT_TELESCOPE_PREFIX = Prefix.from_string("44.0.0.0/8")
+
+
+@dataclass(frozen=True)
+class NoiseConfig:
+    """Volume of non-attack traffic reaching the telescope."""
+
+    seed: int = 5
+    scans_per_day: int = 120
+    misconfig_per_day: int = 40
+    # Backscatter-like dribbles below the RSDoS thresholds.
+    subthreshold_per_day: int = 25
+    noise_source_space: int = 1 << 28  # sources drawn outside victim pools
+
+
+class TelescopeNoise:
+    """Generates scan / misconfiguration / sub-threshold noise batches."""
+
+    def __init__(self, config: NoiseConfig = NoiseConfig()) -> None:
+        self.config = config
+        self._rng = Random(config.seed)
+
+    def generate(self, n_days: int) -> Iterator[PacketBatch]:
+        """Yield noise batches covering *n_days* of capture (time-sorted
+        within each day only; callers sort the merged capture)."""
+        for day in range(n_days):
+            yield from self._scan_batches(day)
+            yield from self._misconfig_batches(day)
+            yield from self._subthreshold_batches(day)
+
+    def _noise_source(self) -> int:
+        return 0x60000000 + self._rng.randrange(self.config.noise_source_space)
+
+    def _scan_batches(self, day: int) -> Iterator[PacketBatch]:
+        rng = self._rng
+        for _ in range(self.config.scans_per_day):
+            src = self._noise_source()
+            start = day * 86400.0 + rng.uniform(0.0, 86400.0)
+            # A scanner sweeps the telescope: SYN packets, which are NOT a
+            # response signature and must be ignored by the classifier.
+            for minute in range(rng.randint(1, 10)):
+                count = rng.randint(20, 400)
+                yield PacketBatch(
+                    timestamp=start + minute * 60.0,
+                    src=src,
+                    proto=PROTO_TCP,
+                    count=count,
+                    bytes=count * 40,
+                    distinct_dsts=count,
+                    src_ports=frozenset({rng.randrange(1024, 65536)}),
+                    tcp_flags=TCP_SYN,
+                )
+
+    def _misconfig_batches(self, day: int) -> Iterator[PacketBatch]:
+        rng = self._rng
+        for _ in range(self.config.misconfig_per_day):
+            src = self._noise_source()
+            start = day * 86400.0 + rng.uniform(0.0, 86400.0)
+            count = rng.randint(1, 50)
+            yield PacketBatch(
+                timestamp=start,
+                src=src,
+                proto=PROTO_UDP,
+                count=count,
+                bytes=count * 120,
+                distinct_dsts=min(count, 4),
+                src_ports=frozenset({rng.randrange(1024, 65536)}),
+            )
+
+    def _subthreshold_batches(self, day: int) -> Iterator[PacketBatch]:
+        """Legit-looking backscatter that fails the Moore et al. filters."""
+        rng = self._rng
+        for _ in range(self.config.subthreshold_per_day):
+            src = self._noise_source()
+            start = day * 86400.0 + rng.uniform(0.0, 86400.0)
+            style = rng.random()
+            if style < 0.5:
+                # Too few packets in total (< 25).
+                count = rng.randint(1, 20)
+                yield PacketBatch(
+                    timestamp=start,
+                    src=src,
+                    proto=PROTO_TCP,
+                    count=count,
+                    bytes=count * 54,
+                    distinct_dsts=count,
+                    src_ports=frozenset({80}),
+                    tcp_flags=TCP_SYN | TCP_ACK,
+                )
+            elif style < 0.8:
+                # Enough packets but too short (< 60 s): one dense burst.
+                count = rng.randint(25, 28)
+                yield PacketBatch(
+                    timestamp=start,
+                    src=src,
+                    proto=PROTO_ICMP,
+                    count=count,
+                    bytes=count * 54,
+                    distinct_dsts=count,
+                    icmp_type=ICMP_ECHO_REPLY,
+                )
+            else:
+                # Long but far too slow (max rate < 0.5 pps).
+                for minute in range(0, 10, 3):
+                    yield PacketBatch(
+                        timestamp=start + minute * 60.0,
+                        src=src,
+                        proto=PROTO_TCP,
+                        count=3,
+                        bytes=3 * 54,
+                        distinct_dsts=3,
+                        src_ports=frozenset({443}),
+                        tcp_flags=TCP_SYN | TCP_ACK,
+                    )
+
+
+class NetworkTelescope:
+    """Assembles the full time-sorted capture the detector consumes."""
+
+    def __init__(
+        self,
+        prefix: Prefix = DEFAULT_TELESCOPE_PREFIX,
+        backscatter: BackscatterModel = None,
+        noise: TelescopeNoise = None,
+    ) -> None:
+        self.prefix = prefix
+        fraction = prefix.size / float(1 << 32)
+        if backscatter is None:
+            backscatter = BackscatterModel(
+                BackscatterConfig(telescope_fraction=fraction)
+            )
+        self.backscatter = backscatter
+        self.noise = noise
+
+    def capture(
+        self, attacks: Iterable[GroundTruthAttack], n_days: int = 0
+    ) -> List[PacketBatch]:
+        """Observe *attacks* (plus noise when configured), time-sorted."""
+        batches: List[PacketBatch] = []
+        for attack in attacks:
+            batches.extend(self.backscatter.observe(attack))
+        if self.noise is not None and n_days > 0:
+            batches.extend(self.noise.generate(n_days))
+        batches.sort(key=lambda b: b.timestamp)
+        return batches

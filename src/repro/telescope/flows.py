@@ -1,0 +1,116 @@
+"""Flow aggregation for the RSDoS detector.
+
+Backscatter packets are grouped into attack "flows" keyed on the victim
+address (the *source* of the backscatter), exactly as Moore et al. describe.
+A flow expires after a configurable idle timeout (300 s in the paper); the
+expired state is handed to the classifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Set
+
+from repro.net.packet import PROTO_ICMP, PROTO_TCP, PacketBatch
+
+
+@dataclass
+class FlowState:
+    """Accumulated per-victim backscatter state."""
+
+    victim: int
+    first_ts: float
+    last_ts: float
+    packets: int = 0
+    bytes: int = 0
+    distinct_sources: int = 0  # spoofed sources == telescope dsts hit
+    ports: Set[int] = field(default_factory=set)
+    proto_packets: Dict[int, int] = field(default_factory=dict)
+    minute_counts: Dict[int, int] = field(default_factory=dict)
+    tcp_responses: int = 0
+    icmp_responses: int = 0
+
+    def add(self, batch: PacketBatch) -> None:
+        """Fold one backscatter batch into the flow."""
+        self.last_ts = max(self.last_ts, batch.timestamp)
+        self.first_ts = min(self.first_ts, batch.timestamp)
+        self.packets += batch.count
+        self.bytes += batch.bytes
+        self.distinct_sources += batch.distinct_dsts
+        self.ports.update(batch.src_ports)
+        attack_proto = batch.attack_proto
+        self.proto_packets[attack_proto] = (
+            self.proto_packets.get(attack_proto, 0) + batch.count
+        )
+        minute = int(batch.timestamp // 60)
+        self.minute_counts[minute] = self.minute_counts.get(minute, 0) + batch.count
+        if batch.proto == PROTO_TCP:
+            self.tcp_responses += batch.count
+        elif batch.proto == PROTO_ICMP:
+            self.icmp_responses += batch.count
+
+    @property
+    def duration(self) -> float:
+        return self.last_ts - self.first_ts
+
+    @property
+    def max_ppm(self) -> int:
+        """Largest packet count observed in any single minute."""
+        return max(self.minute_counts.values()) if self.minute_counts else 0
+
+    @property
+    def dominant_proto(self) -> int:
+        """Attack protocol accounting for most packets."""
+        if not self.proto_packets:
+            return 0
+        return max(self.proto_packets.items(), key=lambda kv: kv[1])[0]
+
+
+class FlowTable:
+    """Victim-keyed flow table with idle-timeout expiry.
+
+    ``add`` returns any flows expired by the advancing clock; time must be
+    fed in non-decreasing order (the capture layer sorts batches).
+    """
+
+    def __init__(self, timeout: float = 300.0, sweep_interval: float = 60.0) -> None:
+        if timeout <= 0:
+            raise ValueError("flow timeout must be positive")
+        self.timeout = timeout
+        self._sweep_interval = sweep_interval
+        self._flows: Dict[int, FlowState] = {}
+        self._last_sweep = float("-inf")
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    def add(self, batch: PacketBatch) -> List[FlowState]:
+        """Fold a batch in; return flows that expired before it arrived."""
+        expired = self._maybe_sweep(batch.timestamp)
+        flow = self._flows.get(batch.src)
+        if flow is not None and batch.timestamp - flow.last_ts > self.timeout:
+            expired.append(self._flows.pop(batch.src))
+            flow = None
+        if flow is None:
+            flow = FlowState(
+                victim=batch.src, first_ts=batch.timestamp, last_ts=batch.timestamp
+            )
+            self._flows[batch.src] = flow
+        flow.add(batch)
+        return expired
+
+    def _maybe_sweep(self, now: float) -> List[FlowState]:
+        if now - self._last_sweep < self._sweep_interval:
+            return []
+        self._last_sweep = now
+        cutoff = now - self.timeout
+        expired = [f for f in self._flows.values() if f.last_ts < cutoff]
+        for flow in expired:
+            del self._flows[flow.victim]
+        return expired
+
+    def flush(self) -> Iterator[FlowState]:
+        """Expire every remaining flow (end of capture)."""
+        flows = list(self._flows.values())
+        self._flows.clear()
+        yield from flows

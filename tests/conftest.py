@@ -1,0 +1,29 @@
+"""Shared fixtures: one small end-to-end simulation reused across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline.config import ScenarioConfig
+from repro.pipeline.simulation import run_simulation
+
+
+@pytest.fixture(scope="session")
+def small_config() -> ScenarioConfig:
+    return ScenarioConfig.small()
+
+
+@pytest.fixture(scope="session")
+def sim(small_config):
+    """A full small-scenario simulation (built once per test session)."""
+    return run_simulation(small_config)
+
+
+@pytest.fixture(scope="session")
+def topology(sim):
+    return sim.topology
+
+
+@pytest.fixture(scope="session")
+def ecosystem(sim):
+    return sim.ecosystem

@@ -1,0 +1,106 @@
+"""Unit and integration tests for the attacker population."""
+
+from random import Random
+
+import pytest
+
+from repro.attacks.actors import (
+    ACTOR_BOOTER,
+    ACTOR_BOTNET,
+    ACTOR_SKILLED,
+    Actor,
+    ActorPopulation,
+    ActorPopulationConfig,
+    attacks_per_actor,
+)
+from repro.attacks.attacker import ATTACK_DIRECT
+
+
+@pytest.fixture(scope="module")
+def population():
+    return ActorPopulation.generate(ActorPopulationConfig(seed=1))
+
+
+class TestPopulation:
+    def test_sizes(self, population):
+        config = ActorPopulationConfig()
+        assert len(population.of_kind(ACTOR_BOOTER)) == config.n_booters
+        assert len(population.of_kind(ACTOR_BOTNET)) == config.n_botnets
+        assert len(population.of_kind(ACTOR_SKILLED)) == config.n_skilled
+
+    def test_unique_ids(self, population):
+        ids = [a.actor_id for a in population.actors]
+        assert len(ids) == len(set(ids))
+
+    def test_by_id(self, population):
+        actor = population.actors[0]
+        assert population.by_id(actor.actor_id) is actor
+
+    def test_booter_popularity_zipf(self, population):
+        booters = population.of_kind(ACTOR_BOOTER)
+        assert booters[0].activity > 10 * booters[-1].activity
+
+    def test_weighted_draw_respects_skew(self, population):
+        rng = Random(2)
+        counts = {}
+        for _ in range(3000):
+            actor = population.draw(ACTOR_BOOTER, rng)
+            counts[actor.name] = counts.get(actor.name, 0) + 1
+        assert counts["booter-000"] == max(counts.values())
+
+    def test_draw_unknown_kind(self, population):
+        with pytest.raises(ValueError):
+            population.draw("apт", Random(1))
+
+    def test_actor_validation(self):
+        with pytest.raises(ValueError):
+            Actor(1, "wizard", "x", 1.0)
+        with pytest.raises(ValueError):
+            Actor(1, ACTOR_BOOTER, "x", 0.0)
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            ActorPopulation([])
+
+
+class TestScheduleIntegration:
+    def test_every_attack_has_a_real_actor(self, sim):
+        population = ActorPopulation.generate(
+            ActorPopulationConfig(seed=sim.config.schedule_config().seed ^ 0xAC70)
+        )
+        for attack in sim.ground_truth[:500]:
+            actor = population.by_id(attack.attacker_id)
+            assert actor is not None
+
+    def test_botnets_launch_the_unspoofed_attacks(self, sim):
+        population = ActorPopulation.generate(
+            ActorPopulationConfig(seed=sim.config.schedule_config().seed ^ 0xAC70)
+        )
+        for attack in sim.ground_truth:
+            if attack.kind != ATTACK_DIRECT:
+                continue
+            kind = population.by_id(attack.attacker_id).kind
+            if not attack.spoofed:
+                assert kind == ACTOR_BOTNET
+            elif attack.joint_id is None:
+                assert kind == ACTOR_BOOTER
+
+    def test_skilled_attackers_run_joint_campaigns(self, sim):
+        population = ActorPopulation.generate(
+            ActorPopulationConfig(seed=sim.config.schedule_config().seed ^ 0xAC70)
+        )
+        joint = [a for a in sim.ground_truth if a.joint_id is not None]
+        assert joint
+        for attack in joint:
+            assert population.by_id(attack.attacker_id).kind == ACTOR_SKILLED
+
+    def test_booter_volume_heavy_tailed(self, sim):
+        population = ActorPopulation.generate(
+            ActorPopulationConfig(seed=sim.config.schedule_config().seed ^ 0xAC70)
+        )
+        counts = attacks_per_actor(sim.ground_truth, population)
+        booter_counts = sorted(
+            (count for name, count in counts.items() if "booter" in name),
+            reverse=True,
+        )
+        assert booter_counts[0] > 5 * booter_counts[len(booter_counts) // 2]

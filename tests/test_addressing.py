@@ -1,0 +1,161 @@
+"""Unit and property tests for repro.net.addressing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.addressing import (
+    IPv4_MAX,
+    Prefix,
+    count_unique_blocks,
+    format_ipv4,
+    mask_for,
+    parse_ipv4,
+    slash8,
+    slash16,
+    slash24,
+)
+
+addresses = st.integers(min_value=0, max_value=IPv4_MAX)
+
+
+class TestParseFormat:
+    def test_parse_simple(self):
+        assert parse_ipv4("1.2.3.4") == 0x01020304
+
+    def test_parse_zero(self):
+        assert parse_ipv4("0.0.0.0") == 0
+
+    def test_parse_max(self):
+        assert parse_ipv4("255.255.255.255") == IPv4_MAX
+
+    def test_format_simple(self):
+        assert format_ipv4(0x01020304) == "1.2.3.4"
+
+    def test_parse_rejects_short(self):
+        with pytest.raises(ValueError):
+            parse_ipv4("1.2.3")
+
+    def test_parse_rejects_octet_out_of_range(self):
+        with pytest.raises(ValueError):
+            parse_ipv4("1.2.3.256")
+
+    def test_format_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_ipv4(-1)
+
+    def test_format_rejects_too_large(self):
+        with pytest.raises(ValueError):
+            format_ipv4(IPv4_MAX + 1)
+
+    @given(addresses)
+    def test_roundtrip(self, address):
+        assert parse_ipv4(format_ipv4(address)) == address
+
+
+class TestBlocks:
+    def test_slash24(self):
+        assert slash24(parse_ipv4("10.1.2.3")) == parse_ipv4("10.1.2.0")
+
+    def test_slash16(self):
+        assert slash16(parse_ipv4("10.1.2.3")) == parse_ipv4("10.1.0.0")
+
+    def test_slash8(self):
+        assert slash8(parse_ipv4("10.1.2.3")) == parse_ipv4("10.0.0.0")
+
+    @given(addresses)
+    def test_block_nesting(self, address):
+        assert slash8(slash16(address)) == slash8(address)
+        assert slash16(slash24(address)) == slash16(address)
+
+    @given(addresses)
+    def test_block_contains_address(self, address):
+        assert slash24(address) <= address < slash24(address) + 256
+
+    def test_count_unique_blocks(self):
+        ips = [parse_ipv4("10.0.0.1"), parse_ipv4("10.0.0.200"),
+               parse_ipv4("10.0.1.1")]
+        assert count_unique_blocks(ips) == 2
+        assert count_unique_blocks(ips, block_fn=slash16) == 1
+
+
+class TestMask:
+    def test_mask_32(self):
+        assert mask_for(32) == 0xFFFFFFFF
+
+    def test_mask_0(self):
+        assert mask_for(0) == 0
+
+    def test_mask_24(self):
+        assert mask_for(24) == 0xFFFFFF00
+
+    def test_mask_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            mask_for(33)
+
+
+class TestPrefix:
+    def test_from_string(self):
+        prefix = Prefix.from_string("10.0.0.0/8")
+        assert prefix.network == parse_ipv4("10.0.0.0")
+        assert prefix.length == 8
+
+    def test_from_string_requires_length(self):
+        with pytest.raises(ValueError):
+            Prefix.from_string("10.0.0.0")
+
+    def test_canonicalizes_host_bits(self):
+        assert Prefix(parse_ipv4("10.0.0.1"), 8) == Prefix.from_string("10.0.0.0/8")
+
+    def test_size(self):
+        assert Prefix.from_string("10.0.0.0/24").size == 256
+        assert Prefix.from_string("10.0.0.0/8").size == 1 << 24
+
+    def test_contains(self):
+        prefix = Prefix.from_string("10.1.0.0/16")
+        assert prefix.contains(parse_ipv4("10.1.255.255"))
+        assert not prefix.contains(parse_ipv4("10.2.0.0"))
+
+    def test_contains_prefix(self):
+        outer = Prefix.from_string("10.0.0.0/8")
+        inner = Prefix.from_string("10.5.0.0/16")
+        assert outer.contains_prefix(inner)
+        assert not inner.contains_prefix(outer)
+
+    def test_overlaps(self):
+        a = Prefix.from_string("10.0.0.0/9")
+        b = Prefix.from_string("10.64.0.0/10")
+        c = Prefix.from_string("11.0.0.0/8")
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_slash24_blocks_of_a_slash22(self):
+        blocks = list(Prefix.from_string("10.0.0.0/22").slash24_blocks())
+        assert len(blocks) == 4
+        assert blocks[0] == parse_ipv4("10.0.0.0")
+        assert blocks[-1] == parse_ipv4("10.0.3.0")
+
+    def test_slash24_blocks_of_longer_prefix(self):
+        blocks = list(Prefix.from_string("10.0.0.128/25").slash24_blocks())
+        assert blocks == [parse_ipv4("10.0.0.0")]
+
+    def test_random_address_stays_inside(self):
+        import random
+
+        prefix = Prefix.from_string("10.3.0.0/16")
+        rng = random.Random(1)
+        for _ in range(100):
+            assert prefix.contains(prefix.random_address(rng))
+
+    def test_str(self):
+        assert str(Prefix.from_string("10.0.0.0/8")) == "10.0.0.0/8"
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            Prefix(0, 40)
+
+    @given(addresses, st.integers(min_value=0, max_value=32))
+    def test_prefix_always_contains_its_network(self, address, length):
+        prefix = Prefix(address, length)
+        assert prefix.contains(prefix.network)
+        assert prefix.contains(prefix.last)
+        assert prefix.size == prefix.last - prefix.network + 1

@@ -1,0 +1,126 @@
+"""Unit tests for the direct (randomly spoofed) attack generator."""
+
+import math
+from random import Random
+
+import pytest
+
+from repro.attacks.attacker import ATTACK_DIRECT, GroundTruthAttack
+from repro.attacks.direct import DirectAttackConfig, DirectAttackGenerator
+from repro.net.packet import PROTO_ICMP, PROTO_TCP, PROTO_UDP
+
+
+@pytest.fixture
+def generator():
+    return DirectAttackGenerator(DirectAttackConfig(), Random(1))
+
+
+def draw_many(generator, n=4000):
+    return [
+        generator.generate(attack_id=i, target=i + 1, start=float(i))
+        for i in range(n)
+    ]
+
+
+class TestDistributionShapes:
+    def test_tcp_dominates(self, generator):
+        attacks = draw_many(generator)
+        tcp = sum(1 for a in attacks if a.ip_proto == PROTO_TCP)
+        assert 0.74 < tcp / len(attacks) < 0.85
+
+    def test_udp_second(self, generator):
+        attacks = draw_many(generator)
+        udp = sum(1 for a in attacks if a.ip_proto == PROTO_UDP)
+        assert 0.10 < udp / len(attacks) < 0.22
+
+    def test_single_port_fraction(self, generator):
+        attacks = [a for a in draw_many(generator)
+                   if a.ip_proto in (PROTO_TCP, PROTO_UDP)]
+        single = sum(1 for a in attacks if len(a.ports) == 1)
+        assert 0.55 < single / len(attacks) < 0.67
+
+    def test_http_dominates_single_port_tcp(self, generator):
+        attacks = draw_many(generator, 6000)
+        single_tcp = [
+            a for a in attacks if a.ip_proto == PROTO_TCP and len(a.ports) == 1
+        ]
+        http = sum(1 for a in single_tcp if a.ports == (80,))
+        https = sum(1 for a in single_tcp if a.ports == (443,))
+        assert 0.40 < http / len(single_tcp) < 0.58
+        assert 0.14 < https / len(single_tcp) < 0.28
+
+    def test_udp_27015_leads(self, generator):
+        attacks = draw_many(generator, 8000)
+        single_udp = [
+            a for a in attacks if a.ip_proto == PROTO_UDP and len(a.ports) == 1
+        ]
+        leading = sum(1 for a in single_udp if a.ports == (27015,))
+        assert 0.10 < leading / len(single_udp) < 0.30
+
+    def test_icmp_attacks_have_no_ports(self, generator):
+        attacks = draw_many(generator)
+        assert all(
+            a.ports == () for a in attacks if a.ip_proto == PROTO_ICMP
+        )
+
+    def test_duration_median_in_minutes_range(self, generator):
+        durations = sorted(a.duration for a in draw_many(generator))
+        median = durations[len(durations) // 2]
+        assert 120 < median < 1200  # paper median 454 s
+
+    def test_rate_median_near_256(self, generator):
+        rates = sorted(a.rate for a in draw_many(generator))
+        median = rates[len(rates) // 2]
+        assert 100 < median < 700
+
+    def test_web_attacks_more_intense_and_shorter(self, generator):
+        attacks = draw_many(generator, 8000)
+        web = [
+            a for a in attacks
+            if a.ip_proto == PROTO_TCP and a.ports in ((80,), (443,))
+        ]
+        other = [a for a in attacks if a not in web]
+        mean = lambda xs: sum(xs) / len(xs)
+        assert mean([a.rate for a in web]) > mean([a.rate for a in other])
+        assert mean([a.duration for a in web]) < mean([a.duration for a in other])
+
+
+class TestForcing:
+    def test_force_ports(self, generator):
+        attack = generator.generate(1, 2, 0.0, force_ports=(27015,),
+                                    force_proto=PROTO_UDP)
+        assert attack.ports == (27015,)
+        assert attack.ip_proto == PROTO_UDP
+
+    def test_joint_id_carried(self, generator):
+        attack = generator.generate(1, 2, 0.0, joint_id=77)
+        assert attack.joint_id == 77
+
+    def test_kind_is_direct(self, generator):
+        assert generator.generate(1, 2, 0.0).kind == ATTACK_DIRECT
+
+
+class TestGroundTruthInvariants:
+    def test_rejects_bad_kind(self):
+        with pytest.raises(ValueError):
+            GroundTruthAttack(1, "weird", 1, 0.0, 10.0, 1.0, "syn-flood")
+
+    def test_rejects_zero_duration(self):
+        with pytest.raises(ValueError):
+            GroundTruthAttack(1, ATTACK_DIRECT, 1, 0.0, 0.0, 1.0, "syn-flood")
+
+    def test_rejects_zero_rate(self):
+        with pytest.raises(ValueError):
+            GroundTruthAttack(1, ATTACK_DIRECT, 1, 0.0, 10.0, 0.0, "syn-flood")
+
+    def test_overlaps(self):
+        a = GroundTruthAttack(1, ATTACK_DIRECT, 1, 0.0, 100.0, 1.0, "syn-flood")
+        b = GroundTruthAttack(2, ATTACK_DIRECT, 1, 50.0, 100.0, 1.0, "syn-flood")
+        c = GroundTruthAttack(3, ATTACK_DIRECT, 1, 200.0, 100.0, 1.0, "syn-flood")
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_shifted(self):
+        a = GroundTruthAttack(1, ATTACK_DIRECT, 1, 0.0, 100.0, 1.0, "syn-flood")
+        assert a.shifted(10.0).start == 10.0
+        assert a.shifted(10.0).end == 110.0

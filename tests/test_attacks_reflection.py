@@ -1,0 +1,96 @@
+"""Unit tests for the reflection attack generator."""
+
+from random import Random
+
+import pytest
+
+from repro.attacks.attacker import ATTACK_REFLECTION
+from repro.attacks.reflection import (
+    ReflectionAttackConfig,
+    ReflectionAttackGenerator,
+)
+from repro.net.packet import PROTO_UDP
+from repro.net.protocols import REFLECTION_PROTOCOLS
+
+
+@pytest.fixture
+def generator():
+    return ReflectionAttackGenerator(ReflectionAttackConfig(), Random(2))
+
+
+def draw_many(generator, n=4000):
+    return [
+        generator.generate(attack_id=i, target=i + 1, start=float(i))
+        for i in range(n)
+    ]
+
+
+class TestDistributionShapes:
+    def test_ntp_leads(self, generator):
+        attacks = draw_many(generator)
+        counts = {}
+        for attack in attacks:
+            counts[attack.reflector_protocol] = (
+                counts.get(attack.reflector_protocol, 0) + 1
+            )
+        assert max(counts, key=counts.get) == "NTP"
+        assert 0.33 < counts["NTP"] / len(attacks) < 0.48
+
+    def test_dns_second_chargen_third(self, generator):
+        attacks = draw_many(generator, 8000)
+        counts = {}
+        for attack in attacks:
+            counts[attack.reflector_protocol] = (
+                counts.get(attack.reflector_protocol, 0) + 1
+            )
+        ordered = sorted(counts, key=counts.get, reverse=True)
+        assert ordered[:3] == ["NTP", "DNS", "CharGen"]
+
+    def test_duration_median_around_minutes(self, generator):
+        durations = sorted(a.duration for a in draw_many(generator))
+        median = durations[len(durations) // 2]
+        assert 100 < median < 700  # paper median 255 s
+
+    def test_rate_median_around_77(self, generator):
+        rates = sorted(a.rate for a in draw_many(generator))
+        median = rates[len(rates) // 2]
+        assert 30 < median < 200
+
+    def test_ntp_reaches_higher_rates_than_ssdp(self, generator):
+        attacks = draw_many(generator, 8000)
+        by_proto = {}
+        for attack in attacks:
+            by_proto.setdefault(attack.reflector_protocol, []).append(attack.rate)
+        mean = lambda xs: sum(xs) / len(xs)
+        assert mean(by_proto["NTP"]) > mean(by_proto["SSDP"])
+
+
+class TestMechanics:
+    def test_kind_and_proto(self, generator):
+        attack = generator.generate(1, 2, 0.0)
+        assert attack.kind == ATTACK_REFLECTION
+        assert attack.ip_proto == PROTO_UDP
+
+    def test_port_matches_protocol(self, generator):
+        for _ in range(50):
+            attack = generator.generate(1, 2, 0.0)
+            protocol = REFLECTION_PROTOCOLS[attack.reflector_protocol]
+            assert attack.ports == (protocol.port,)
+
+    def test_force_protocol(self, generator):
+        attack = generator.generate(1, 2, 0.0, force_protocol="CharGen")
+        assert attack.reflector_protocol == "CharGen"
+        assert attack.ports == (19,)
+
+    def test_min_duration_enforced(self, generator):
+        attack = generator.generate(1, 2, 0.0, min_duration=4 * 3600.0)
+        assert attack.duration >= 4 * 3600.0
+
+    def test_rejects_unknown_protocol_weight(self):
+        config = ReflectionAttackConfig(protocol_weights={"SMURF": 1.0})
+        with pytest.raises(ValueError):
+            ReflectionAttackGenerator(config, Random(1))
+
+    def test_vector_label(self, generator):
+        attack = generator.generate(1, 2, 0.0, force_protocol="NTP")
+        assert attack.vector == "reflection-ntp"

@@ -1,0 +1,128 @@
+"""Unit tests for backscatter synthesis."""
+
+import pytest
+
+from repro.attacks.attacker import (
+    ATTACK_DIRECT,
+    ATTACK_REFLECTION,
+    GroundTruthAttack,
+    VECTOR_ICMP_FLOOD,
+    VECTOR_SYN_FLOOD,
+    VECTOR_UDP_FLOOD,
+)
+from repro.net.packet import (
+    ICMP_DEST_UNREACH,
+    ICMP_ECHO_REPLY,
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+)
+from repro.telescope.backscatter import BackscatterConfig, BackscatterModel
+
+
+def direct_attack(vector=VECTOR_SYN_FLOOD, proto=PROTO_TCP, rate=10_000.0,
+                  duration=600.0, ports=(80,), target=0x0A000001):
+    return GroundTruthAttack(
+        attack_id=1, kind=ATTACK_DIRECT, target=target, start=1000.0,
+        duration=duration, rate=rate, vector=vector, ip_proto=proto,
+        ports=ports,
+    )
+
+
+def reflection_attack():
+    return GroundTruthAttack(
+        attack_id=2, kind=ATTACK_REFLECTION, target=0x0A000002, start=0.0,
+        duration=300.0, rate=100.0, vector="reflection-ntp",
+        ip_proto=PROTO_UDP, ports=(123,), reflector_protocol="NTP",
+    )
+
+
+class TestObservation:
+    def test_reflection_attacks_produce_no_backscatter(self):
+        model = BackscatterModel(BackscatterConfig(seed=1))
+        assert list(model.observe(reflection_attack())) == []
+
+    def test_syn_flood_yields_tcp_batches(self):
+        model = BackscatterModel(BackscatterConfig(seed=2))
+        batches = list(model.observe(direct_attack()))
+        assert batches
+        assert all(b.proto == PROTO_TCP for b in batches)
+        assert all(b.is_backscatter for b in batches)
+
+    def test_source_is_victim(self):
+        model = BackscatterModel(BackscatterConfig(seed=3))
+        batches = list(model.observe(direct_attack(target=0x0B0B0B0B)))
+        assert all(b.src == 0x0B0B0B0B for b in batches)
+
+    def test_udp_flood_yields_icmp_unreachable_quoting_udp(self):
+        model = BackscatterModel(BackscatterConfig(seed=4))
+        batches = list(
+            model.observe(direct_attack(VECTOR_UDP_FLOOD, PROTO_UDP))
+        )
+        assert batches
+        assert all(b.proto == PROTO_ICMP for b in batches)
+        assert all(b.icmp_type == ICMP_DEST_UNREACH for b in batches)
+        assert all(b.quoted_proto == PROTO_UDP for b in batches)
+        assert all(b.attack_proto == PROTO_UDP for b in batches)
+
+    def test_icmp_flood_yields_echo_replies(self):
+        model = BackscatterModel(BackscatterConfig(seed=5))
+        batches = list(
+            model.observe(direct_attack(VECTOR_ICMP_FLOOD, PROTO_ICMP, ports=()))
+        )
+        assert batches
+        assert all(b.icmp_type == ICMP_ECHO_REPLY for b in batches)
+
+    def test_ports_carried_on_batches(self):
+        model = BackscatterModel(BackscatterConfig(seed=6))
+        batches = list(model.observe(direct_attack(ports=(80, 443))))
+        assert all(b.src_ports == frozenset({80, 443}) for b in batches)
+
+    def test_timestamps_inside_attack(self):
+        model = BackscatterModel(BackscatterConfig(seed=7))
+        attack = direct_attack(duration=300.0)
+        for batch in model.observe(attack):
+            assert attack.start <= batch.timestamp <= attack.end + 1.0
+
+
+class TestRateScaling:
+    def test_telescope_sees_1_256th(self):
+        config = BackscatterConfig(
+            seed=8, response_probability=1.0, capacity_mu=25.0,
+            capacity_sigma=0.0001,
+        )
+        model = BackscatterModel(config)
+        attack = direct_attack(rate=256_000.0, duration=1800.0)
+        batches = list(model.observe(attack))
+        total = sum(b.count for b in batches)
+        expected = 256_000.0 / 256.0 * attack.duration
+        assert 0.9 * expected < total < 1.1 * expected
+
+    def test_low_rate_attack_yields_little(self):
+        model = BackscatterModel(BackscatterConfig(seed=9))
+        attack = direct_attack(rate=30.0, duration=120.0)
+        total = sum(b.count for b in model.observe(attack))
+        assert total < 60
+
+    def test_capacity_caps_response(self):
+        config = BackscatterConfig(
+            seed=10, response_probability=1.0,
+            capacity_mu=5.0, capacity_sigma=0.0001,  # ~148 pps capacity
+            collapse_load_factor=1e9,
+        )
+        model = BackscatterModel(config)
+        attack = direct_attack(rate=1e6, duration=600.0)
+        total = sum(b.count for b in model.observe(attack))
+        capped = 148.4 / 256.0 * attack.duration
+        assert total < capped * 1.3
+
+    def test_collapse_truncates_duration(self):
+        config = BackscatterConfig(
+            seed=11, capacity_mu=5.0, capacity_sigma=0.0001,
+            collapse_load_factor=2.0, collapse_after_fraction=0.5,
+        )
+        model = BackscatterModel(config)
+        attack = direct_attack(rate=1e6, duration=3600.0)
+        batches = list(model.observe(attack))
+        last = max(b.timestamp for b in batches)
+        assert last < attack.start + attack.duration * 0.55

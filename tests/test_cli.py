@@ -1,0 +1,68 @@
+"""Unit tests for the command-line interface and the full-report generator."""
+
+import pytest
+
+from repro.cli import main
+from repro.pipeline.fullreport import REPORT_ORDER, generate_full_report
+
+
+class TestFullReport:
+    def test_all_artifacts_present(self, sim):
+        report = generate_full_report(sim)
+        assert set(REPORT_ORDER) <= set(report)
+        for name in REPORT_ORDER:
+            assert isinstance(report[name], str)
+            assert report[name].strip()
+
+    def test_tables_carry_titles(self, sim):
+        report = generate_full_report(sim)
+        assert "Table 1" in report["table1"]
+        assert "Table 9" in report["table9"]
+        assert "taxonomy" in report["fig8"]
+        assert "Section 8" in report["extensions"]
+
+
+class TestCLI:
+    def test_headline(self, capsys):
+        assert main(["--preset", "small", "headline"]) == 0
+        out = capsys.readouterr().out
+        assert "active /24s attacked" in out
+        assert "paper: 64%" in out
+
+    def test_simulate_with_save(self, tmp_path, capsys):
+        events_file = tmp_path / "events.jsonl"
+        code = main(
+            ["--preset", "small", "simulate", "--save-events",
+             str(events_file)]
+        )
+        assert code == 0
+        assert events_file.exists()
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_report_subset_to_dir(self, tmp_path, capsys):
+        code = main(
+            ["--preset", "small", "report", "--out-dir", str(tmp_path),
+             "--only", "table1", "fig8"]
+        )
+        assert code == 0
+        assert (tmp_path / "table1.txt").exists()
+        assert (tmp_path / "fig8.txt").exists()
+        assert not (tmp_path / "table5.txt").exists()
+
+    def test_report_unknown_artifact(self, capsys):
+        code = main(
+            ["--preset", "small", "report", "--only", "tableX"]
+        )
+        assert code == 2
+        assert "unknown artifact" in capsys.readouterr().err
+
+    def test_seed_changes_results(self, capsys):
+        main(["--preset", "small", "--seed", "1", "headline"])
+        first = capsys.readouterr().out
+        main(["--preset", "small", "--seed", "2", "headline"])
+        second = capsys.readouterr().out
+        assert first != second
+
+    def test_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["--preset", "small", "frobnicate"])

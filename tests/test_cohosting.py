@@ -1,0 +1,78 @@
+"""Unit tests for the co-hosting histogram."""
+
+from repro.core.cohosting import (
+    CoHostingBin,
+    cohosting_bins,
+    is_monotone_decreasing_tail,
+    web_hosting_target_count,
+)
+from repro.core.events import AttackEvent, SOURCE_TELESCOPE
+from repro.core.webmap import EventAssociation
+
+
+def association(target, site_count, day=0):
+    event = AttackEvent(SOURCE_TELESCOPE, target, day * 86400.0, day * 86400.0 + 1, 1.0)
+    return EventAssociation(event=event, day=day, site_count=site_count)
+
+
+class TestBins:
+    def test_single_site_bin(self):
+        bins = cohosting_bins([association(1, 1), association(2, 1)])
+        assert bins[0].label == "n=1"
+        assert bins[0].target_ips == 2
+
+    def test_log_decade_bins(self):
+        associations = [
+            association(1, 1),
+            association(2, 5),
+            association(3, 10),
+            association(4, 11),
+            association(5, 5000),
+        ]
+        bins = {b.label: b.target_ips for b in cohosting_bins(associations)}
+        assert bins["n=1"] == 1
+        assert bins["10^0<n<=10^1"] == 2  # 5 and 10
+        assert bins["10^1<n<=10^2"] == 1  # 11
+        assert bins["10^3<n<=10^4"] == 1  # 5000
+
+    def test_ip_contributes_once_with_peak(self):
+        associations = [association(1, 3, day=0), association(1, 50, day=5)]
+        bins = {b.label: b.target_ips for b in cohosting_bins(associations)}
+        assert bins["10^0<n<=10^1"] == 0
+        assert bins["10^1<n<=10^2"] == 1
+
+    def test_zero_site_ips_excluded(self):
+        bins = cohosting_bins([association(1, 0)])
+        assert sum(b.target_ips for b in bins) == 0
+
+    def test_target_count(self):
+        associations = [
+            association(1, 2), association(1, 3), association(2, 0),
+            association(3, 1),
+        ]
+        assert web_hosting_target_count(associations) == 2
+
+
+class TestShape:
+    def test_monotone_tail_true(self):
+        bins = [
+            CoHostingBin("a", 0, 1, 100),
+            CoHostingBin("b", 1, 10, 50),
+            CoHostingBin("c", 10, 100, 10),
+            CoHostingBin("d", 100, 1000, 0),
+        ]
+        assert is_monotone_decreasing_tail(bins)
+
+    def test_monotone_tail_false(self):
+        bins = [
+            CoHostingBin("a", 0, 1, 10),
+            CoHostingBin("b", 1, 10, 50),
+        ]
+        assert not is_monotone_decreasing_tail(bins)
+
+    def test_tolerance(self):
+        bins = [
+            CoHostingBin("a", 0, 1, 10),
+            CoHostingBin("b", 1, 10, 12),
+        ]
+        assert is_monotone_decreasing_tail(bins, tolerance=2)

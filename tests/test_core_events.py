@@ -1,0 +1,137 @@
+"""Unit tests for the unified event model."""
+
+import pytest
+
+from repro.core.events import (
+    AttackDataset,
+    AttackEvent,
+    SOURCE_HONEYPOT,
+    SOURCE_TELESCOPE,
+)
+from repro.honeypot.detection import AmpPotEvent
+from repro.net.addressing import Prefix, parse_ipv4
+from repro.net.geo import GeoDatabase, GeoRange
+from repro.net.packet import PROTO_TCP
+from repro.net.routing import RoutingTable
+from repro.telescope.rsdos import TelescopeEvent
+
+
+def tel_event(victim=1, start=0.0, end=120.0, max_ppm=120, ports=(80,)):
+    return TelescopeEvent(
+        victim=victim, start_ts=start, end_ts=end, packets=200, bytes=10_000,
+        distinct_sources=150, ports=tuple(ports), ip_proto=PROTO_TCP,
+        max_ppm=max_ppm, tcp_responses=200, icmp_responses=0,
+    )
+
+
+def hp_event(victim=2, start=0.0, end=300.0, requests=3000, honeypots=10):
+    return AmpPotEvent(
+        victim=victim, start_ts=start, end_ts=end, protocol="NTP",
+        requests=requests, honeypots=honeypots,
+    )
+
+
+class TestConversion:
+    def test_from_telescope(self):
+        event = AttackEvent.from_telescope(tel_event())
+        assert event.source == SOURCE_TELESCOPE
+        assert event.intensity == pytest.approx(2.0)  # 120 ppm -> 2 pps
+        assert event.ports == (80,)
+        assert event.duration == 120.0
+
+    def test_from_honeypot(self):
+        event = AttackEvent.from_honeypot(hp_event())
+        assert event.source == SOURCE_HONEYPOT
+        assert event.reflector_protocol == "NTP"
+        assert event.intensity == pytest.approx(3000 / 300.0 / 10)
+
+    def test_rejects_unknown_source(self):
+        with pytest.raises(ValueError):
+            AttackEvent("darkweb", 1, 0.0, 1.0, 1.0)
+
+    def test_rejects_inverted_interval(self):
+        with pytest.raises(ValueError):
+            AttackEvent(SOURCE_TELESCOPE, 1, 10.0, 5.0, 1.0)
+
+    def test_start_day(self):
+        event = AttackEvent(SOURCE_TELESCOPE, 1, 3 * 86400.0 + 5, 3 * 86400.0 + 10, 1.0)
+        assert event.start_day == 3
+
+    def test_single_port(self):
+        assert AttackEvent(SOURCE_TELESCOPE, 1, 0, 1, 1.0, ports=(80,)).single_port
+        assert AttackEvent(SOURCE_TELESCOPE, 1, 0, 1, 1.0, ports=()).single_port
+        assert not AttackEvent(
+            SOURCE_TELESCOPE, 1, 0, 1, 1.0, ports=(80, 443)
+        ).single_port
+
+    def test_overlaps(self):
+        a = AttackEvent(SOURCE_TELESCOPE, 1, 0.0, 100.0, 1.0)
+        b = AttackEvent(SOURCE_HONEYPOT, 1, 50.0, 150.0, 1.0)
+        c = AttackEvent(SOURCE_HONEYPOT, 1, 200.0, 250.0, 1.0)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+
+class TestAnnotation:
+    def test_annotated_fills_country_and_asn(self):
+        geo = GeoDatabase([GeoRange(0, 1000, "NL")])
+        routing = RoutingTable()
+        routing.announce(Prefix(0, 22), asn=64999)
+        event = AttackEvent(SOURCE_TELESCOPE, 500, 0.0, 1.0, 1.0)
+        annotated = event.annotated(geo, routing)
+        assert annotated.country == "NL"
+        assert annotated.asn == 64999
+        # original is unchanged (frozen dataclass semantics)
+        assert event.country == "??"
+
+
+class TestDataset:
+    def test_sorted_by_start(self):
+        events = [
+            AttackEvent(SOURCE_TELESCOPE, 1, 100.0, 200.0, 1.0),
+            AttackEvent(SOURCE_TELESCOPE, 2, 0.0, 50.0, 1.0),
+        ]
+        dataset = AttackDataset(events)
+        assert [e.target for e in dataset] == [2, 1]
+
+    def test_unique_rollups(self):
+        events = [
+            AttackEvent(SOURCE_TELESCOPE, parse_ipv4("10.0.0.1"), 0, 1, 1.0),
+            AttackEvent(SOURCE_TELESCOPE, parse_ipv4("10.0.0.2"), 0, 1, 1.0),
+            AttackEvent(SOURCE_TELESCOPE, parse_ipv4("10.0.1.1"), 0, 1, 1.0),
+            AttackEvent(SOURCE_TELESCOPE, parse_ipv4("10.1.0.1"), 0, 1, 1.0),
+        ]
+        dataset = AttackDataset(events, label="t")
+        assert len(dataset.unique_targets()) == 4
+        assert len(dataset.unique_slash24s()) == 3
+        assert len(dataset.unique_slash16s()) == 2
+
+    def test_summary(self):
+        dataset = AttackDataset(
+            [AttackEvent(SOURCE_TELESCOPE, 1, 0, 1, 1.0)], label="X"
+        )
+        summary = dataset.summary()
+        assert summary["source"] == "X"
+        assert summary["events"] == 1
+        assert summary["targets"] == 1
+
+    def test_events_per_target(self):
+        events = [
+            AttackEvent(SOURCE_TELESCOPE, 1, 0, 1, 1.0),
+            AttackEvent(SOURCE_TELESCOPE, 1, 10, 11, 1.0),
+            AttackEvent(SOURCE_TELESCOPE, 2, 0, 1, 1.0),
+        ]
+        assert AttackDataset(events).events_per_target() == pytest.approx(1.5)
+
+    def test_filter(self):
+        events = [
+            AttackEvent(SOURCE_TELESCOPE, 1, 0, 1, 1.0),
+            AttackEvent(SOURCE_TELESCOPE, 2, 0, 1, 5.0),
+        ]
+        filtered = AttackDataset(events).filter(lambda e: e.intensity > 2)
+        assert len(filtered) == 1
+
+    def test_empty_dataset(self):
+        dataset = AttackDataset([])
+        assert dataset.events_per_target() == 0.0
+        assert dataset.summary()["targets"] == 0

@@ -1,0 +1,129 @@
+"""Unit tests for the migration correlation analysis."""
+
+import pytest
+
+from repro.core.events import AttackEvent, SOURCE_HONEYPOT, SOURCE_TELESCOPE
+from repro.core.intensity import IntensityModel
+from repro.core.migration import MigrationAnalysis
+from repro.core.webmap import SiteAttackHistory
+
+DAY = 86400.0
+
+
+def tel(day, intensity):
+    start = day * DAY
+    return AttackEvent(SOURCE_TELESCOPE, 1, start, start + 600.0, intensity)
+
+
+def hp(day, intensity=10.0, duration=600.0):
+    start = day * DAY
+    return AttackEvent(
+        SOURCE_HONEYPOT, 1, start, start + duration, intensity,
+        reflector_protocol="NTP",
+    )
+
+
+def history(domain, events):
+    h = SiteAttackHistory(domain)
+    h.events = list(events)
+    return h
+
+
+@pytest.fixture
+def analysis():
+    histories = {
+        # migrates on day 12, trigger = intense attack on day 10
+        "www.fast.com": history("www.fast.com", [tel(2, 1.0), tel(10, 500.0)]),
+        # migrates on day 40, low intensity, many attacks
+        "www.slow.com": history(
+            "www.slow.com", [tel(d, 2.0) for d in range(1, 9)]
+        ),
+        # never migrates, many attacks
+        "www.stay.com": history(
+            "www.stay.com", [tel(d, 2.0) for d in range(1, 12)]
+        ),
+        # long honeypot attack then migration
+        "www.long.com": history(
+            "www.long.com", [hp(5, duration=5 * 3600.0)]
+        ),
+    }
+    all_events = [e for h in histories.values() for e in h.events]
+    model = IntensityModel(all_events)
+    dps = {"www.fast.com": 12, "www.slow.com": 40, "www.long.com": 7}
+    return MigrationAnalysis(histories, dps, model)
+
+
+class TestObservations:
+    def test_only_migrating_sites_with_prior_attacks(self, analysis):
+        domains = {o.domain for o in analysis.observations}
+        assert domains == {"www.fast.com", "www.slow.com", "www.long.com"}
+
+    def test_trigger_is_highest_intensity_prior_attack(self, analysis):
+        fast = next(o for o in analysis.observations if o.domain == "www.fast.com")
+        assert fast.trigger_day == 10
+        assert fast.days_to_migration == 2
+
+    def test_protected_before_attacks_skipped(self):
+        histories = {"www.pre.com": history("www.pre.com", [tel(20, 1.0)])}
+        model = IntensityModel(histories["www.pre.com"].events)
+        analysis = MigrationAnalysis(histories, {"www.pre.com": 5}, model)
+        assert analysis.observations == []
+
+
+class TestFigure9:
+    def test_frequency_cdfs(self, analysis):
+        all_cdf = analysis.attack_frequency_cdf_all()
+        migrating_cdf = analysis.attack_frequency_cdf_migrating()
+        assert len(all_cdf) == 4
+        assert len(migrating_cdf) == 3
+
+    def test_repetition_effect(self, analysis):
+        all_over, migrating_over = analysis.repetition_effect(threshold=5)
+        # stay.com (11 attacks) and slow.com (8) exceed 5 among all;
+        # only slow.com does among migrating.
+        assert all_over == pytest.approx(2 / 4)
+        assert migrating_over == pytest.approx(1 / 3)
+
+
+class TestFigure10:
+    def test_delay_cdf_all(self, analysis):
+        cdf = analysis.delay_cdf()
+        assert len(cdf) == 3
+        assert cdf.fraction_at_or_below(2) >= 1 / 3
+
+    def test_top_intensity_migrates_faster(self, analysis):
+        # Classes slice the site-level (Table 9) intensity distribution;
+        # the top quarter isolates the intensely-attacked fast migrant.
+        top = analysis.delay_cdf(top_fraction=0.25)
+        assert top.fraction_at_or_below(2) >= analysis.delay_cdf().fraction_at_or_below(2)
+
+    def test_migration_within(self, analysis):
+        assert analysis.migration_within(100) == 1.0
+
+    def test_empty_raises(self):
+        histories = {"www.x.com": history("www.x.com", [tel(1, 1.0)])}
+        model = IntensityModel(histories["www.x.com"].events)
+        analysis = MigrationAnalysis(histories, {}, model)
+        with pytest.raises(ValueError):
+            analysis.delay_cdf()
+
+
+class TestFigure11:
+    def test_long_attack_delays(self, analysis):
+        cdf = analysis.delay_cdf_long_attacks(min_duration=4 * 3600.0)
+        assert len(cdf) == 1  # only www.long.com
+        assert cdf.fraction_at_or_below(2) == 1.0
+
+    def test_telescope_durations_ignored(self, analysis):
+        """Figure 11 uses honeypot durations only; a long telescope event
+        does not qualify."""
+        histories = {
+            "www.t.com": history(
+                "www.t.com",
+                [AttackEvent(SOURCE_TELESCOPE, 1, 0.0, 6 * 3600.0, 1.0)],
+            )
+        }
+        model = IntensityModel(histories["www.t.com"].events)
+        analysis = MigrationAnalysis(histories, {"www.t.com": 3}, model)
+        with pytest.raises(ValueError):
+            analysis.delay_cdf_long_attacks()

@@ -1,0 +1,54 @@
+"""Unit tests for event serialization."""
+
+import pytest
+
+from repro.core.events import AttackEvent, SOURCE_HONEYPOT, SOURCE_TELESCOPE
+from repro.pipeline.datasets import (
+    event_from_dict,
+    event_to_dict,
+    load_events_jsonl,
+    save_events_jsonl,
+)
+
+
+def events():
+    return [
+        AttackEvent(
+            SOURCE_TELESCOPE, 123, 0.0, 60.0, 2.5, ip_proto=6,
+            ports=(80, 443), packets=99, country="US", asn=64512,
+        ),
+        AttackEvent(
+            SOURCE_HONEYPOT, 456, 100.0, 400.0, 77.0,
+            reflector_protocol="NTP", packets=5000,
+        ),
+    ]
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip(self):
+        for event in events():
+            assert event_from_dict(event_to_dict(event)) == event
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        written = save_events_jsonl(events(), path)
+        assert written == 2
+        loaded = load_events_jsonl(path)
+        assert loaded == events()
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        save_events_jsonl(events(), path)
+        with open(path, "a") as handle:
+            handle.write("\n\n")
+        assert len(load_events_jsonl(path)) == 2
+
+    def test_defaults_filled(self):
+        minimal = {
+            "source": SOURCE_TELESCOPE, "target": 1, "start_ts": 0.0,
+            "end_ts": 1.0, "intensity": 1.0,
+        }
+        event = event_from_dict(minimal)
+        assert event.ports == ()
+        assert event.country == "??"
+        assert event.asn is None

@@ -1,0 +1,93 @@
+"""Unit and property tests for empirical CDFs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.distributions import (
+    EmpiricalCDF,
+    duration_cdf,
+    intensity_cdf,
+    per_protocol_intensity_cdfs,
+)
+from repro.core.events import AttackEvent, SOURCE_HONEYPOT, SOURCE_TELESCOPE
+
+
+def hp(intensity, protocol="NTP", duration=100.0):
+    return AttackEvent(
+        SOURCE_HONEYPOT, 1, 0.0, duration, intensity,
+        reflector_protocol=protocol,
+    )
+
+
+class TestEmpiricalCDF:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([])
+
+    def test_fraction_at_or_below(self):
+        cdf = EmpiricalCDF([1, 2, 3, 4])
+        assert cdf.fraction_at_or_below(0) == 0.0
+        assert cdf.fraction_at_or_below(2) == 0.5
+        assert cdf.fraction_at_or_below(4) == 1.0
+        assert cdf.fraction_at_or_below(100) == 1.0
+
+    def test_quantile(self):
+        cdf = EmpiricalCDF([10, 20, 30, 40])
+        assert cdf.quantile(0.0) == 10
+        assert cdf.quantile(0.5) == 20
+        assert cdf.quantile(1.0) == 40
+
+    def test_quantile_bounds(self):
+        cdf = EmpiricalCDF([1])
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_mean_median(self):
+        cdf = EmpiricalCDF([1, 2, 3, 4, 100])
+        assert cdf.mean == pytest.approx(22.0)
+        assert cdf.median == 3
+
+    def test_summary_at(self):
+        cdf = EmpiricalCDF([1, 10])
+        assert cdf.summary_at([1, 5, 10]) == {1: 0.5, 5: 0.5, 10: 1.0}
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=60))
+    def test_cdf_is_monotone(self, values):
+        cdf = EmpiricalCDF(values)
+        points = sorted(set(values))
+        fractions = [cdf.fraction_at_or_below(p) for p in points]
+        assert all(a <= b for a, b in zip(fractions, fractions[1:]))
+        assert fractions[-1] == 1.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=60),
+           st.floats(min_value=0.0, max_value=1.0))
+    def test_quantile_inverts_cdf(self, values, q):
+        cdf = EmpiricalCDF(values)
+        assert cdf.fraction_at_or_below(cdf.quantile(q)) >= q - 1e-9
+
+
+class TestEventCDFs:
+    def test_duration_cdf(self):
+        events = [hp(1.0, duration=60.0), hp(1.0, duration=600.0)]
+        cdf = duration_cdf(events)
+        assert cdf.fraction_at_or_below(60.0) == 0.5
+
+    def test_intensity_cdf(self):
+        events = [hp(5.0), hp(50.0)]
+        cdf = intensity_cdf(events)
+        assert cdf.median == 5.0
+
+    def test_per_protocol_cdfs(self):
+        events = (
+            [hp(10.0, "NTP")] * 5
+            + [hp(1.0, "DNS")] * 3
+            + [hp(2.0, "CharGen")] * 2
+        )
+        cdfs = per_protocol_intensity_cdfs(events, top_n=2)
+        assert set(cdfs) == {"Overall", "NTP", "DNS"}
+        assert len(cdfs["Overall"]) == 10
+        assert len(cdfs["NTP"]) == 5
+
+    def test_per_protocol_ignores_telescope(self):
+        telescope_event = AttackEvent(SOURCE_TELESCOPE, 1, 0, 1, 1.0)
+        assert per_protocol_intensity_cdfs([telescope_event]) == {}

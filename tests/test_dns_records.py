@@ -1,0 +1,133 @@
+"""Unit tests for resource records and domain timelines."""
+
+import pytest
+
+from repro.dns.records import (
+    DomainTimeline,
+    HostingState,
+    ResourceRecord,
+    RRTYPE_A,
+    RRTYPE_CNAME,
+)
+
+
+def domain(name="site-000001.com", tld="com", registered=0, www=True):
+    return DomainTimeline(
+        name=name, tld=tld, registered_day=registered, has_www=www
+    )
+
+
+def state(ip=100, **kwargs):
+    return HostingState(ip=ip, **kwargs)
+
+
+class TestResourceRecord:
+    def test_a_record_requires_address(self):
+        with pytest.raises(ValueError):
+            ResourceRecord("www.example.com", RRTYPE_A, "1.2.3.4")
+
+    def test_a_record_with_address(self):
+        record = ResourceRecord("www.example.com", RRTYPE_A, "1.2.3.4",
+                                address=0x01020304)
+        assert record.address == 0x01020304
+
+    def test_cname_record(self):
+        record = ResourceRecord("www.example.com", RRTYPE_CNAME, "edge.example")
+        assert record.address is None
+
+
+class TestDomainTimeline:
+    def test_name_must_match_tld(self):
+        with pytest.raises(ValueError):
+            domain(name="site.com", tld="org")
+
+    def test_www_name(self):
+        assert domain().www_name == "www.site-000001.com"
+
+    def test_state_before_registration_is_none(self):
+        d = domain(registered=10)
+        d.set_state(10, state())
+        assert d.state_on(5) is None
+        assert d.state_on(10) is not None
+
+    def test_state_lookup_piecewise(self):
+        d = domain()
+        d.set_state(0, state(ip=1))
+        d.set_state(20, state(ip=2))
+        assert d.ip_on(0) == 1
+        assert d.ip_on(19) == 1
+        assert d.ip_on(20) == 2
+        assert d.ip_on(100) == 2
+
+    def test_set_state_same_day_replaces(self):
+        d = domain()
+        d.set_state(0, state(ip=1))
+        d.set_state(0, state(ip=9))
+        assert d.ip_on(0) == 9
+        assert len(d.change_days()) == 1
+
+    def test_set_state_truncates_future_changes(self):
+        d = domain()
+        d.set_state(0, state(ip=1))
+        d.set_state(30, state(ip=2))
+        d.set_state(10, state(ip=3))
+        assert d.ip_on(40) == 3
+        assert d.change_days() == (0, 10)
+
+    def test_exists_on(self):
+        d = domain(registered=7)
+        assert not d.exists_on(6)
+        assert d.exists_on(7)
+
+
+class TestHostingIntervals:
+    def test_single_segment(self):
+        d = domain()
+        d.set_state(0, state(ip=5))
+        assert d.hosting_intervals(100) == [(0, 100, 5)]
+
+    def test_multiple_segments(self):
+        d = domain()
+        d.set_state(0, state(ip=5))
+        d.set_state(40, state(ip=6))
+        assert d.hosting_intervals(100) == [(0, 40, 5), (40, 100, 6)]
+
+    def test_registration_clips_start(self):
+        d = domain(registered=10)
+        d.set_state(10, state(ip=5))
+        assert d.hosting_intervals(100) == [(10, 100, 5)]
+
+    def test_no_www_no_intervals(self):
+        d = domain(www=False)
+        d.set_state(0, state())
+        assert d.hosting_intervals(100) == []
+
+    def test_window_clips_end(self):
+        d = domain()
+        d.set_state(0, state(ip=5))
+        d.set_state(200, state(ip=6))
+        assert d.hosting_intervals(100) == [(0, 100, 5)]
+
+
+class TestFirstDPSDay:
+    def test_no_protection(self):
+        d = domain()
+        d.set_state(0, state())
+        assert d.first_dps_day(100) is None
+
+    def test_migration_day_reported(self):
+        d = domain()
+        d.set_state(0, state())
+        d.set_state(33, state(ip=7, dps_provider="CloudFlare"))
+        assert d.first_dps_day(100) == 33
+
+    def test_preexisting_reports_registration_day(self):
+        d = domain(registered=5)
+        d.set_state(5, state(dps_provider="Akamai"))
+        assert d.first_dps_day(100) == 5
+
+    def test_protection_outside_window_ignored(self):
+        d = domain()
+        d.set_state(0, state())
+        d.set_state(150, state(dps_provider="Akamai"))
+        assert d.first_dps_day(100) is None

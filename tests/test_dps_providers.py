@@ -1,0 +1,105 @@
+"""Unit tests for DPS provider signatures."""
+
+from random import Random
+
+import pytest
+
+from repro.dps.providers import (
+    METHOD_BGP,
+    METHOD_CNAME,
+    METHOD_NS,
+    PROVIDER_TABLE,
+    build_providers,
+    choose_provider,
+    provider_by_name,
+)
+from repro.internet.topology import InternetTopology, TopologyConfig
+
+
+@pytest.fixture(scope="module")
+def providers():
+    topology = InternetTopology.generate(TopologyConfig(seed=61, n_ases=30))
+    return build_providers(topology)
+
+
+class TestBuild:
+    def test_ten_providers(self, providers):
+        assert len(providers) == 10
+        assert len({p.name for p in providers}) == 10
+
+    def test_table_matches_paper(self):
+        names = {name for name, _, _ in PROVIDER_TABLE}
+        assert names == {
+            "Akamai", "CenturyLink", "CloudFlare", "DOSarrest", "F5 Networks",
+            "Incapsula", "Level3", "Neustar", "Verisign", "VirtualRoad",
+        }
+
+    def test_neustar_leads_market_share(self, providers):
+        neustar = provider_by_name(providers, "Neustar")
+        assert all(neustar.market_share >= p.market_share for p in providers)
+
+    def test_virtualroad_negligible_share(self, providers):
+        vroad = provider_by_name(providers, "VirtualRoad")
+        assert vroad.market_share < 0.01
+
+    def test_each_provider_owns_prefix(self, providers):
+        for provider in providers:
+            assert provider.prefix.size >= 256
+
+
+class TestSignatures:
+    def test_cname_match(self, providers):
+        akamai = provider_by_name(providers, "Akamai")
+        protected = akamai.protection_cname("shop.com")
+        assert akamai.matches_cname(protected)
+        assert not akamai.matches_cname("shop-com.other.example")
+        assert not akamai.matches_cname(None)
+
+    def test_ns_method_has_no_cname(self, providers):
+        cloudflare = provider_by_name(providers, "CloudFlare")
+        assert cloudflare.method == METHOD_NS
+        assert cloudflare.protection_cname("shop.com") is None
+        ns = cloudflare.protection_ns()
+        assert len(ns) == 2
+        assert cloudflare.matches_ns(ns)
+
+    def test_bgp_method(self, providers):
+        centurylink = provider_by_name(providers, "CenturyLink")
+        assert centurylink.method == METHOD_BGP
+        assert centurylink.protection_ns() == ()
+
+    def test_address_match(self, providers):
+        akamai = provider_by_name(providers, "Akamai")
+        assert akamai.matches_address(akamai.prefix.network + 5)
+        assert not akamai.matches_address(akamai.prefix.last + 1)
+
+    def test_edge_pool_is_concentrated(self, providers):
+        dosarrest = provider_by_name(providers, "DOSarrest")
+        edges = dosarrest.edge_addresses()
+        assert len(edges) == dosarrest.EDGE_POOL_SIZE
+        rng = Random(1)
+        assert all(
+            dosarrest.edge_address(rng) in set(edges) for _ in range(50)
+        )
+
+    def test_signatures_disjoint_across_providers(self, providers):
+        for provider in providers:
+            protected = provider.protection_cname("x.com")
+            if protected is None:
+                continue
+            others = [p for p in providers if p is not provider]
+            assert not any(o.matches_cname(protected) for o in others)
+
+
+class TestChoice:
+    def test_weighted_choice_tracks_share(self, providers):
+        rng = Random(7)
+        counts = {}
+        for _ in range(4000):
+            provider = choose_provider(providers, rng)
+            counts[provider.name] = counts.get(provider.name, 0) + 1
+        assert counts["Neustar"] > counts.get("Level3", 0)
+        assert counts.get("VirtualRoad", 0) < 10
+
+    def test_provider_by_name_missing(self, providers):
+        assert provider_by_name(providers, "NoSuch") is None

@@ -1,0 +1,45 @@
+"""Smoke tests: the fast example scripts run end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+class TestFastExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py", "7")
+        assert result.returncode == 0, result.stderr
+        assert "Table 1" in result.stdout
+        assert "paper: 64%" in result.stdout
+
+    def test_detector_playground(self):
+        result = run_example("detector_playground.py")
+        assert result.returncode == 0, result.stderr
+        assert "attack on 203.0.113.7" in result.stdout
+        assert "NTP attack" in result.stdout
+
+    def test_custom_scenario(self, tmp_path):
+        out = tmp_path / "events.jsonl"
+        result = run_example("custom_scenario.py", str(out))
+        assert result.returncode == 0, result.stderr
+        assert out.exists()
+        assert "fully decoupled" in result.stdout
+
+    def test_reproduce_paper_small_to_dir(self, tmp_path):
+        result = run_example("reproduce_paper.py", "small", str(tmp_path))
+        assert result.returncode == 0, result.stderr
+        assert (tmp_path / "table1.txt").exists()
+        assert (tmp_path / "fig11.txt").exists()

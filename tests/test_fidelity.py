@@ -1,0 +1,114 @@
+"""Detection fidelity: observed events faithfully describe ground truth.
+
+These tests verify the *measurement* layer end to end: every detected event
+must correspond to a real attack against the same victim with consistent
+timing, protocol and intensity — no phantom events, no systematic
+distortion beyond the documented observation effects.
+"""
+
+from collections import defaultdict
+
+import pytest
+
+from repro.attacks.attacker import ATTACK_DIRECT, ATTACK_REFLECTION
+
+
+@pytest.fixture(scope="module")
+def truth_by_target(sim):
+    by_target = defaultdict(list)
+    for attack in sim.ground_truth:
+        by_target[attack.target].append(attack)
+    return by_target
+
+SLACK = 600.0  # flow-expiry / aggregation slack in seconds
+
+
+class TestTelescopeFidelity:
+    def test_every_event_has_a_matching_attack(self, sim, truth_by_target):
+        for event in sim.telescope_events:
+            candidates = [
+                a for a in truth_by_target.get(event.victim, ())
+                if a.kind == ATTACK_DIRECT and a.spoofed
+                and a.start - SLACK <= event.start_ts
+                and event.end_ts <= a.end + SLACK
+            ]
+            # An event may merge several overlapping attacks; at least one
+            # real spoofed attack must cover (most of) the event interval.
+            if not candidates:
+                candidates = [
+                    a for a in truth_by_target.get(event.victim, ())
+                    if a.kind == ATTACK_DIRECT and a.spoofed
+                    and a.start <= event.end_ts and event.start_ts <= a.end
+                ]
+            assert candidates, f"phantom telescope event on {event.victim}"
+
+    def test_event_ports_subset_of_attack_ports(self, sim, truth_by_target):
+        for event in sim.telescope_events[:500]:
+            attack_ports = set()
+            for attack in truth_by_target.get(event.victim, ()):
+                if attack.kind == ATTACK_DIRECT:
+                    attack_ports.update(attack.ports)
+            assert set(event.ports) <= attack_ports
+
+    def test_observed_rate_not_above_ground_truth(self, sim, truth_by_target):
+        """Telescope max pps never exceeds 1/256 of the victim's true rate
+        (response probability and capacity only reduce it) beyond Poisson
+        noise."""
+        violations = 0
+        for event in sim.telescope_events:
+            overlapping = [
+                a for a in truth_by_target.get(event.victim, ())
+                if a.kind == ATTACK_DIRECT
+                and a.start <= event.end_ts and event.start_ts <= a.end
+            ]
+            if not overlapping:
+                continue
+            total_rate = sum(a.rate for a in overlapping)
+            if event.max_pps > total_rate / 256.0 * 1.5 + 3.0:
+                violations += 1
+        assert violations <= max(2, 0.01 * len(sim.telescope_events))
+
+
+class TestHoneypotFidelity:
+    def test_every_event_matches_attack_protocol(self, sim, truth_by_target):
+        for event in sim.honeypot_events:
+            candidates = [
+                a for a in truth_by_target.get(event.victim, ())
+                if a.kind == ATTACK_REFLECTION
+                and a.reflector_protocol == event.protocol
+                and a.start - SLACK <= event.start_ts
+                and event.start_ts <= a.end + SLACK
+            ]
+            assert candidates, (
+                f"phantom honeypot event: {event.protocol} on {event.victim}"
+            )
+
+    def test_event_rate_tracks_attack_rate(self, sim, truth_by_target):
+        """avg req/s per reflector approximates the ground-truth rate."""
+        checked = 0
+        within = 0
+        for event in sim.honeypot_events:
+            matches = [
+                a for a in truth_by_target.get(event.victim, ())
+                if a.kind == ATTACK_REFLECTION
+                and a.reflector_protocol == event.protocol
+                and a.start <= event.end_ts and event.start_ts <= a.end
+            ]
+            if len(matches) != 1:
+                continue  # merged attacks distort rates; skip
+            checked += 1
+            truth = matches[0].rate
+            if 0.3 * truth <= event.avg_rps <= 3.0 * truth:
+                within += 1
+        assert checked > 50
+        assert within / checked > 0.8
+
+    def test_durations_capped(self, sim):
+        assert all(e.duration <= 86400.0 + 1 for e in sim.honeypot_events)
+
+    def test_scanner_victims_never_become_events(self, sim):
+        """Honeypot scanner noise sources live outside allocated space and
+        must never pass the 100-request threshold."""
+        truth_targets = {a.target for a in sim.ground_truth}
+        for event in sim.honeypot_events:
+            assert event.victim in truth_targets

@@ -1,0 +1,108 @@
+"""Unit tests for multi-source fusion and joint-attack detection."""
+
+import pytest
+
+from repro.core.events import AttackDataset, AttackEvent, SOURCE_HONEYPOT, SOURCE_TELESCOPE
+from repro.core.fusion import FusedDataset
+from repro.net.packet import PROTO_TCP, PROTO_UDP
+
+
+def tel(target, start, end, ports=(80,), proto=PROTO_TCP, asn=None, country="US"):
+    return AttackEvent(
+        SOURCE_TELESCOPE, target, start, end, 1.0, ip_proto=proto,
+        ports=ports, country=country, asn=asn,
+    )
+
+
+def hp(target, start, end, protocol="NTP"):
+    return AttackEvent(
+        SOURCE_HONEYPOT, target, start, end, 10.0,
+        reflector_protocol=protocol,
+    )
+
+
+def fused(tel_events, hp_events):
+    return FusedDataset(
+        AttackDataset(tel_events, "Network Telescope"),
+        AttackDataset(hp_events, "Amplification Honeypot"),
+    )
+
+
+class TestSummary:
+    def test_three_rows(self):
+        dataset = fused([tel(1, 0, 10)], [hp(2, 0, 10)])
+        rows = dataset.summary_rows()
+        assert [r["source"] for r in rows] == [
+            "Network Telescope", "Amplification Honeypot", "Combined"
+        ]
+        assert rows[2]["events"] == 2
+        assert rows[2]["targets"] == 2
+
+    def test_combined_targets_not_double_counted(self):
+        dataset = fused([tel(1, 0, 10)], [hp(1, 100, 110)])
+        assert dataset.summary_rows()[2]["targets"] == 1
+
+
+class TestSharedAndJoint:
+    def test_shared_targets(self):
+        dataset = fused(
+            [tel(1, 0, 10), tel(2, 0, 10)],
+            [hp(1, 5000, 5010), hp(3, 0, 10)],
+        )
+        assert dataset.shared_targets() == {1}
+
+    def test_shared_but_not_joint(self):
+        dataset = fused([tel(1, 0, 10)], [hp(1, 5000, 5010)])
+        assert dataset.shared_targets() == {1}
+        assert dataset.joint_targets() == set()
+
+    def test_joint_when_overlapping(self):
+        dataset = fused([tel(1, 0, 100)], [hp(1, 50, 150)])
+        joints = dataset.joint_attacks()
+        assert len(joints) == 1
+        assert joints[0].target == 1
+
+    def test_touching_intervals_are_joint(self):
+        dataset = fused([tel(1, 0, 100)], [hp(1, 100, 200)])
+        assert len(dataset.joint_attacks()) == 1
+
+    def test_multiple_overlaps_counted_per_pair(self):
+        dataset = fused(
+            [tel(1, 0, 100), tel(1, 60, 160)],
+            [hp(1, 50, 150)],
+        )
+        assert len(dataset.joint_attacks()) == 2
+        assert dataset.joint_targets() == {1}
+
+    def test_different_targets_never_joint(self):
+        dataset = fused([tel(1, 0, 100)], [hp(2, 0, 100)])
+        assert dataset.joint_attacks() == []
+
+
+class TestJointAnalysis:
+    def test_analysis_shapes(self):
+        tel_events = [
+            tel(1, 0, 100, ports=(27015,), proto=PROTO_UDP, asn=16276, country="FR"),
+            tel(2, 0, 100, ports=(80,), proto=PROTO_TCP, asn=4134, country="CN"),
+            tel(3, 0, 100, ports=(80, 443), proto=PROTO_TCP, asn=4134, country="CN"),
+        ]
+        hp_events = [
+            hp(1, 50, 150, "NTP"),
+            hp(2, 50, 150, "NTP"),
+            hp(3, 50, 150, "DNS"),
+        ]
+        analysis = fused(tel_events, hp_events).joint_analysis()
+        assert analysis.n_joint_targets == 3
+        assert analysis.n_shared_targets == 3
+        assert analysis.single_port_fraction == pytest.approx(2 / 3)
+        assert analysis.udp_27015_fraction == 1.0
+        assert analysis.tcp_http_fraction == 1.0
+        assert analysis.reflection_protocol_shares["NTP"] == pytest.approx(2 / 3)
+        top_asns = dict(analysis.top_asns)
+        assert top_asns[4134] == pytest.approx(2 / 3)
+
+    def test_analysis_with_no_joints(self):
+        analysis = fused([tel(1, 0, 10)], [hp(2, 0, 10)]).joint_analysis()
+        assert analysis.n_joint_targets == 0
+        assert analysis.single_port_fraction == 0.0
+        assert analysis.reflection_protocol_shares == {}

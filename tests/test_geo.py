@@ -1,0 +1,83 @@
+"""Unit tests for the geolocation database."""
+
+import pytest
+
+from repro.net.addressing import Prefix, parse_ipv4
+from repro.net.geo import GeoDatabase, GeoRange, UNKNOWN_COUNTRY
+
+
+@pytest.fixture
+def db():
+    return GeoDatabase(
+        [
+            GeoRange(parse_ipv4("10.0.0.0"), parse_ipv4("10.0.255.255"), "US"),
+            GeoRange(parse_ipv4("10.2.0.0"), parse_ipv4("10.2.0.255"), "DE"),
+        ]
+    )
+
+
+class TestLookup:
+    def test_inside_first_range(self, db):
+        assert db.country(parse_ipv4("10.0.3.4")) == "US"
+
+    def test_inside_second_range(self, db):
+        assert db.country(parse_ipv4("10.2.0.200")) == "DE"
+
+    def test_boundaries_inclusive(self, db):
+        assert db.country(parse_ipv4("10.0.0.0")) == "US"
+        assert db.country(parse_ipv4("10.0.255.255")) == "US"
+
+    def test_gap_is_unknown(self, db):
+        assert db.country(parse_ipv4("10.1.0.1")) == UNKNOWN_COUNTRY
+
+    def test_before_all_ranges(self, db):
+        assert db.country(parse_ipv4("9.255.255.255")) == UNKNOWN_COUNTRY
+
+    def test_after_all_ranges(self, db):
+        assert db.country(parse_ipv4("10.2.1.0")) == UNKNOWN_COUNTRY
+
+    def test_range_for(self, db):
+        geo_range = db.range_for(parse_ipv4("10.2.0.5"))
+        assert geo_range.country == "DE"
+        assert db.range_for(parse_ipv4("10.1.0.0")) is None
+
+
+class TestConstruction:
+    def test_rejects_overlapping_ranges(self):
+        with pytest.raises(ValueError):
+            GeoDatabase(
+                [
+                    GeoRange(0, 100, "US"),
+                    GeoRange(50, 150, "DE"),
+                ]
+            )
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            GeoRange(100, 50, "US")
+
+    def test_from_prefixes_merges_adjacent_same_country(self):
+        db = GeoDatabase.from_prefixes(
+            [
+                (Prefix.from_string("10.0.0.0/24"), "US"),
+                (Prefix.from_string("10.0.1.0/24"), "US"),
+                (Prefix.from_string("10.0.2.0/24"), "FR"),
+            ]
+        )
+        assert len(db) == 2
+        assert db.country(parse_ipv4("10.0.1.5")) == "US"
+        assert db.country(parse_ipv4("10.0.2.5")) == "FR"
+
+    def test_from_prefixes_rejects_non_prefix(self):
+        with pytest.raises(TypeError):
+            GeoDatabase.from_prefixes([("10.0.0.0/24", "US")])
+
+
+class TestAggregates:
+    def test_countries_totals(self, db):
+        totals = db.countries()
+        assert totals["US"] == 65536
+        assert totals["DE"] == 256
+
+    def test_coverage(self, db):
+        assert db.coverage() == 65536 + 256

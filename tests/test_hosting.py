@@ -1,0 +1,101 @@
+"""Unit tests for the hosting ecosystem."""
+
+import random
+
+import pytest
+
+from repro.internet.hosting import (
+    HostingConfig,
+    HostingEcosystem,
+    TIER_GIANT,
+)
+from repro.internet.topology import InternetTopology, TopologyConfig
+
+
+@pytest.fixture(scope="module")
+def world():
+    topology = InternetTopology.generate(TopologyConfig(seed=21, n_ases=80))
+    ecosystem = HostingEcosystem.generate(topology, HostingConfig(seed=22))
+    return topology, ecosystem
+
+
+class TestGeneration:
+    def test_named_platforms_exist(self, world):
+        _, ecosystem = world
+        for name in ("GoDaddy", "Wix", "Squarespace", "OVH", "eNom"):
+            assert ecosystem.hoster_by_name(name) is not None
+
+    def test_wix_hosts_in_aws_space(self, world):
+        topology, ecosystem = world
+        wix = ecosystem.hoster_by_name("Wix")
+        aws = topology.as_by_name("Amazon AWS")
+        assert wix.hosted_in == "Amazon AWS"
+        assert wix.cname_suffix  # only identifiable via CNAME
+        for ip in wix.ips:
+            assert topology.routing.origin_asn(ip) == aws.asn
+
+    def test_native_platform_in_own_space(self, world):
+        topology, ecosystem = world
+        godaddy = ecosystem.hoster_by_name("GoDaddy")
+        assert godaddy.cname_suffix is None
+        home = topology.as_by_name("GoDaddy")
+        for ip in godaddy.ips:
+            assert topology.routing.origin_asn(ip) == home.asn
+
+    def test_giant_tier_pool_and_skew(self, world):
+        _, ecosystem = world
+        godaddy = ecosystem.hoster_by_name("GoDaddy")
+        assert godaddy.tier == TIER_GIANT
+        # Zipf load: the head of the pool carries far more than the tail.
+        weights = godaddy.ip_weights()
+        assert weights[0] > 10 * weights[-1]
+
+    def test_anonymous_hosters_generated(self, world):
+        _, ecosystem = world
+        anonymous = [h for h in ecosystem.hosters if h.name.startswith("hoster")]
+        assert anonymous
+
+    def test_all_hosters_have_ns_and_mail(self, world):
+        _, ecosystem = world
+        for hoster in ecosystem.hosters:
+            assert hoster.ns_names
+            assert hoster.mail_ips
+
+
+class TestPlacement:
+    def test_choose_placement_mixes_self_and_hosted(self, world):
+        _, ecosystem = world
+        rng = random.Random(1)
+        picks = [ecosystem.choose_placement(rng) for _ in range(600)]
+        self_hosted = sum(1 for p in picks if p is None)
+        assert 0 < self_hosted < 600
+
+    def test_giants_attract_more_domains_than_small(self, world):
+        _, ecosystem = world
+        rng = random.Random(2)
+        counts = {}
+        for _ in range(3000):
+            hoster = ecosystem.choose_placement(rng)
+            if hoster is not None:
+                counts[hoster.tier] = counts.get(hoster.tier, 0) + 1
+        assert counts[TIER_GIANT] == max(counts.values())
+
+    def test_self_hosted_ips_unique(self, world):
+        _, ecosystem = world
+        rng = random.Random(3)
+        ips = [ecosystem.allocate_self_hosted_ip(rng) for _ in range(300)]
+        assert len(set(ips)) == 300
+
+    def test_self_hosted_ips_in_isp_space(self, world):
+        topology, ecosystem = world
+        rng = random.Random(4)
+        ip = ecosystem.allocate_self_hosted_ip(rng)
+        asn = topology.routing.origin_asn(ip)
+        autonomous_system = topology.as_by_asn(asn)
+        assert autonomous_system.kind in ("isp", "enterprise")
+
+    def test_all_hosting_ips_cover_every_hoster(self, world):
+        _, ecosystem = world
+        ips = set(ecosystem.all_hosting_ips())
+        for hoster in ecosystem.hosters:
+            assert set(hoster.ips) <= ips

@@ -1,0 +1,126 @@
+"""Unit tests for the mail/DNS infrastructure impact analyses."""
+
+import pytest
+
+from repro.core.events import AttackEvent, SOURCE_TELESCOPE
+from repro.core.infra import (
+    build_infra_index,
+    dns_impact,
+    infrastructure_impact,
+    mail_impact,
+    shared_fate_domains,
+)
+from repro.core.webmap import WebHostingIndex
+
+DAY = 86400.0
+
+MAIL_IP = 1000
+NS_IP = 2000
+WEB_IP = 3000
+
+
+def event(target, day=0):
+    start = day * DAY + 10.0
+    return AttackEvent(SOURCE_TELESCOPE, target, start, start + 60.0, 1.0)
+
+
+MAIL_INTERVALS = [
+    ("a.com", MAIL_IP, 0, 30),
+    ("b.com", MAIL_IP, 0, 30),
+    ("c.com", 1001, 0, 30),
+]
+
+NS_INTERVALS = [
+    ("a.com", NS_IP, 0, 30),
+    ("b.com", 2001, 0, 30),
+]
+
+WEB_INTERVALS = [
+    ("www.a.com", WEB_IP, 0, 30),
+    ("www.b.com", WEB_IP, 0, 30),
+]
+
+
+class TestImpact:
+    def test_mail_impact(self):
+        impact = mail_impact([event(MAIL_IP)], MAIL_INTERVALS)
+        assert impact.label == "mail"
+        assert impact.attacked_infrastructure_ips == 1
+        assert impact.affected_domains == 2  # a.com and b.com share the MX
+        assert impact.total_domains == 3
+        assert impact.affected_fraction == pytest.approx(2 / 3)
+
+    def test_dns_impact(self):
+        impact = dns_impact([event(NS_IP)], NS_INTERVALS)
+        assert impact.affected_domains == 1
+        assert impact.total_domains == 2
+
+    def test_no_impact_when_target_not_infrastructure(self):
+        impact = mail_impact([event(9999)], MAIL_INTERVALS)
+        assert impact.affected_domains == 0
+        assert impact.events_with_impact == 0
+
+    def test_attack_outside_interval_no_impact(self):
+        impact = mail_impact([event(MAIL_IP, day=40)], MAIL_INTERVALS)
+        assert impact.affected_domains == 0
+
+    def test_events_with_impact_counts_events(self):
+        impact = mail_impact(
+            [event(MAIL_IP, 0), event(MAIL_IP, 1), event(9999, 2)],
+            MAIL_INTERVALS,
+        )
+        assert impact.events_with_impact == 2
+
+    def test_empty_intervals(self):
+        impact = infrastructure_impact([event(1)], [], "empty")
+        assert impact.total_domains == 0
+        assert impact.affected_fraction == 0.0
+
+
+class TestSharedFate:
+    def test_split_by_exposure(self):
+        web_index = WebHostingIndex(
+            [(d, ip, s, e) for d, ip, s, e in WEB_INTERVALS]
+        )
+        events = [event(WEB_IP), event(NS_IP)]
+        fate = shared_fate_domains(events, web_index, NS_INTERVALS)
+        # a.com: web (shared IP) and dns (its NS was hit) -> both.
+        # b.com: web only (its NS 2001 was not attacked).
+        assert fate["both"] == {"a.com"}
+        assert fate["web"] == {"b.com"}
+        assert fate["dns"] == set()
+
+    def test_dns_only_exposure(self):
+        web_index = WebHostingIndex(WEB_INTERVALS)
+        fate = shared_fate_domains([event(NS_IP)], web_index, NS_INTERVALS)
+        assert fate["dns"] == {"a.com"}
+        assert fate["web"] == set()
+        assert fate["both"] == set()
+
+
+class TestEndToEnd:
+    def test_pipeline_produces_infra_intervals(self, sim):
+        assert sim.openintel.mail_intervals
+        assert sim.openintel.ns_intervals
+        assert len(sim.ns_directory) > 0
+
+    def test_ns_intervals_resolve_through_directory(self, sim):
+        addresses = set(sim.ns_directory.addresses())
+        sampled = sim.openintel.ns_intervals[:200]
+        assert all(ip in addresses for _, ip, _, _ in sampled)
+
+    def test_mail_impact_on_simulation(self, sim):
+        impact = mail_impact(
+            sim.fused.combined.events, sim.openintel.mail_intervals
+        )
+        # Mail infrastructure is attacked (GoDaddy-style MX clusters).
+        assert impact.attacked_infrastructure_ips > 0
+        assert 0 < impact.affected_domains <= impact.total_domains
+
+    def test_dns_impact_on_simulation(self, sim):
+        impact = dns_impact(
+            sim.fused.combined.events, sim.openintel.ns_intervals
+        )
+        assert impact.attacked_infrastructure_ips > 0
+        # A single NS pair serves many domains: impact amplifies.
+        assert impact.affected_domains > impact.attacked_infrastructure_ips

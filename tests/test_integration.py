@@ -1,0 +1,313 @@
+"""End-to-end integration tests: the paper's qualitative results.
+
+These run against one shared small-scenario simulation (see conftest) and
+assert the *shapes* the paper reports — who wins, by roughly what factor —
+rather than absolute numbers, since the scenario is a scaled-down synthetic
+Internet.
+"""
+
+import pytest
+
+from repro.core.cohosting import cohosting_bins, is_monotone_decreasing_tail
+from repro.core.distributions import (
+    duration_cdf,
+    intensity_cdf,
+    per_protocol_intensity_cdfs,
+)
+from repro.core.intensity import IntensityModel, intensity_percentile_table
+from repro.core.migration import MigrationAnalysis
+from repro.core.ports import (
+    port_cardinality,
+    service_table,
+    web_infrastructure_share,
+    web_port_comparison,
+)
+from repro.core.rankings import (
+    country_rank_of,
+    country_ranking,
+    ip_protocol_distribution,
+    reflection_protocol_distribution,
+)
+from repro.core.taxonomy import classify_sites, taxonomy_counts
+from repro.core.timeseries import figure1_series
+from repro.core.webmap import WebImpactAnalysis, sites_alive_per_day
+from repro.net.packet import PROTO_TCP, PROTO_UDP
+
+
+@pytest.fixture(scope="module")
+def analysis(sim):
+    """Shared derived analyses over the session simulation."""
+    impact = WebImpactAnalysis(sim.web_index)
+    histories = impact.site_histories(sim.fused.combined.events)
+    first_attack = {d: h.first_attack_day() for d, h in histories.items()}
+    dps_first = sim.dps_usage.first_day_by_domain()
+    model = IntensityModel(sim.fused.combined.events)
+    return {
+        "impact": impact,
+        "histories": histories,
+        "first_attack": first_attack,
+        "dps_first": dps_first,
+        "model": model,
+        "taxonomy": taxonomy_counts(
+            classify_sites(sim.openintel.first_seen, first_attack, dps_first)
+        ),
+        "migration": MigrationAnalysis(histories, dps_first, model),
+    }
+
+
+class TestTable1Shapes:
+    def test_both_sources_detect_events(self, sim):
+        rows = sim.fused.summary_rows()
+        assert rows[0]["events"] > 100
+        assert rows[1]["events"] > 100
+
+    def test_combined_counts_consistent(self, sim):
+        rows = {r["source"]: r for r in sim.fused.summary_rows()}
+        combined = rows["Combined"]
+        tel = rows["Network Telescope"]
+        hp = rows["Amplification Honeypot"]
+        assert combined["events"] == tel["events"] + hp["events"]
+        assert combined["targets"] <= tel["targets"] + hp["targets"]
+        assert combined["targets"] >= max(tel["targets"], hp["targets"])
+
+    def test_telescope_has_more_followup_per_target(self, sim):
+        """Paper: fewer events per target IP in the honeypot data."""
+        assert (
+            sim.fused.telescope.events_per_target()
+            > sim.fused.honeypot.events_per_target()
+        )
+
+    def test_rollup_hierarchy(self, sim):
+        for dataset in (sim.fused.telescope, sim.fused.honeypot):
+            assert (
+                len(dataset.unique_targets())
+                >= len(dataset.unique_slash24s())
+                >= len(dataset.unique_slash16s())
+                >= 1
+            )
+
+    def test_detection_misses_some_ground_truth(self, sim):
+        """Observation is lossy: filters and blind spots remove events."""
+        assert len(sim.fused.combined) < len(sim.ground_truth)
+
+    def test_active_network_fraction_positive(self, sim):
+        fraction = sim.census.attacked_fraction(
+            sim.fused.combined.unique_slash24s()
+        )
+        assert fraction > 0.005
+
+
+class TestSection4Shapes:
+    def test_tcp_dominates_telescope(self, sim):
+        dist = ip_protocol_distribution(sim.fused.telescope)
+        assert dist["TCP"] > 0.70
+        assert dist["TCP"] > dist.get("UDP", 0) > dist.get("ICMP", 0)
+
+    def test_ntp_leads_reflection(self, sim):
+        entries = reflection_protocol_distribution(sim.fused.honeypot)
+        assert entries[0].key == "NTP"
+        assert 0.30 < entries[0].share < 0.60
+        top3 = [e.key for e in entries[:3]]
+        assert set(top3) == {"NTP", "DNS", "CharGen"}
+
+    def test_us_and_china_lead_both_rankings(self, sim):
+        for dataset in (sim.fused.telescope, sim.fused.honeypot):
+            ranking = country_ranking(dataset, top_n=5)
+            assert ranking[0].key == "US"
+            assert "CN" in [e.key for e in ranking[:3]]
+
+    def test_japan_underrepresented(self, sim):
+        """Japan holds ~6 % of address space but ranks far lower here."""
+        rank = country_rank_of(sim.fused.combined, "JP")
+        assert rank is None or rank > 5
+
+    def test_single_port_majority(self, sim):
+        cardinality = port_cardinality(sim.fused.telescope)
+        assert 0.5 < cardinality.single_fraction < 0.75
+
+    def test_http_leads_tcp_services(self, sim):
+        table = service_table(sim.fused.telescope, PROTO_TCP)
+        assert table[0].key == "HTTP"
+        assert table[0].share > 0.35
+        assert table[1].key == "HTTPS"
+
+    def test_game_port_leads_udp(self, sim):
+        table = service_table(sim.fused.telescope, PROTO_UDP)
+        assert table[0].key == "27015"
+
+    def test_web_ports_are_two_thirds_of_tcp(self, sim):
+        share = web_infrastructure_share(sim.fused.telescope)
+        assert 0.55 < share < 0.85
+
+    def test_web_attacks_more_intense_but_shorter(self, sim):
+        comparison = web_port_comparison(sim.fused.telescope)
+        assert comparison.web_more_intense
+        assert comparison.web_shorter
+
+    def test_durations_minutes_to_hours(self, sim):
+        tel = duration_cdf(sim.fused.telescope)
+        hp = duration_cdf(sim.fused.honeypot)
+        assert 120 < tel.median < 1800
+        assert 60 < hp.median < 1200
+        # Randomly spoofed attacks last longer (paper Section 4).
+        assert tel.median > hp.median
+
+    def test_intensity_distributions(self, sim):
+        tel = intensity_cdf(sim.fused.telescope)
+        # Majority of attacks produce only a few pps at the telescope.
+        assert tel.fraction_at_or_below(10.0) > 0.5
+        assert tel.mean > tel.median  # heavy tail
+
+    def test_per_protocol_intensities(self, sim):
+        cdfs = per_protocol_intensity_cdfs(sim.fused.honeypot)
+        assert "Overall" in cdfs and "NTP" in cdfs
+        assert cdfs["NTP"].mean > cdfs["Overall"].median
+
+    def test_daily_series_track_events(self, sim):
+        panels = figure1_series(sim.fused, sim.n_days)
+        assert panels["combined"].attacks.sum() == len(sim.fused.combined)
+        assert (
+            panels["combined"].attacks.sum()
+            == panels["telescope"].attacks.sum()
+            + panels["honeypot"].attacks.sum()
+        )
+        assert (panels["combined"].unique_targets
+                <= panels["combined"].attacks).all()
+
+    def test_medium_plus_attacks_are_minority(self, sim):
+        model = IntensityModel(sim.fused.combined.events)
+        medium = model.medium_plus(sim.fused.combined.events)
+        assert 0 < len(medium) < 0.4 * len(sim.fused.combined)
+
+
+class TestJointAttacks:
+    def test_joint_targets_subset_of_shared(self, sim):
+        joint = sim.fused.joint_targets()
+        shared = sim.fused.shared_targets()
+        assert joint <= shared
+        assert len(joint) > 0
+
+    def test_joint_attacks_more_single_port(self, sim):
+        analysis = sim.fused.joint_analysis()
+        overall = port_cardinality(sim.fused.telescope).single_fraction
+        assert analysis.single_port_fraction > overall
+
+    def test_joint_udp_favours_game_port(self, sim):
+        analysis = sim.fused.joint_analysis()
+        assert analysis.udp_27015_fraction > 0.3
+
+    def test_ntp_gains_among_joint(self, sim):
+        analysis = sim.fused.joint_analysis()
+        entries = reflection_protocol_distribution(sim.fused.honeypot)
+        overall_ntp = next(e.share for e in entries if e.key == "NTP")
+        assert analysis.reflection_protocol_shares.get("NTP", 0) > overall_ntp
+
+
+class TestSection5Shapes:
+    def test_majority_of_sites_attacked_over_window(self, sim, analysis):
+        counts = analysis["taxonomy"]
+        assert 0.45 < counts.attacked_fraction < 0.85  # paper: 64 %
+
+    def test_daily_affected_share(self, sim, analysis):
+        alive = sites_alive_per_day(sim.openintel.first_seen, sim.n_days)
+        _, fractions = analysis["impact"].daily_affected(
+            sim.fused.combined.events, sim.n_days, alive
+        )
+        assert 0.005 < fractions.mean() < 0.35  # paper: ~3 % daily
+        assert fractions.max() < 0.6
+
+    def test_cohosting_histogram_shape(self, sim, analysis):
+        associations = analysis["impact"].associate(sim.fused.combined.events)
+        bins = cohosting_bins(associations)
+        populated = [b for b in bins if b.target_ips > 0]
+        assert len(populated) >= 3
+        assert bins[0].target_ips > 0  # single-site IPs exist
+        assert is_monotone_decreasing_tail(bins, tolerance=5)
+
+    def test_minority_of_targets_host_web(self, sim, analysis):
+        associations = analysis["impact"].associate(sim.fused.combined.events)
+        hosting = {a.event.target for a in associations if a.site_count > 0}
+        all_targets = sim.fused.combined.unique_targets()
+        assert 0.05 < len(hosting) / len(all_targets) < 0.7
+
+
+class TestSection6Shapes:
+    def test_taxonomy_fractions(self, analysis):
+        counts = analysis["taxonomy"]
+        # ~4.3 % of attacked sites migrate in the paper.
+        assert 0.015 < counts.attacked_migrating_fraction < 0.10
+        # Preexisting customers concentrate in the attacked branch.
+        assert (
+            counts.attacked_preexisting_fraction
+            > counts.unattacked_preexisting_fraction
+        )
+        # Some never-attacked sites still adopt protection.
+        assert counts.unattacked_migrating_fraction > 0
+
+    def test_protection_more_common_among_attacked(self, analysis):
+        counts = analysis["taxonomy"]
+        assert (
+            counts.attacked_protected_fraction
+            > counts.unattacked_protected_fraction
+        )
+
+    def test_repetition_not_determining(self, analysis):
+        all_over, migrating_over = analysis["migration"].repetition_effect()
+        # The migrating population is not *more* repeat-attacked in any
+        # decisive way (paper: 2.17 % vs 7.65 % beyond five attacks).
+        assert migrating_over < all_over + 0.25
+
+    def test_intensity_accelerates_migration(self, analysis):
+        migration = analysis["migration"]
+        within_all = migration.migration_within(6)
+        within_top = migration.migration_within(6, top_fraction=0.05)
+        assert within_top > within_all
+
+    def test_top_intensity_mostly_next_day(self, analysis):
+        migration = analysis["migration"]
+        assert (
+            migration.migration_within(1, top_fraction=0.05)
+            > migration.migration_within(1)
+        )
+
+    def test_long_attacks_fast_migration(self, analysis):
+        cdf = analysis["migration"].delay_cdf_long_attacks()
+        # Paper: 67.6 % within one day, 76 % within five days.
+        assert cdf.fraction_at_or_below(1) > 0.4
+        assert cdf.fraction_at_or_below(5) > 0.6
+
+    def test_table9_shape(self, analysis):
+        model = analysis["model"]
+        site_intensity = {
+            domain: max(model.normalized(e) for e in history.events)
+            for domain, history in analysis["histories"].items()
+        }
+        rows = intensity_percentile_table(site_intensity.values())
+        values = [v for _, v in rows]
+        assert values == sorted(values)
+        assert values[0] < 0.05  # 11.1th percentile effectively zero
+        assert values[-1] <= 1.0
+
+    def test_detection_agrees_with_ledger(self, sim):
+        """DNS-based detection rediscovers the behavioural ground truth."""
+        detected = sim.dps_usage.first_day_by_domain()
+        for record in sim.ledger.migrations:
+            assert record.domain in detected
+            assert detected[record.domain] <= record.migration_day
+        preexisting = {name for name, _ in sim.ledger.preexisting}
+        assert preexisting <= set(detected)
+
+    def test_table3_counts_cover_providers(self, sim):
+        counts = sim.dps_usage.provider_site_counts()
+        assert counts.get("Neustar", 0) > counts.get("Level3", 0)
+        assert sum(counts.values()) >= len(sim.ledger.preexisting)
+
+
+class TestDeterminism:
+    def test_same_config_same_result(self, sim, small_config):
+        from repro.pipeline.simulation import run_simulation
+
+        again = run_simulation(small_config)
+        assert len(again.ground_truth) == len(sim.ground_truth)
+        assert again.fused.summary_rows() == sim.fused.summary_rows()
+        assert len(again.ledger.migrations) == len(sim.ledger.migrations)

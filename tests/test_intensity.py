@@ -1,0 +1,100 @@
+"""Unit tests for intensity normalization and thresholds."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.events import AttackEvent, SOURCE_HONEYPOT, SOURCE_TELESCOPE
+from repro.core.intensity import (
+    IntensityModel,
+    intensity_percentile_table,
+    top_fraction_threshold,
+)
+
+
+def tel(intensity):
+    return AttackEvent(SOURCE_TELESCOPE, 1, 0.0, 60.0, intensity)
+
+
+def hp(intensity):
+    return AttackEvent(
+        SOURCE_HONEYPOT, 1, 0.0, 60.0, intensity, reflector_protocol="NTP"
+    )
+
+
+class TestIntensityModel:
+    def test_normalization_per_source(self):
+        model = IntensityModel([tel(1.0), tel(101.0), hp(10.0), hp(20.0)])
+        assert model.normalized(tel(1.0)) == 0.0
+        assert model.normalized(tel(101.0)) == 1.0
+        assert model.normalized(tel(51.0)) == pytest.approx(0.5)
+        assert model.normalized(hp(15.0)) == pytest.approx(0.5)
+
+    def test_values_clamped(self):
+        model = IntensityModel([tel(10.0), tel(20.0)])
+        assert model.normalized(tel(5.0)) == 0.0
+        assert model.normalized(tel(100.0)) == 1.0
+
+    def test_degenerate_scale(self):
+        model = IntensityModel([tel(5.0), tel(5.0)])
+        assert model.normalized(tel(5.0)) == 0.0
+
+    def test_medium_threshold_is_mean(self):
+        events = [tel(1.0), tel(1.0), tel(10.0)]  # mean 4.0
+        model = IntensityModel(events)
+        assert not model.is_medium_or_higher(tel(3.9))
+        assert model.is_medium_or_higher(tel(4.0))
+
+    def test_medium_plus_filters_per_source(self):
+        events = [tel(1.0), tel(100.0), hp(1.0), hp(9.0)]
+        model = IntensityModel(events)
+        kept = model.medium_plus(events)
+        assert tel(100.0) in kept
+        assert hp(9.0) in kept
+        assert len(kept) == 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            IntensityModel([])
+
+
+class TestPercentileTable:
+    def test_monotone_rows(self):
+        values = [0.0] * 10 + [0.05] * 80 + [0.5] * 9 + [1.0]
+        rows = intensity_percentile_table(values)
+        intensities = [v for _, v in rows]
+        assert intensities == sorted(intensities)
+        assert rows[-1][1] == 1.0
+
+    def test_heavy_skew_shape(self):
+        """Most sites see tiny normalized intensities (Table 9's shape)."""
+        values = [0.01] * 950 + [0.5] * 45 + [1.0] * 5
+        rows = dict(intensity_percentile_table(values))
+        assert rows[95.0] <= 0.1
+
+    def test_empty(self):
+        assert intensity_percentile_table([]) == []
+
+
+class TestTopFraction:
+    def test_threshold_selects_top(self):
+        values = list(range(100))
+        threshold = top_fraction_threshold(values, 0.1)
+        assert 88 <= threshold <= 91
+        assert sum(1 for v in values if v >= threshold) == pytest.approx(10, abs=2)
+
+    def test_full_fraction(self):
+        assert top_fraction_threshold([1, 2, 3], 1.0) == 1.0
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            top_fraction_threshold([1], 0.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            top_fraction_threshold([], 0.5)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1), min_size=5, max_size=50),
+           st.floats(min_value=0.05, max_value=1.0))
+    def test_threshold_within_range(self, values, fraction):
+        threshold = top_fraction_threshold(values, fraction)
+        assert min(values) <= threshold <= max(values)

@@ -1,0 +1,212 @@
+"""Unit tests for the behavioural migration simulator."""
+
+import pytest
+
+from repro.attacks.attacker import ATTACK_DIRECT, ATTACK_REFLECTION, GroundTruthAttack
+from repro.dns.zone import ZoneConfig, ZoneGenerator
+from repro.dps.detection import BGPDiversionLog
+from repro.dps.migration_sim import (
+    HosterStoryline,
+    MigrationConfig,
+    MigrationSimulator,
+)
+from repro.dps.providers import build_providers
+from repro.internet.hosting import HostingConfig, HostingEcosystem
+from repro.internet.topology import InternetTopology, TopologyConfig
+from repro.net.packet import PROTO_TCP
+
+N_DAYS = 60
+
+
+@pytest.fixture
+def world():
+    topology = InternetTopology.generate(TopologyConfig(seed=81, n_ases=50))
+    ecosystem = HostingEcosystem.generate(topology, HostingConfig(seed=82))
+    generator = ZoneGenerator(
+        ecosystem, ZoneConfig(seed=83, n_domains=800, n_days=N_DAYS)
+    )
+    zones = generator.generate()
+    providers = build_providers(topology)
+    return topology, ecosystem, zones, providers
+
+
+def direct(target, start_day, rate=500.0, duration=600.0, attack_id=1):
+    return GroundTruthAttack(
+        attack_id=attack_id, kind=ATTACK_DIRECT, target=target,
+        start=start_day * 86400.0, duration=duration, rate=rate,
+        vector="syn-flood", ip_proto=PROTO_TCP, ports=(80,),
+    )
+
+
+class TestPreexisting:
+    def test_preexisting_assigned_by_tier(self, world):
+        _, ecosystem, zones, providers = world
+        simulator = MigrationSimulator(
+            zones, providers, ecosystem,
+            MigrationConfig(seed=1, ambient_migration_prob=0.0),
+        )
+        ledger = simulator.run([], N_DAYS)
+        assert ledger.preexisting
+        assert not ledger.migrations
+        protected = {name for name, _ in ledger.preexisting}
+        for zone in zones:
+            for domain in zone.domains:
+                if domain.www_name in protected:
+                    assert domain.states()[0].dps_provider is not None
+
+    def test_no_preexisting_when_disabled(self, world):
+        _, ecosystem, zones, providers = world
+        config = MigrationConfig(
+            seed=1,
+            preexisting_by_tier={},
+        )
+        ledger = MigrationSimulator(
+            zones, providers, ecosystem, config
+        ).run([], N_DAYS)
+        assert ledger.preexisting == []
+
+
+class TestAttackTriggeredMigration:
+    def test_attacked_self_hosted_domain_migrates(self, world):
+        _, ecosystem, zones, providers = world
+        # Find a self-hosted web domain.
+        target_domain = next(
+            d
+            for zone in zones
+            for d in zone.domains
+            if d.has_www and d.states()[0].hoster is None
+        )
+        ip = target_domain.states()[0].ip
+        config = MigrationConfig(
+            seed=2,
+            preexisting_by_tier={},
+            migrate_prob_self_hosted=1.0,
+            straggler_probability=0.0,
+        )
+        simulator = MigrationSimulator(zones, providers, ecosystem, config)
+        ledger = simulator.run([direct(ip, start_day=10)], N_DAYS)
+        records = [m for m in ledger.migrations if m.domain == target_domain.www_name]
+        assert len(records) == 1
+        record = records[0]
+        assert record.trigger_day == 10
+        assert record.migration_day > 10
+        assert target_domain.first_dps_day(N_DAYS) == record.migration_day
+
+    def test_unattacked_domains_do_not_migrate(self, world):
+        _, ecosystem, zones, providers = world
+        config = MigrationConfig(
+            seed=3, preexisting_by_tier={}, migrate_prob_self_hosted=1.0,
+            migrate_prob_shared=1.0, ambient_migration_prob=0.0,
+        )
+        ledger = MigrationSimulator(
+            zones, providers, ecosystem, config
+        ).run([], N_DAYS)
+        assert ledger.migrations == []
+
+    def test_migration_near_window_end_dropped(self, world):
+        _, ecosystem, zones, providers = world
+        target_domain = next(
+            d
+            for zone in zones
+            for d in zone.domains
+            if d.has_www and d.states()[0].hoster is None
+        )
+        ip = target_domain.states()[0].ip
+        config = MigrationConfig(
+            seed=4, preexisting_by_tier={}, migrate_prob_self_hosted=1.0,
+            delay_mu=10.0,  # enormous delays
+        )
+        ledger = MigrationSimulator(
+            zones, providers, ecosystem, config
+        ).run([direct(ip, start_day=N_DAYS - 2)], N_DAYS)
+        assert all(m.migration_day < N_DAYS for m in ledger.migrations)
+
+    def test_intensity_shortens_delay(self, world):
+        """High-rate attacks produce systematically shorter delays."""
+        _, ecosystem, zones, providers = world
+        config = MigrationConfig(
+            seed=5, preexisting_by_tier={}, migrate_prob_self_hosted=1.0,
+            straggler_probability=0.0,
+        )
+        simulator = MigrationSimulator(zones, providers, ecosystem, config)
+        self_hosted = [
+            d
+            for zone in zones
+            for d in zone.domains
+            if d.has_www and d.states()[0].hoster is None
+        ]
+        half = len(self_hosted) // 2
+        attacks = []
+        weak_names, strong_names = set(), set()
+        for index, domain in enumerate(self_hosted[: half * 2]):
+            ip = domain.states()[0].ip
+            if index < half:
+                attacks.append(direct(ip, 5, rate=40.0, attack_id=index + 1))
+                weak_names.add(domain.www_name)
+            else:
+                attacks.append(direct(ip, 5, rate=2e6, attack_id=index + 1))
+                strong_names.add(domain.www_name)
+        ledger = simulator.run(attacks, N_DAYS)
+        weak = [m.delay_days for m in ledger.migrations if m.domain in weak_names]
+        strong = [m.delay_days for m in ledger.migrations if m.domain in strong_names]
+        assert weak and strong
+        assert sum(strong) / len(strong) < sum(weak) / len(weak)
+
+    def test_bgp_provider_records_diversion(self, world):
+        _, ecosystem, zones, providers = world
+        log = BGPDiversionLog()
+        config = MigrationConfig(
+            seed=6, preexisting_by_tier={}, migrate_prob_self_hosted=1.0,
+        )
+        simulator = MigrationSimulator(
+            zones, providers, ecosystem, config, diversion_log=log
+        )
+        self_hosted = [
+            d
+            for zone in zones
+            for d in zone.domains
+            if d.has_www and d.states()[0].hoster is None
+        ]
+        attacks = [
+            direct(d.states()[0].ip, 5, attack_id=i + 1)
+            for i, d in enumerate(self_hosted)
+        ]
+        ledger = simulator.run(attacks, N_DAYS)
+        bgp_migrations = [
+            m for m in ledger.migrations
+            if m.provider in ("CenturyLink", "Level3")
+        ]
+        if bgp_migrations:  # market-share weighted, usually present
+            assert len(log) >= len(bgp_migrations)
+
+
+class TestStorylines:
+    def test_wix_platform_migrates_after_long_attack(self, world):
+        _, ecosystem, zones, providers = world
+        wix = ecosystem.hoster_by_name("Wix")
+        storyline = HosterStoryline("Wix", "Incapsula", 1, 4 * 3600.0, 0.0, "wix")
+        config = MigrationConfig(
+            seed=7, preexisting_by_tier={}, migrate_prob_self_hosted=0.0,
+            migrate_prob_shared=0.0, ambient_migration_prob=0.0,
+            storylines=(storyline,),
+        )
+        simulator = MigrationSimulator(zones, providers, ecosystem, config)
+        trigger = direct(wix.ips[0], 12, duration=5 * 3600.0)
+        ledger = simulator.run([trigger], N_DAYS)
+        assert ledger.migrations
+        assert all(m.provider == "Incapsula" for m in ledger.migrations)
+        assert all(m.migration_day == 13 for m in ledger.migrations)
+        assert all(m.storyline == "wix" for m in ledger.migrations)
+
+    def test_short_attack_does_not_trigger_storyline(self, world):
+        _, ecosystem, zones, providers = world
+        wix = ecosystem.hoster_by_name("Wix")
+        storyline = HosterStoryline("Wix", "Incapsula", 1, 4 * 3600.0, 0.0, "wix")
+        config = MigrationConfig(
+            seed=8, preexisting_by_tier={}, migrate_prob_self_hosted=0.0,
+            migrate_prob_shared=0.0, ambient_migration_prob=0.0,
+            storylines=(storyline,),
+        )
+        simulator = MigrationSimulator(zones, providers, ecosystem, config)
+        ledger = simulator.run([direct(wix.ips[0], 12, duration=600.0)], N_DAYS)
+        assert ledger.migrations == []

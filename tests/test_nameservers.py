@@ -1,0 +1,83 @@
+"""Unit tests for the authoritative name-server directory."""
+
+import pytest
+
+from repro.dns.nameservers import NameServerDirectory, REGISTRAR_NS
+from repro.dps.providers import build_providers
+from repro.internet.hosting import HostingConfig, HostingEcosystem
+from repro.internet.topology import InternetTopology, TopologyConfig
+
+
+@pytest.fixture(scope="module")
+def world():
+    topology = InternetTopology.generate(TopologyConfig(seed=91, n_ases=60))
+    ecosystem = HostingEcosystem.generate(topology, HostingConfig(seed=92))
+    providers = build_providers(topology)
+    return topology, ecosystem, providers
+
+
+@pytest.fixture(scope="module")
+def directory(world):
+    topology, ecosystem, providers = world
+    return NameServerDirectory.build(ecosystem, providers, topology, seed=93)
+
+
+class TestBuild:
+    def test_every_hoster_ns_resolves(self, world, directory):
+        _, ecosystem, _ = world
+        for hoster in ecosystem.hosters:
+            for name in hoster.ns_names:
+                assert directory.resolve(name) is not None
+
+    def test_hoster_ns_in_own_as(self, world, directory):
+        topology, ecosystem, _ = world
+        godaddy = ecosystem.hoster_by_name("GoDaddy")
+        for name in godaddy.ns_names:
+            address = directory.resolve(name)
+            assert topology.routing.origin_asn(address) == godaddy.asn
+
+    def test_provider_ns_on_provider_prefix(self, world, directory):
+        _, _, providers = world
+        for provider in providers:
+            for name in provider.protection_ns():
+                address = directory.resolve(name)
+                assert provider.prefix.contains(address)
+
+    def test_registrar_ns_present(self, directory):
+        for name in REGISTRAR_NS:
+            assert name in directory
+            assert directory.resolve(name) is not None
+
+    def test_unknown_name(self, directory):
+        assert directory.resolve("ns1.nowhere.example") is None
+        assert "ns1.nowhere.example" not in directory
+
+    def test_deterministic(self, world):
+        topology, ecosystem, providers = world
+        a = NameServerDirectory.build(ecosystem, providers, topology, seed=5)
+        b = NameServerDirectory.build(ecosystem, providers, topology, seed=5)
+        assert a.addresses() == b.addresses()
+
+
+class TestLookups:
+    def test_reverse_lookup(self, world, directory):
+        _, ecosystem, _ = world
+        wix = ecosystem.hoster_by_name("Wix")
+        name = wix.ns_names[0]
+        address = directory.resolve(name)
+        assert name in directory.names_at(address)
+
+    def test_names_at_unknown_address(self, directory):
+        assert directory.names_at(12345) == []
+
+    def test_resolve_all_skips_unknown(self, world, directory):
+        _, ecosystem, _ = world
+        godaddy = ecosystem.hoster_by_name("GoDaddy")
+        names = list(godaddy.ns_names) + ["ns9.unknown.example"]
+        addresses = directory.resolve_all(names)
+        assert len(addresses) == len(godaddy.ns_names)
+
+    def test_addresses_sorted_unique(self, directory):
+        addresses = directory.addresses()
+        assert addresses == sorted(set(addresses))
+        assert len(directory) >= len(addresses)

@@ -1,0 +1,129 @@
+"""Unit tests for the OpenINTEL measurement platform substitute."""
+
+import pytest
+
+from repro.dns.openintel import OpenIntelPlatform, records_for
+from repro.dns.records import (
+    DomainTimeline,
+    HostingState,
+    RRTYPE_A,
+    RRTYPE_CNAME,
+    RRTYPE_MX,
+    RRTYPE_NS,
+)
+from repro.dns.zone import Zone
+
+
+def make_zone():
+    zone = Zone("com")
+    plain = DomainTimeline("plain.com", "com", 0, True)
+    plain.set_state(0, HostingState(ip=100, ns=("ns1.x.example",), mx_ip=200))
+    moved = DomainTimeline("moved.com", "com", 0, True)
+    moved.set_state(0, HostingState(ip=101))
+    moved.set_state(10, HostingState(ip=102))
+    late = DomainTimeline("late.com", "com", 15, True)
+    late.set_state(15, HostingState(ip=103))
+    noweb = DomainTimeline("noweb.com", "com", 0, False)
+    noweb.set_state(0, HostingState(ip=104, ns=("ns1.y.example",)))
+    cnamed = DomainTimeline("cnamed.com", "com", 0, True)
+    cnamed.set_state(
+        0, HostingState(ip=105, cname="cnamed.wix.example", hoster="Wix")
+    )
+    zone.domains = [plain, moved, late, noweb, cnamed]
+    return zone
+
+
+@pytest.fixture
+def platform():
+    return OpenIntelPlatform([make_zone()], n_days=30)
+
+
+class TestSnapshot:
+    def test_snapshot_contains_a_records(self, platform):
+        records = list(platform.snapshot(0))
+        a_names = {r.name for r in records if r.rtype == RRTYPE_A}
+        assert "www.plain.com" in a_names
+
+    def test_unregistered_domain_absent(self, platform):
+        names = {r.name for r in platform.snapshot(0)}
+        assert not any("late.com" in n for n in names)
+        names_late = {r.name for r in platform.snapshot(20)}
+        assert "www.late.com" in names_late
+
+    def test_hosting_change_visible(self, platform):
+        def www_ip(day):
+            for record in platform.snapshot(day):
+                if record.name == "www.moved.com" and record.rtype == RRTYPE_A:
+                    return record.address
+        assert www_ip(5) == 101
+        assert www_ip(15) == 102
+
+    def test_no_www_label_for_non_web_domain(self, platform):
+        records = list(platform.snapshot(0))
+        assert not any(r.name == "www.noweb.com" for r in records)
+        # the NS record of the bare domain is still measured
+        assert any(
+            r.name == "noweb.com" and r.rtype == RRTYPE_NS for r in records
+        )
+
+    def test_cname_chain_rendered(self, platform):
+        records = [
+            r for r in platform.snapshot(0)
+            if r.name in ("www.cnamed.com", "cnamed.wix.example")
+        ]
+        types = {r.rtype for r in records}
+        assert types == {RRTYPE_CNAME, RRTYPE_A}
+
+    def test_mx_records(self, platform):
+        records = list(platform.snapshot(0))
+        assert any(
+            r.rtype == RRTYPE_MX and r.name == "plain.com" for r in records
+        )
+        assert any(
+            r.name == "mail.plain.com" and r.address == 200 for r in records
+        )
+
+    def test_snapshot_day_bounds(self, platform):
+        with pytest.raises(ValueError):
+            list(platform.snapshot(30))
+
+
+class TestMeasure:
+    def test_web_site_count(self, platform):
+        dataset = platform.measure()
+        assert dataset.total_web_sites == 4  # noweb.com excluded
+
+    def test_hosting_intervals_cover_changes(self, platform):
+        dataset = platform.measure()
+        moved = [
+            i for i in dataset.hosting_intervals if i[0] == "www.moved.com"
+        ]
+        assert ("www.moved.com", 101, 0, 10) in moved
+        assert ("www.moved.com", 102, 10, 30) in moved
+
+    def test_first_seen(self, platform):
+        dataset = platform.measure()
+        assert dataset.first_seen["www.plain.com"] == 0
+        assert dataset.first_seen["www.late.com"] == 15
+
+    def test_data_points_scale_with_days_alive(self, platform):
+        dataset = platform.measure()
+        stats = dataset.zone_stats[0]
+        assert stats.tld == "com"
+        assert stats.data_points > 0
+        assert dataset.total_data_points == stats.data_points
+        assert dataset.total_size_bytes > 0
+
+    def test_rejects_empty_window(self):
+        with pytest.raises(ValueError):
+            OpenIntelPlatform([make_zone()], n_days=0)
+
+
+class TestRecordsFor:
+    def test_plain_a(self):
+        domain = DomainTimeline("x.com", "com", 0, True)
+        state = HostingState(ip=7)
+        records = list(records_for(domain, state))
+        assert len(records) == 1
+        assert records[0].rtype == RRTYPE_A
+        assert records[0].address == 7

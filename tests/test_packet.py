@@ -1,0 +1,131 @@
+"""Unit tests for the packet model and batch compression."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.packet import (
+    BACKSCATTER_ICMP_TYPES,
+    ICMP_DEST_UNREACH,
+    ICMP_ECHO_REPLY,
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+    Packet,
+    PacketBatch,
+    TCP_ACK,
+    TCP_RST,
+    TCP_SYN,
+    batch_from_packet,
+    expand_batch,
+    ip_proto_name,
+)
+
+
+class TestProtoNames:
+    def test_known(self):
+        assert ip_proto_name(PROTO_TCP) == "TCP"
+        assert ip_proto_name(PROTO_UDP) == "UDP"
+        assert ip_proto_name(PROTO_ICMP) == "ICMP"
+
+    def test_unknown_maps_to_other(self):
+        assert ip_proto_name(99) == "Other"
+
+
+class TestPacketSignatures:
+    def test_syn_ack_is_tcp_response(self):
+        packet = Packet(0.0, 1, 2, PROTO_TCP, tcp_flags=TCP_SYN | TCP_ACK)
+        assert packet.is_tcp_response
+
+    def test_rst_is_tcp_response(self):
+        packet = Packet(0.0, 1, 2, PROTO_TCP, tcp_flags=TCP_RST)
+        assert packet.is_tcp_response
+
+    def test_plain_syn_is_not_response(self):
+        packet = Packet(0.0, 1, 2, PROTO_TCP, tcp_flags=TCP_SYN)
+        assert not packet.is_tcp_response
+
+    def test_icmp_echo_reply_is_response(self):
+        packet = Packet(0.0, 1, 2, PROTO_ICMP, icmp_type=ICMP_ECHO_REPLY)
+        assert packet.is_icmp_response
+
+    def test_icmp_echo_request_is_not_response(self):
+        packet = Packet(0.0, 1, 2, PROTO_ICMP, icmp_type=8)
+        assert not packet.is_icmp_response
+
+    def test_nine_backscatter_icmp_types(self):
+        assert len(BACKSCATTER_ICMP_TYPES) == 9
+
+
+class TestPacketBatch:
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ValueError):
+            PacketBatch(0.0, 1, PROTO_TCP, count=0, bytes=0)
+
+    def test_rejects_nonpositive_dsts(self):
+        with pytest.raises(ValueError):
+            PacketBatch(0.0, 1, PROTO_TCP, count=1, bytes=40, distinct_dsts=0)
+
+    def test_syn_ack_batch_is_backscatter(self):
+        batch = PacketBatch(
+            0.0, 1, PROTO_TCP, count=5, bytes=200, tcp_flags=TCP_SYN | TCP_ACK
+        )
+        assert batch.is_backscatter
+
+    def test_syn_scan_batch_is_not_backscatter(self):
+        batch = PacketBatch(0.0, 1, PROTO_TCP, count=5, bytes=200, tcp_flags=TCP_SYN)
+        assert not batch.is_backscatter
+
+    def test_udp_batch_is_not_backscatter(self):
+        batch = PacketBatch(0.0, 1, PROTO_UDP, count=5, bytes=200)
+        assert not batch.is_backscatter
+
+    def test_attack_proto_tcp(self):
+        batch = PacketBatch(
+            0.0, 1, PROTO_TCP, count=1, bytes=40, tcp_flags=TCP_RST
+        )
+        assert batch.attack_proto == PROTO_TCP
+
+    def test_attack_proto_quoted_udp(self):
+        """ICMP unreachable quoting a UDP packet attributes a UDP attack."""
+        batch = PacketBatch(
+            0.0,
+            1,
+            PROTO_ICMP,
+            count=1,
+            bytes=54,
+            icmp_type=ICMP_DEST_UNREACH,
+            quoted_proto=PROTO_UDP,
+        )
+        assert batch.attack_proto == PROTO_UDP
+
+    def test_attack_proto_ping_flood(self):
+        batch = PacketBatch(
+            0.0, 1, PROTO_ICMP, count=1, bytes=54, icmp_type=ICMP_ECHO_REPLY
+        )
+        assert batch.attack_proto == PROTO_ICMP
+
+
+class TestBatchConversion:
+    def test_batch_from_packet_preserves_shape(self):
+        packet = Packet(
+            5.0, 9, 7, PROTO_TCP, length=44, src_port=80,
+            tcp_flags=TCP_SYN | TCP_ACK,
+        )
+        batch = batch_from_packet(packet)
+        assert batch.count == 1
+        assert batch.src == 9
+        assert batch.bytes == 44
+        assert batch.src_ports == frozenset({80})
+        assert batch.is_backscatter == packet.is_tcp_response
+
+    @given(st.integers(min_value=1, max_value=200))
+    def test_expand_batch_count_roundtrip(self, count):
+        batch = PacketBatch(
+            10.0, 3, PROTO_TCP, count=count, bytes=count * 40,
+            src_ports=frozenset({80, 443}), tcp_flags=TCP_RST,
+        )
+        packets = list(expand_batch(batch))
+        assert len(packets) == count
+        assert all(p.src == 3 for p in packets)
+        assert all(10.0 <= p.timestamp < 11.0 for p in packets)
+        assert {p.src_port for p in packets} <= {80, 443}

@@ -1,0 +1,106 @@
+"""Unit tests for scenario configuration and pipeline wiring."""
+
+import pytest
+
+from repro.pipeline.config import ScenarioConfig, _derive
+from repro.pipeline.simulation import run_simulation
+
+
+class TestSeedDerivation:
+    def test_component_seeds_differ(self):
+        config = ScenarioConfig(seed=42)
+        seeds = {
+            config.topology_config().seed,
+            config.hosting_config().seed,
+            config.zone_config().seed,
+            config.schedule_config().seed,
+            config.backscatter_config().seed,
+            config.fleet_config().seed,
+            config.migration_config().seed,
+            config.census_seed(),
+        }
+        assert len(seeds) == 8  # every component draws independently
+
+    def test_master_seed_propagates(self):
+        a = ScenarioConfig(seed=1)
+        b = ScenarioConfig(seed=2)
+        assert a.topology_config().seed != b.topology_config().seed
+        assert a.schedule_config().seed != b.schedule_config().seed
+
+    def test_derive_deterministic(self):
+        assert _derive(42, "topology") == _derive(42, "topology")
+        assert _derive(42, "topology") != _derive(42, "hosting")
+
+    def test_with_seed(self):
+        config = ScenarioConfig.small().with_seed(99)
+        assert config.seed == 99
+        assert config.n_days == ScenarioConfig.small().n_days
+
+
+class TestPresets:
+    def test_scale_ordering(self):
+        small, default, paper = (
+            ScenarioConfig.small(),
+            ScenarioConfig.default(),
+            ScenarioConfig.paper(),
+        )
+        assert small.n_days < default.n_days < paper.n_days
+        assert small.n_domains < default.n_domains <= paper.n_domains
+
+    def test_paper_window_is_two_years(self):
+        assert ScenarioConfig.paper().n_days == 731
+
+    def test_component_configs_carry_scale(self):
+        config = ScenarioConfig(n_days=77, n_domains=123, n_honeypots=8)
+        assert config.zone_config().n_days == 77
+        assert config.zone_config().n_domains == 123
+        assert config.schedule_config().n_days == 77
+        assert config.fleet_config().n_instances == 8
+
+
+class TestPipelineWiring:
+    @pytest.fixture(scope="class")
+    def tiny(self):
+        return run_simulation(
+            ScenarioConfig(
+                seed=3, n_days=20, n_domains=400, n_ases=60,
+                direct_per_day=10.0, reflection_per_day=7.0,
+            )
+        )
+
+    def test_result_layers_consistent(self, tiny):
+        assert tiny.n_days == 20
+        assert sum(len(z) for z in tiny.zones) == 400
+        assert len(tiny.providers) == 10
+        assert len(tiny.ns_directory) > 0
+        assert tiny.openintel.n_days == 20
+
+    def test_observed_events_match_result_lists(self, tiny):
+        assert len(tiny.fused.telescope) == len(tiny.telescope_events)
+        assert len(tiny.fused.honeypot) == len(tiny.honeypot_events)
+
+    def test_events_annotated(self, tiny):
+        annotated = [e for e in tiny.fused.combined.events if e.asn is not None]
+        assert len(annotated) > 0.9 * len(tiny.fused.combined)
+
+    def test_observed_targets_are_ground_truth_targets(self, tiny):
+        truth_targets = {a.target for a in tiny.ground_truth}
+        observed = tiny.fused.combined.unique_targets()
+        # Scanner/noise artifacts never survive detection thresholds.
+        assert observed <= truth_targets
+
+    def test_web_index_built_from_openintel(self, tiny):
+        assert tiny.web_index.n_intervals == len(
+            tiny.openintel.hosting_intervals
+        )
+
+    def test_migrations_visible_in_timelines(self, tiny):
+        by_name = {
+            d.www_name: d
+            for zone in tiny.zones
+            for d in zone.domains
+            if d.has_www
+        }
+        for record in tiny.ledger.migrations:
+            domain = by_name[record.domain]
+            assert domain.first_dps_day(tiny.n_days) is not None

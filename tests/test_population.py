@@ -1,0 +1,51 @@
+"""Unit tests for the active-address census."""
+
+import pytest
+
+from repro.internet.population import ActiveAddressCensus
+from repro.internet.topology import InternetTopology, TopologyConfig
+from repro.net.addressing import parse_ipv4
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return InternetTopology.generate(TopologyConfig(seed=31, n_ases=50))
+
+
+class TestCensus:
+    def test_fraction_respected_roughly(self, topology):
+        census = ActiveAddressCensus.from_topology(topology, 0.5, seed=1)
+        fraction = len(census) / topology.total_slash24s
+        assert 0.4 < fraction < 0.7  # hoster/cloud space is boosted
+
+    def test_full_activity(self, topology):
+        census = ActiveAddressCensus.from_topology(topology, 1.0, seed=1)
+        assert len(census) == topology.total_slash24s
+
+    def test_rejects_zero_fraction(self, topology):
+        with pytest.raises(ValueError):
+            ActiveAddressCensus.from_topology(topology, 0.0, seed=1)
+
+    def test_deterministic(self, topology):
+        a = ActiveAddressCensus.from_topology(topology, 0.5, seed=9)
+        b = ActiveAddressCensus.from_topology(topology, 0.5, seed=9)
+        assert a.active_blocks == b.active_blocks
+
+    def test_membership_by_address(self):
+        census = ActiveAddressCensus([parse_ipv4("1.2.3.0")])
+        assert census.is_active_address(parse_ipv4("1.2.3.77"))
+        assert not census.is_active_address(parse_ipv4("1.2.4.77"))
+
+    def test_attacked_fraction(self):
+        blocks = [parse_ipv4("1.0.0.0"), parse_ipv4("1.0.1.0"), parse_ipv4("1.0.2.0")]
+        census = ActiveAddressCensus(blocks)
+        attacked = [parse_ipv4("1.0.0.5"), parse_ipv4("9.9.9.9")]
+        assert census.attacked_fraction(attacked) == pytest.approx(1 / 3)
+
+    def test_attacked_fraction_empty_census(self):
+        assert ActiveAddressCensus([]).attacked_fraction([1]) == 0.0
+
+    def test_attacked_fraction_counts_blocks_once(self):
+        census = ActiveAddressCensus([parse_ipv4("1.0.0.0")])
+        attacked = [parse_ipv4("1.0.0.1"), parse_ipv4("1.0.0.2")]
+        assert census.attacked_fraction(attacked) == 1.0

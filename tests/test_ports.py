@@ -1,0 +1,82 @@
+"""Unit tests for target-port analysis."""
+
+import pytest
+
+from repro.core.events import AttackEvent, SOURCE_HONEYPOT, SOURCE_TELESCOPE
+from repro.core.ports import (
+    port_cardinality,
+    service_table,
+    web_infrastructure_share,
+    web_port_comparison,
+)
+from repro.net.packet import PROTO_TCP, PROTO_UDP
+
+
+def tel(ports, proto=PROTO_TCP, intensity=1.0, duration=60.0):
+    return AttackEvent(
+        SOURCE_TELESCOPE, 1, 0.0, duration, intensity, ip_proto=proto,
+        ports=tuple(ports),
+    )
+
+
+class TestCardinality:
+    def test_counts(self):
+        events = [tel((80,)), tel((80, 443)), tel(()), tel((1, 2, 3))]
+        cardinality = port_cardinality(events)
+        assert cardinality.single_port == 2  # portless counts as single
+        assert cardinality.multi_port == 2
+        assert cardinality.single_fraction == 0.5
+
+    def test_honeypot_events_excluded(self):
+        hp = AttackEvent(SOURCE_HONEYPOT, 1, 0, 1, 1.0, reflector_protocol="NTP")
+        assert port_cardinality([hp]).total == 0
+
+
+class TestServiceTable:
+    def test_top_services_with_other(self):
+        events = (
+            [tel((80,))] * 5 + [tel((443,))] * 3 + [tel((3306,))] * 2
+            + [tel((53,))] + [tel((9999,))]
+        )
+        table = service_table(events, PROTO_TCP, top_n=2)
+        assert table[0].key == "HTTP"
+        assert table[0].count == 5
+        assert table[1].key == "HTTPS"
+        assert table[-1].key == "Other"
+        assert table[-1].count == 4
+        assert sum(e.share for e in table) == pytest.approx(1.0)
+
+    def test_multi_port_excluded(self):
+        events = [tel((80, 443))]
+        assert service_table(events, PROTO_TCP) == []
+
+    def test_udp_table_separate(self):
+        events = [tel((27015,), proto=PROTO_UDP), tel((80,))]
+        udp = service_table(events, PROTO_UDP, top_n=5)
+        assert udp[0].key == "27015"
+        assert udp[0].count == 1
+
+
+class TestWebShare:
+    def test_share_of_single_port_tcp(self):
+        events = [tel((80,)), tel((443,)), tel((22,)), tel((27015,), proto=PROTO_UDP)]
+        assert web_infrastructure_share(events) == pytest.approx(2 / 3)
+
+    def test_no_tcp_events(self):
+        assert web_infrastructure_share([]) == 0.0
+
+
+class TestWebPortComparison:
+    def test_web_more_intense_and_shorter(self):
+        events = (
+            [tel((80,), intensity=100.0, duration=100.0)] * 3
+            + [tel((22,), intensity=1.0, duration=10_000.0)] * 3
+        )
+        comparison = web_port_comparison(events)
+        assert comparison.web_more_intense
+        assert comparison.web_shorter
+        assert comparison.mean_intensity_web == pytest.approx(100.0)
+
+    def test_requires_both_populations(self):
+        with pytest.raises(ValueError):
+            web_port_comparison([tel((22,))])

@@ -1,0 +1,66 @@
+"""Unit tests for the protocol/port registries."""
+
+from repro.net.packet import PROTO_TCP, PROTO_UDP
+from repro.net.protocols import (
+    PORT_SERVICES,
+    REFLECTION_PROTOCOLS,
+    is_web_port,
+    reflection_protocol_for_port,
+    service_for_port,
+)
+
+
+class TestReflectionProtocols:
+    def test_eight_amppot_protocols(self):
+        assert set(REFLECTION_PROTOCOLS) == {
+            "QOTD", "CharGen", "DNS", "NTP", "SSDP", "MSSQL", "RIPv1", "TFTP"
+        }
+
+    def test_all_amplify(self):
+        assert all(p.amplification > 1.0 for p in REFLECTION_PROTOCOLS.values())
+
+    def test_ntp_has_highest_amplification(self):
+        ntp = REFLECTION_PROTOCOLS["NTP"]
+        assert all(
+            ntp.amplification >= p.amplification
+            for p in REFLECTION_PROTOCOLS.values()
+        )
+
+    def test_reflected_bytes_scales_with_requests(self):
+        dns = REFLECTION_PROTOCOLS["DNS"]
+        assert dns.reflected_bytes(100) == 100 * dns.request_size * dns.amplification // 1
+
+    def test_well_known_ports(self):
+        assert REFLECTION_PROTOCOLS["NTP"].port == 123
+        assert REFLECTION_PROTOCOLS["DNS"].port == 53
+        assert REFLECTION_PROTOCOLS["CharGen"].port == 19
+        assert REFLECTION_PROTOCOLS["SSDP"].port == 1900
+
+    def test_reverse_lookup(self):
+        assert reflection_protocol_for_port(123).name == "NTP"
+        assert reflection_protocol_for_port(9999) is None
+
+
+class TestServiceMapping:
+    def test_http_and_https(self):
+        assert service_for_port(PROTO_TCP, 80) == "HTTP"
+        assert service_for_port(PROTO_TCP, 443) == "HTTPS"
+
+    def test_mysql_on_both_protocols(self):
+        assert service_for_port(PROTO_TCP, 3306) == "MySQL"
+        assert service_for_port(PROTO_UDP, 3306) == "MySQL"
+
+    def test_game_ports_keep_numeric_label(self):
+        assert service_for_port(PROTO_UDP, 27015) == "27015"
+
+    def test_unknown_port_maps_to_number(self):
+        assert service_for_port(PROTO_TCP, 54321) == "54321"
+
+    def test_web_ports(self):
+        assert is_web_port(80)
+        assert is_web_port(443)
+        assert not is_web_port(8080)
+
+    def test_registry_is_keyed_by_protocol(self):
+        assert (PROTO_TCP, 80) in PORT_SERVICES
+        assert (PROTO_UDP, 80) not in PORT_SERVICES

@@ -1,0 +1,89 @@
+"""Unit tests for country/protocol/AS rankings."""
+
+import pytest
+
+from repro.core.events import AttackEvent, SOURCE_HONEYPOT, SOURCE_TELESCOPE
+from repro.core.rankings import (
+    asn_ranking,
+    country_rank_of,
+    country_ranking,
+    ip_protocol_distribution,
+    reflection_protocol_distribution,
+)
+from repro.net.packet import PROTO_ICMP, PROTO_TCP, PROTO_UDP
+
+
+def tel(target, country="US", proto=PROTO_TCP, asn=None):
+    return AttackEvent(
+        SOURCE_TELESCOPE, target, 0.0, 60.0, 1.0, ip_proto=proto,
+        country=country, asn=asn,
+    )
+
+
+def hp(target, protocol="NTP"):
+    return AttackEvent(
+        SOURCE_HONEYPOT, target, 0.0, 60.0, 1.0, reflector_protocol=protocol
+    )
+
+
+class TestCountryRanking:
+    def test_counts_unique_targets_not_events(self):
+        events = [tel(1, "US"), tel(1, "US"), tel(2, "CN")]
+        ranking = country_ranking(events, top_n=2)
+        by_key = {e.key: e for e in ranking}
+        assert by_key["US"].count == 1
+        assert by_key["CN"].count == 1
+
+    def test_other_row_completes_distribution(self):
+        events = [tel(i, c) for i, c in enumerate(["US", "US", "CN", "RU", "FR"])]
+        ranking = country_ranking(events, top_n=2)
+        assert ranking[-1].key == "Other"
+        assert sum(e.share for e in ranking) == pytest.approx(1.0)
+
+    def test_order_descending(self):
+        events = [tel(i, "US") for i in range(5)] + [tel(10, "CN")]
+        ranking = country_ranking(events, top_n=2)
+        assert ranking[0].key == "US"
+
+    def test_empty(self):
+        assert country_ranking([]) == []
+
+    def test_rank_of(self):
+        events = [tel(i, "US") for i in range(3)] + [tel(9, "JP")]
+        assert country_rank_of(events, "US") == 1
+        assert country_rank_of(events, "JP") == 2
+        assert country_rank_of(events, "DE") is None
+
+
+class TestProtocolDistributions:
+    def test_ip_protocol_shares(self):
+        events = [tel(1), tel(2), tel(3, proto=PROTO_UDP), tel(4, proto=PROTO_ICMP)]
+        dist = ip_protocol_distribution(events)
+        assert dist["TCP"] == pytest.approx(0.5)
+        assert dist["UDP"] == pytest.approx(0.25)
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_unknown_proto_grouped_as_other(self):
+        dist = ip_protocol_distribution([tel(1, proto=99)])
+        assert dist == {"Other": 1.0}
+
+    def test_reflection_distribution_sorted(self):
+        events = [hp(1, "NTP"), hp(2, "NTP"), hp(3, "DNS")]
+        entries = reflection_protocol_distribution(events)
+        assert entries[0].key == "NTP"
+        assert entries[0].count == 2
+        assert entries[0].share == pytest.approx(2 / 3)
+
+    def test_reflection_ignores_telescope_events(self):
+        assert reflection_protocol_distribution([tel(1)]) == []
+
+
+class TestAsnRanking:
+    def test_counts_unique_targets(self):
+        events = [tel(1, asn=10), tel(1, asn=10), tel(2, asn=10), tel(3, asn=20)]
+        ranking = asn_ranking(events, top_n=5)
+        assert ranking[0].key == "10"
+        assert ranking[0].count == 2
+
+    def test_unannotated_excluded(self):
+        assert asn_ranking([tel(1)]) == []

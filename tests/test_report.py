@@ -1,0 +1,109 @@
+"""Unit tests for the textual table/figure renderers."""
+
+from repro.core.cohosting import CoHostingBin
+from repro.core.distributions import EmpiricalCDF
+from repro.core.events import AttackDataset, AttackEvent, SOURCE_TELESCOPE
+from repro.core.ports import PortCardinality
+from repro.core.rankings import RankedEntry
+from repro.core.report import (
+    render_cohosting,
+    render_delay_cdf,
+    render_duration_cdf,
+    render_intensity_cdf,
+    render_series_summary,
+    render_table,
+    render_table1,
+    render_table3,
+    render_table4,
+    render_table5,
+    render_table7,
+    render_table8,
+    render_table9,
+    render_taxonomy,
+)
+from repro.core.taxonomy import classify_sites, taxonomy_counts
+from repro.core.timeseries import daily_series
+
+
+class TestGenericTable:
+    def test_alignment_and_title(self):
+        text = render_table(["a", "bb"], [["x", 1], ["yy", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_empty_rows(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+
+class TestPaperTables:
+    def test_table1(self):
+        dataset = AttackDataset(
+            [AttackEvent(SOURCE_TELESCOPE, 1, 0, 1, 1.0)], "Network Telescope"
+        )
+        text = render_table1([dataset.summary()])
+        assert "Table 1" in text
+        assert "Network Telescope" in text
+
+    def test_table3(self):
+        text = render_table3({"Akamai": 12, "Neustar": 30})
+        assert "Akamai" in text and "30" in text
+
+    def test_table4(self):
+        entries = [RankedEntry("US", 10, 0.5), RankedEntry("Other", 10, 0.5)]
+        text = render_table4(entries, "Telescope")
+        assert "US" in text and "50.00%" in text
+
+    def test_table5(self):
+        text = render_table5({"TCP": 0.794, "UDP": 0.159})
+        assert text.splitlines()[3].startswith("TCP")
+
+    def test_table7(self):
+        text = render_table7(PortCardinality(60, 40))
+        assert "single-port" in text and "60.00%" in text
+
+    def test_table8(self):
+        tcp = [RankedEntry("HTTP", 5, 0.5), RankedEntry("Other", 5, 0.5)]
+        udp = [RankedEntry("27015", 2, 1.0)]
+        text = render_table8(tcp, udp)
+        assert "Table 8a" in text and "Table 8b" in text
+
+    def test_table9(self):
+        text = render_table9([(11.1, 0.0), (100.0, 1.0)])
+        assert "11.1" in text and "1.00" in text
+
+
+class TestFigures:
+    def test_series_summary(self):
+        events = [AttackEvent(SOURCE_TELESCOPE, 1, 0, 1, 1.0)]
+        series = daily_series(events, 2, label="Combined")
+        text = render_series_summary(series)
+        assert "Figure 1" in text and "Combined" in text
+
+    def test_duration_cdf(self):
+        text = render_duration_cdf(EmpiricalCDF([60, 300, 3600]), "Telescope")
+        assert "Figure 2" in text
+        assert "mean" in text and "median" in text
+
+    def test_intensity_cdf(self):
+        text = render_intensity_cdf(EmpiricalCDF([1, 10, 100]), "Telescope")
+        assert "Intensity CDF" in text
+
+    def test_cohosting(self):
+        text = render_cohosting([CoHostingBin("n=1", 0, 1, 42)])
+        assert "n=1" in text and "42" in text
+
+    def test_taxonomy(self):
+        counts = taxonomy_counts(
+            classify_sites({"www.a.com": 0}, {"www.a.com": 1}, {})
+        )
+        text = render_taxonomy(counts)
+        assert "attack observed" in text
+        assert "(100.00%)" in text
+
+    def test_delay_cdf(self):
+        text = render_delay_cdf({"All": EmpiricalCDF([1, 2, 10])})
+        assert "Migration delay" in text
+        assert "All" in text

@@ -1,0 +1,63 @@
+"""Unit tests for the snapshot resolver."""
+
+import pytest
+
+from repro.dns.records import ResourceRecord, RRTYPE_A, RRTYPE_CNAME
+from repro.dns.resolver import ResolutionError, resolve_www
+
+
+def a(name, address):
+    return ResourceRecord(name, RRTYPE_A, str(address), address=address)
+
+
+def cname(name, value):
+    return ResourceRecord(name, RRTYPE_CNAME, value)
+
+
+class TestResolve:
+    def test_direct_a(self):
+        address, chain = resolve_www("www.x.com", [a("www.x.com", 5)])
+        assert address == 5
+        assert chain == []
+
+    def test_single_cname_hop(self):
+        records = [cname("www.x.com", "edge.dps.example"),
+                   a("edge.dps.example", 9)]
+        address, chain = resolve_www("www.x.com", records)
+        assert address == 9
+        assert chain == ["edge.dps.example"]
+
+    def test_multi_hop_chain(self):
+        records = [
+            cname("www.x.com", "a.example"),
+            cname("a.example", "b.example"),
+            a("b.example", 3),
+        ]
+        address, chain = resolve_www("www.x.com", records)
+        assert address == 3
+        assert chain == ["a.example", "b.example"]
+
+    def test_dead_end_returns_none(self):
+        address, chain = resolve_www(
+            "www.x.com", [cname("www.x.com", "gone.example")]
+        )
+        assert address is None
+        assert chain == ["gone.example"]
+
+    def test_missing_name_returns_none(self):
+        address, chain = resolve_www("www.x.com", [a("www.y.com", 1)])
+        assert address is None
+
+    def test_loop_detected(self):
+        records = [
+            cname("www.x.com", "a.example"),
+            cname("a.example", "www.x.com"),
+        ]
+        with pytest.raises(ResolutionError):
+            resolve_www("www.x.com", records)
+
+    def test_overlong_chain_rejected(self):
+        records = [cname(f"n{i}.example", f"n{i + 1}.example") for i in range(20)]
+        records.insert(0, cname("www.x.com", "n0.example"))
+        with pytest.raises(ResolutionError):
+            resolve_www("www.x.com", records)

@@ -1,0 +1,101 @@
+"""Unit and property tests for the longest-prefix-match routing table."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.addressing import IPv4_MAX, Prefix, parse_ipv4
+from repro.net.routing import RoutingTable
+
+
+@pytest.fixture
+def table():
+    t = RoutingTable()
+    t.announce(Prefix.from_string("10.0.0.0/8"), asn=100)
+    t.announce(Prefix.from_string("10.1.0.0/16"), asn=200)
+    t.announce(Prefix.from_string("10.1.2.0/24"), asn=300)
+    return t
+
+
+class TestLookup:
+    def test_most_specific_wins(self, table):
+        assert table.origin_asn(parse_ipv4("10.1.2.3")) == 300
+
+    def test_intermediate_specificity(self, table):
+        assert table.origin_asn(parse_ipv4("10.1.3.1")) == 200
+
+    def test_covering_prefix(self, table):
+        assert table.origin_asn(parse_ipv4("10.200.0.1")) == 100
+
+    def test_unrouted_address(self, table):
+        assert table.origin_asn(parse_ipv4("11.0.0.1")) is None
+
+    def test_lookup_returns_prefix(self, table):
+        prefix, asn = table.lookup(parse_ipv4("10.1.2.3"))
+        assert prefix == Prefix.from_string("10.1.2.0/24")
+        assert asn == 300
+
+    def test_reannouncement_replaces_origin(self, table):
+        table.announce(Prefix.from_string("10.1.2.0/24"), asn=999)
+        assert table.origin_asn(parse_ipv4("10.1.2.3")) == 999
+        assert len(table) == 3
+
+    def test_default_route(self):
+        t = RoutingTable()
+        t.announce(Prefix.from_string("0.0.0.0/0"), asn=1)
+        assert t.origin_asn(parse_ipv4("203.0.113.7")) == 1
+
+    def test_host_route(self):
+        t = RoutingTable()
+        t.announce(Prefix(parse_ipv4("10.0.0.5"), 32), asn=5)
+        assert t.origin_asn(parse_ipv4("10.0.0.5")) == 5
+        assert t.origin_asn(parse_ipv4("10.0.0.6")) is None
+
+
+class TestWithdraw:
+    def test_withdraw_restores_covering(self, table):
+        assert table.withdraw(Prefix.from_string("10.1.2.0/24"))
+        assert table.origin_asn(parse_ipv4("10.1.2.3")) == 200
+        assert len(table) == 2
+
+    def test_withdraw_unknown_returns_false(self, table):
+        assert not table.withdraw(Prefix.from_string("192.0.2.0/24"))
+
+
+class TestEnumeration:
+    def test_announced_prefixes_sorted(self, table):
+        prefixes = [p for p, _ in table.announced_prefixes()]
+        assert prefixes == sorted(prefixes)
+        assert len(prefixes) == 3
+
+    def test_from_announcements(self):
+        t = RoutingTable.from_announcements(
+            [(Prefix.from_string("192.0.2.0/24"), 7)]
+        )
+        assert t.origin_asn(parse_ipv4("192.0.2.9")) == 7
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32 - 1), st.integers(0, 2**30))
+def test_lpm_matches_linear_scan(address, seed):
+    """Trie lookup agrees with a brute-force longest-match scan."""
+    rng = random.Random(seed)
+    prefixes = []
+    for _ in range(rng.randint(1, 12)):
+        length = rng.randint(4, 28)
+        network = rng.randrange(0, IPv4_MAX)
+        prefixes.append((Prefix(network, length), rng.randint(1, 65000)))
+    table = RoutingTable.from_announcements(prefixes)
+    # De-duplicate: a re-announcement replaces, so keep the *last* origin.
+    canonical = {}
+    for prefix, asn in prefixes:
+        canonical[prefix] = asn
+    matches = [
+        (prefix.length, asn)
+        for prefix, asn in canonical.items()
+        if prefix.contains(address)
+    ]
+    expected = max(matches)[1] if matches else None
+    # If two same-length prefixes match they are the same prefix (canonical).
+    assert table.origin_asn(address) == expected

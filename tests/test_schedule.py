@@ -1,0 +1,148 @@
+"""Unit tests for the attack schedule generator."""
+
+import pytest
+
+from repro.attacks.attacker import ATTACK_DIRECT, ATTACK_REFLECTION
+from repro.attacks.schedule import (
+    AttackSchedule,
+    DEFAULT_SPIKES,
+    ScheduleConfig,
+    SpikeEvent,
+    TargetPools,
+)
+from repro.dns.zone import ZoneConfig, ZoneGenerator
+from repro.internet.hosting import HostingConfig, HostingEcosystem
+from repro.internet.topology import InternetTopology, TopologyConfig
+
+N_DAYS = 40
+
+
+@pytest.fixture(scope="module")
+def world():
+    topology = InternetTopology.generate(TopologyConfig(seed=41, n_ases=80))
+    ecosystem = HostingEcosystem.generate(topology, HostingConfig(seed=42))
+    zone_gen = ZoneGenerator(
+        ecosystem, ZoneConfig(seed=43, n_domains=1200, n_days=N_DAYS)
+    )
+    zone_gen.generate()
+    pools = TargetPools.build(
+        topology, ecosystem, zone_gen.self_hosted_web_ips()
+    )
+    return topology, ecosystem, pools
+
+
+@pytest.fixture(scope="module")
+def attacks(world):
+    topology, _, pools = world
+    config = ScheduleConfig(
+        seed=44, n_days=N_DAYS, direct_per_day=25.0, reflection_per_day=15.0
+    )
+    return AttackSchedule(pools, topology.geo, config).generate(), config
+
+
+class TestVolume:
+    def test_total_volume_near_configured(self, attacks):
+        generated, config = attacks
+        expected = (config.direct_per_day + config.reflection_per_day) * N_DAYS
+        # Growth trend plus spikes push the realized volume above the base.
+        assert 0.8 * expected < len(generated) < 2.2 * expected
+
+    def test_sorted_by_start(self, attacks):
+        generated, _ = attacks
+        starts = [a.start for a in generated]
+        assert starts == sorted(starts)
+
+    def test_all_starts_inside_window(self, attacks):
+        generated, _ = attacks
+        assert all(0 <= a.start < N_DAYS * 86400.0 for a in generated)
+
+    def test_both_kinds_present(self, attacks):
+        generated, _ = attacks
+        kinds = {a.kind for a in generated}
+        assert kinds == {ATTACK_DIRECT, ATTACK_REFLECTION}
+
+    def test_unique_attack_ids(self, attacks):
+        generated, _ = attacks
+        ids = [a.attack_id for a in generated]
+        assert len(ids) == len(set(ids))
+
+
+class TestRepeatVictimization:
+    def test_direct_repeats_more_than_reflection(self, attacks):
+        generated, _ = attacks
+        direct = [a for a in generated if a.kind == ATTACK_DIRECT]
+        reflection = [a for a in generated if a.kind == ATTACK_REFLECTION]
+        direct_ratio = len(direct) / len({a.target for a in direct})
+        reflection_ratio = len(reflection) / len({a.target for a in reflection})
+        assert direct_ratio > reflection_ratio > 1.0
+
+
+class TestJointAttacks:
+    def test_joint_pairs_share_target_and_overlap(self, attacks):
+        generated, _ = attacks
+        by_joint = {}
+        for attack in generated:
+            if attack.joint_id is not None:
+                by_joint.setdefault(attack.joint_id, []).append(attack)
+        pairs = [group for group in by_joint.values() if len(group) == 2]
+        assert pairs, "expected some joint attacks"
+        for first, second in pairs:
+            assert first.target == second.target
+            assert first.overlaps(second)
+            assert {first.kind, second.kind} == {ATTACK_DIRECT, ATTACK_REFLECTION}
+
+
+class TestCountryBias:
+    def test_japan_suppressed(self, world, attacks):
+        topology, _, _ = world
+        generated, _ = attacks
+        countries = [topology.geo.country(a.target) for a in generated]
+        jp = countries.count("JP") / len(countries)
+        # Japan holds ~6 % of space but is biased to 0.18 acceptance.
+        assert jp < 0.05
+
+
+class TestSpikes:
+    def test_spike_generates_hoster_attacks(self, world):
+        topology, ecosystem, pools = world
+        spike = SpikeEvent(0.5, ("GoDaddy",), 30, 2.0, label="test")
+        config = ScheduleConfig(
+            seed=45, n_days=10, direct_per_day=1.0, reflection_per_day=1.0,
+            spikes=(spike,),
+        )
+        generated = AttackSchedule(pools, topology.geo, config).generate()
+        godaddy_ips = set(ecosystem.hoster_by_name("GoDaddy").ips)
+        spike_day_attacks = [
+            a for a in generated if a.target in godaddy_ips and
+            int(a.start // 86400.0) == 5
+        ]
+        assert len(spike_day_attacks) >= 20
+
+    def test_spike_min_duration(self, world):
+        topology, _, pools = world
+        spike = SpikeEvent(
+            0.5, ("Wix",), 20, 4.0, joint=False, min_duration=4 * 3600.0
+        )
+        config = ScheduleConfig(
+            seed=46, n_days=10, direct_per_day=0.5, reflection_per_day=0.5,
+            spikes=(spike,),
+        )
+        generated = AttackSchedule(pools, topology.geo, config).generate()
+        long = [a for a in generated if a.duration >= 4 * 3600.0]
+        assert len(long) >= 20
+
+    def test_default_spikes_cover_four_peaks(self):
+        assert len(DEFAULT_SPIKES) == 4
+        assert any("Wix" in s.hoster_names for s in DEFAULT_SPIKES)
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self, world):
+        topology, _, pools = world
+        config = ScheduleConfig(
+            seed=47, n_days=8, direct_per_day=5.0, reflection_per_day=5.0
+        )
+        a = AttackSchedule(pools, topology.geo, config).generate()
+        b = AttackSchedule(pools, topology.geo, config).generate()
+        assert [x.target for x in a] == [y.target for y in b]
+        assert [x.rate for x in a] == [y.rate for y in b]

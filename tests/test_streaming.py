@@ -1,0 +1,132 @@
+"""Unit and integration tests for streaming fusion."""
+
+import pytest
+
+from repro.core.events import AttackEvent, SOURCE_HONEYPOT, SOURCE_TELESCOPE
+from repro.core.streaming import StreamingFusion
+from repro.core.timeseries import daily_series
+from repro.core.webmap import WebHostingIndex
+
+DAY = 86400.0
+
+
+def event(target, day, frac=0.5, source=SOURCE_TELESCOPE, asn=None):
+    start = day * DAY + frac * DAY
+    return AttackEvent(source, target, start, start + 60.0, 1.0, asn=asn)
+
+
+class TestIngestion:
+    def test_day_rollover_emits_summary(self):
+        fusion = StreamingFusion()
+        assert fusion.ingest(event(1, 0)) == []
+        closed = fusion.ingest(event(2, 1))
+        assert len(closed) == 1
+        assert closed[0].day == 0
+        assert closed[0].attacks == 1
+
+    def test_finish_flushes_open_day(self):
+        fusion = StreamingFusion()
+        fusion.ingest(event(1, 0))
+        closed = fusion.finish()
+        assert len(closed) == 1
+        assert fusion.finish() == []
+
+    def test_source_split(self):
+        fusion = StreamingFusion()
+        fusion.ingest(event(1, 0, 0.1))
+        fusion.ingest(
+            AttackEvent(SOURCE_HONEYPOT, 2, 0.2 * DAY, 0.2 * DAY + 9, 1.0,
+                        reflector_protocol="NTP")
+        )
+        summary = fusion.finish()[0]
+        assert summary.telescope_attacks == 1
+        assert summary.honeypot_attacks == 1
+        assert summary.unique_targets == 2
+
+    def test_slight_disorder_tolerated(self):
+        fusion = StreamingFusion()
+        fusion.ingest(event(1, 1, 0.5))
+        fusion.ingest(event(2, 1, 0.4))  # earlier same day: fine
+        summary = fusion.finish()[0]
+        assert summary.attacks == 2
+
+    def test_gross_disorder_rejected(self):
+        fusion = StreamingFusion()
+        fusion.ingest(event(1, 5))
+        with pytest.raises(ValueError):
+            fusion.ingest(event(2, 1))
+
+    def test_running_summary_matches_batch(self):
+        events = [event(t, d, asn=t % 3) for d in range(3) for t in range(1, 6)]
+        fusion = StreamingFusion()
+        for e in events:
+            fusion.ingest(e)
+        fusion.finish()
+        running = fusion.running_summary()
+        assert running["events"] == len(events)
+        assert running["targets"] == 5
+        series = daily_series(events, 3)
+        assert sum(s.attacks for s in fusion.summaries) == series.attacks.sum()
+
+    def test_web_impact_metric(self):
+        index = WebHostingIndex([("www.a.com", 7, 0, 10)])
+        fusion = StreamingFusion(web_index=index)
+        fusion.ingest(event(7, 0))
+        fusion.ingest(event(8, 0))
+        summary = fusion.finish()[0]
+        assert summary.affected_sites == 1
+
+
+class TestAlerts:
+    def test_spike_raises_alert(self):
+        fusion = StreamingFusion(baseline_days=3, alert_factor=3.0)
+        for day in range(3):
+            fusion.ingest(event(1, day))
+        for _ in range(10):
+            fusion.ingest(event(1, 3))
+        fusion.finish()
+        assert any(
+            a.metric == "attacks" and a.day == 3 for a in fusion.alerts
+        )
+        alert = fusion.alerts[0]
+        assert alert.factor > 3.0
+
+    def test_no_alert_before_baseline_established(self):
+        fusion = StreamingFusion(baseline_days=5, alert_factor=2.0)
+        for _ in range(50):
+            fusion.ingest(event(1, 0))
+        fusion.ingest(event(1, 1))
+        fusion.finish()
+        assert fusion.alerts == []
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            StreamingFusion(baseline_days=0)
+        with pytest.raises(ValueError):
+            StreamingFusion(alert_factor=1.0)
+
+
+class TestEndToEnd:
+    def test_streaming_agrees_with_batch_table1(self, sim):
+        fusion = StreamingFusion(web_index=sim.web_index)
+        for e in sim.fused.combined.events:
+            fusion.ingest(e)
+        fusion.finish()
+        batch = {
+            r["source"]: r for r in sim.fused.summary_rows()
+        }["Combined"]
+        running = fusion.running_summary()
+        assert running["events"] == batch["events"]
+        assert running["targets"] == batch["targets"]
+        assert running["slash24s"] == batch["slash24s"]
+        assert running["asns"] == batch["asns"]
+
+    def test_spike_days_alerted(self, sim):
+        """The scripted hoster waves surface as situational alerts."""
+        fusion = StreamingFusion(
+            web_index=sim.web_index, baseline_days=7, alert_factor=2.5
+        )
+        for e in sim.fused.combined.events:
+            fusion.ingest(e)
+        fusion.finish()
+        assert fusion.alerts, "expected at least one spike alert"

@@ -1,0 +1,83 @@
+"""Unit tests for the Figure 8 taxonomy."""
+
+import pytest
+
+from repro.core.taxonomy import (
+    CLASS_MIGRATING,
+    CLASS_NON_MIGRATING,
+    CLASS_PREEXISTING,
+    classify_sites,
+    taxonomy_counts,
+)
+
+
+def classify_one(seen=0, attack=None, dps=None):
+    first_attack = {"www.x.com": attack} if attack is not None else {}
+    dps_days = {"www.x.com": dps} if dps is not None else {}
+    return classify_sites({"www.x.com": seen}, first_attack, dps_days)[0]
+
+
+class TestClassification:
+    def test_attacked_never_protected(self):
+        c = classify_one(attack=10)
+        assert c.attacked
+        assert c.customer_class == CLASS_NON_MIGRATING
+
+    def test_attacked_then_migrating(self):
+        c = classify_one(attack=10, dps=15)
+        assert c.customer_class == CLASS_MIGRATING
+
+    def test_attacked_preexisting(self):
+        c = classify_one(attack=10, dps=0)
+        assert c.customer_class == CLASS_PREEXISTING
+
+    def test_protected_same_day_as_attack_is_preexisting(self):
+        c = classify_one(attack=10, dps=10)
+        assert c.customer_class == CLASS_PREEXISTING
+
+    def test_unattacked_never_protected(self):
+        c = classify_one()
+        assert not c.attacked
+        assert c.customer_class == CLASS_NON_MIGRATING
+
+    def test_unattacked_migrating(self):
+        c = classify_one(seen=5, dps=20)
+        assert c.customer_class == CLASS_MIGRATING
+
+    def test_unattacked_preexisting(self):
+        c = classify_one(seen=5, dps=5)
+        assert c.customer_class == CLASS_PREEXISTING
+
+
+class TestCounts:
+    def test_aggregation(self):
+        first_seen = {f"www.s{i}.com": 0 for i in range(6)}
+        first_attack = {"www.s0.com": 3, "www.s1.com": 3, "www.s2.com": 3}
+        dps = {"www.s0.com": 10, "www.s1.com": 0, "www.s3.com": 10}
+        counts = taxonomy_counts(
+            classify_sites(first_seen, first_attack, dps)
+        )
+        assert counts.total == 6
+        assert counts.attacked == 3
+        assert counts.not_attacked == 3
+        assert counts.attacked_migrating == 1
+        assert counts.attacked_preexisting == 1
+        assert counts.attacked_non_migrating == 1
+        assert counts.unattacked_migrating == 1
+        assert counts.unattacked_preexisting == 0
+        assert counts.unattacked_non_migrating == 2
+
+    def test_fractions(self):
+        first_seen = {f"www.s{i}.com": 0 for i in range(4)}
+        first_attack = {"www.s0.com": 1, "www.s1.com": 1}
+        dps = {"www.s0.com": 5}
+        counts = taxonomy_counts(classify_sites(first_seen, first_attack, dps))
+        assert counts.attacked_fraction == pytest.approx(0.5)
+        assert counts.attacked_migrating_fraction == pytest.approx(0.5)
+        assert counts.attacked_protected_fraction == pytest.approx(0.5)
+        assert counts.unattacked_protected_fraction == 0.0
+
+    def test_empty(self):
+        counts = taxonomy_counts([])
+        assert counts.total == 0
+        assert counts.attacked_fraction == 0.0

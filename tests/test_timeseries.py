@@ -1,0 +1,80 @@
+"""Unit tests for daily time series."""
+
+import pytest
+
+from repro.core.events import AttackDataset, AttackEvent, SOURCE_TELESCOPE, SOURCE_HONEYPOT
+from repro.core.fusion import FusedDataset
+from repro.core.timeseries import daily_series, figure1_series
+from repro.net.addressing import parse_ipv4
+
+DAY = 86400.0
+
+
+def event(target, day, frac=0.5, asn=None, source=SOURCE_TELESCOPE, dur=60.0):
+    start = day * DAY + frac * DAY
+    return AttackEvent(source, target, start, start + dur, 1.0, asn=asn)
+
+
+class TestDailySeries:
+    def test_counts_per_day(self):
+        events = [event(1, 0), event(2, 0), event(3, 2)]
+        series = daily_series(events, 4)
+        assert series.attacks.tolist() == [2, 0, 1, 0]
+
+    def test_unique_targets_deduplicated_within_day(self):
+        events = [event(1, 0, 0.1), event(1, 0, 0.6), event(2, 0, 0.7)]
+        series = daily_series(events, 1)
+        assert series.attacks[0] == 3
+        assert series.unique_targets[0] == 2
+
+    def test_same_target_counts_on_each_day(self):
+        events = [event(1, 0), event(1, 1)]
+        series = daily_series(events, 2)
+        assert series.unique_targets.tolist() == [1, 1]
+
+    def test_slash16_rollup(self):
+        events = [
+            event(parse_ipv4("10.0.0.1"), 0),
+            event(parse_ipv4("10.0.200.1"), 0),
+            event(parse_ipv4("10.1.0.1"), 0),
+        ]
+        series = daily_series(events, 1)
+        assert series.targeted_slash16s[0] == 2
+
+    def test_asn_rollup_skips_unannotated(self):
+        events = [event(1, 0, asn=100), event(2, 0, asn=100), event(3, 0)]
+        series = daily_series(events, 1)
+        assert series.targeted_asns[0] == 1
+
+    def test_multiday_attack_counts_on_start_day(self):
+        long_event = event(1, 0, frac=0.9, dur=3 * DAY)
+        series = daily_series([long_event], 4)
+        assert series.attacks.tolist() == [1, 0, 0, 0]
+
+    def test_out_of_window_events_ignored(self):
+        series = daily_series([event(1, 10)], 5)
+        assert series.attacks.sum() == 0
+
+    def test_rejects_empty_window(self):
+        with pytest.raises(ValueError):
+            daily_series([], 0)
+
+    def test_stats(self):
+        events = [event(1, 0), event(2, 0), event(3, 1)]
+        series = daily_series(events, 2, label="x")
+        assert series.mean_daily_attacks() == pytest.approx(1.5)
+        assert series.peak_day() == 0
+        assert series.as_dict()["attacks"] == [2, 1]
+
+
+class TestFigure1:
+    def test_three_panels(self):
+        fused = FusedDataset(
+            AttackDataset([event(1, 0)], "Network Telescope"),
+            AttackDataset(
+                [event(2, 1, source=SOURCE_HONEYPOT)], "Amplification Honeypot"
+            ),
+        )
+        panels = figure1_series(fused, 2)
+        assert set(panels) == {"telescope", "honeypot", "combined"}
+        assert panels["combined"].attacks.tolist() == [1, 1]

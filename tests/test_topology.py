@@ -1,0 +1,118 @@
+"""Unit tests for the synthetic Internet topology."""
+
+import random
+
+import pytest
+
+from repro.internet.topology import (
+    AS_KIND_DPS,
+    AS_KIND_HOSTER,
+    InternetTopology,
+    NAMED_ORGANISATIONS,
+    TELESCOPE_SLASH8,
+    TopologyConfig,
+    _PrefixAllocator,
+)
+from repro.net.addressing import Prefix
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return InternetTopology.generate(TopologyConfig(seed=11, n_ases=80))
+
+
+class TestGeneration:
+    def test_named_organisations_present(self, topo):
+        for name, asn, country, kind, _ in NAMED_ORGANISATIONS:
+            autonomous_system = topo.as_by_name(name)
+            assert autonomous_system is not None
+            assert autonomous_system.asn == asn
+            assert autonomous_system.country == country
+            assert autonomous_system.kind == kind
+
+    def test_anonymous_as_count(self, topo):
+        anonymous = [a for a in topo.ases if a.name == f"AS{a.asn}"]
+        assert len(anonymous) == 80
+
+    def test_every_as_has_prefixes(self, topo):
+        assert all(a.prefixes for a in topo.ases)
+
+    def test_telescope_space_never_allocated(self, topo):
+        for autonomous_system in topo.ases:
+            for prefix in autonomous_system.prefixes:
+                assert not prefix.overlaps(TELESCOPE_SLASH8)
+
+    def test_no_overlapping_allocations(self, topo):
+        allocations = sorted(
+            p for a in topo.ases for p in a.prefixes
+        )
+        for previous, current in zip(allocations, allocations[1:]):
+            assert previous.last < current.network
+
+    def test_deterministic(self):
+        config = TopologyConfig(seed=5, n_ases=30)
+        a = InternetTopology.generate(config)
+        b = InternetTopology.generate(config)
+        assert [x.asn for x in a.ases] == [y.asn for y in b.ases]
+        assert [x.prefixes for x in a.ases] == [y.prefixes for y in b.ases]
+
+    def test_routing_table_resolves_all_space(self, topo):
+        rng = random.Random(3)
+        for autonomous_system in rng.sample(topo.ases, 20):
+            address = autonomous_system.random_address(rng)
+            assert topo.routing.origin_asn(address) == autonomous_system.asn
+
+    def test_geo_agrees_with_as_country(self, topo):
+        rng = random.Random(4)
+        for autonomous_system in rng.sample(topo.ases, 20):
+            address = autonomous_system.random_address(rng)
+            assert topo.geo.country(address) == autonomous_system.country
+
+    def test_kind_filters(self, topo):
+        dps = topo.ases_of_kind(AS_KIND_DPS)
+        assert len(dps) == 10  # the ten providers
+        assert topo.ases_of_kind(AS_KIND_HOSTER)
+
+    def test_slash24_accounting(self, topo):
+        assert topo.total_slash24s == sum(
+            1 for _ in topo.all_slash24_blocks()
+        )
+
+
+class TestAutonomousSystem:
+    def test_random_address_in_own_space(self, topo):
+        rng = random.Random(9)
+        ovh = topo.as_by_name("OVH")
+        for _ in range(50):
+            address = ovh.random_address(rng)
+            assert any(p.contains(address) for p in ovh.prefixes)
+
+    def test_address_count(self, topo):
+        ovh = topo.as_by_name("OVH")
+        assert ovh.address_count == sum(p.size for p in ovh.prefixes)
+
+
+class TestAllocator:
+    def test_skips_reserved_space(self):
+        allocator = _PrefixAllocator()
+        seen = [allocator.take(8) for _ in range(6)]
+        for prefix in seen:
+            assert not prefix.overlaps(Prefix.from_string("10.0.0.0/8"))
+            assert not prefix.overlaps(Prefix.from_string("0.0.0.0/8"))
+
+    def test_alignment(self):
+        allocator = _PrefixAllocator()
+        allocator.take(20)
+        prefix = allocator.take(16)
+        assert prefix.network % prefix.size == 0
+
+    def test_take_slash24s_exact_total(self):
+        allocator = _PrefixAllocator()
+        prefixes = allocator.take_slash24s(7)
+        total = sum(p.size for p in prefixes) // 256
+        assert total == 7
+
+    def test_take_slash24s_uses_large_prefixes(self):
+        allocator = _PrefixAllocator()
+        prefixes = allocator.take_slash24s(2048)
+        assert min(p.length for p in prefixes) == 13

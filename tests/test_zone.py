@@ -1,0 +1,136 @@
+"""Unit tests for zone generation."""
+
+import pytest
+
+from repro.dns.zone import (
+    Zone,
+    ZoneConfig,
+    ZoneGenerator,
+    domains_by_hoster,
+)
+from repro.internet.hosting import HostingConfig, HostingEcosystem
+from repro.internet.topology import InternetTopology, TopologyConfig
+
+
+@pytest.fixture(scope="module")
+def ecosystem():
+    topology = InternetTopology.generate(TopologyConfig(seed=51, n_ases=60))
+    return HostingEcosystem.generate(topology, HostingConfig(seed=52))
+
+
+@pytest.fixture(scope="module")
+def zones_and_gen(ecosystem):
+    generator = ZoneGenerator(
+        ecosystem, ZoneConfig(seed=53, n_domains=1500, n_days=60)
+    )
+    return generator.generate(), generator
+
+
+class TestGeneration:
+    def test_three_tlds(self, zones_and_gen):
+        zones, _ = zones_and_gen
+        assert {z.tld for z in zones} == {"com", "net", "org"}
+
+    def test_com_dominates(self, zones_and_gen):
+        zones, _ = zones_and_gen
+        by_tld = {z.tld: len(z) for z in zones}
+        assert by_tld["com"] > by_tld["net"] > 0
+        assert by_tld["com"] > by_tld["org"] > 0
+        assert by_tld["com"] / 1500 > 0.7
+
+    def test_total_domain_count(self, zones_and_gen):
+        zones, _ = zones_and_gen
+        assert sum(len(z) for z in zones) == 1500
+
+    def test_most_domains_have_www(self, zones_and_gen):
+        zones, _ = zones_and_gen
+        total = sum(len(z) for z in zones)
+        web = sum(len(list(z.web_domains())) for z in zones)
+        assert 0.8 < web / total < 0.95
+
+    def test_every_domain_has_initial_state(self, zones_and_gen):
+        zones, _ = zones_and_gen
+        for zone in zones:
+            for domain in zone.domains:
+                assert domain.state_on(domain.registered_day) is not None
+
+    def test_some_registered_during_window(self, zones_and_gen):
+        zones, _ = zones_and_gen
+        late = [
+            d for z in zones for d in z.domains if d.registered_day > 0
+        ]
+        assert 0.05 < len(late) / 1500 < 0.25
+
+    def test_self_hosted_ips_tracked(self, zones_and_gen):
+        zones, generator = zones_and_gen
+        self_hosted = generator.self_hosted_web_ips()
+        assert self_hosted
+        assert len(set(self_hosted)) == len(self_hosted)
+
+    def test_cloud_platform_customers_get_cnames(self, zones_and_gen, ecosystem):
+        zones, _ = zones_and_gen
+        wix = ecosystem.hoster_by_name("Wix")
+        wix_domains = [
+            d
+            for z in zones
+            for d in z.domains
+            if d.states()[0].hoster == "Wix"
+        ]
+        assert wix_domains
+        for domain in wix_domains:
+            state = domain.states()[0]
+            assert state.cname is not None
+            assert state.cname.endswith(wix.cname_suffix)
+            assert state.ip in wix.ips
+
+    def test_native_platform_customers_have_no_cname(self, zones_and_gen):
+        zones, _ = zones_and_gen
+        godaddy_domains = [
+            d
+            for z in zones
+            for d in z.domains
+            if d.states()[0].hoster == "GoDaddy"
+        ]
+        assert godaddy_domains
+        assert all(d.states()[0].cname is None for d in godaddy_domains)
+
+    def test_deterministic(self):
+        """Same seeds + fresh ecosystems -> identical zones. (Zone
+        generation consumes the ecosystem's self-hosting allocator, so the
+        ecosystem must be rebuilt, not reused.)"""
+        def build():
+            topology = InternetTopology.generate(
+                TopologyConfig(seed=54, n_ases=40)
+            )
+            eco = HostingEcosystem.generate(topology, HostingConfig(seed=55))
+            config = ZoneConfig(seed=99, n_domains=200, n_days=10)
+            return ZoneGenerator(eco, config).generate()
+
+        a = build()
+        b = build()
+        ips_a = [d.states()[0].ip for z in a for d in z.domains]
+        ips_b = [d.states()[0].ip for z in b for d in z.domains]
+        assert ips_a == ips_b
+
+
+class TestValidation:
+    def test_rejects_zero_domains(self, ecosystem):
+        with pytest.raises(ValueError):
+            ZoneGenerator(ecosystem, ZoneConfig(n_domains=0))
+
+    def test_rejects_bad_shares(self, ecosystem):
+        with pytest.raises(ValueError):
+            ZoneGenerator(
+                ecosystem,
+                ZoneConfig(tld_shares={"com": 0.5, "net": 0.1}),
+            )
+
+
+class TestGrouping:
+    def test_domains_by_hoster(self, zones_and_gen):
+        zones, _ = zones_and_gen
+        grouped = domains_by_hoster(zones)
+        assert None in grouped  # self-hosted
+        assert "GoDaddy" in grouped
+        total = sum(len(v) for v in grouped.values())
+        assert total == 1500
