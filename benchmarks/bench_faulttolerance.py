@@ -1,0 +1,44 @@
+"""Fault tolerance: headline-ratio drift under the standard fault plan.
+
+Runs the bench scenario once healthy and once through the resilient
+runner under ``FaultPlan.standard`` (telescope gaps, honeypot churn,
+missed OpenINTEL snapshots, DPS record corruption), then records how far
+the paper's headline ratios drift and what each feed lost. The rendered
+``DataQualityReport`` lands in ``benchmarks/out/faulttolerance.txt`` so
+drift can be tracked across revisions of the pipeline.
+"""
+
+from repro.faults.plan import FaultPlan
+from repro.pipeline.quality import HeadlineMetrics
+from repro.pipeline.runner import run_resilient
+
+#: Fixed plan seed: the drift numbers are comparable across revisions.
+FAULT_SEED = 7
+
+
+def test_faulttolerance_drift(benchmark, sim, bench_config, write_report):
+    baseline = HeadlineMetrics.from_result(sim)
+    plan = FaultPlan.standard(
+        bench_config.n_days,
+        seed=FAULT_SEED,
+        n_honeypots=bench_config.n_honeypots,
+    )
+
+    degraded = benchmark.pedantic(
+        lambda: run_resilient(
+            bench_config, plan=plan, baseline=baseline, sleep=lambda _d: None
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    quality = degraded.quality
+    write_report("faulttolerance", quality.render())
+
+    # The standard plan is lossy but mild: the pipeline must complete with
+    # every stage ok and the headline ratios within a few points.
+    assert all(stage.status == "ok" for stage in quality.stages)
+    drift = quality.headline_drift()
+    assert drift, "expected drift metrics against the healthy baseline"
+    assert drift["attacked_slash24_fraction"] <= 0.05
+    assert drift["attacked_site_fraction"] <= 0.10
+    assert drift["migrating_fraction"] <= 0.05

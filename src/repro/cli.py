@@ -6,7 +6,10 @@ Commands:
   saving the fused event data set as JSON Lines);
 * ``report``   — run a scenario and regenerate the paper's full evaluation
   (all tables and figures), to stdout or a directory;
-* ``headline`` — the fast path to the paper's headline ratios.
+* ``headline`` — the fast path to the paper's headline ratios;
+* ``robustness`` — degraded-mode runs under a fault plan: each feed forced
+  down in turn (or one mixed standard plan), with a per-feed
+  ``DataQualityReport`` and headline-ratio drift vs. the fault-free run.
 """
 
 from __future__ import annotations
@@ -17,11 +20,12 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.core.report import render_table1
-from repro.core.taxonomy import classify_sites, taxonomy_counts
-from repro.core.webmap import WebImpactAnalysis
+from repro.faults.plan import ALL_FEEDS, FaultPlan
 from repro.pipeline.config import ScenarioConfig
 from repro.pipeline.datasets import save_events_jsonl
 from repro.pipeline.fullreport import REPORT_ORDER, generate_full_report
+from repro.pipeline.quality import HeadlineMetrics
+from repro.pipeline.runner import run_resilient
 from repro.pipeline.simulation import run_simulation
 
 _PRESETS = {
@@ -64,6 +68,28 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     subparsers.add_parser("headline", help="print the headline ratios")
+
+    robustness = subparsers.add_parser(
+        "robustness",
+        help="run with injected faults and print data-quality reports",
+    )
+    robustness.add_argument(
+        "--plan", choices=("sweep", "standard"), default="sweep",
+        help="'sweep' forces each feed down in turn; 'standard' runs one "
+             "mixed realistic fault plan (default: sweep)",
+    )
+    robustness.add_argument(
+        "--feed", choices=sorted(ALL_FEEDS) + ["all"], default="all",
+        help="restrict the sweep to one feed (default: all)",
+    )
+    robustness.add_argument(
+        "--fault-seed", type=int, default=7,
+        help="seed for the standard fault plan (default: 7)",
+    )
+    robustness.add_argument(
+        "--timings", action="store_true",
+        help="include per-stage wall times (non-deterministic output)",
+    )
     return parser
 
 
@@ -106,26 +132,51 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 def cmd_headline(args: argparse.Namespace) -> int:
     result = run_simulation(_config(args))
-    fraction = result.census.attacked_fraction(
-        result.fused.combined.unique_slash24s()
-    )
-    impact = WebImpactAnalysis(result.web_index)
-    histories = impact.site_histories(result.fused.combined.events)
-    counts = taxonomy_counts(
-        classify_sites(
-            result.openintel.first_seen,
-            {d: h.first_attack_day() for d, h in histories.items()},
-            result.dps_usage.first_day_by_domain(),
-        )
-    )
-    print(f"attacks observed:            {len(result.fused.combined)}")
-    print(f"unique targets:              "
-          f"{len(result.fused.combined.unique_targets())}")
-    print(f"active /24s attacked:        {fraction:.1%}  (paper: ~33%)")
+    metrics = HeadlineMetrics.from_result(result)
+    print(f"attacks observed:            {metrics.attacks}")
+    print(f"unique targets:              {metrics.unique_targets}")
+    print(f"active /24s attacked:        "
+          f"{metrics.attacked_slash24_fraction:.1%}  (paper: ~33%)")
     print(f"Web sites on attacked IPs:   "
-          f"{counts.attacked_fraction:.1%}  (paper: 64%)")
+          f"{metrics.attacked_site_fraction:.1%}  (paper: 64%)")
     print(f"attacked sites migrating:    "
-          f"{counts.attacked_migrating_fraction:.2%}  (paper: 4.31%)")
+          f"{metrics.migrating_fraction:.2%}  (paper: 4.31%)")
+    return 0
+
+
+def cmd_robustness(args: argparse.Namespace) -> int:
+    config = _config(args)
+    result = run_simulation(config)
+    baseline = HeadlineMetrics.from_result(result)
+    print("fault-free baseline:")
+    print(f"  attacks observed:      {baseline.attacks}")
+    print(f"  active /24s attacked:  {baseline.attacked_slash24_fraction:.1%}")
+    print(f"  sites on attacked IPs: {baseline.attacked_site_fraction:.1%}")
+    print(f"  attacked sites moving: {baseline.migrating_fraction:.2%}")
+    if args.plan == "standard":
+        plans = [
+            (
+                "standard mixed fault plan",
+                FaultPlan.standard(
+                    config.n_days,
+                    seed=args.fault_seed,
+                    n_honeypots=config.n_honeypots,
+                ),
+            )
+        ]
+    else:
+        feeds = list(ALL_FEEDS) if args.feed == "all" else [args.feed]
+        plans = [
+            (
+                f"feed forced down: {feed}",
+                FaultPlan.feed_down(feed, config.n_days, config.n_honeypots),
+            )
+            for feed in feeds
+        ]
+    for title, plan in plans:
+        degraded = run_resilient(config, plan=plan, baseline=baseline)
+        print(f"\n--- {title} ---")
+        print(degraded.quality.render(timings=args.timings))
     return 0
 
 
@@ -135,6 +186,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "simulate": cmd_simulate,
         "report": cmd_report,
         "headline": cmd_headline,
+        "robustness": cmd_robustness,
     }
     return handlers[args.command](args)
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Set
+from typing import Deque, Dict, Iterable, List, Optional, Set
 
 from repro.core.events import AttackEvent, SOURCE_HONEYPOT, SOURCE_TELESCOPE
 from repro.core.webmap import WebHostingIndex
@@ -38,16 +38,26 @@ class DaySummary:
 
 @dataclass(frozen=True)
 class Alert:
-    """A day whose activity spiked against the trailing baseline."""
+    """A day whose activity spiked against the trailing baseline.
+
+    Zero-baseline days (e.g. the quiet days following a collection outage)
+    are non-alertable by construction — :class:`StreamingFusion` never
+    raises an alert against an empty baseline — so a positive baseline is
+    an invariant here, and ``factor`` is always finite.
+    """
 
     day: int
     metric: str  # "attacks" or "affected_sites"
     value: int
     baseline: float
 
+    def __post_init__(self) -> None:
+        if self.baseline <= 0:
+            raise ValueError("alerts require a positive baseline")
+
     @property
     def factor(self) -> float:
-        return self.value / self.baseline if self.baseline else float("inf")
+        return self.value / self.baseline
 
 
 @dataclass
@@ -76,6 +86,7 @@ class StreamingFusion:
         web_index: Optional[WebHostingIndex] = None,
         baseline_days: int = 7,
         alert_factor: float = 3.0,
+        outage_days: Optional[Iterable[int]] = None,
     ) -> None:
         if baseline_days < 1:
             raise ValueError("baseline needs at least one day")
@@ -84,6 +95,11 @@ class StreamingFusion:
         self.web_index = web_index
         self.baseline_days = baseline_days
         self.alert_factor = alert_factor
+        # Days with known collection gaps: excluded from the trailing
+        # baseline and never alerted on themselves, so an outage day's
+        # artificially low volume cannot make the next healthy day look
+        # like a spike (nor itself look like a dip-then-spike).
+        self.outage_days: Set[int] = set(outage_days or ())
         self.summaries: List[DaySummary] = []
         self.alerts: List[Alert] = []
         # Running whole-stream aggregates (Table 1, incrementally).
@@ -150,6 +166,10 @@ class StreamingFusion:
         self._current = _DayState(day)
         return closed
 
+    def note_outage(self, day: int) -> None:
+        """Mark *day* as a collection gap (may be called mid-stream)."""
+        self.outage_days.add(day)
+
     def _close_day(self, state: _DayState) -> DaySummary:
         summary = DaySummary(
             day=state.day,
@@ -162,6 +182,10 @@ class StreamingFusion:
             affected_sites=len(state.sites),
         )
         self.summaries.append(summary)
+        if summary.day in self.outage_days:
+            # A gap day: its depressed counts are a measurement artifact,
+            # not a quiet Internet — keep it out of the baseline entirely.
+            return summary
         self._maybe_alert(summary)
         self._recent_attacks.append(summary.attacks)
         self._recent_sites.append(summary.affected_sites)
@@ -171,12 +195,16 @@ class StreamingFusion:
         if len(self._recent_attacks) < self.baseline_days:
             return
         attack_baseline = sum(self._recent_attacks) / len(self._recent_attacks)
-        if attack_baseline and summary.attacks > self.alert_factor * attack_baseline:
+        # Zero-baseline days (all-quiet trailing window, e.g. right after
+        # an unplanned outage) are non-alertable: there is nothing sane to
+        # compare against, and alerting would only ever produce the inf
+        # factor the paper's operators could not act on.
+        if attack_baseline > 0 and summary.attacks > self.alert_factor * attack_baseline:
             self.alerts.append(
                 Alert(summary.day, "attacks", summary.attacks, attack_baseline)
             )
         site_baseline = sum(self._recent_sites) / len(self._recent_sites)
-        if site_baseline and summary.affected_sites > self.alert_factor * site_baseline:
+        if site_baseline > 0 and summary.affected_sites > self.alert_factor * site_baseline:
             self.alerts.append(
                 Alert(
                     summary.day,

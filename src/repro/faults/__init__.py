@@ -1,0 +1,41 @@
+"""Fault injection: seeded plans and per-feed degraders.
+
+See :mod:`repro.faults.plan` for what can go wrong and when, and
+:mod:`repro.faults.injectors` for how a plan is applied to each feed.
+"""
+
+from repro.faults.injectors import (
+    DPSFaultInjector,
+    FaultInjectorSet,
+    HoneypotFaultInjector,
+    OpenIntelFaultInjector,
+    StreamFaultInjector,
+    TelescopeFaultInjector,
+)
+from repro.faults.plan import (
+    ALL_FEEDS,
+    FEED_DPS,
+    FEED_HONEYPOT,
+    FEED_OPENINTEL,
+    FEED_TELESCOPE,
+    FaultPlan,
+    FaultPlanConfig,
+    OutageWindow,
+)
+
+__all__ = [
+    "ALL_FEEDS",
+    "FEED_DPS",
+    "FEED_HONEYPOT",
+    "FEED_OPENINTEL",
+    "FEED_TELESCOPE",
+    "FaultPlan",
+    "FaultPlanConfig",
+    "OutageWindow",
+    "FaultInjectorSet",
+    "TelescopeFaultInjector",
+    "HoneypotFaultInjector",
+    "OpenIntelFaultInjector",
+    "DPSFaultInjector",
+    "StreamFaultInjector",
+]

@@ -1,0 +1,239 @@
+"""Feed degraders: apply a :class:`~repro.faults.plan.FaultPlan` to data.
+
+Each injector sits at the point where a feed's raw data enters the
+pipeline and removes, corrupts or delays exactly what the plan says the
+real-world failure would have removed, corrupted or delayed:
+
+* telescope downtime drops packet batches before RSDoS detection (the
+  attack's backscatter never reached a collector);
+* honeypot churn drops request batches per instance (a down AmpPot logs
+  nothing, but the rest of the fleet still sees the attack);
+* OpenINTEL missed snapshots punch day-holes into the compiled hosting /
+  mail / NS intervals and postpone first-seen dates;
+* DPS record corruption drops or day-jitters usage records;
+* stream delivery faults reorder a unified event stream the way late
+  feeds would, within the fusion engine's one-day disorder tolerance.
+
+Every injector counts what it removed so the
+:class:`~repro.pipeline.quality.DataQualityReport` can state losses
+instead of letting them pass silently.
+"""
+
+from __future__ import annotations
+
+import bisect
+from random import Random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.events import AttackEvent
+from repro.dns.openintel import OpenIntelDataset
+from repro.dps.detection import DPSUsage, DPSUsageDataset
+from repro.faults.plan import DAY, FaultPlan, OutageWindow
+from repro.honeypot.amppot import RequestBatch
+from repro.net.packet import PacketBatch
+
+
+def _in_windows(windows: Sequence[OutageWindow], ts: float) -> bool:
+    return any(w.covers_ts(ts) for w in windows)
+
+
+class TelescopeFaultInjector:
+    """Drops packet batches captured during telescope downtime windows."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.windows = plan.telescope_outages
+        self.dropped_batches = 0
+        self.dropped_packets = 0
+
+    def filter(self, batches: Iterable[PacketBatch]) -> List[PacketBatch]:
+        kept: List[PacketBatch] = []
+        for batch in batches:
+            if _in_windows(self.windows, batch.timestamp):
+                self.dropped_batches += 1
+                self.dropped_packets += batch.count
+            else:
+                kept.append(batch)
+        return kept
+
+
+class HoneypotFaultInjector:
+    """Drops request batches logged by instances while they were down."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.schedule: Dict[int, Tuple[OutageWindow, ...]] = (
+            plan.honeypot_schedule()
+        )
+        self.dropped_batches = 0
+        self.dropped_requests = 0
+
+    def filter(self, batches: Iterable[RequestBatch]) -> List[RequestBatch]:
+        kept: List[RequestBatch] = []
+        for batch in batches:
+            windows = self.schedule.get(batch.honeypot_id, ())
+            if windows and _in_windows(windows, batch.timestamp):
+                self.dropped_batches += 1
+                self.dropped_requests += batch.count
+            else:
+                kept.append(batch)
+        return kept
+
+
+class OpenIntelFaultInjector:
+    """Punches missed snapshot days out of a compiled OpenINTEL data set."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.missed_days: List[int] = sorted(plan.openintel_missed_days)
+        self.n_days = plan.n_days
+        self.dropped_interval_days = 0
+        self.shifted_first_seen = 0
+        self.dropped_domains = 0
+
+    def degrade(self, dataset: OpenIntelDataset) -> OpenIntelDataset:
+        if not self.missed_days:
+            return dataset
+        first_seen: Dict[str, int] = {}
+        for domain, day in dataset.first_seen.items():
+            shifted = self._next_observed_day(day)
+            if shifted is None:
+                self.dropped_domains += 1
+                continue
+            if shifted != day:
+                self.shifted_first_seen += 1
+            first_seen[domain] = shifted
+        return OpenIntelDataset(
+            n_days=dataset.n_days,
+            zone_stats=dataset.zone_stats,
+            hosting_intervals=self._split_all(dataset.hosting_intervals),
+            first_seen=first_seen,
+            total_web_sites=dataset.total_web_sites,
+            mail_intervals=self._split_all(dataset.mail_intervals),
+            ns_intervals=self._split_all(dataset.ns_intervals),
+        )
+
+    def _next_observed_day(self, day: int) -> Optional[int]:
+        missed = set(self.missed_days)
+        while day in missed:
+            day += 1
+        return day if day < self.n_days else None
+
+    def _split_all(
+        self, intervals: Iterable[Tuple[str, int, int, int]]
+    ) -> List[Tuple[str, int, int, int]]:
+        result: List[Tuple[str, int, int, int]] = []
+        for name, ip, start, end in intervals:
+            for sub_start, sub_end in self._split(start, end):
+                result.append((name, ip, sub_start, sub_end))
+        return result
+
+    def _split(self, start: int, end: int) -> List[Tuple[int, int]]:
+        """Subintervals of [start, end) that exclude the missed days."""
+        lo = bisect.bisect_left(self.missed_days, start)
+        hi = bisect.bisect_left(self.missed_days, end)
+        holes = self.missed_days[lo:hi]
+        if not holes:
+            return [(start, end)]
+        self.dropped_interval_days += len(holes)
+        pieces: List[Tuple[int, int]] = []
+        cursor = start
+        for hole in holes:
+            if hole > cursor:
+                pieces.append((cursor, hole))
+            cursor = hole + 1
+        if cursor < end:
+            pieces.append((cursor, end))
+        return pieces
+
+
+class DPSFaultInjector:
+    """Corrupts DPS-signature usage records: drop or day-jitter them."""
+
+    #: Corrupted records split between outright loss and date corruption.
+    DROP_SHARE = 0.5
+    MAX_JITTER_DAYS = 14
+
+    def __init__(self, plan: FaultPlan, seed: Optional[int] = None) -> None:
+        self.rate = plan.dps_corruption_rate
+        self.n_days = plan.n_days
+        self._rng = Random(plan.seed * 1000003 + 11 if seed is None else seed)
+        self.dropped_records = 0
+        self.jittered_records = 0
+
+    def corrupt(self, dataset: DPSUsageDataset) -> DPSUsageDataset:
+        if self.rate <= 0.0:
+            return dataset
+        rng = self._rng
+        kept: List[DPSUsage] = []
+        for usage in dataset.usages:
+            if rng.random() >= self.rate:
+                kept.append(usage)
+                continue
+            if rng.random() < self.DROP_SHARE:
+                self.dropped_records += 1
+                continue
+            jitter = rng.randint(1, self.MAX_JITTER_DAYS)
+            if rng.random() < 0.5:
+                jitter = -jitter
+            day = min(max(usage.first_day + jitter, 0), self.n_days - 1)
+            kept.append(
+                DPSUsage(
+                    domain=usage.domain,
+                    provider=usage.provider,
+                    first_day=day,
+                )
+            )
+            self.jittered_records += 1
+        return DPSUsageDataset(usages=kept, n_days=dataset.n_days)
+
+
+class StreamFaultInjector:
+    """Delays a fraction of a unified event stream (late feed delivery).
+
+    Events keep their true timestamps; only the *delivery order* changes,
+    the way a feed that syncs hours late hands the fusion engine slightly
+    stale events. Delays are capped at the plan's ``stream_max_delay``,
+    which must stay within :class:`~repro.core.streaming.StreamingFusion`'s
+    one-day disorder tolerance for the stream to remain consumable.
+    """
+
+    def __init__(self, plan: FaultPlan, seed: Optional[int] = None) -> None:
+        if plan.stream_max_delay >= DAY:
+            raise ValueError(
+                "stream delay must stay below the fusion one-day tolerance"
+            )
+        self.late_fraction = plan.stream_late_fraction
+        self.max_delay = plan.stream_max_delay
+        self._rng = Random(plan.seed * 1000003 + 13 if seed is None else seed)
+        self.late_events = 0
+
+    def deliver(self, events: Iterable[AttackEvent]) -> List[AttackEvent]:
+        """Events in delivery order (late ones pushed back, none lost)."""
+        rng = self._rng
+        keyed: List[Tuple[float, int, AttackEvent]] = []
+        for index, event in enumerate(events):
+            delivery = event.start_ts
+            if self.late_fraction and rng.random() < self.late_fraction:
+                delivery += rng.uniform(0.0, self.max_delay)
+                self.late_events += 1
+            keyed.append((delivery, index, event))
+        keyed.sort(key=lambda item: (item[0], item[1]))
+        return [event for _, _, event in keyed]
+
+
+class FaultInjectorSet:
+    """All per-feed injectors for one plan, plus their loss counters."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.telescope = TelescopeFaultInjector(plan)
+        self.honeypot = HoneypotFaultInjector(plan)
+        self.openintel = OpenIntelFaultInjector(plan)
+        self.dps = DPSFaultInjector(plan)
+        self.stream = StreamFaultInjector(plan)
+
+    def dropped_counts(self) -> Dict[str, int]:
+        return {
+            "telescope": self.telescope.dropped_batches,
+            "honeypot": self.honeypot.dropped_batches,
+            "openintel": self.openintel.dropped_interval_days,
+            "dps": self.dps.dropped_records + self.dps.jittered_records,
+        }

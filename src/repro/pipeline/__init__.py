@@ -1,10 +1,24 @@
-"""End-to-end orchestration: scenario configs, simulation, serialization."""
+"""End-to-end orchestration: scenario configs, simulation, serialization,
+resilient stage running and data-quality reporting."""
 
 from repro.pipeline.config import ScenarioConfig
 from repro.pipeline.simulation import SimulationResult, run_simulation
 from repro.pipeline.datasets import (
     load_events_jsonl,
     save_events_jsonl,
+)
+from repro.pipeline.quality import (
+    DataQualityReport,
+    FeedQuality,
+    HeadlineMetrics,
+    StageReport,
+)
+from repro.pipeline.runner import (
+    ResilientPipeline,
+    RetryPolicy,
+    StageFailedError,
+    TransientStageError,
+    run_resilient,
 )
 
 __all__ = [
@@ -13,4 +27,13 @@ __all__ = [
     "run_simulation",
     "load_events_jsonl",
     "save_events_jsonl",
+    "DataQualityReport",
+    "FeedQuality",
+    "HeadlineMetrics",
+    "StageReport",
+    "ResilientPipeline",
+    "RetryPolicy",
+    "StageFailedError",
+    "TransientStageError",
+    "run_resilient",
 ]

@@ -8,6 +8,7 @@ infrastructure that produced them.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Iterable, List, Union
 
@@ -49,12 +50,27 @@ def event_from_dict(data: dict) -> AttackEvent:
 def save_events_jsonl(
     events: Iterable[AttackEvent], path: Union[str, Path]
 ) -> int:
-    """Write events as JSON Lines; returns the number written."""
+    """Write events as JSON Lines, atomically; returns the number written.
+
+    The file is written to a same-directory temp path and moved into place
+    with :func:`os.replace`, so an interrupted run (crash, kill, injected
+    stage failure) can never leave a truncated data set behind — readers
+    see either the previous complete file or the new complete file.
+    """
+    path = Path(path)
+    tmp_path = path.with_name(path.name + ".tmp")
     count = 0
-    with open(path, "w", encoding="utf-8") as handle:
-        for event in events:
-            handle.write(json.dumps(event_to_dict(event)) + "\n")
-            count += 1
+    try:
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            for event in events:
+                handle.write(json.dumps(event_to_dict(event)) + "\n")
+                count += 1
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    finally:
+        if tmp_path.exists():
+            tmp_path.unlink()
     return count
 
 

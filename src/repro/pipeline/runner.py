@@ -1,0 +1,382 @@
+"""Resilient stage orchestration over the simulation pipeline.
+
+``run_simulation`` is the happy path: six stages chained directly, any
+exception fatal. :class:`ResilientPipeline` runs the same stage functions
+under supervision instead:
+
+* **timing** — every stage's wall time and attempt count is recorded in a
+  :class:`~repro.pipeline.quality.StageReport`;
+* **retry with backoff** — :class:`TransientStageError` (the injectable
+  stand-in for a flaky collector, full disk, or dropped connection) is
+  retried up to ``RetryPolicy.max_attempts`` times with exponential
+  backoff;
+* **checkpointing** — completed stage outputs are kept, so a run that died
+  mid-pipeline resumes from the first incomplete stage instead of
+  regenerating the Internet;
+* **graceful degradation** — an observation/measurement stage that stays
+  broken yields an *empty but correctly typed* feed plus a quality flag,
+  and the pipeline completes with honest, quantified losses. Core stages
+  (internet, attacks, migration, fusion) have no meaningful degraded
+  output and still fail the run.
+
+A :class:`~repro.faults.plan.FaultPlan` wires per-feed injectors into the
+observation stages and can schedule transient stage failures, which makes
+the whole failure envelope reproducible from two integers (scenario seed,
+fault seed).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.dns.openintel import OpenIntelDataset
+from repro.dps.detection import DPSUsageDataset
+from repro.faults.injectors import FaultInjectorSet
+from repro.faults.plan import (
+    FEED_DPS,
+    FEED_HONEYPOT,
+    FEED_OPENINTEL,
+    FEED_TELESCOPE,
+    FaultPlan,
+)
+from repro.pipeline.config import ScenarioConfig
+from repro.pipeline.quality import (
+    DataQualityReport,
+    FeedQuality,
+    HeadlineMetrics,
+    STATUS_DOWN,
+    StageReport,
+    feed_status,
+)
+from repro.pipeline.simulation import (
+    SimulationResult,
+    assemble_result,
+    build_internet,
+    fuse_observations,
+    measure_dns,
+    observe_honeypots,
+    observe_telescope,
+    run_migration,
+    schedule_attacks,
+)
+
+#: Orchestrated stage names, in execution order.
+STAGE_ORDER = (
+    "internet",
+    "attacks",
+    "migration",
+    "telescope",
+    "honeypot",
+    "measurement",
+    "fusion",
+)
+
+class TransientStageError(RuntimeError):
+    """A stage failure worth retrying (collector hiccup, not a bug)."""
+
+
+class StageFailedError(RuntimeError):
+    """A core stage exhausted its retries; the run cannot continue."""
+
+    def __init__(self, stage: str, cause: Exception) -> None:
+        super().__init__(f"stage {stage!r} failed permanently: {cause}")
+        self.stage = stage
+        self.cause = cause
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How patient the runner is with transient failures."""
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("need at least one attempt")
+        if self.backoff_base < 0 or self.backoff_factor < 1:
+            raise ValueError("backoff must be non-negative and non-shrinking")
+
+    def delay(self, attempt: int) -> float:
+        """Sleep before retry number *attempt* (1-based)."""
+        return self.backoff_base * self.backoff_factor ** (attempt - 1)
+
+
+class ResilientPipeline:
+    """Supervised execution of the simulation with optional fault plan."""
+
+    def __init__(
+        self,
+        config: ScenarioConfig,
+        plan: Optional[FaultPlan] = None,
+        retry: RetryPolicy = RetryPolicy(),
+        sleep: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        self.config = config
+        self.plan = plan if plan is not None else FaultPlan.none(
+            config.n_days, config.n_honeypots
+        )
+        if self.plan.n_days != config.n_days:
+            raise ValueError(
+                "fault plan window does not match the scenario window"
+            )
+        self.retry = retry
+        self.injectors = FaultInjectorSet(self.plan)
+        self.stage_reports: List[StageReport] = []
+        self._checkpoints: Dict[str, Any] = {}
+        self._pending_failures = self.plan.transient_failure_counts()
+        self._degraded_stages: set = set()
+        self._sleep = sleep if sleep is not None else time.sleep
+
+    # -- orchestration --------------------------------------------------------
+
+    def run(
+        self, baseline: Optional[HeadlineMetrics] = None
+    ) -> SimulationResult:
+        """Run (or resume) the pipeline; returns a result with ``quality``."""
+        config = self.config
+        self.stage_reports = []
+        internet = self._run_stage("internet", lambda: build_internet(config))
+        ground_truth = self._run_stage(
+            "attacks", lambda: schedule_attacks(config, internet)
+        )
+        diversion_log, ledger = self._run_stage(
+            "migration",
+            lambda: run_migration(config, internet, ground_truth),
+        )
+        telescope_events = self._run_stage(
+            "telescope",
+            lambda: observe_telescope(
+                config, ground_truth, fault=self.injectors.telescope
+            ),
+            degraded_factory=list,
+        )
+        honeypot_events = self._run_stage(
+            "honeypot",
+            lambda: observe_honeypots(
+                config, ground_truth, fault=self.injectors.honeypot
+            ),
+            degraded_factory=list,
+        )
+        openintel, dps_usage = self._run_stage(
+            "measurement",
+            lambda: measure_dns(
+                config,
+                internet,
+                diversion_log,
+                openintel_fault=self.injectors.openintel,
+                dps_fault=self.injectors.dps,
+            ),
+            degraded_factory=self._empty_measurement,
+        )
+        fused, web_index = self._run_stage(
+            "fusion",
+            lambda: fuse_observations(
+                internet, telescope_events, honeypot_events, openintel
+            ),
+        )
+        result = assemble_result(
+            config,
+            internet,
+            diversion_log,
+            ledger,
+            ground_truth,
+            telescope_events,
+            honeypot_events,
+            fused,
+            openintel,
+            dps_usage,
+            web_index,
+        )
+        result.quality = self._build_quality(result, baseline)
+        return result
+
+    def _run_stage(
+        self,
+        name: str,
+        fn: Callable[[], Any],
+        degraded_factory: Optional[Callable[[], Any]] = None,
+    ) -> Any:
+        if name in self._checkpoints:
+            self.stage_reports.append(
+                StageReport(name=name, status="cached", attempts=0)
+            )
+            return self._checkpoints[name]
+        start = time.perf_counter()
+        attempts = 0
+        last_error: Optional[Exception] = None
+        while attempts < self.retry.max_attempts:
+            attempts += 1
+            try:
+                self._maybe_inject_failure(name)
+                output = fn()
+            except TransientStageError as exc:
+                last_error = exc
+                if attempts < self.retry.max_attempts:
+                    self._sleep(self.retry.delay(attempts))
+                continue
+            self._checkpoints[name] = output
+            self.stage_reports.append(
+                StageReport(
+                    name=name,
+                    status="ok",
+                    attempts=attempts,
+                    elapsed=time.perf_counter() - start,
+                )
+            )
+            return output
+        if degraded_factory is not None:
+            output = degraded_factory()
+            self._checkpoints[name] = output
+            self._degraded_stages.add(name)
+            self.stage_reports.append(
+                StageReport(
+                    name=name,
+                    status="degraded",
+                    attempts=attempts,
+                    elapsed=time.perf_counter() - start,
+                    error=str(last_error),
+                )
+            )
+            return output
+        self.stage_reports.append(
+            StageReport(
+                name=name,
+                status="failed",
+                attempts=attempts,
+                elapsed=time.perf_counter() - start,
+                error=str(last_error),
+            )
+        )
+        raise StageFailedError(name, last_error)
+
+    def _maybe_inject_failure(self, name: str) -> None:
+        remaining = self._pending_failures.get(name, 0)
+        if remaining > 0:
+            self._pending_failures[name] = remaining - 1
+            raise TransientStageError(
+                f"injected transient failure in stage {name!r}"
+            )
+
+    def _empty_measurement(self):
+        """Typed empty outputs for a measurement feed that stayed down."""
+        openintel = OpenIntelDataset(
+            n_days=self.config.n_days,
+            zone_stats=[],
+            hosting_intervals=[],
+            first_seen={},
+        )
+        return openintel, DPSUsageDataset(usages=[], n_days=self.config.n_days)
+
+    # -- quality accounting ---------------------------------------------------
+
+    def _build_quality(
+        self,
+        result: SimulationResult,
+        baseline: Optional[HeadlineMetrics],
+    ) -> DataQualityReport:
+        plan, inj = self.plan, self.injectors
+        feeds = [
+            self._feed_quality(
+                FEED_TELESCOPE,
+                stage="telescope",
+                uptime=plan.telescope_uptime(),
+                observed=len(result.telescope_events),
+                dropped=inj.telescope.dropped_batches,
+                detail=(
+                    f"{inj.telescope.dropped_packets} backscatter packets lost"
+                    if inj.telescope.dropped_packets
+                    else ""
+                ),
+            ),
+            self._feed_quality(
+                FEED_HONEYPOT,
+                stage="honeypot",
+                uptime=plan.honeypot_uptime(),
+                observed=len(result.honeypot_events),
+                dropped=inj.honeypot.dropped_batches,
+                detail=(
+                    f"{inj.honeypot.dropped_requests} requests lost"
+                    if inj.honeypot.dropped_requests
+                    else ""
+                ),
+            ),
+            self._feed_quality(
+                FEED_OPENINTEL,
+                stage="measurement",
+                uptime=plan.openintel_uptime(),
+                observed=len(result.openintel.hosting_intervals),
+                dropped=inj.openintel.dropped_interval_days,
+                detail=(
+                    f"{len(plan.openintel_missed_days)} snapshots missed, "
+                    f"{inj.openintel.shifted_first_seen} first-seen shifted"
+                    if plan.openintel_missed_days
+                    else ""
+                ),
+            ),
+            self._feed_quality(
+                FEED_DPS,
+                stage="measurement",
+                uptime=plan.dps_uptime(),
+                observed=len(result.dps_usage.usages),
+                dropped=inj.dps.dropped_records + inj.dps.jittered_records,
+                detail=(
+                    f"{inj.dps.dropped_records} dropped, "
+                    f"{inj.dps.jittered_records} day-jittered"
+                    if plan.dps_corruption_rate
+                    else ""
+                ),
+            ),
+        ]
+        headline = HeadlineMetrics.from_result(result)
+        return DataQualityReport(
+            feeds=feeds,
+            stages=list(self.stage_reports),
+            headline=headline,
+            baseline=baseline,
+            plan_description=plan.describe(),
+        )
+
+    def _feed_quality(
+        self,
+        feed: str,
+        stage: str,
+        uptime: float,
+        observed: int,
+        dropped: int,
+        detail: str,
+    ) -> FeedQuality:
+        if stage in self._degraded_stages:
+            # The stage itself died: whatever the plan says, the feed is out.
+            return FeedQuality(
+                feed=feed,
+                uptime=0.0,
+                events_observed=observed,
+                events_dropped=dropped,
+                status=STATUS_DOWN,
+                detail="stage failed permanently; empty feed substituted",
+            )
+        return FeedQuality(
+            feed=feed,
+            uptime=uptime,
+            events_observed=observed,
+            events_dropped=dropped,
+            status=feed_status(uptime, dropped),
+            detail=detail,
+        )
+
+
+def run_resilient(
+    config: ScenarioConfig,
+    plan: Optional[FaultPlan] = None,
+    baseline: Optional[HeadlineMetrics] = None,
+    retry: RetryPolicy = RetryPolicy(),
+    sleep: Optional[Callable[[float], None]] = None,
+) -> SimulationResult:
+    """One-shot convenience wrapper around :class:`ResilientPipeline`."""
+    return ResilientPipeline(config, plan=plan, retry=retry, sleep=sleep).run(
+        baseline=baseline
+    )

@@ -10,14 +10,21 @@
 5. compile the OpenINTEL measurement and detect DPS usage from DNS;
 6. annotate and fuse the event data sets.
 
+Each step is a standalone stage function so the resilient orchestrator in
+:mod:`repro.pipeline.runner` can wrap every stage with timing, retries,
+checkpointing and fault injection while ``run_simulation`` stays the plain
+fast path. The observation/measurement stages accept optional fault
+injectors (see :mod:`repro.faults`) that degrade the feed the way the real
+lossy infrastructures would.
+
 The result object carries every layer so tests, examples and benchmarks can
 reach both ground truth and observations.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
 
 from repro.attacks.attacker import GroundTruthAttack
 from repro.attacks.schedule import AttackSchedule, TargetPools
@@ -61,15 +68,32 @@ class SimulationResult:
     openintel: OpenIntelDataset
     dps_usage: DPSUsageDataset
     web_index: WebHostingIndex
+    # Attached by the resilient runner; None for plain fault-free runs.
+    quality: Optional["DataQualityReport"] = None
 
     @property
     def n_days(self) -> int:
         return self.config.n_days
 
 
-def run_simulation(config: ScenarioConfig = ScenarioConfig()) -> SimulationResult:
-    """Run the full pipeline for one scenario."""
-    # 1. The Internet.
+# -- stage functions ---------------------------------------------------------
+
+
+@dataclass
+class InternetLayer:
+    """Stage 1 output: the synthetic Internet every later stage reads."""
+
+    topology: InternetTopology
+    census: ActiveAddressCensus
+    ecosystem: HostingEcosystem
+    zones: List[Zone]
+    providers: List[DPSProvider]
+    ns_directory: NameServerDirectory
+    self_hosted_web_ips: List[int] = field(default_factory=list)
+
+
+def build_internet(config: ScenarioConfig) -> InternetLayer:
+    """Stage 1: topology, census, hosting, zones, providers, name servers."""
     topology = InternetTopology.generate(config.topology_config())
     census = ActiveAddressCensus.from_topology(
         topology, config.active_fraction, config.census_seed()
@@ -79,41 +103,69 @@ def run_simulation(config: ScenarioConfig = ScenarioConfig()) -> SimulationResul
     zones = zone_generator.generate()
     providers = build_providers(topology)
     ns_directory = NameServerDirectory.build(ecosystem, providers, topology)
+    return InternetLayer(
+        topology=topology,
+        census=census,
+        ecosystem=ecosystem,
+        zones=zones,
+        providers=providers,
+        ns_directory=ns_directory,
+        self_hosted_web_ips=zone_generator.self_hosted_web_ips(),
+    )
 
-    # 2. Ground-truth attacks.
+
+def schedule_attacks(
+    config: ScenarioConfig, internet: InternetLayer
+) -> List[GroundTruthAttack]:
+    """Stage 2: two years of ground-truth attacks against the pools."""
     dps_infra_ips = [
-        address for provider in providers for address in provider.edge_addresses()
+        address
+        for provider in internet.providers
+        for address in provider.edge_addresses()
     ]
     pools = TargetPools.build(
-        topology,
-        ecosystem,
-        self_hosted_web_ips=zone_generator.self_hosted_web_ips(),
+        internet.topology,
+        internet.ecosystem,
+        self_hosted_web_ips=internet.self_hosted_web_ips,
         dps_infra_ips=dps_infra_ips,
     )
     # Name servers share the mail/infrastructure target pool: both are
     # non-Web supporting services the paper found under attack.
-    pools.mail.extend(ns_directory.addresses())
+    pools.mail.extend(internet.ns_directory.addresses())
     schedule = AttackSchedule(
         pools,
-        topology.geo,
+        internet.topology.geo,
         config.schedule_config(),
         config.direct_attack_config(),
         config.reflection_attack_config(),
     )
-    ground_truth = schedule.generate()
+    return schedule.generate()
 
-    # 3. Behavioural DPS migration (mutates zone timelines).
+
+def run_migration(
+    config: ScenarioConfig,
+    internet: InternetLayer,
+    ground_truth: List[GroundTruthAttack],
+) -> Tuple[BGPDiversionLog, MigrationLedger]:
+    """Stage 3: behavioural DPS migration (mutates zone timelines)."""
     diversion_log = BGPDiversionLog()
     migration = MigrationSimulator(
-        zones,
-        providers,
-        ecosystem,
+        internet.zones,
+        internet.providers,
+        internet.ecosystem,
         config.migration_config(),
         diversion_log=diversion_log,
     )
     ledger = migration.run(ground_truth, config.n_days)
+    return diversion_log, ledger
 
-    # 4. Observation: telescope.
+
+def observe_telescope(
+    config: ScenarioConfig,
+    ground_truth: List[GroundTruthAttack],
+    fault=None,
+) -> List[TelescopeEvent]:
+    """Stage 4: the darknet capture, optionally degraded, then RSDoS."""
     noise = (
         TelescopeNoise(config.telescope_noise_config())
         if config.telescope_noise
@@ -123,41 +175,86 @@ def run_simulation(config: ScenarioConfig = ScenarioConfig()) -> SimulationResul
         backscatter=BackscatterModel(config.backscatter_config()), noise=noise
     )
     capture = telescope.capture(ground_truth, n_days=config.n_days)
-    telescope_events = list(RSDoSDetector(config.rsdos_config()).run(capture))
+    if fault is not None:
+        capture = fault.filter(capture)
+    return list(RSDoSDetector(config.rsdos_config()).run(capture))
 
-    # 4b. Observation: honeypots.
+
+def observe_honeypots(
+    config: ScenarioConfig,
+    ground_truth: List[GroundTruthAttack],
+    fault=None,
+) -> List[AmpPotEvent]:
+    """Stage 4b: the fleet's request log, optionally degraded, then events."""
     fleet = AmpPotFleet(config.fleet_config())
     request_log = fleet.capture(
         ground_truth, n_days=config.n_days if config.honeypot_noise else 0
     )
-    honeypot_events = list(
+    if fault is not None:
+        request_log = fault.filter(request_log)
+    return list(
         HoneypotDetector(config.honeypot_detection_config()).run(request_log)
     )
 
-    # 5. DNS measurement and DPS detection.
-    platform = OpenIntelPlatform(zones, config.n_days)
-    openintel = platform.measure(ns_directory=ns_directory)
-    detector = DPSDetector(providers, diversion_log=diversion_log)
-    dps_usage = detector.scan(zones, config.n_days)
 
-    # 6. Fusion.
+def measure_dns(
+    config: ScenarioConfig,
+    internet: InternetLayer,
+    diversion_log: BGPDiversionLog,
+    openintel_fault=None,
+    dps_fault=None,
+) -> Tuple[OpenIntelDataset, DPSUsageDataset]:
+    """Stage 5: daily DNS measurement and DPS-signature detection."""
+    platform = OpenIntelPlatform(internet.zones, config.n_days)
+    openintel = platform.measure(ns_directory=internet.ns_directory)
+    if openintel_fault is not None:
+        openintel = openintel_fault.degrade(openintel)
+    detector = DPSDetector(internet.providers, diversion_log=diversion_log)
+    dps_usage = detector.scan(internet.zones, config.n_days)
+    if dps_fault is not None:
+        dps_usage = dps_fault.corrupt(dps_usage)
+    return openintel, dps_usage
+
+
+def fuse_observations(
+    internet: InternetLayer,
+    telescope_events: List[TelescopeEvent],
+    honeypot_events: List[AmpPotEvent],
+    openintel: OpenIntelDataset,
+) -> Tuple[FusedDataset, WebHostingIndex]:
+    """Stage 6: annotate, fuse, and index the Web hosting intervals."""
     telescope_dataset = AttackDataset.from_telescope_events(
         telescope_events
-    ).annotated(topology.geo, topology.routing)
+    ).annotated(internet.topology.geo, internet.topology.routing)
     honeypot_dataset = AttackDataset.from_honeypot_events(
         honeypot_events
-    ).annotated(topology.geo, topology.routing)
+    ).annotated(internet.topology.geo, internet.topology.routing)
     fused = FusedDataset(telescope_dataset, honeypot_dataset)
     web_index = WebHostingIndex(openintel.hosting_intervals)
+    return fused, web_index
 
+
+def assemble_result(
+    config: ScenarioConfig,
+    internet: InternetLayer,
+    diversion_log: BGPDiversionLog,
+    ledger: MigrationLedger,
+    ground_truth: List[GroundTruthAttack],
+    telescope_events: List[TelescopeEvent],
+    honeypot_events: List[AmpPotEvent],
+    fused: FusedDataset,
+    openintel: OpenIntelDataset,
+    dps_usage: DPSUsageDataset,
+    web_index: WebHostingIndex,
+) -> SimulationResult:
     return SimulationResult(
         config=config,
-        topology=topology,
-        census=census,
-        ecosystem=ecosystem,
-        zones=zones,
-        providers=providers,
-        ns_directory=ns_directory,
+        topology=internet.topology,
+        census=internet.census,
+        ecosystem=internet.ecosystem,
+        zones=internet.zones,
+        providers=internet.providers,
+        ns_directory=internet.ns_directory,
         diversion_log=diversion_log,
         ledger=ledger,
         ground_truth=ground_truth,
@@ -167,4 +264,30 @@ def run_simulation(config: ScenarioConfig = ScenarioConfig()) -> SimulationResul
         openintel=openintel,
         dps_usage=dps_usage,
         web_index=web_index,
+    )
+
+
+def run_simulation(config: ScenarioConfig = ScenarioConfig()) -> SimulationResult:
+    """Run the full pipeline for one scenario (the healthy fast path)."""
+    internet = build_internet(config)
+    ground_truth = schedule_attacks(config, internet)
+    diversion_log, ledger = run_migration(config, internet, ground_truth)
+    telescope_events = observe_telescope(config, ground_truth)
+    honeypot_events = observe_honeypots(config, ground_truth)
+    openintel, dps_usage = measure_dns(config, internet, diversion_log)
+    fused, web_index = fuse_observations(
+        internet, telescope_events, honeypot_events, openintel
+    )
+    return assemble_result(
+        config,
+        internet,
+        diversion_log,
+        ledger,
+        ground_truth,
+        telescope_events,
+        honeypot_events,
+        fused,
+        openintel,
+        dps_usage,
+        web_index,
     )

@@ -66,3 +66,27 @@ class TestCLI:
     def test_rejects_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["--preset", "small", "frobnicate"])
+
+    def test_robustness_single_feed(self, capsys):
+        code = main(
+            ["--preset", "small", "robustness", "--feed", "telescope"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault-free baseline" in out
+        assert "feed forced down: telescope" in out
+        assert "Data quality report" in out
+        assert "uptime" in out
+        assert "headline-ratio drift vs. fault-free baseline" in out
+        # The downed feed is flagged, the others stay healthy.
+        assert "telescope  down" in out
+
+    def test_robustness_standard_plan(self, capsys):
+        code = main(
+            ["--preset", "small", "robustness", "--plan", "standard",
+             "--fault-seed", "11"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "standard mixed fault plan" in out
+        assert "fault plan (seed=11" in out

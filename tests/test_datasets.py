@@ -52,3 +52,31 @@ class TestRoundtrip:
         assert event.ports == ()
         assert event.country == "??"
         assert event.asn is None
+
+
+class TestAtomicWrite:
+    def _failing_events(self):
+        yield events()[0]
+        raise RuntimeError("interrupted mid-write")
+
+    def test_interrupted_write_preserves_previous_file(self, tmp_path):
+        """A crash mid-write never truncates an existing data set."""
+        path = tmp_path / "events.jsonl"
+        save_events_jsonl(events(), path)
+        before = path.read_text()
+        with pytest.raises(RuntimeError):
+            save_events_jsonl(self._failing_events(), path)
+        assert path.read_text() == before
+        assert list(tmp_path.iterdir()) == [path]  # no temp leftovers
+
+    def test_interrupted_write_leaves_nothing_behind(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with pytest.raises(RuntimeError):
+            save_events_jsonl(self._failing_events(), path)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_overwrite_replaces_longer_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        save_events_jsonl(events() * 10, path)
+        save_events_jsonl(events()[:1], path)
+        assert len(load_events_jsonl(path)) == 1

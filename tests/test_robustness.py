@@ -32,6 +32,54 @@ class TestTrim:
         with pytest.raises(ValueError):
             trim_events([], n_days=60, trim_days=-1)
 
+    def test_zero_trim_keeps_boundary_days(self):
+        """trim_days=0 is the identity, including both window edges."""
+        events = [event(1, d) for d in (0, 1, 58, 59)]
+        trimmed = trim_events(events, n_days=60, trim_days=0)
+        assert trimmed == events
+
+    def test_trim_covering_whole_window_rejected(self):
+        # 2*trim == n_days leaves an empty window.
+        with pytest.raises(ValueError):
+            trim_events([event(1, 10)], n_days=60, trim_days=30)
+
+    def test_largest_legal_trim_keeps_middle_day(self):
+        # 2*trim == n_days - 1: exactly one day survives.
+        events = [event(1, d) for d in (29, 30, 31)]
+        trimmed = trim_events(events, n_days=61, trim_days=30)
+        assert [e.start_day for e in trimmed] == [30]
+
+    def test_boundary_events_half_open(self):
+        """Day `trim_days` is kept; day `n_days - trim_days` is dropped."""
+        events = [event(1, 9), event(2, 10), event(3, 49), event(4, 50)]
+        trimmed = trim_events(events, n_days=60, trim_days=10)
+        assert [e.target for e in trimmed] == [2, 3]
+
+    def test_exact_midnight_start_classified_by_start_day(self):
+        # An event starting exactly at the trim boundary's midnight.
+        boundary = AttackEvent(
+            SOURCE_TELESCOPE, 7, 10 * DAY, 10 * DAY + 60.0, 1.0
+        )
+        assert trim_events([boundary], n_days=60, trim_days=10) == [boundary]
+        assert trim_events([boundary], n_days=60, trim_days=11) == []
+
+    def test_matches_naive_filter_property(self):
+        """Random windows agree with the obvious per-event predicate."""
+        import random
+
+        rng = random.Random(99)
+        for _ in range(25):
+            n_days = rng.randint(2, 120)
+            trim = rng.randint(0, (n_days - 1) // 2)
+            events = [
+                event(t, rng.randint(0, n_days - 1)) for t in range(40)
+            ]
+            expected = [
+                e for e in events
+                if trim <= e.start_day < n_days - trim
+            ]
+            assert trim_events(events, n_days, trim) == expected
+
 
 class TestBoundarySensitivity:
     def _setup(self):

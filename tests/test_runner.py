@@ -1,0 +1,217 @@
+"""Unit and integration tests for the resilient stage runner.
+
+The expensive full-pipeline cases reuse the session ``sim`` fixture as the
+fault-free reference and run the small scenario through
+:class:`ResilientPipeline` under various plans.
+"""
+
+import pytest
+
+from repro.faults.plan import (
+    ALL_FEEDS,
+    FEED_DPS,
+    FEED_HONEYPOT,
+    FEED_OPENINTEL,
+    FEED_TELESCOPE,
+    FaultPlan,
+    FaultPlanConfig,
+)
+from repro.pipeline.quality import (
+    HeadlineMetrics,
+    STATUS_DOWN,
+    STATUS_OK,
+)
+from repro.pipeline.runner import (
+    ResilientPipeline,
+    RetryPolicy,
+    StageFailedError,
+    STAGE_ORDER,
+    TransientStageError,
+    run_resilient,
+)
+
+
+def no_sleep(_delay):
+    pass
+
+
+class TestRetryPolicy:
+    def test_backoff_grows(self):
+        policy = RetryPolicy(max_attempts=4, backoff_base=0.1,
+                             backoff_factor=2.0)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+
+
+class TestHealthyRun:
+    def test_matches_plain_simulation(self, small_config, sim):
+        result = run_resilient(small_config, sleep=no_sleep)
+        assert len(result.fused.combined) == len(sim.fused.combined)
+        assert len(result.telescope_events) == len(sim.telescope_events)
+        assert len(result.honeypot_events) == len(sim.honeypot_events)
+        assert result.quality is not None
+        assert not result.quality.degraded
+        for feed in ALL_FEEDS:
+            assert result.quality.feed(feed).status == STATUS_OK
+        assert [s.name for s in result.quality.stages] == list(STAGE_ORDER)
+        assert all(s.status == "ok" for s in result.quality.stages)
+
+    def test_plan_window_mismatch_rejected(self, small_config):
+        with pytest.raises(ValueError):
+            ResilientPipeline(
+                small_config,
+                plan=FaultPlan.none(small_config.n_days + 1),
+            )
+
+
+class TestTransientFailures:
+    def _plan(self, small_config, failures):
+        return FaultPlan.generate(
+            FaultPlanConfig(
+                seed=1,
+                n_days=small_config.n_days,
+                n_honeypots=small_config.n_honeypots,
+                telescope_outage_rate=0.0,
+                honeypot_churn_rate=0.0,
+                openintel_miss_rate=0.0,
+                dps_corruption_rate=0.0,
+                transient_failures=failures,
+            )
+        )
+
+    def test_retry_recovers(self, small_config, sim):
+        slept = []
+        plan = self._plan(small_config, {"telescope": 2})
+        pipeline = ResilientPipeline(
+            small_config, plan=plan,
+            retry=RetryPolicy(max_attempts=3, backoff_base=0.01),
+            sleep=slept.append,
+        )
+        result = pipeline.run()
+        stage = {s.name: s for s in result.quality.stages}["telescope"]
+        assert stage.status == "ok"
+        assert stage.attempts == 3
+        # Exponential backoff: one sleep per failed attempt.
+        assert slept == pytest.approx([0.01, 0.02])
+        # Recovered stage produces the exact healthy output.
+        assert len(result.telescope_events) == len(sim.telescope_events)
+
+    def test_feed_stage_degrades_to_empty(self, small_config):
+        plan = self._plan(small_config, {"honeypot": 99})
+        result = ResilientPipeline(
+            small_config, plan=plan,
+            retry=RetryPolicy(max_attempts=2, backoff_base=0.0),
+            sleep=no_sleep,
+        ).run()
+        assert result.honeypot_events == []
+        quality = result.quality.feed(FEED_HONEYPOT)
+        assert quality.status == STATUS_DOWN
+        assert "stage failed permanently" in quality.detail
+        stage = {s.name: s for s in result.quality.stages}["honeypot"]
+        assert stage.status == "degraded"
+        # The rest of the pipeline still completed.
+        assert len(result.telescope_events) > 0
+
+    def test_measurement_stage_degrades_typed_empty(self, small_config):
+        plan = self._plan(small_config, {"measurement": 99})
+        result = ResilientPipeline(
+            small_config, plan=plan,
+            retry=RetryPolicy(max_attempts=1), sleep=no_sleep,
+        ).run()
+        assert result.openintel.hosting_intervals == []
+        assert result.openintel.n_days == small_config.n_days
+        assert result.dps_usage.usages == []
+        assert result.quality.feed(FEED_OPENINTEL).status == STATUS_DOWN
+        assert result.quality.headline is not None
+
+    def test_core_stage_failure_fatal_then_resumable(self, small_config):
+        plan = self._plan(small_config, {"attacks": 3})
+        pipeline = ResilientPipeline(
+            small_config, plan=plan,
+            retry=RetryPolicy(max_attempts=2, backoff_base=0.0),
+            sleep=no_sleep,
+        )
+        with pytest.raises(StageFailedError) as excinfo:
+            pipeline.run()
+        assert excinfo.value.stage == "attacks"
+        # Resume: the internet stage is checkpointed, the one remaining
+        # injected failure is absorbed by a retry, and the run completes.
+        result = pipeline.run()
+        stages = {s.name: s for s in result.quality.stages}
+        assert stages["internet"].status == "cached"
+        assert stages["attacks"].status == "ok"
+        assert stages["attacks"].attempts == 2
+        assert len(result.fused.combined) > 0
+
+
+class TestFeedDownSweep:
+    @pytest.fixture(scope="class")
+    def baseline(self, sim):
+        return HeadlineMetrics.from_result(sim)
+
+    def test_telescope_down(self, small_config, baseline):
+        plan = FaultPlan.feed_down(
+            FEED_TELESCOPE, small_config.n_days, small_config.n_honeypots
+        )
+        result = run_resilient(
+            small_config, plan=plan, baseline=baseline, sleep=no_sleep
+        )
+        assert result.telescope_events == []
+        assert len(result.honeypot_events) > 0
+        quality = result.quality.feed(FEED_TELESCOPE)
+        assert quality.uptime == 0.0 and quality.status == STATUS_DOWN
+        drift = result.quality.headline_drift()
+        assert drift["attacked_slash24_fraction"] > 0
+
+    def test_honeypot_down(self, small_config, baseline):
+        plan = FaultPlan.feed_down(
+            FEED_HONEYPOT, small_config.n_days, small_config.n_honeypots
+        )
+        result = run_resilient(
+            small_config, plan=plan, baseline=baseline, sleep=no_sleep
+        )
+        assert result.honeypot_events == []
+        assert result.quality.feed(FEED_HONEYPOT).status == STATUS_DOWN
+
+    def test_openintel_down(self, small_config, baseline):
+        plan = FaultPlan.feed_down(
+            FEED_OPENINTEL, small_config.n_days, small_config.n_honeypots
+        )
+        result = run_resilient(
+            small_config, plan=plan, baseline=baseline, sleep=no_sleep
+        )
+        assert result.openintel.hosting_intervals == []
+        assert result.openintel.first_seen == {}
+        assert result.quality.feed(FEED_OPENINTEL).status == STATUS_DOWN
+        # No Web index left: the site-impact ratio collapses to zero.
+        assert result.quality.headline.attacked_site_fraction == 0.0
+
+    def test_dps_down(self, small_config, baseline):
+        plan = FaultPlan.feed_down(
+            FEED_DPS, small_config.n_days, small_config.n_honeypots
+        )
+        result = run_resilient(
+            small_config, plan=plan, baseline=baseline, sleep=no_sleep
+        )
+        quality = result.quality.feed(FEED_DPS)
+        assert quality.status == STATUS_DOWN
+        assert len(result.dps_usage.usages) < quality.events_dropped + 1
+
+
+class TestReportDeterminism:
+    def test_identical_reports_across_runs(self, small_config):
+        plan = FaultPlan.standard(
+            small_config.n_days, seed=7, n_honeypots=small_config.n_honeypots
+        )
+        renders = []
+        for _ in range(2):
+            result = run_resilient(small_config, plan=plan, sleep=no_sleep)
+            renders.append(result.quality.render())
+        assert renders[0] == renders[1]
