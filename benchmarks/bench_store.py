@@ -1,0 +1,60 @@
+"""Checkpoint store throughput: the price of durability.
+
+Not a paper table — these benches characterize the reproduction itself:
+how fast a stage payload round-trips through the durable checkpoint
+store (pickle + checksum + fsync on save, checksum verification on
+load), and what tolerant record validation adds on top of a plain JSONL
+read. Rendered numbers land in ``benchmarks/out/store.txt`` so the
+durability overhead is tracked across revisions.
+"""
+
+import pytest
+
+from repro.pipeline.datasets import read_events_jsonl, save_events_jsonl
+from repro.store import CheckpointStore
+
+
+@pytest.fixture(scope="module")
+def events(sim):
+    return sim.fused.combined.events
+
+
+@pytest.fixture(scope="module")
+def run_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("bench_store")
+
+
+def test_checkpoint_save_throughput(benchmark, events, run_dir, write_report):
+    store = CheckpointStore(run_dir / "save")
+
+    manifest = benchmark(lambda: store.save("events", events))
+    assert manifest.record_count == len(events)
+    mb = manifest.payload_bytes / 1e6
+    benchmark.extra_info["records"] = manifest.record_count
+    benchmark.extra_info["payload_mb"] = round(mb, 2)
+    write_report(
+        "store",
+        f"checkpoint payload: {manifest.record_count} events, "
+        f"{mb:.2f} MB (sha256 {manifest.sha256[:12]}…)",
+    )
+
+
+def test_checkpoint_load_throughput(benchmark, events, run_dir):
+    store = CheckpointStore(run_dir / "load")
+    store.save("events", events)
+
+    loaded = benchmark(lambda: store.load("events"))
+    assert loaded == events
+
+
+def test_validated_feed_read_throughput(benchmark, events, run_dir):
+    path = run_dir / "events.jsonl"
+    save_events_jsonl(events, path)
+
+    def run():
+        loaded, report = read_events_jsonl(path)
+        return len(loaded), report.rejected
+
+    loaded, rejected = benchmark(run)
+    assert loaded == len(events)
+    assert rejected == 0

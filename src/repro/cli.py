@@ -3,13 +3,26 @@
 Commands:
 
 * ``simulate`` — run a scenario and print the Table 1 summary (optionally
-  saving the fused event data set as JSON Lines);
+  saving the fused event data set as JSON Lines). With ``--run-dir`` the
+  run is *durable*: every completed stage is checkpointed to disk, so a
+  killed process can be restarted with ``resume``;
+* ``resume``   — restart a killed durable run from its last valid on-disk
+  checkpoint (checksums verified; a corrupt checkpoint falls back to the
+  previous stage) and produce the same output the uninterrupted run
+  would have;
 * ``report``   — run a scenario and regenerate the paper's full evaluation
   (all tables and figures), to stdout or a directory;
 * ``headline`` — the fast path to the paper's headline ratios;
 * ``robustness`` — degraded-mode runs under a fault plan: each feed forced
   down in turn (or one mixed standard plan), with a per-feed
-  ``DataQualityReport`` and headline-ratio drift vs. the fault-free run.
+  ``DataQualityReport`` and headline-ratio drift vs. the fault-free run;
+* ``validate`` — load a JSONL event feed through the record validator,
+  quarantining malformed/duplicate/out-of-range records to a dead-letter
+  file with reason codes.
+
+Global ``--verbose`` / ``--log-json`` flags wire structured logging
+(:mod:`repro.log`) through the runner, the checkpoint store and the
+validation layer — recovery without logs is guesswork.
 """
 
 from __future__ import annotations
@@ -21,18 +34,38 @@ from typing import Optional, Sequence
 
 from repro.core.report import render_table1
 from repro.faults.plan import ALL_FEEDS, FaultPlan
+from repro.log import configure_logging, get_logger
 from repro.pipeline.config import ScenarioConfig
-from repro.pipeline.datasets import save_events_jsonl
+from repro.pipeline.datasets import (
+    MalformedRecordError,
+    read_events_jsonl,
+    save_events_jsonl,
+)
 from repro.pipeline.fullreport import REPORT_ORDER, generate_full_report
 from repro.pipeline.quality import HeadlineMetrics
-from repro.pipeline.runner import run_resilient
+from repro.pipeline.runner import (
+    ResilientPipeline,
+    STAGE_ORDER,
+    run_resilient,
+)
 from repro.pipeline.simulation import run_simulation
+from repro.store.checkpoint import CheckpointStore
+
+log = get_logger("cli")
 
 _PRESETS = {
     "small": ScenarioConfig.small,
     "default": ScenarioConfig.default,
     "paper": ScenarioConfig.paper,
 }
+
+#: Run-dir document recording how a durable run was started, so ``resume``
+#: can rebuild the exact scenario without the original command line.
+META_FILE = "meta.json"
+META_VERSION = 1
+
+#: The fused event data set a completed durable run leaves in its run dir.
+EVENTS_FILE = "events.jsonl"
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -45,6 +78,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="scenario scale (default: small)",
     )
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--verbose", "-v", action="store_true",
+        help="log per-stage progress (DEBUG level) to stderr",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit logs as JSON lines instead of console text",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     simulate = subparsers.add_parser(
@@ -53,6 +94,44 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--save-events", type=Path, default=None, metavar="FILE",
         help="write the fused event data set as JSON Lines",
+    )
+    simulate.add_argument(
+        "--run-dir", type=Path, default=None, metavar="DIR",
+        help="durable run: checkpoint each stage to DIR so a killed run "
+             "can be restarted with 'resume'",
+    )
+    simulate.add_argument(
+        "--crash-after", choices=STAGE_ORDER, default=None, metavar="STAGE",
+        help="recovery drill: hard-kill the process (exit 137, no cleanup) "
+             "right after STAGE's checkpoint reaches disk "
+             "(requires --run-dir)",
+    )
+
+    resume = subparsers.add_parser(
+        "resume",
+        help="restart a killed durable run from its last valid checkpoint",
+    )
+    resume.add_argument(
+        "run_dir", type=Path, metavar="RUN_DIR",
+        help="run directory of an interrupted 'simulate --run-dir' run",
+    )
+
+    validate = subparsers.add_parser(
+        "validate",
+        help="validate a JSONL event feed, quarantining bad records",
+    )
+    validate.add_argument(
+        "events_file", type=Path, metavar="FILE",
+        help="JSON Lines event feed to validate",
+    )
+    validate.add_argument(
+        "--quarantine", type=Path, default=None, metavar="FILE",
+        help="dead-letter JSONL for rejected records "
+             "(default: <FILE>.quarantine.jsonl)",
+    )
+    validate.add_argument(
+        "--strict", action="store_true",
+        help="fail on the first bad record instead of quarantining",
     )
 
     report = subparsers.add_parser(
@@ -97,8 +176,49 @@ def _config(args: argparse.Namespace) -> ScenarioConfig:
     return _PRESETS[args.preset]().with_seed(args.seed)
 
 
+def _run_durable(
+    config: ScenarioConfig,
+    run_dir: Path,
+    crash_after: Optional[str] = None,
+):
+    """Run the pipeline durably and leave the fused events in the run dir."""
+    pipeline = ResilientPipeline(
+        config, run_dir=run_dir, crash_after=crash_after
+    )
+    result = pipeline.run()
+    written = save_events_jsonl(
+        result.fused.combined.events, run_dir / EVENTS_FILE
+    )
+    log.info(
+        "durable run complete",
+        run_dir=str(run_dir),
+        events=written,
+        cached_stages=sum(
+            1 for s in result.quality.stages if s.status == "cached"
+        ),
+    )
+    return result
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
-    result = run_simulation(_config(args))
+    if args.crash_after is not None and args.run_dir is None:
+        print("--crash-after requires --run-dir", file=sys.stderr)
+        return 2
+    config = _config(args)
+    if args.run_dir is not None:
+        store = CheckpointStore(args.run_dir)
+        store.write_json(
+            META_FILE,
+            {
+                "meta_version": META_VERSION,
+                "command": "simulate",
+                "preset": args.preset,
+                "seed": args.seed,
+            },
+        )
+        result = _run_durable(config, args.run_dir, args.crash_after)
+    else:
+        result = run_simulation(config)
     print(render_table1(result.fused.summary_rows()))
     if args.save_events is not None:
         written = save_events_jsonl(
@@ -106,6 +226,66 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         )
         print(f"\nwrote {written} events to {args.save_events}")
     return 0
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    if not args.run_dir.is_dir():
+        print(f"no such run directory: {args.run_dir}", file=sys.stderr)
+        return 2
+    store = CheckpointStore(args.run_dir)
+    meta = store.read_json(META_FILE)
+    if meta is None:
+        print(
+            f"{args.run_dir} is not a durable run directory "
+            f"(missing or unreadable {META_FILE})",
+            file=sys.stderr,
+        )
+        return 2
+    if meta.get("meta_version") != META_VERSION:
+        print(
+            f"run was started by an incompatible version "
+            f"(meta v{meta.get('meta_version')}, expected v{META_VERSION})",
+            file=sys.stderr,
+        )
+        return 2
+    preset = meta.get("preset")
+    if preset not in _PRESETS:
+        print(f"run metadata names unknown preset: {preset!r}",
+              file=sys.stderr)
+        return 2
+    config = _PRESETS[preset]().with_seed(int(meta.get("seed", 42)))
+    log.info(
+        "resuming run", run_dir=str(args.run_dir), preset=preset,
+        seed=config.seed,
+    )
+    result = _run_durable(config, args.run_dir)
+    print(render_table1(result.fused.summary_rows()))
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    if not args.events_file.exists():
+        print(f"no such file: {args.events_file}", file=sys.stderr)
+        return 2
+    quarantine = args.quarantine
+    if quarantine is None:
+        quarantine = args.events_file.with_name(
+            args.events_file.name + ".quarantine.jsonl"
+        )
+    try:
+        _events, report = read_events_jsonl(
+            args.events_file, strict=args.strict, quarantine_path=quarantine
+        )
+    except MalformedRecordError as exc:
+        print(f"invalid record: {exc}", file=sys.stderr)
+        return 1
+    print(f"{report.path}: {report.loaded} valid, "
+          f"{report.rejected} quarantined")
+    for reason, count in report.reason_counts().items():
+        print(f"  {reason:<28} {count}")
+    if report.quarantine_path:
+        print(f"dead-letter file: {report.quarantine_path}")
+    return 0 if report.rejected == 0 else 1
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -182,8 +362,12 @@ def cmd_robustness(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.verbose or args.log_json:
+        configure_logging(verbose=args.verbose, json_mode=args.log_json)
     handlers = {
         "simulate": cmd_simulate,
+        "resume": cmd_resume,
+        "validate": cmd_validate,
         "report": cmd_report,
         "headline": cmd_headline,
         "robustness": cmd_robustness,

@@ -24,6 +24,87 @@ SOURCE_HONEYPOT = "honeypot"
 
 DAY = 86400.0
 
+#: Version of the serialized AttackEvent record schema (JSONL feeds).
+EVENT_SCHEMA_VERSION = 1
+
+MAX_IPV4 = 2**32 - 1
+MAX_PORT = 65535
+
+#: Required serialized fields and their accepted types. Booleans are
+#: excluded from the numeric fields: JSON ``true`` is not a timestamp.
+_REQUIRED_FIELDS = (
+    ("source", str),
+    ("target", int),
+    ("start_ts", (int, float)),
+    ("end_ts", (int, float)),
+    ("intensity", (int, float)),
+)
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_event_dict(data) -> Optional[str]:
+    """Validate one deserialized record against the AttackEvent schema.
+
+    Returns ``None`` for a valid record, else a stable reason code
+    (``missing-field:target``, ``out-of-range:start_ts``, ...) suitable
+    for quarantine accounting. Validation is untrusted-input hardening:
+    it never raises, whatever shape *data* has.
+    """
+    if not isinstance(data, dict):
+        return "not-an-object"
+    for name, types in _REQUIRED_FIELDS:
+        if name not in data:
+            return f"missing-field:{name}"
+        value = data[name]
+        if isinstance(value, bool) or not isinstance(value, types):
+            return f"bad-type:{name}"
+    if data["source"] not in (SOURCE_TELESCOPE, SOURCE_HONEYPOT):
+        return "unknown-source"
+    if not 0 <= data["target"] <= MAX_IPV4:
+        return "out-of-range:target"
+    if data["start_ts"] < 0:
+        return "out-of-range:start_ts"
+    if data["end_ts"] < data["start_ts"]:
+        return "out-of-range:end_ts"
+    if data["intensity"] < 0:
+        return "out-of-range:intensity"
+    ports = data.get("ports", ())
+    if not isinstance(ports, (list, tuple)):
+        return "bad-type:ports"
+    for port in ports:
+        if isinstance(port, bool) or not isinstance(port, int):
+            return "bad-type:ports"
+        if not 0 <= port <= MAX_PORT:
+            return "out-of-range:ports"
+    if "ip_proto" in data:
+        value = data["ip_proto"]
+        if isinstance(value, bool) or not isinstance(value, int):
+            return "bad-type:ip_proto"
+        if not 0 <= value <= 255:
+            return "out-of-range:ip_proto"
+    if "packets" in data:
+        value = data["packets"]
+        if isinstance(value, bool) or not isinstance(value, int):
+            return "bad-type:packets"
+        if value < 0:
+            return "out-of-range:packets"
+    if "reflector_protocol" in data:
+        value = data["reflector_protocol"]
+        if value is not None and not isinstance(value, str):
+            return "bad-type:reflector_protocol"
+    if "country" in data and not isinstance(data["country"], str):
+        return "bad-type:country"
+    if "asn" in data:
+        value = data["asn"]
+        if value is not None and (
+            isinstance(value, bool) or not isinstance(value, int)
+        ):
+            return "bad-type:asn"
+    return None
+
 
 @dataclass(frozen=True)
 class AttackEvent:

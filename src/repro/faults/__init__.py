@@ -1,9 +1,18 @@
-"""Fault injection: seeded plans and per-feed degraders.
+"""Fault injection: seeded plans, per-feed degraders, at-rest corruptors.
 
-See :mod:`repro.faults.plan` for what can go wrong and when, and
-:mod:`repro.faults.injectors` for how a plan is applied to each feed.
+See :mod:`repro.faults.plan` for what can go wrong and when,
+:mod:`repro.faults.injectors` for how a plan is applied to each feed,
+and :mod:`repro.faults.fileio` for seeded corruption of serialized feeds
+and checkpoints at rest (truncation, bit flips, schema drift, duplicated
+records) — the inputs the validation/quarantine layer defends against.
 """
 
+from repro.faults.fileio import (
+    drift_schema,
+    duplicate_records,
+    flip_bits,
+    truncate_file,
+)
 from repro.faults.injectors import (
     DPSFaultInjector,
     FaultInjectorSet,
@@ -38,4 +47,8 @@ __all__ = [
     "OpenIntelFaultInjector",
     "DPSFaultInjector",
     "StreamFaultInjector",
+    "drift_schema",
+    "duplicate_records",
+    "flip_bits",
+    "truncate_file",
 ]

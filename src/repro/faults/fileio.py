@@ -1,0 +1,136 @@
+"""File-level corruption injectors for serialized feeds and checkpoints.
+
+The feed injectors in :mod:`repro.faults.injectors` degrade data *inside*
+a healthy process; these degrade data *at rest*, the way a crashed
+writer, a bad disk, or a drifting upstream producer would, so the
+validation/quarantine layer in :mod:`repro.pipeline.datasets` and the
+checksum verification in :mod:`repro.store.checkpoint` can be exercised
+deterministically:
+
+* :func:`truncate_file` — cut the tail off (a crash mid-append), usually
+  leaving a half-written final record;
+* :func:`flip_bits` — flip single bits at seeded offsets (media rot);
+* :func:`drift_schema` — rename or drop a required field in a seeded
+  subset of JSONL records (an upstream producer changed its schema);
+* :func:`duplicate_records` — re-append a seeded subset of lines (an
+  at-least-once delivery pipeline re-sent a batch).
+
+Everything is driven by an explicit seed: the same call on the same file
+always produces the same corruption, so a failing quarantine test is
+replayable from two integers like every other fault in this package.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from random import Random
+from typing import List, Optional, Union
+
+PathLike = Union[str, Path]
+
+
+def truncate_file(path: PathLike, keep_fraction: float = 0.5) -> int:
+    """Truncate a file to *keep_fraction* of its bytes; returns bytes cut.
+
+    The cut lands wherever the byte math says — usually mid-record, which
+    is exactly the shape a crashed (non-atomic) writer leaves behind.
+    """
+    if not 0.0 <= keep_fraction <= 1.0:
+        raise ValueError("keep_fraction must be within [0, 1]")
+    path = Path(path)
+    size = path.stat().st_size
+    keep = int(size * keep_fraction)
+    with open(path, "rb+") as handle:
+        handle.truncate(keep)
+    return size - keep
+
+
+def flip_bits(path: PathLike, seed: int, n_flips: int = 1) -> List[int]:
+    """Flip *n_flips* single bits at seeded offsets; returns the offsets."""
+    if n_flips < 1:
+        raise ValueError("need at least one bit flip")
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if not data:
+        raise ValueError(f"cannot corrupt empty file: {path}")
+    rng = Random(seed)
+    offsets = sorted(
+        rng.sample(range(len(data)), min(n_flips, len(data)))
+    )
+    for offset in offsets:
+        data[offset] ^= 1 << rng.randint(0, 7)
+    path.write_bytes(bytes(data))
+    return offsets
+
+
+def drift_schema(
+    path: PathLike,
+    seed: int,
+    fraction: float = 0.2,
+    field: str = "target",
+    rename_to: Optional[str] = "victim",
+) -> int:
+    """Rename (or drop) a required field in a seeded subset of records.
+
+    Models an upstream producer that changed its schema mid-stream:
+    affected records still parse as JSON but no longer validate, so they
+    must land in quarantine with a ``missing-field:...`` reason code.
+    Returns the number of drifted records.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    path = Path(path)
+    rng = Random(seed)
+    drifted = 0
+    lines_out: List[str] = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.strip() and rng.random() < fraction:
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                lines_out.append(line)
+                continue
+            if isinstance(record, dict) and field in record:
+                value = record.pop(field)
+                if rename_to is not None:
+                    record[rename_to] = value
+                line = json.dumps(record)
+                drifted += 1
+        lines_out.append(line)
+    path.write_text("\n".join(lines_out) + "\n", encoding="utf-8")
+    return drifted
+
+
+def duplicate_records(
+    path: PathLike, seed: int, fraction: float = 0.1
+) -> int:
+    """Re-append a seeded subset of lines (at-least-once redelivery).
+
+    Returns the number of duplicated records appended at the end of the
+    file, in original order — the way a re-sent batch arrives after the
+    records it repeats.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    path = Path(path)
+    rng = Random(seed)
+    lines = [
+        line
+        for line in path.read_text(encoding="utf-8").splitlines()
+        if line.strip()
+    ]
+    repeats = [line for line in lines if rng.random() < fraction]
+    if repeats:
+        with open(path, "a", encoding="utf-8") as handle:
+            for line in repeats:
+                handle.write(line + "\n")
+    return len(repeats)
+
+
+__all__ = [
+    "drift_schema",
+    "duplicate_records",
+    "flip_bits",
+    "truncate_file",
+]

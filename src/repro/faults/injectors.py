@@ -237,3 +237,35 @@ class FaultInjectorSet:
             "openintel": self.openintel.dropped_interval_days,
             "dps": self.dps.dropped_records + self.dps.jittered_records,
         }
+
+    #: Loss counters that must survive a crash for a resumed run's quality
+    #: report to match the uninterrupted one: (attr path, counter name).
+    _COUNTERS = (
+        ("telescope", "dropped_batches"),
+        ("telescope", "dropped_packets"),
+        ("honeypot", "dropped_batches"),
+        ("honeypot", "dropped_requests"),
+        ("openintel", "dropped_interval_days"),
+        ("openintel", "shifted_first_seen"),
+        ("openintel", "dropped_domains"),
+        ("dps", "dropped_records"),
+        ("dps", "jittered_records"),
+        ("stream", "late_events"),
+    )
+
+    def counters(self) -> Dict[str, int]:
+        """Flat snapshot of every loss counter (JSON-serializable)."""
+        return {
+            f"{injector}.{name}": getattr(getattr(self, injector), name)
+            for injector, name in self._COUNTERS
+        }
+
+    def restore_counters(self, snapshot: Dict[str, int]) -> None:
+        """Restore counters from a :meth:`counters` snapshot (resume path).
+
+        Unknown keys are ignored so old state files stay loadable.
+        """
+        for injector, name in self._COUNTERS:
+            key = f"{injector}.{name}"
+            if key in snapshot:
+                setattr(getattr(self, injector), name, int(snapshot[key]))

@@ -1,18 +1,39 @@
-"""Serialization of event data sets (JSON Lines).
+"""Serialization of event data sets (JSON Lines) with untrusted-input loading.
 
 A run's observed events can be persisted and reloaded without re-simulating,
 the way the real study's event data sets are files decoupled from the
-infrastructure that produced them.
+infrastructure that produced them. Saved files are written atomically and
+durably (temp file + fsync + rename + parent-directory fsync), and loading
+treats the file as *untrusted*: every record is validated against the
+:class:`~repro.core.events.AttackEvent` schema, and malformed, duplicate or
+out-of-range records are routed to a quarantine (dead-letter) JSONL with a
+stable reason code instead of crashing the load. One truncated line in a
+two-year feed must cost one record, not the run.
 """
 
 from __future__ import annotations
 
 import json
 import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, List, Union
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
 
-from repro.core.events import AttackEvent
+from repro.core.events import (
+    AttackEvent,
+    EVENT_SCHEMA_VERSION,
+    validate_event_dict,
+)
+from repro.log import get_logger
+from repro.store.atomic import fsync_directory
+
+log = get_logger("datasets")
+
+#: Reason codes produced by the loader itself (the schema validator in
+#: :mod:`repro.core.events` produces the field-level ones).
+REASON_UNPARSEABLE = "unparseable-json"
+REASON_DUPLICATE = "duplicate"
 
 
 def event_to_dict(event: AttackEvent) -> dict:
@@ -50,36 +71,220 @@ def event_from_dict(data: dict) -> AttackEvent:
 def save_events_jsonl(
     events: Iterable[AttackEvent], path: Union[str, Path]
 ) -> int:
-    """Write events as JSON Lines, atomically; returns the number written.
+    """Write events as JSON Lines, atomically and durably; returns the count.
 
     The file is written to a same-directory temp path and moved into place
     with :func:`os.replace`, so an interrupted run (crash, kill, injected
     stage failure) can never leave a truncated data set behind — readers
-    see either the previous complete file or the new complete file.
+    see either the previous complete file or the new complete file. After
+    the rename the parent directory is fsynced, so the *rename itself*
+    survives power loss, and the temp file is only unlinked when the
+    replace did not happen (never racing a successful rename against a
+    concurrent writer's fresh temp file).
     """
-    path = Path(path)
-    tmp_path = path.with_name(path.name + ".tmp")
     count = 0
-    try:
-        with open(tmp_path, "w", encoding="utf-8") as handle:
-            for event in events:
-                handle.write(json.dumps(event_to_dict(event)) + "\n")
-                count += 1
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_path, path)
-    finally:
-        if tmp_path.exists():
-            tmp_path.unlink()
+    with _atomic_text_writer(path) as handle:
+        for event in events:
+            handle.write(json.dumps(event_to_dict(event)) + "\n")
+            count += 1
+    log.debug("events saved", path=str(path), events=count)
     return count
 
 
-def load_events_jsonl(path: Union[str, Path]) -> List[AttackEvent]:
-    """Read events back from a JSON Lines file."""
+@contextmanager
+def _atomic_text_writer(path: Union[str, Path]):
+    """Same-directory temp file that durably replaces *path* on success."""
+    path = Path(path)
+    tmp_path = path.with_name(path.name + ".tmp")
+    replaced = False
+    try:
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            yield handle
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+        replaced = True
+        fsync_directory(path.parent)
+    finally:
+        if not replaced:
+            try:
+                tmp_path.unlink()
+            except FileNotFoundError:
+                pass
+
+
+# -- validated loading --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QuarantinedRecord:
+    """One rejected input line and why it was rejected."""
+
+    line_no: int
+    reason: str
+    raw: str
+
+    def to_dict(self) -> dict:
+        return {
+            "line_no": self.line_no,
+            "reason": self.reason,
+            "raw": self.raw,
+            "schema_version": EVENT_SCHEMA_VERSION,
+        }
+
+
+@dataclass
+class FeedLoadReport:
+    """Data-quality accounting for one validated JSONL load."""
+
+    path: str
+    loaded: int = 0
+    quarantined: List[QuarantinedRecord] = field(default_factory=list)
+    quarantine_path: Optional[str] = None
+
+    @property
+    def rejected(self) -> int:
+        return len(self.quarantined)
+
+    @property
+    def duplicates(self) -> int:
+        return sum(
+            1 for r in self.quarantined if r.reason == REASON_DUPLICATE
+        )
+
+    def reason_counts(self) -> Dict[str, int]:
+        """Stable ``reason code -> count`` map (sorted by reason)."""
+        counts: Dict[str, int] = {}
+        for record in self.quarantined:
+            counts[record.reason] = counts.get(record.reason, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def describe(self) -> str:
+        parts = [f"{self.loaded} loaded", f"{self.rejected} quarantined"]
+        reasons = self.reason_counts()
+        if reasons:
+            parts.append(
+                ", ".join(f"{reason}×{n}" for reason, n in reasons.items())
+            )
+        return "; ".join(parts)
+
+
+class MalformedRecordError(ValueError):
+    """Strict-mode load hit a record the schema rejects."""
+
+    def __init__(self, path: str, record: QuarantinedRecord) -> None:
+        super().__init__(
+            f"{path}:{record.line_no}: {record.reason}"
+        )
+        self.path = path
+        self.record = record
+
+
+def read_events_jsonl(
+    path: Union[str, Path],
+    strict: bool = False,
+    quarantine_path: Optional[Union[str, Path]] = None,
+) -> Tuple[List[AttackEvent], FeedLoadReport]:
+    """Read a JSONL event feed, validating every record.
+
+    Tolerant mode (default) skips-and-counts bad records; strict mode
+    raises :class:`MalformedRecordError` on the first one (the historical
+    behaviour, for pipelines that prefer to stop on corrupt input). When
+    *quarantine_path* is given, rejected records are written there as a
+    dead-letter JSONL (one object per record with ``line_no``, ``reason``
+    and the raw line) — only created when something was rejected.
+    """
+    path = Path(path)
+    report = FeedLoadReport(path=str(path))
     events: List[AttackEvent] = []
-    with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
+    seen: Set[AttackEvent] = set()
+    # errors="replace": a corrupt byte must surface as an unparseable
+    # *record* (quarantined with a reason), not kill the whole read with
+    # a UnicodeDecodeError halfway through the file.
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        for line_no, line in enumerate(handle, start=1):
             line = line.strip()
-            if line:
-                events.append(event_from_dict(json.loads(line)))
+            if not line:
+                continue
+            reason: Optional[str] = None
+            event: Optional[AttackEvent] = None
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError:
+                reason = REASON_UNPARSEABLE
+            else:
+                reason = validate_event_dict(data)
+                if reason is None:
+                    event = event_from_dict(data)
+                    if event in seen:
+                        reason, event = REASON_DUPLICATE, None
+            if reason is not None:
+                rejected = QuarantinedRecord(line_no, reason, line)
+                if strict:
+                    raise MalformedRecordError(str(path), rejected)
+                report.quarantined.append(rejected)
+                continue
+            seen.add(event)
+            events.append(event)
+    report.loaded = len(events)
+    if quarantine_path is not None and report.quarantined:
+        report.quarantine_path = str(quarantine_path)
+        write_quarantine_jsonl(report.quarantined, quarantine_path)
+    if report.rejected:
+        log.warning(
+            "records quarantined",
+            path=str(path),
+            loaded=report.loaded,
+            rejected=report.rejected,
+            reasons=",".join(
+                f"{r}×{n}" for r, n in report.reason_counts().items()
+            ),
+        )
+    else:
+        log.debug("events loaded", path=str(path), events=report.loaded)
+    return events, report
+
+
+def load_events_jsonl(
+    path: Union[str, Path],
+    strict: bool = False,
+    quarantine_path: Optional[Union[str, Path]] = None,
+) -> List[AttackEvent]:
+    """Read events back from a JSON Lines file (validated, tolerant).
+
+    Convenience wrapper over :func:`read_events_jsonl` for callers that
+    only want the events; pass ``strict=True`` to crash on the first bad
+    record instead of quarantining it.
+    """
+    events, _report = read_events_jsonl(
+        path, strict=strict, quarantine_path=quarantine_path
+    )
     return events
+
+
+def write_quarantine_jsonl(
+    records: Iterable[QuarantinedRecord], path: Union[str, Path]
+) -> int:
+    """Write rejected records as a dead-letter JSONL file (atomically)."""
+    count = 0
+    with _atomic_text_writer(path) as handle:
+        for record in records:
+            handle.write(json.dumps(record.to_dict(), sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+__all__ = [
+    "REASON_DUPLICATE",
+    "REASON_UNPARSEABLE",
+    "FeedLoadReport",
+    "MalformedRecordError",
+    "QuarantinedRecord",
+    "event_from_dict",
+    "event_to_dict",
+    "load_events_jsonl",
+    "read_events_jsonl",
+    "save_events_jsonl",
+    "write_quarantine_jsonl",
+]

@@ -12,7 +12,7 @@ reports across runs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.taxonomy import classify_sites, taxonomy_counts
 from repro.core.webmap import WebImpactAnalysis
@@ -84,6 +84,32 @@ class FeedQuality:
     detail: str = ""
 
 
+@dataclass(frozen=True)
+class RecordQuality:
+    """Record-level validation accounting for one serialized feed load.
+
+    Built from a :class:`~repro.pipeline.datasets.FeedLoadReport` so the
+    quality report can state how many records a feed file lost to
+    quarantine, and why (reason code -> count).
+    """
+
+    source: str
+    loaded: int
+    quarantined: int
+    reasons: Tuple[Tuple[str, int], ...] = ()
+    quarantine_path: Optional[str] = None
+
+    @classmethod
+    def from_load_report(cls, report) -> "RecordQuality":
+        return cls(
+            source=report.path,
+            loaded=report.loaded,
+            quarantined=report.rejected,
+            reasons=tuple(report.reason_counts().items()),
+            quarantine_path=report.quarantine_path,
+        )
+
+
 @dataclass
 class StageReport:
     """Outcome of one orchestrated stage."""
@@ -101,6 +127,7 @@ class DataQualityReport:
 
     feeds: List[FeedQuality] = field(default_factory=list)
     stages: List[StageReport] = field(default_factory=list)
+    records: List[RecordQuality] = field(default_factory=list)
     headline: Optional[HeadlineMetrics] = None
     baseline: Optional[HeadlineMetrics] = None
     plan_description: str = ""
@@ -113,7 +140,9 @@ class DataQualityReport:
 
     @property
     def degraded(self) -> bool:
-        return any(f.status != STATUS_OK for f in self.feeds)
+        return any(f.status != STATUS_OK for f in self.feeds) or any(
+            r.quarantined > 0 for r in self.records
+        )
 
     def headline_drift(self) -> Dict[str, float]:
         if self.headline is None or self.baseline is None:
@@ -137,6 +166,24 @@ class DataQualityReport:
                 f"{quality.events_dropped:>8}"
                 + (f"  ({quality.detail})" if quality.detail else "")
             )
+        if self.records:
+            lines.append("")
+            lines.append("record validation:")
+            for record in self.records:
+                entry = (
+                    f"  {record.source}: {record.loaded} loaded, "
+                    f"{record.quarantined} quarantined"
+                )
+                if record.reasons:
+                    entry += " (" + ", ".join(
+                        f"{reason}×{count}"
+                        for reason, count in record.reasons
+                    ) + ")"
+                lines.append(entry)
+                if record.quarantine_path:
+                    lines.append(
+                        f"    dead-letter file: {record.quarantine_path}"
+                    )
         if self.stages:
             lines.append("")
             lines.append("stages:")
@@ -194,6 +241,7 @@ __all__ = [
     "STATUS_DOWN",
     "HeadlineMetrics",
     "FeedQuality",
+    "RecordQuality",
     "StageReport",
     "DataQualityReport",
     "feed_status",

@@ -12,7 +12,12 @@ under supervision instead:
   backoff;
 * **checkpointing** — completed stage outputs are kept, so a run that died
   mid-pipeline resumes from the first incomplete stage instead of
-  regenerating the Internet;
+  regenerating the Internet. With a ``run_dir`` the checkpoints are also
+  persisted to disk through :class:`~repro.store.CheckpointStore`
+  (atomic, checksummed, schema-versioned), so even a SIGKILLed *process*
+  resumes from the last valid checkpoint — ``python -m repro resume`` —
+  with corrupt checkpoints detected at load and discarded back to the
+  previous trustworthy stage;
 * **graceful degradation** — an observation/measurement stage that stays
   broken yields an *empty but correctly typed* feed plus a quality flag,
   and the pipeline completes with honest, quantified losses. Core stages
@@ -22,14 +27,19 @@ under supervision instead:
 A :class:`~repro.faults.plan.FaultPlan` wires per-feed injectors into the
 observation stages and can schedule transient stage failures, which makes
 the whole failure envelope reproducible from two integers (scenario seed,
-fault seed).
+fault seed). Because every stage function is deterministic given the
+scenario config, a resumed run produces byte-identical headline output to
+an uninterrupted one; injector loss counters are persisted alongside the
+checkpoints so even the feed-quality accounting survives the crash.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.dns.openintel import OpenIntelDataset
 from repro.dps.detection import DPSUsageDataset
@@ -41,15 +51,18 @@ from repro.faults.plan import (
     FEED_TELESCOPE,
     FaultPlan,
 )
+from repro.log import get_logger
 from repro.pipeline.config import ScenarioConfig
 from repro.pipeline.quality import (
     DataQualityReport,
     FeedQuality,
     HeadlineMetrics,
+    RecordQuality,
     STATUS_DOWN,
     StageReport,
     feed_status,
 )
+from repro.store.checkpoint import CheckpointIssue, CheckpointStore
 from repro.pipeline.simulation import (
     SimulationResult,
     assemble_result,
@@ -93,20 +106,47 @@ class RetryPolicy:
     max_attempts: int = 3
     backoff_base: float = 0.05
     backoff_factor: float = 2.0
+    backoff_max: float = 60.0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ValueError("need at least one attempt")
         if self.backoff_base < 0 or self.backoff_factor < 1:
             raise ValueError("backoff must be non-negative and non-shrinking")
+        if self.backoff_max < 0:
+            raise ValueError("backoff cap must be non-negative")
 
     def delay(self, attempt: int) -> float:
-        """Sleep before retry number *attempt* (1-based)."""
-        return self.backoff_base * self.backoff_factor ** (attempt - 1)
+        """Sleep before retry number *attempt* (1-based), capped.
+
+        The cap also guards the exponentiation itself: at high attempt
+        counts ``factor ** attempt`` overflows a float, which must read
+        as "wait the maximum", not crash the retry loop it protects.
+        """
+        if self.backoff_base == 0.0:
+            return 0.0
+        try:
+            raw = self.backoff_base * self.backoff_factor ** (attempt - 1)
+        except OverflowError:
+            return self.backoff_max
+        return min(raw, self.backoff_max)
 
 
 class ResilientPipeline:
-    """Supervised execution of the simulation with optional fault plan."""
+    """Supervised execution of the simulation with optional fault plan.
+
+    With a ``run_dir`` the pipeline is *durable*: every completed stage is
+    checkpointed to disk and a fresh process pointed at the same directory
+    (``python -m repro resume``) restores the longest valid prefix —
+    verifying the checksum of each checkpoint and falling back to the
+    previous stage when one fails validation. ``crash_after`` is the
+    recovery-drill hook: the process dies with ``os._exit`` (no cleanup,
+    the moral equivalent of SIGKILL) immediately after that stage's
+    checkpoint reaches disk.
+    """
+
+    #: File under the run dir carrying resumable non-checkpoint state.
+    STATE_FILE = "state.json"
 
     def __init__(
         self,
@@ -114,6 +154,8 @@ class ResilientPipeline:
         plan: Optional[FaultPlan] = None,
         retry: RetryPolicy = RetryPolicy(),
         sleep: Optional[Callable[[float], None]] = None,
+        run_dir: Optional[Union[str, Path]] = None,
+        crash_after: Optional[str] = None,
     ) -> None:
         self.config = config
         self.plan = plan if plan is not None else FaultPlan.none(
@@ -123,13 +165,85 @@ class ResilientPipeline:
             raise ValueError(
                 "fault plan window does not match the scenario window"
             )
+        if crash_after is not None and crash_after not in STAGE_ORDER:
+            raise ValueError(
+                f"unknown crash_after stage: {crash_after!r} "
+                f"(stages: {', '.join(STAGE_ORDER)})"
+            )
         self.retry = retry
         self.injectors = FaultInjectorSet(self.plan)
         self.stage_reports: List[StageReport] = []
+        self.record_reports: List[Any] = []
+        self.checkpoint_issues: List[CheckpointIssue] = []
         self._checkpoints: Dict[str, Any] = {}
         self._pending_failures = self.plan.transient_failure_counts()
         self._degraded_stages: set = set()
         self._sleep = sleep if sleep is not None else time.sleep
+        self._log = get_logger("runner")
+        self.crash_after = crash_after
+        self.store: Optional[CheckpointStore] = None
+        if run_dir is not None:
+            self.store = CheckpointStore(run_dir)
+            self._restore_from_store()
+
+    # -- durable state --------------------------------------------------------
+
+    def _restore_from_store(self) -> None:
+        """Adopt the longest valid checkpoint prefix from the run dir."""
+        payloads, issues = self.store.load_valid_prefix(STAGE_ORDER)
+        self._checkpoints.update(payloads)
+        self.checkpoint_issues = issues
+        # Runner state is snapshotted per completed stage; adopt the
+        # snapshot of the *last restored* stage, so counters belonging to
+        # a discarded checkpoint are dropped with it and regenerated
+        # deterministically by the re-run.
+        state = self.store.read_json(self.STATE_FILE) or {}
+        snapshots = state.get("stage_state", {})
+        last_restored = None
+        for stage in STAGE_ORDER:
+            if stage in payloads:
+                last_restored = stage
+        snapshot = snapshots.get(last_restored) if last_restored else None
+        if snapshot:
+            self.injectors.restore_counters(
+                snapshot.get("injector_counters", {})
+            )
+            self._degraded_stages.update(
+                stage
+                for stage in snapshot.get("degraded_stages", [])
+                if stage in payloads
+            )
+        for stage in payloads:
+            self._log.info("stage restored from checkpoint", stage=stage)
+        for issue in issues:
+            self._log.warning(
+                "checkpoint discarded",
+                stage=issue.stage,
+                kind=issue.kind,
+                detail=issue.detail,
+            )
+
+    def _persist_stage(self, name: str) -> None:
+        """Checkpoint a completed stage and the resumable runner state."""
+        if self.store is None:
+            return
+        self.store.save(name, self._checkpoints[name])
+        state = self.store.read_json(self.STATE_FILE) or {}
+        snapshots = state.setdefault("stage_state", {})
+        snapshots[name] = {
+            "injector_counters": self.injectors.counters(),
+            "degraded_stages": sorted(self._degraded_stages),
+        }
+        self.store.write_json(self.STATE_FILE, state)
+        if self.crash_after == name:
+            self._log.error(
+                "simulated hard crash (recovery drill)", stage=name
+            )
+            os._exit(137)  # SIGKILL semantics: no cleanup, no atexit
+
+    def attach_record_report(self, report: Any) -> None:
+        """Surface a :class:`FeedLoadReport` in this run's quality report."""
+        self.record_reports.append(report)
 
     # -- orchestration --------------------------------------------------------
 
@@ -143,9 +257,21 @@ class ResilientPipeline:
         ground_truth = self._run_stage(
             "attacks", lambda: schedule_attacks(config, internet)
         )
-        diversion_log, ledger = self._run_stage(
-            "migration",
-            lambda: run_migration(config, internet, ground_truth),
+
+        def _migrate():
+            diversion_log, ledger = run_migration(
+                config, internet, ground_truth
+            )
+            # Migration mutates internet.zones in place, so the stage's
+            # checkpoint must carry the *post-migration* internet: a resumed
+            # process restoring this stage would otherwise hand later stages
+            # the stale pre-migration snapshot. Bundling all three into one
+            # payload also keeps the references diversion_log and ledger
+            # share with the zones consistent across the pickle round-trip.
+            return diversion_log, ledger, internet
+
+        diversion_log, ledger, internet = self._run_stage(
+            "migration", _migrate
         )
         telescope_events = self._run_stage(
             "telescope",
@@ -204,7 +330,9 @@ class ResilientPipeline:
             self.stage_reports.append(
                 StageReport(name=name, status="cached", attempts=0)
             )
+            self._log.debug("stage served from checkpoint", stage=name)
             return self._checkpoints[name]
+        self._log.debug("stage starting", stage=name)
         start = time.perf_counter()
         attempts = 0
         last_error: Optional[Exception] = None
@@ -215,18 +343,33 @@ class ResilientPipeline:
                 output = fn()
             except TransientStageError as exc:
                 last_error = exc
+                self._log.warning(
+                    "stage attempt failed",
+                    stage=name,
+                    attempt=attempts,
+                    max_attempts=self.retry.max_attempts,
+                    error=str(exc),
+                )
                 if attempts < self.retry.max_attempts:
                     self._sleep(self.retry.delay(attempts))
                 continue
             self._checkpoints[name] = output
+            elapsed = time.perf_counter() - start
             self.stage_reports.append(
                 StageReport(
                     name=name,
                     status="ok",
                     attempts=attempts,
-                    elapsed=time.perf_counter() - start,
+                    elapsed=elapsed,
                 )
             )
+            self._log.info(
+                "stage completed",
+                stage=name,
+                attempts=attempts,
+                elapsed=round(elapsed, 3),
+            )
+            self._persist_stage(name)
             return output
         if degraded_factory is not None:
             output = degraded_factory()
@@ -241,6 +384,13 @@ class ResilientPipeline:
                     error=str(last_error),
                 )
             )
+            self._log.error(
+                "stage degraded to empty feed",
+                stage=name,
+                attempts=attempts,
+                error=str(last_error),
+            )
+            self._persist_stage(name)
             return output
         self.stage_reports.append(
             StageReport(
@@ -250,6 +400,12 @@ class ResilientPipeline:
                 elapsed=time.perf_counter() - start,
                 error=str(last_error),
             )
+        )
+        self._log.error(
+            "stage failed permanently",
+            stage=name,
+            attempts=attempts,
+            error=str(last_error),
         )
         raise StageFailedError(name, last_error)
 
@@ -335,6 +491,10 @@ class ResilientPipeline:
         return DataQualityReport(
             feeds=feeds,
             stages=list(self.stage_reports),
+            records=[
+                RecordQuality.from_load_report(report)
+                for report in self.record_reports
+            ],
             headline=headline,
             baseline=baseline,
             plan_description=plan.describe(),
@@ -375,8 +535,9 @@ def run_resilient(
     baseline: Optional[HeadlineMetrics] = None,
     retry: RetryPolicy = RetryPolicy(),
     sleep: Optional[Callable[[float], None]] = None,
+    run_dir: Optional[Union[str, Path]] = None,
 ) -> SimulationResult:
     """One-shot convenience wrapper around :class:`ResilientPipeline`."""
-    return ResilientPipeline(config, plan=plan, retry=retry, sleep=sleep).run(
-        baseline=baseline
-    )
+    return ResilientPipeline(
+        config, plan=plan, retry=retry, sleep=sleep, run_dir=run_dir
+    ).run(baseline=baseline)

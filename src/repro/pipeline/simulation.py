@@ -42,10 +42,13 @@ from repro.honeypot.detection import AmpPotEvent, HoneypotDetector
 from repro.internet.hosting import HostingEcosystem
 from repro.internet.population import ActiveAddressCensus
 from repro.internet.topology import InternetTopology
+from repro.log import get_logger
 from repro.pipeline.config import ScenarioConfig
 from repro.telescope.backscatter import BackscatterModel
 from repro.telescope.darknet import NetworkTelescope, TelescopeNoise
 from repro.telescope.rsdos import RSDoSDetector, TelescopeEvent
+
+log = get_logger("simulation")
 
 
 @dataclass
@@ -103,6 +106,12 @@ def build_internet(config: ScenarioConfig) -> InternetLayer:
     zones = zone_generator.generate()
     providers = build_providers(topology)
     ns_directory = NameServerDirectory.build(ecosystem, providers, topology)
+    log.debug(
+        "internet generated",
+        ases=len(topology.ases),
+        zones=len(zones),
+        providers=len(providers),
+    )
     return InternetLayer(
         topology=topology,
         census=census,
@@ -139,7 +148,9 @@ def schedule_attacks(
         config.direct_attack_config(),
         config.reflection_attack_config(),
     )
-    return schedule.generate()
+    attacks = schedule.generate()
+    log.debug("attacks scheduled", attacks=len(attacks), days=config.n_days)
+    return attacks
 
 
 def run_migration(
@@ -177,7 +188,13 @@ def observe_telescope(
     capture = telescope.capture(ground_truth, n_days=config.n_days)
     if fault is not None:
         capture = fault.filter(capture)
-    return list(RSDoSDetector(config.rsdos_config()).run(capture))
+    events = list(RSDoSDetector(config.rsdos_config()).run(capture))
+    log.debug(
+        "telescope observed",
+        events=len(events),
+        degraded=fault is not None and fault.dropped_batches > 0,
+    )
+    return events
 
 
 def observe_honeypots(
@@ -192,9 +209,11 @@ def observe_honeypots(
     )
     if fault is not None:
         request_log = fault.filter(request_log)
-    return list(
+    events = list(
         HoneypotDetector(config.honeypot_detection_config()).run(request_log)
     )
+    log.debug("honeypots observed", events=len(events))
+    return events
 
 
 def measure_dns(

@@ -1,0 +1,67 @@
+"""Crash-safe file primitives: atomic replace plus directory fsync.
+
+The whole durable-run design rests on one invariant: a reader never sees
+a half-written file. Writes go to a same-directory temp path, are fsynced,
+and are moved into place with :func:`os.replace`; then the *parent
+directory* is fsynced so the rename itself survives power loss (POSIX
+only promises the rename is durable once the directory entry is). The
+temp file is removed only when the replace did not happen, so a cleanup
+racing a successful rename can never unlink a file some concurrent
+writer just created at the same temp path.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+PathLike = Union[str, Path]
+
+
+def fsync_directory(path: PathLike) -> None:
+    """Flush a directory entry table to stable storage (best effort).
+
+    Some platforms (and some filesystems) refuse ``open`` or ``fsync`` on
+    directories; durability is then whatever the OS already gives, and the
+    write itself must not fail because of it.
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: PathLike, data: bytes) -> None:
+    """Write *data* to *path* atomically and durably."""
+    path = Path(path)
+    tmp_path = path.with_name(path.name + ".tmp")
+    replaced = False
+    try:
+        with open(tmp_path, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+        replaced = True
+        fsync_directory(path.parent)
+    finally:
+        if not replaced:
+            try:
+                tmp_path.unlink()
+            except FileNotFoundError:
+                pass
+
+
+def atomic_write_text(path: PathLike, text: str) -> None:
+    """Write *text* (UTF-8) to *path* atomically and durably."""
+    atomic_write_bytes(path, text.encode("utf-8"))
+
+
+__all__ = ["atomic_write_bytes", "atomic_write_text", "fsync_directory"]

@@ -1,0 +1,318 @@
+"""Durable per-stage checkpoints with tamper-evident manifests.
+
+A :class:`CheckpointStore` lives inside a *run directory* and persists
+each completed pipeline stage's output so a killed process can be
+resumed by a fresh one (``python -m repro resume <run_dir>``). Layout::
+
+    <run_dir>/
+        meta.json                  # how the run was started (CLI resume)
+        state.json                 # injector counters etc. (runner-owned)
+        checkpoints/
+            <stage>.pkl            # pickled stage payload
+            <stage>.manifest.json  # schema version, byte count, sha256
+
+Every file is written with the atomic temp-file + rename + directory
+fsync pattern from :mod:`repro.store.atomic`, and the manifest is written
+*after* its payload — a manifest on disk therefore implies a complete
+payload. Loads verify the manifest's schema version, byte count and
+SHA-256 checksum before unpickling, so corruption and version skew are
+detected at the store boundary, not three stages downstream:
+
+* wrong/absent manifest        -> :class:`CheckpointMissingError`
+* schema version skew          -> :class:`CheckpointVersionError`
+* size/checksum/unpickle fail  -> :class:`CheckpointCorruptionError`
+
+:meth:`CheckpointStore.load_valid_prefix` implements the resume policy:
+walk the stage order, keep the longest prefix of valid checkpoints, and
+on the first invalid one discard it *and everything after it* (later
+stages were computed from data we can no longer trust), falling back to
+the previous stage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.log import get_logger
+from repro.store.atomic import atomic_write_bytes, atomic_write_text
+
+log = get_logger("store")
+
+#: Bump when the checkpoint payload encoding changes incompatibly.
+STORE_SCHEMA_VERSION = 1
+
+#: Record count for payloads without a length.
+UNSIZED = -1
+
+
+class CheckpointError(RuntimeError):
+    """Base class for checkpoint load failures."""
+
+    def __init__(self, stage: str, reason: str) -> None:
+        super().__init__(f"checkpoint {stage!r}: {reason}")
+        self.stage = stage
+        self.reason = reason
+
+
+class CheckpointMissingError(CheckpointError):
+    """No (complete) checkpoint for the stage."""
+
+
+class CheckpointVersionError(CheckpointError):
+    """The checkpoint was written by an incompatible store version."""
+
+
+class CheckpointCorruptionError(CheckpointError):
+    """The payload does not match its manifest."""
+
+
+@dataclass(frozen=True)
+class CheckpointManifest:
+    """What must hold for a checkpoint payload to be trusted."""
+
+    stage: str
+    schema_version: int
+    payload_bytes: int
+    sha256: str
+    record_count: int = UNSIZED
+    created_ts: float = 0.0
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CheckpointManifest":
+        data = json.loads(text)
+        return cls(
+            stage=data["stage"],
+            schema_version=data["schema_version"],
+            payload_bytes=data["payload_bytes"],
+            sha256=data["sha256"],
+            record_count=data.get("record_count", UNSIZED),
+            created_ts=data.get("created_ts", 0.0),
+        )
+
+
+@dataclass(frozen=True)
+class CheckpointIssue:
+    """One checkpoint the resume policy had to throw away."""
+
+    stage: str
+    kind: str  # "missing" | "version" | "corrupt" | "orphaned"
+    detail: str
+
+
+class CheckpointStore:
+    """Atomic, checksummed stage checkpoints under one run directory."""
+
+    CHECKPOINT_DIR = "checkpoints"
+
+    def __init__(self, run_dir: Union[str, Path]) -> None:
+        self.run_dir = Path(run_dir)
+        self.checkpoint_dir = self.run_dir / self.CHECKPOINT_DIR
+        self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+
+    # -- paths ----------------------------------------------------------------
+
+    def payload_path(self, stage: str) -> Path:
+        return self.checkpoint_dir / f"{stage}.pkl"
+
+    def manifest_path(self, stage: str) -> Path:
+        return self.checkpoint_dir / f"{stage}.manifest.json"
+
+    # -- writing --------------------------------------------------------------
+
+    def save(self, stage: str, payload: Any) -> CheckpointManifest:
+        """Persist one stage output; payload first, manifest second."""
+        data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        manifest = CheckpointManifest(
+            stage=stage,
+            schema_version=STORE_SCHEMA_VERSION,
+            payload_bytes=len(data),
+            sha256=hashlib.sha256(data).hexdigest(),
+            record_count=_record_count(payload),
+            created_ts=time.time(),
+        )
+        atomic_write_bytes(self.payload_path(stage), data)
+        atomic_write_text(self.manifest_path(stage), manifest.to_json())
+        log.debug(
+            "checkpoint saved",
+            stage=stage,
+            bytes=manifest.payload_bytes,
+            records=manifest.record_count,
+            sha256=manifest.sha256[:12],
+        )
+        return manifest
+
+    # -- reading --------------------------------------------------------------
+
+    def has(self, stage: str) -> bool:
+        return self.manifest_path(stage).exists()
+
+    def manifest(self, stage: str) -> CheckpointManifest:
+        path = self.manifest_path(stage)
+        if not path.exists():
+            raise CheckpointMissingError(stage, "no manifest on disk")
+        try:
+            return CheckpointManifest.from_json(
+                path.read_text(encoding="utf-8")
+            )
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise CheckpointCorruptionError(
+                stage, f"unreadable manifest: {exc}"
+            ) from exc
+
+    def load(self, stage: str) -> Any:
+        """Verified load: version, size and checksum checked before unpickle."""
+        manifest = self.manifest(stage)
+        if manifest.schema_version != STORE_SCHEMA_VERSION:
+            raise CheckpointVersionError(
+                stage,
+                f"store schema v{manifest.schema_version}, "
+                f"this build reads v{STORE_SCHEMA_VERSION}",
+            )
+        payload_path = self.payload_path(stage)
+        if not payload_path.exists():
+            raise CheckpointMissingError(stage, "manifest without payload")
+        data = payload_path.read_bytes()
+        if len(data) != manifest.payload_bytes:
+            raise CheckpointCorruptionError(
+                stage,
+                f"payload is {len(data)} bytes, "
+                f"manifest promises {manifest.payload_bytes}",
+            )
+        digest = hashlib.sha256(data).hexdigest()
+        if digest != manifest.sha256:
+            raise CheckpointCorruptionError(
+                stage,
+                f"checksum mismatch ({digest[:12]}.. != "
+                f"{manifest.sha256[:12]}..)",
+            )
+        try:
+            return pickle.loads(data)
+        except Exception as exc:  # corrupt-but-right-checksum can't happen;
+            # this guards a manifest forged around a broken payload.
+            raise CheckpointCorruptionError(
+                stage, f"payload does not unpickle: {exc}"
+            ) from exc
+
+    def discard(self, stage: str) -> None:
+        """Drop a checkpoint (manifest first, so no orphan manifests)."""
+        for path in (self.manifest_path(stage), self.payload_path(stage)):
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+
+    def stages(self) -> List[str]:
+        """Stage names with a manifest on disk (unordered set, sorted)."""
+        return sorted(
+            path.name[: -len(".manifest.json")]
+            for path in self.checkpoint_dir.glob("*.manifest.json")
+        )
+
+    def load_valid_prefix(
+        self, order: Sequence[str]
+    ) -> Tuple[Dict[str, Any], List[CheckpointIssue]]:
+        """Restore the longest trustworthy prefix of *order*.
+
+        Returns ``(payloads, issues)``. The first missing or invalid
+        checkpoint ends the prefix; an invalid one is discarded along
+        with every later checkpoint (they derive from it), which is the
+        "fall back to the previous stage" policy.
+        """
+        payloads: Dict[str, Any] = {}
+        issues: List[CheckpointIssue] = []
+        broke_at: Optional[int] = None
+        for index, stage in enumerate(order):
+            if not self.has(stage):
+                broke_at = index
+                break
+            try:
+                payloads[stage] = self.load(stage)
+            except CheckpointError as exc:
+                kind = (
+                    "version"
+                    if isinstance(exc, CheckpointVersionError)
+                    else "corrupt"
+                    if isinstance(exc, CheckpointCorruptionError)
+                    else "missing"
+                )
+                issues.append(CheckpointIssue(stage, kind, exc.reason))
+                log.warning(
+                    "checkpoint rejected", stage=stage, kind=kind,
+                    reason=exc.reason,
+                )
+                self.discard(stage)
+                broke_at = index
+                break
+        if broke_at is not None:
+            for stage in order[broke_at + 1:]:
+                if self.has(stage):
+                    issues.append(
+                        CheckpointIssue(
+                            stage,
+                            "orphaned",
+                            "discarded: follows an invalid or missing "
+                            "checkpoint",
+                        )
+                    )
+                    self.discard(stage)
+        if payloads:
+            log.info(
+                "checkpoints restored",
+                stages=",".join(payloads),
+                rejected=len(issues),
+            )
+        return payloads, issues
+
+    # -- run-level JSON documents --------------------------------------------
+
+    def write_json(self, name: str, payload: Dict[str, Any]) -> None:
+        atomic_write_text(
+            self.run_dir / name, json.dumps(payload, sort_keys=True, indent=2)
+        )
+
+    def read_json(self, name: str) -> Optional[Dict[str, Any]]:
+        path = self.run_dir / name
+        if not path.exists():
+            return None
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            return None
+
+
+def _record_count(payload: Any) -> int:
+    """A best-effort record count for the manifest (tuples count parts)."""
+    if isinstance(payload, tuple):
+        total = 0
+        for part in payload:
+            try:
+                total += len(part)
+            except TypeError:
+                return UNSIZED
+        return total
+    try:
+        return len(payload)
+    except TypeError:
+        return UNSIZED
+
+
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "UNSIZED",
+    "CheckpointError",
+    "CheckpointMissingError",
+    "CheckpointVersionError",
+    "CheckpointCorruptionError",
+    "CheckpointManifest",
+    "CheckpointIssue",
+    "CheckpointStore",
+]

@@ -1,12 +1,24 @@
-"""Unit tests for event serialization."""
+"""Unit tests for event serialization, validation and quarantine."""
+
+import json
+import os
 
 import pytest
 
-from repro.core.events import AttackEvent, SOURCE_HONEYPOT, SOURCE_TELESCOPE
+from repro.core.events import (
+    AttackEvent,
+    SOURCE_HONEYPOT,
+    SOURCE_TELESCOPE,
+    validate_event_dict,
+)
 from repro.pipeline.datasets import (
+    MalformedRecordError,
+    REASON_DUPLICATE,
+    REASON_UNPARSEABLE,
     event_from_dict,
     event_to_dict,
     load_events_jsonl,
+    read_events_jsonl,
     save_events_jsonl,
 )
 
@@ -80,3 +92,159 @@ class TestAtomicWrite:
         save_events_jsonl(events() * 10, path)
         save_events_jsonl(events()[:1], path)
         assert len(load_events_jsonl(path)) == 1
+
+    def test_successful_replace_never_unlinks_foreign_temp(
+        self, tmp_path, monkeypatch
+    ):
+        """Cleanup after a successful rename must not race a concurrent
+        writer that reused the same temp path."""
+        real_replace = os.replace
+        path = tmp_path / "events.jsonl"
+        tmp = tmp_path / "events.jsonl.tmp"
+
+        def replace_then_race(src, dst):
+            real_replace(src, dst)
+            tmp.write_text("concurrent writer's temp")
+
+        monkeypatch.setattr(os, "replace", replace_then_race)
+        save_events_jsonl(events(), path)
+        assert load_events_jsonl(path) == events()
+        assert tmp.read_text() == "concurrent writer's temp"
+
+
+class TestSchemaValidation:
+    def _valid(self):
+        return event_to_dict(events()[0])
+
+    def test_valid_record_passes(self):
+        assert validate_event_dict(self._valid()) is None
+
+    def test_non_object(self):
+        assert validate_event_dict([1, 2]) == "not-an-object"
+        assert validate_event_dict("x") == "not-an-object"
+
+    @pytest.mark.parametrize(
+        "field", ["source", "target", "start_ts", "end_ts", "intensity"]
+    )
+    def test_missing_required_field(self, field):
+        data = self._valid()
+        del data[field]
+        assert validate_event_dict(data) == f"missing-field:{field}"
+
+    def test_bad_types(self):
+        data = self._valid()
+        data["target"] = "10.0.0.1"
+        assert validate_event_dict(data) == "bad-type:target"
+        data = self._valid()
+        data["start_ts"] = True  # JSON true is not a timestamp
+        assert validate_event_dict(data) == "bad-type:start_ts"
+        data = self._valid()
+        data["ports"] = [80, "https"]
+        assert validate_event_dict(data) == "bad-type:ports"
+
+    def test_out_of_range(self):
+        data = self._valid()
+        data["target"] = 2**32
+        assert validate_event_dict(data) == "out-of-range:target"
+        data = self._valid()
+        data["end_ts"] = data["start_ts"] - 1.0
+        assert validate_event_dict(data) == "out-of-range:end_ts"
+        data = self._valid()
+        data["intensity"] = -0.5
+        assert validate_event_dict(data) == "out-of-range:intensity"
+        data = self._valid()
+        data["ports"] = [70000]
+        assert validate_event_dict(data) == "out-of-range:ports"
+
+    def test_unknown_source(self):
+        data = self._valid()
+        data["source"] = "darkweb"
+        assert validate_event_dict(data) == "unknown-source"
+
+
+class TestTolerantLoading:
+    def _write_feed(self, path, extra_lines=()):
+        save_events_jsonl(events(), path)
+        with open(path, "a", encoding="utf-8") as handle:
+            for line in extra_lines:
+                handle.write(line + "\n")
+
+    def test_malformed_line_skipped_and_counted(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        self._write_feed(path, ['{"truncated": '])
+        loaded, report = read_events_jsonl(path)
+        assert loaded == events()
+        assert report.loaded == 2
+        assert report.reason_counts() == {REASON_UNPARSEABLE: 1}
+
+    def test_strict_mode_preserved(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        self._write_feed(path, ['{"truncated": '])
+        with pytest.raises(MalformedRecordError) as excinfo:
+            load_events_jsonl(path, strict=True)
+        assert excinfo.value.record.reason == REASON_UNPARSEABLE
+        assert excinfo.value.record.line_no == 3
+
+    def test_duplicates_quarantined(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        line = json.dumps(event_to_dict(events()[0]))
+        self._write_feed(path, [line, line])
+        loaded, report = read_events_jsonl(path)
+        assert loaded == events()
+        assert report.reason_counts() == {REASON_DUPLICATE: 2}
+
+    def test_out_of_range_quarantined(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        bad = event_to_dict(events()[0])
+        bad["target"] = -4
+        self._write_feed(path, [json.dumps(bad)])
+        loaded, report = read_events_jsonl(path)
+        assert loaded == events()
+        assert report.reason_counts() == {"out-of-range:target": 1}
+
+    def test_quarantine_file_written_with_reasons(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        quarantine = tmp_path / "dead.jsonl"
+        self._write_feed(path, ["not json at all", '{"a": 1}'])
+        _loaded, report = read_events_jsonl(path, quarantine_path=quarantine)
+        assert report.quarantine_path == str(quarantine)
+        records = [
+            json.loads(line)
+            for line in quarantine.read_text().splitlines()
+        ]
+        assert [r["reason"] for r in records] == [
+            REASON_UNPARSEABLE,
+            "missing-field:source",
+        ]
+        assert records[0]["line_no"] == 3
+        assert records[1]["raw"] == '{"a": 1}'
+
+    def test_no_quarantine_file_when_clean(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        quarantine = tmp_path / "dead.jsonl"
+        save_events_jsonl(events(), path)
+        _loaded, report = read_events_jsonl(path, quarantine_path=quarantine)
+        assert report.rejected == 0
+        assert report.quarantine_path is None
+        assert not quarantine.exists()
+
+    def test_truncated_tail_costs_one_record(self, tmp_path):
+        """A crash mid-append costs the half-written record, not the run."""
+        path = tmp_path / "events.jsonl"
+        save_events_jsonl(events() * 5, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - len(data) // 12])
+        loaded, report = read_events_jsonl(path)
+        assert report.rejected >= 1
+        assert len(loaded) + report.rejected <= 10
+        # Duplicates: events()*5 repeats the same two events; the loader
+        # keeps one of each and quarantines the redeliveries.
+        assert REASON_DUPLICATE in report.reason_counts()
+
+    def test_describe_is_deterministic(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        self._write_feed(path, ["garbage"])
+        _loaded, report = read_events_jsonl(path)
+        assert report.describe() == (
+            "2 loaded; 1 quarantined; unparseable-json×1"
+        )

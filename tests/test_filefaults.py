@@ -1,0 +1,127 @@
+"""Unit tests for at-rest file corruption injectors (repro.faults.fileio).
+
+Each injector must be (a) deterministic from its seed, and (b) produce
+damage the validation/quarantine layer classifies correctly — that is
+what these faults exist to exercise.
+"""
+
+import json
+
+import pytest
+
+from repro.core.events import AttackEvent, SOURCE_HONEYPOT, SOURCE_TELESCOPE
+from repro.faults.fileio import (
+    drift_schema,
+    duplicate_records,
+    flip_bits,
+    truncate_file,
+)
+from repro.pipeline.datasets import (
+    REASON_DUPLICATE,
+    read_events_jsonl,
+    save_events_jsonl,
+)
+
+
+def make_events(n=40):
+    out = []
+    for i in range(n):
+        source = SOURCE_TELESCOPE if i % 2 else SOURCE_HONEYPOT
+        out.append(
+            AttackEvent(
+                source, 1000 + i, float(i * 100), float(i * 100 + 50),
+                1.0 + i,
+                reflector_protocol=None if i % 2 else "NTP",
+            )
+        )
+    return out
+
+
+@pytest.fixture
+def feed(tmp_path):
+    path = tmp_path / "feed.jsonl"
+    save_events_jsonl(make_events(), path)
+    return path
+
+
+class TestDeterminism:
+    def test_flip_bits_same_seed_same_damage(self, tmp_path, feed):
+        copy = tmp_path / "copy.jsonl"
+        copy.write_bytes(feed.read_bytes())
+        offsets_a = flip_bits(feed, seed=9, n_flips=5)
+        offsets_b = flip_bits(copy, seed=9, n_flips=5)
+        assert offsets_a == offsets_b
+        assert feed.read_bytes() == copy.read_bytes()
+
+    def test_drift_and_duplicate_deterministic(self, tmp_path, feed):
+        copy = tmp_path / "copy.jsonl"
+        copy.write_bytes(feed.read_bytes())
+        assert drift_schema(feed, seed=3) == drift_schema(copy, seed=3)
+        assert duplicate_records(feed, seed=4) == duplicate_records(
+            copy, seed=4
+        )
+        assert feed.read_text() == copy.read_text()
+
+
+class TestTruncation:
+    def test_cuts_bytes_and_loader_survives(self, feed):
+        before = feed.stat().st_size
+        cut = truncate_file(feed, keep_fraction=0.75)
+        assert cut == before - feed.stat().st_size
+        loaded, report = read_events_jsonl(feed)
+        assert len(loaded) < 40
+        assert len(loaded) >= 25
+        # The cut usually lands mid-record; strictness about the exact
+        # count would test the byte math, not the tolerance.
+        assert report.rejected <= 1
+
+    def test_validates_fraction(self, feed):
+        with pytest.raises(ValueError):
+            truncate_file(feed, keep_fraction=1.5)
+
+
+class TestBitFlips:
+    def test_flipped_feed_loads_with_quarantine_never_crashes(self, feed):
+        flip_bits(feed, seed=11, n_flips=12)
+        loaded, report = read_events_jsonl(feed)
+        # Every record is either loaded intact or quarantined with a
+        # reason; nothing is silently dropped and nothing raises.
+        assert len(loaded) + report.rejected >= 38
+        assert len(loaded) < 40 or report.rejected > 0
+
+    def test_rejects_empty_file(self, tmp_path):
+        empty = tmp_path / "empty.bin"
+        empty.write_bytes(b"")
+        with pytest.raises(ValueError):
+            flip_bits(empty, seed=1)
+
+
+class TestSchemaDrift:
+    def test_drifted_records_quarantined_with_reason(self, feed):
+        drifted = drift_schema(feed, seed=5, fraction=0.3, field="target")
+        assert drifted > 0
+        loaded, report = read_events_jsonl(feed)
+        assert len(loaded) == 40 - drifted
+        assert report.reason_counts() == {"missing-field:target": drifted}
+
+    def test_drop_without_rename(self, feed):
+        drifted = drift_schema(
+            feed, seed=5, fraction=1.0, field="intensity", rename_to=None
+        )
+        assert drifted == 40
+        for line in feed.read_text().splitlines():
+            assert "intensity" not in json.loads(line)
+
+
+class TestDuplicateRecords:
+    def test_duplicates_quarantined(self, feed):
+        appended = duplicate_records(feed, seed=6, fraction=0.25)
+        assert appended > 0
+        loaded, report = read_events_jsonl(feed)
+        assert len(loaded) == 40
+        assert report.reason_counts() == {REASON_DUPLICATE: appended}
+
+    def test_zero_fraction_noop(self, feed):
+        before = feed.read_text()
+        assert duplicate_records(feed, seed=6, fraction=0.0) == 0
+        assert feed.read_text() == before

@@ -1,0 +1,100 @@
+"""Unit tests for the structured logging module."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.log import (
+    ROOT_LOGGER,
+    configure_logging,
+    get_logger,
+)
+
+
+@pytest.fixture
+def clean_logging():
+    """Restore the repro root logger after each test."""
+    root = logging.getLogger(ROOT_LOGGER)
+    saved_handlers = list(root.handlers)
+    saved_level = root.level
+    saved_propagate = root.propagate
+    yield root
+    root.handlers = saved_handlers
+    root.setLevel(saved_level)
+    root.propagate = saved_propagate
+
+
+class TestGetLogger:
+    def test_namespacing(self):
+        assert get_logger("store").name == "repro.store"
+        assert get_logger().name == "repro"
+        assert get_logger("repro.runner").name == "repro.runner"
+
+    def test_null_handler_by_default(self):
+        # Library etiquette: importing repro must not print log records.
+        root = logging.getLogger(ROOT_LOGGER)
+        assert any(
+            isinstance(h, logging.NullHandler) for h in root.handlers
+        )
+
+
+class TestConsoleOutput:
+    def test_fields_rendered_as_key_value(self, clean_logging):
+        stream = io.StringIO()
+        configure_logging(stream=stream)
+        get_logger("test").info("stage completed", stage="attacks", n=7)
+        line = stream.getvalue()
+        assert "repro.test" in line
+        assert "stage completed" in line
+        assert "stage=attacks" in line
+        assert "n=7" in line
+
+    def test_debug_suppressed_unless_verbose(self, clean_logging):
+        stream = io.StringIO()
+        configure_logging(verbose=False, stream=stream)
+        get_logger("test").debug("hidden", x=1)
+        assert stream.getvalue() == ""
+        configure_logging(verbose=True, stream=stream)
+        get_logger("test").debug("visible", x=1)
+        assert "visible" in stream.getvalue()
+
+
+class TestJsonOutput:
+    def test_records_are_json_lines(self, clean_logging):
+        stream = io.StringIO()
+        configure_logging(json_mode=True, stream=stream)
+        get_logger("store").warning(
+            "checkpoint rejected", stage="attacks", kind="corrupt"
+        )
+        payload = json.loads(stream.getvalue())
+        assert payload["event"] == "checkpoint rejected"
+        assert payload["level"] == "warning"
+        assert payload["logger"] == "repro.store"
+        assert payload["stage"] == "attacks"
+        assert payload["kind"] == "corrupt"
+        assert isinstance(payload["ts"], float)
+
+    def test_non_serializable_fields_stringified(self, clean_logging):
+        stream = io.StringIO()
+        configure_logging(json_mode=True, stream=stream)
+        get_logger("test").info("path", where=object())
+        payload = json.loads(stream.getvalue())
+        assert "object" in payload["where"]
+
+
+class TestReconfiguration:
+    def test_idempotent_no_duplicate_handlers(self, clean_logging):
+        stream = io.StringIO()
+        for _ in range(3):
+            configure_logging(stream=stream)
+        get_logger("test").info("once")
+        assert stream.getvalue().count("once") == 1
+
+    def test_foreign_handlers_survive(self, clean_logging):
+        root = logging.getLogger(ROOT_LOGGER)
+        foreign = logging.NullHandler()
+        root.addHandler(foreign)
+        configure_logging(stream=io.StringIO())
+        assert foreign in root.handlers

@@ -7,6 +7,8 @@ fault-free reference and run the small scenario through
 
 import pytest
 
+from repro.core.events import AttackEvent, SOURCE_TELESCOPE
+from repro.faults.fileio import flip_bits
 from repro.faults.plan import (
     ALL_FEEDS,
     FEED_DPS,
@@ -16,6 +18,7 @@ from repro.faults.plan import (
     FaultPlan,
     FaultPlanConfig,
 )
+from repro.pipeline.datasets import read_events_jsonl, save_events_jsonl
 from repro.pipeline.quality import (
     HeadlineMetrics,
     STATUS_DOWN,
@@ -29,6 +32,7 @@ from repro.pipeline.runner import (
     TransientStageError,
     run_resilient,
 )
+from repro.store import CheckpointStore
 
 
 def no_sleep(_delay):
@@ -48,6 +52,74 @@ class TestRetryPolicy:
             RetryPolicy(max_attempts=0)
         with pytest.raises(ValueError):
             RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_max=-1.0)
+
+    def test_delay_capped(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_factor=10.0,
+                             backoff_max=5.0)
+        assert policy.delay(1) == pytest.approx(1.0)
+        assert policy.delay(2) == pytest.approx(5.0)
+        assert policy.delay(9) == pytest.approx(5.0)
+
+    def test_delay_never_overflows_at_high_attempt_counts(self):
+        """2.0 ** 2000 raises OverflowError; the cap must absorb it."""
+        policy = RetryPolicy(backoff_base=0.05, backoff_factor=2.0,
+                             backoff_max=30.0)
+        for attempt in (100, 1030, 10_000, 10**6):
+            assert policy.delay(attempt) == pytest.approx(30.0)
+
+    def test_zero_base_is_free(self):
+        policy = RetryPolicy(backoff_base=0.0)
+        assert policy.delay(1) == 0.0
+        assert policy.delay(10**9) == 0.0
+
+    def test_max_attempts_one_never_sleeps(self, small_config):
+        slept = []
+        plan = FaultPlan.generate(
+            FaultPlanConfig(
+                seed=1,
+                n_days=small_config.n_days,
+                n_honeypots=small_config.n_honeypots,
+                telescope_outage_rate=0.0,
+                honeypot_churn_rate=0.0,
+                openintel_miss_rate=0.0,
+                dps_corruption_rate=0.0,
+                transient_failures={"attacks": 1},
+            )
+        )
+        pipeline = ResilientPipeline(
+            small_config, plan=plan,
+            retry=RetryPolicy(max_attempts=1), sleep=slept.append,
+        )
+        with pytest.raises(StageFailedError):
+            pipeline.run()
+        assert slept == []
+
+    def test_sleep_sequence_on_exhausted_retries(self, small_config):
+        """One sleep per failed attempt except the last."""
+        slept = []
+        plan = FaultPlan.generate(
+            FaultPlanConfig(
+                seed=1,
+                n_days=small_config.n_days,
+                n_honeypots=small_config.n_honeypots,
+                telescope_outage_rate=0.0,
+                honeypot_churn_rate=0.0,
+                openintel_miss_rate=0.0,
+                dps_corruption_rate=0.0,
+                transient_failures={"internet": 99},
+            )
+        )
+        pipeline = ResilientPipeline(
+            small_config, plan=plan,
+            retry=RetryPolicy(max_attempts=4, backoff_base=0.01,
+                              backoff_factor=3.0),
+            sleep=slept.append,
+        )
+        with pytest.raises(StageFailedError):
+            pipeline.run()
+        assert slept == pytest.approx([0.01, 0.03, 0.09])
 
 
 class TestHealthyRun:
@@ -215,3 +287,127 @@ class TestReportDeterminism:
             result = run_resilient(small_config, plan=plan, sleep=no_sleep)
             renders.append(result.quality.render())
         assert renders[0] == renders[1]
+
+
+class TestDurableRuns:
+    """In-process crash-recovery semantics (the CLI drill lives in
+    tests/test_recovery.py)."""
+
+    def _run(self, config, run_dir, plan=None):
+        return ResilientPipeline(
+            config, plan=plan, run_dir=run_dir, sleep=no_sleep
+        )
+
+    def test_fresh_process_resumes_from_checkpoints(
+        self, small_config, tmp_path
+    ):
+        run_dir = tmp_path / "run"
+        first = self._run(small_config, run_dir).run()
+        resumed = self._run(small_config, run_dir).run()
+        statuses = [s.status for s in resumed.quality.stages]
+        assert statuses == ["cached"] * len(STAGE_ORDER)
+        assert (
+            HeadlineMetrics.from_result(resumed)
+            == HeadlineMetrics.from_result(first)
+        )
+
+    def test_partial_prefix_recomputes_remaining_stages(
+        self, small_config, tmp_path
+    ):
+        run_dir = tmp_path / "run"
+        reference = self._run(small_config, run_dir).run()
+        store = CheckpointStore(run_dir)
+        for stage in STAGE_ORDER[2:]:
+            store.discard(stage)
+        resumed_pipeline = self._run(small_config, run_dir)
+        resumed = resumed_pipeline.run()
+        statuses = {s.name: s.status for s in resumed.quality.stages}
+        assert statuses["internet"] == "cached"
+        assert statuses["attacks"] == "cached"
+        assert all(statuses[s] == "ok" for s in STAGE_ORDER[2:])
+        assert (
+            HeadlineMetrics.from_result(resumed)
+            == HeadlineMetrics.from_result(reference)
+        )
+
+    def test_corrupt_checkpoint_falls_back_and_recomputes(
+        self, small_config, tmp_path
+    ):
+        run_dir = tmp_path / "run"
+        reference = self._run(small_config, run_dir).run()
+        store = CheckpointStore(run_dir)
+        flip_bits(store.payload_path("attacks"), seed=3, n_flips=1)
+        pipeline = self._run(small_config, run_dir)
+        kinds = {i.stage: i.kind for i in pipeline.checkpoint_issues}
+        assert kinds["attacks"] == "corrupt"
+        assert all(
+            kinds[s] == "orphaned" for s in STAGE_ORDER[2:]
+        )
+        resumed = pipeline.run()
+        statuses = {s.name: s.status for s in resumed.quality.stages}
+        assert statuses["internet"] == "cached"
+        assert statuses["attacks"] == "ok"
+        assert (
+            HeadlineMetrics.from_result(resumed)
+            == HeadlineMetrics.from_result(reference)
+        )
+
+    def test_injector_counters_survive_resume(self, small_config, tmp_path):
+        """Quality feed accounting must match an uninterrupted faulty run."""
+        def plan():
+            return FaultPlan.standard(
+                small_config.n_days,
+                seed=7,
+                n_honeypots=small_config.n_honeypots,
+            )
+
+        uninterrupted = run_resilient(
+            small_config, plan=plan(), sleep=no_sleep
+        )
+        run_dir = tmp_path / "run"
+        self._run(small_config, run_dir, plan=plan()).run()
+        # Drop everything after the honeypot stage, as a crash would.
+        store = CheckpointStore(run_dir)
+        for stage in STAGE_ORDER[5:]:
+            store.discard(stage)
+        resumed = self._run(small_config, run_dir, plan=plan()).run()
+        statuses = {s.name: s.status for s in resumed.quality.stages}
+        assert statuses["honeypot"] == "cached"
+        assert statuses["measurement"] == "ok"
+        for feed in ALL_FEEDS:
+            a = resumed.quality.feed(feed)
+            b = uninterrupted.quality.feed(feed)
+            assert (a.uptime, a.events_observed, a.events_dropped) == (
+                b.uptime, b.events_observed, b.events_dropped
+            ), feed
+
+    def test_record_reports_surface_in_quality(
+        self, small_config, tmp_path
+    ):
+        feed_path = tmp_path / "feed.jsonl"
+        save_events_jsonl(
+            [
+                AttackEvent(SOURCE_TELESCOPE, 1, 0.0, 1.0, 1.0),
+            ],
+            feed_path,
+        )
+        with open(feed_path, "a", encoding="utf-8") as handle:
+            handle.write("not json\n")
+        _events, report = read_events_jsonl(feed_path)
+        pipeline = ResilientPipeline(small_config, sleep=no_sleep)
+        pipeline.attach_record_report(report)
+        result = pipeline.run()
+        assert result.quality.degraded
+        (record,) = result.quality.records
+        assert record.loaded == 1 and record.quarantined == 1
+        rendered = result.quality.render()
+        assert "record validation:" in rendered
+        assert "unparseable-json×1" in rendered
+
+    def test_crash_after_validation(self, small_config, tmp_path):
+        with pytest.raises(ValueError):
+            ResilientPipeline(
+                small_config,
+                run_dir=tmp_path / "run",
+                crash_after="no-such-stage",
+            )
