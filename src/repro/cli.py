@@ -17,8 +17,19 @@ Commands:
   down in turn (or one mixed standard plan), with a per-feed
   ``DataQualityReport`` and headline-ratio drift vs. the fault-free run;
 * ``validate`` — load a JSONL event feed through the record validator,
-  quarantining malformed/duplicate/out-of-range records to a dead-letter
-  file with reason codes.
+  quarantining malformed/duplicate/out-of-range records to a per-feed
+  dead-letter file with reason codes;
+* ``chaos``    — run the executor's chaos drill: a full pipeline under each
+  injected execution fault (hung worker, slow worker, worker crash,
+  poison shard) must recover byte-identically or degrade visibly, never
+  hang (``--quick`` is the CI smoke variant).
+
+``simulate`` and ``resume`` accept the parallel-execution knobs
+(``--workers``, ``--shards``, ``--exec-mode``, ``--task-deadline``) — a
+sharded run is byte-identical to a serial one — plus ``--deadline``,
+which aborts the run cleanly once the budget is spent: checkpoints are
+already flushed, the run dir stays resumable, and the process exits with
+code 124 (the ``timeout(1)`` convention, distinct from a crash).
 
 Global ``--verbose`` / ``--log-json`` flags wire structured logging
 (:mod:`repro.log`) through the runner, the checkpoint store and the
@@ -33,11 +44,16 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.core.report import render_table1
+from repro.exec.deadline import RunDeadline, RunDeadlineExceeded
+from repro.exec.pool import ALL_MODES, ExecConfig, MODE_AUTO
+from repro.faults.exec import ExecFaultPlan
 from repro.faults.plan import ALL_FEEDS, FaultPlan
 from repro.log import configure_logging, get_logger
+from repro.pipeline.chaos import run_chaos_drill
 from repro.pipeline.config import ScenarioConfig
 from repro.pipeline.datasets import (
     MalformedRecordError,
+    quarantine_path_for,
     read_events_jsonl,
     save_events_jsonl,
 )
@@ -53,6 +69,10 @@ from repro.store.checkpoint import CheckpointStore
 
 log = get_logger("cli")
 
+#: Exit code when ``--deadline`` expires: the ``timeout(1)`` convention,
+#: distinguishable from a crash (137) and an ordinary failure (1).
+EXIT_DEADLINE = 124
+
 _PRESETS = {
     "small": ScenarioConfig.small,
     "default": ScenarioConfig.default,
@@ -66,6 +86,48 @@ META_VERSION = 1
 
 #: The fused event data set a completed durable run leaves in its run dir.
 EVENTS_FILE = "events.jsonl"
+
+
+def _add_exec_args(
+    sub: argparse.ArgumentParser, resumable: bool = False
+) -> None:
+    """Parallel-execution knobs shared by ``simulate`` and ``resume``.
+
+    On ``resume`` the workers/shards/mode defaults are ``None`` so the
+    values recorded in ``meta.json`` win unless explicitly overridden —
+    sharding is an execution choice, not part of the scenario, and the
+    output is byte-identical either way.
+    """
+    sub.add_argument(
+        "--workers", type=int, default=None if resumable else 1, metavar="N",
+        help="worker processes for the observation stages (default: 1)",
+    )
+    sub.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="shards per observation stage (default: --workers)",
+    )
+    sub.add_argument(
+        "--exec-mode", choices=ALL_MODES,
+        default=None if resumable else MODE_AUTO,
+        help="worker isolation: fork processes, threads, or serial "
+             "(default: auto)",
+    )
+    sub.add_argument(
+        "--task-deadline", type=float, default=None, metavar="SECONDS",
+        help="per-shard watchdog deadline; a hung worker is killed and "
+             "the shard retried",
+    )
+    sub.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="whole-run time budget: abort cleanly when spent, leaving "
+             f"a resumable run dir (exit code {EXIT_DEADLINE})",
+    )
+    sub.add_argument(
+        "--exec-fault", action="append", default=None, metavar="SPEC",
+        help="inject an execution fault, kind:stage[:shard[:attempts]] "
+             "with kind one of hung/slow/crash/poison (repeatable; "
+             "fault drills)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -106,6 +168,7 @@ def _build_parser() -> argparse.ArgumentParser:
              "right after STAGE's checkpoint reaches disk "
              "(requires --run-dir)",
     )
+    _add_exec_args(simulate)
 
     resume = subparsers.add_parser(
         "resume",
@@ -115,6 +178,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "run_dir", type=Path, metavar="RUN_DIR",
         help="run directory of an interrupted 'simulate --run-dir' run",
     )
+    _add_exec_args(resume, resumable=True)
 
     validate = subparsers.add_parser(
         "validate",
@@ -127,7 +191,13 @@ def _build_parser() -> argparse.ArgumentParser:
     validate.add_argument(
         "--quarantine", type=Path, default=None, metavar="FILE",
         help="dead-letter JSONL for rejected records "
-             "(default: <FILE>.quarantine.jsonl)",
+             "(default: <FILE>[.<feed>].quarantine.jsonl)",
+    )
+    validate.add_argument(
+        "--feed", default="", metavar="NAME",
+        help="feed the file belongs to; namespaces the default "
+             "dead-letter file so several feeds validated into one "
+             "directory cannot clobber each other's quarantine",
     )
     validate.add_argument(
         "--strict", action="store_true",
@@ -169,6 +239,29 @@ def _build_parser() -> argparse.ArgumentParser:
         "--timings", action="store_true",
         help="include per-stage wall times (non-deterministic output)",
     )
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="drill the executor's failure envelope (hung/slow/crashed "
+             "workers, poison shards) against a serial baseline",
+    )
+    chaos.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke variant: skip the slow-worker soak scenario",
+    )
+    chaos.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="worker processes per drill run (default: 2)",
+    )
+    chaos.add_argument(
+        "--shards", type=int, default=3, metavar="N",
+        help="shards per observation stage per drill run (default: 3)",
+    )
+    chaos.add_argument(
+        "--scenario-budget", type=float, default=120.0, metavar="SECONDS",
+        help="hard per-scenario time budget; a scenario that exceeds it "
+             "fails instead of hanging the drill (default: 120)",
+    )
     return parser
 
 
@@ -176,14 +269,38 @@ def _config(args: argparse.Namespace) -> ScenarioConfig:
     return _PRESETS[args.preset]().with_seed(args.seed)
 
 
+def _exec_config(args: argparse.Namespace) -> ExecConfig:
+    """Build the executor config from CLI flags (None: flag not given)."""
+    return ExecConfig(
+        workers=args.workers if args.workers is not None else 1,
+        shards=args.shards,
+        mode=args.exec_mode if args.exec_mode is not None else MODE_AUTO,
+        task_deadline=args.task_deadline,
+    )
+
+
+def _exec_faults(args: argparse.Namespace) -> Optional[ExecFaultPlan]:
+    if not args.exec_fault:
+        return None
+    return ExecFaultPlan.parse(tuple(args.exec_fault))
+
+
 def _run_durable(
     config: ScenarioConfig,
     run_dir: Path,
     crash_after: Optional[str] = None,
+    exec_config: Optional[ExecConfig] = None,
+    exec_faults: Optional[ExecFaultPlan] = None,
+    deadline: Optional[float] = None,
 ):
     """Run the pipeline durably and leave the fused events in the run dir."""
     pipeline = ResilientPipeline(
-        config, run_dir=run_dir, crash_after=crash_after
+        config,
+        run_dir=run_dir,
+        crash_after=crash_after,
+        exec_config=exec_config,
+        exec_faults=exec_faults,
+        deadline=deadline,
     )
     result = pipeline.run()
     written = save_events_jsonl(
@@ -205,20 +322,47 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         print("--crash-after requires --run-dir", file=sys.stderr)
         return 2
     config = _config(args)
-    if args.run_dir is not None:
-        store = CheckpointStore(args.run_dir)
-        store.write_json(
-            META_FILE,
-            {
-                "meta_version": META_VERSION,
-                "command": "simulate",
-                "preset": args.preset,
-                "seed": args.seed,
-            },
-        )
-        result = _run_durable(config, args.run_dir, args.crash_after)
-    else:
-        result = run_simulation(config)
+    exec_config = _exec_config(args)
+    exec_faults = _exec_faults(args)
+    try:
+        if args.run_dir is not None:
+            store = CheckpointStore(args.run_dir)
+            store.write_json(
+                META_FILE,
+                {
+                    "meta_version": META_VERSION,
+                    "command": "simulate",
+                    "preset": args.preset,
+                    "seed": args.seed,
+                    "workers": exec_config.workers,
+                    "shards": exec_config.shards,
+                    "exec_mode": exec_config.mode,
+                },
+            )
+            result = _run_durable(
+                config,
+                args.run_dir,
+                args.crash_after,
+                exec_config=exec_config,
+                exec_faults=exec_faults,
+                deadline=args.deadline,
+            )
+        elif (
+            exec_config.parallel
+            or exec_faults is not None
+            or args.deadline is not None
+        ):
+            result = run_resilient(
+                config,
+                exec_config=exec_config,
+                exec_faults=exec_faults,
+                deadline=args.deadline,
+            )
+        else:
+            result = run_simulation(config)
+    except RunDeadlineExceeded as exc:
+        print(f"deadline exceeded: {exc}", file=sys.stderr)
+        return EXIT_DEADLINE
     print(render_table1(result.fused.summary_rows()))
     if args.save_events is not None:
         written = save_events_jsonl(
@@ -254,11 +398,41 @@ def cmd_resume(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     config = _PRESETS[preset]().with_seed(int(meta.get("seed", 42)))
+    # Execution knobs: explicit flags win, then the recorded meta values;
+    # either way the output is byte-identical, sharding is not scenario.
+    exec_config = ExecConfig(
+        workers=(
+            args.workers
+            if args.workers is not None
+            else int(meta.get("workers", 1))
+        ),
+        shards=(
+            args.shards
+            if args.shards is not None
+            else meta.get("shards")
+        ),
+        mode=(
+            args.exec_mode
+            if args.exec_mode is not None
+            else meta.get("exec_mode", MODE_AUTO)
+        ),
+        task_deadline=args.task_deadline,
+    )
     log.info(
         "resuming run", run_dir=str(args.run_dir), preset=preset,
-        seed=config.seed,
+        seed=config.seed, workers=exec_config.workers,
     )
-    result = _run_durable(config, args.run_dir)
+    try:
+        result = _run_durable(
+            config,
+            args.run_dir,
+            exec_config=exec_config,
+            exec_faults=_exec_faults(args),
+            deadline=args.deadline,
+        )
+    except RunDeadlineExceeded as exc:
+        print(f"deadline exceeded: {exc}", file=sys.stderr)
+        return EXIT_DEADLINE
     print(render_table1(result.fused.summary_rows()))
     return 0
 
@@ -269,12 +443,13 @@ def cmd_validate(args: argparse.Namespace) -> int:
         return 2
     quarantine = args.quarantine
     if quarantine is None:
-        quarantine = args.events_file.with_name(
-            args.events_file.name + ".quarantine.jsonl"
-        )
+        quarantine = quarantine_path_for(args.events_file, feed=args.feed)
     try:
         _events, report = read_events_jsonl(
-            args.events_file, strict=args.strict, quarantine_path=quarantine
+            args.events_file,
+            strict=args.strict,
+            quarantine_path=quarantine,
+            feed=args.feed,
         )
     except MalformedRecordError as exc:
         print(f"invalid record: {exc}", file=sys.stderr)
@@ -360,6 +535,26 @@ def cmd_robustness(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    results = run_chaos_drill(
+        config=_config(args),
+        quick=args.quick,
+        workers=args.workers,
+        shards=args.shards,
+        scenario_budget=args.scenario_budget,
+    )
+    print("=== Chaos drill ===")
+    for result in results:
+        verdict = "PASS" if result.passed else "FAIL"
+        print(
+            f"{verdict} {result.name:<14} [{result.expect}] "
+            f"({result.elapsed:.1f}s): {result.detail}"
+        )
+    failed = sum(1 for r in results if not r.passed)
+    print(f"{len(results) - failed}/{len(results)} scenarios passed")
+    return 0 if failed == 0 else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.verbose or args.log_json:
@@ -371,6 +566,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "report": cmd_report,
         "headline": cmd_headline,
         "robustness": cmd_robustness,
+        "chaos": cmd_chaos,
     }
     return handlers[args.command](args)
 

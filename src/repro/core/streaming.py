@@ -11,6 +11,8 @@ output the paper envisions for operators).
 
 from __future__ import annotations
 
+import queue
+import threading
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, Iterable, List, Optional, Set
@@ -225,3 +227,94 @@ class StreamingFusion:
             "slash16s": len(self._all_slash16s),
             "asns": len(self._all_asns),
         }
+
+
+class BoundedStreamingFusion:
+    """A :class:`StreamingFusion` behind a bounded queue with backpressure.
+
+    In the near-realtime deployment the producers (the feed collectors)
+    and the consumer (the fusion) run at different speeds. An unbounded
+    hand-off queue lets a slow consumer grow memory without limit — the
+    classic way a streaming pipeline dies hours into an incident, which
+    is precisely when the paper's operators need it. Here the hand-off is
+    a ``queue.Queue(maxsize=...)``: when the consumer falls behind,
+    :meth:`ingest` *blocks* the producer (backpressure) instead of
+    buffering, so memory stays bounded at ``maxsize`` events no matter
+    how lopsided the speeds are.
+
+    The consumer runs on a daemon thread owned by this object; call
+    :meth:`close` to flush and join it. An exception inside the consumer
+    (e.g. an out-of-order stream) is captured and re-raised to the
+    producer on the next :meth:`ingest`/:meth:`close`, so errors are not
+    silently swallowed by the thread boundary.
+    """
+
+    _SENTINEL = object()
+
+    def __init__(
+        self,
+        fusion: Optional[StreamingFusion] = None,
+        maxsize: int = 1024,
+        **fusion_kwargs,
+    ) -> None:
+        if maxsize < 1:
+            raise ValueError("queue bound must be at least one event")
+        self.fusion = (
+            fusion if fusion is not None else StreamingFusion(**fusion_kwargs)
+        )
+        self.maxsize = maxsize
+        self._queue: "queue.Queue" = queue.Queue(maxsize=maxsize)
+        self._error: Optional[BaseException] = None
+        self._closed = False
+        #: Producer-observed backpressure: ingest calls that had to wait.
+        self.blocked_puts = 0
+        self._consumer = threading.Thread(
+            target=self._drain, name="repro-stream-fusion", daemon=True
+        )
+        self._consumer.start()
+
+    def _drain(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is self._SENTINEL:
+                    self.fusion.finish()
+                    return
+                if self._error is None:
+                    self.fusion.ingest(item)
+            except BaseException as exc:  # noqa: BLE001 - re-raised to producer
+                self._error = exc
+            finally:
+                self._queue.task_done()
+
+    def _check_error(self) -> None:
+        if self._error is not None:
+            error, self._error = self._error, None
+            raise error
+
+    def ingest(self, event: AttackEvent) -> None:
+        """Enqueue one event; blocks when the consumer is ``maxsize`` behind."""
+        if self._closed:
+            raise RuntimeError("stream already closed")
+        self._check_error()
+        if self._queue.full():
+            self.blocked_puts += 1
+        self._queue.put(event)
+
+    def ingest_many(self, events: Iterable[AttackEvent]) -> None:
+        for event in events:
+            self.ingest(event)
+
+    @property
+    def depth(self) -> int:
+        """Events currently queued (never exceeds ``maxsize``)."""
+        return self._queue.qsize()
+
+    def close(self) -> StreamingFusion:
+        """Flush, stop the consumer, and hand back the fused state."""
+        if not self._closed:
+            self._closed = True
+            self._queue.put(self._SENTINEL)
+            self._consumer.join()
+        self._check_error()
+        return self.fusion

@@ -1,0 +1,73 @@
+"""Supervised parallel execution: worker pools, breakers, deadlines, shards.
+
+The pipeline's three observation stages (telescope, honeypot, DNS
+measurement) are mutually independent, and parts of each stage are
+internally shardable, so the natural execution model is a supervised
+fan-out — which is also exactly the shape of workload that hangs or dies
+partway when one feed misbehaves. This package provides the supervision:
+
+* :mod:`repro.exec.pool` — a worker pool (forked processes where the
+  platform allows, threads otherwise) with per-task deadlines and a
+  heartbeat watchdog that detects and kills hung workers;
+* :mod:`repro.exec.breaker` — per-feed circuit breakers (closed → open →
+  half-open) that stop retrying a persistently failing feed;
+* :mod:`repro.exec.shard` — deterministic shard planning and the
+  checkpoint naming that lets a sharded stage resume mid-stage;
+* :mod:`repro.exec.deadline` — a whole-run deadline that aborts cleanly,
+  leaving a resumable run directory.
+
+Everything here is policy-free about *what* runs: stage-specific shard
+functions and their byte-identical merges live with the stages in
+:mod:`repro.pipeline.simulation`.
+"""
+
+from repro.exec.breaker import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    BreakerReport,
+    BreakerTransition,
+    CircuitBreaker,
+)
+from repro.exec.deadline import RunDeadline, RunDeadlineExceeded
+from repro.exec.pool import (
+    ExecConfig,
+    MODE_AUTO,
+    MODE_FORK,
+    MODE_SERIAL,
+    MODE_THREAD,
+    STATUS_CRASHED,
+    STATUS_DEADLINE,
+    STATUS_ERROR,
+    STATUS_OK,
+    SupervisedPool,
+    TaskOutcome,
+    TaskSpec,
+)
+from repro.exec.shard import ShardPlan, shard_checkpoint_name, split_even
+
+__all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "BreakerReport",
+    "BreakerTransition",
+    "CircuitBreaker",
+    "ExecConfig",
+    "MODE_AUTO",
+    "MODE_FORK",
+    "MODE_SERIAL",
+    "MODE_THREAD",
+    "RunDeadline",
+    "RunDeadlineExceeded",
+    "STATUS_CRASHED",
+    "STATUS_DEADLINE",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "ShardPlan",
+    "SupervisedPool",
+    "TaskOutcome",
+    "TaskSpec",
+    "shard_checkpoint_name",
+    "split_even",
+]

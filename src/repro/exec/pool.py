@@ -1,0 +1,372 @@
+"""A worker pool that assumes its workers will misbehave.
+
+``SupervisedPool`` runs tasks under a watchdog instead of trusting them:
+
+* every task carries a **deadline**; a worker still running past it is
+  killed (fork mode) or abandoned (thread mode) and the task reported as
+  ``deadline`` instead of blocking the run forever;
+* fork workers send a **heartbeat** the moment they start; a worker that
+  never heartbeats within ``start_timeout`` is hung at spawn and killed;
+* a worker that dies without delivering a result (``os._exit``, signal,
+  OOM kill) is reported as ``crashed``, with its exit code;
+* an exception inside the task is reported as ``error`` with the message
+  — never re-raised across the process boundary.
+
+Fork mode is the default where available (Linux/macOS ``fork``): the
+child inherits the parent's memory, so closures over large pipeline
+objects cost nothing to dispatch, and only the (small) result is pickled
+back through a pipe. Thread mode is the portable fallback; hung threads
+cannot be killed, only abandoned, which the outcome records honestly.
+Serial mode runs tasks inline with no preemption — the reference
+behaviour sharded executions are compared against.
+
+The pool is safe to share between supervisor threads (one per pipeline
+stage): a semaphore caps total in-flight workers across all callers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.log import get_logger
+
+MODE_AUTO = "auto"
+MODE_FORK = "fork"
+MODE_THREAD = "thread"
+MODE_SERIAL = "serial"
+ALL_MODES = (MODE_AUTO, MODE_FORK, MODE_THREAD, MODE_SERIAL)
+
+STATUS_OK = "ok"
+STATUS_ERROR = "error"  # task raised; message captured
+STATUS_DEADLINE = "deadline"  # hung past its deadline; killed/abandoned
+STATUS_CRASHED = "crashed"  # worker died without delivering a result
+
+
+def resolve_mode(mode: str) -> str:
+    """Resolve ``auto`` to the best supported mode on this platform."""
+    if mode not in ALL_MODES:
+        raise ValueError(f"unknown pool mode: {mode!r} (modes: {ALL_MODES})")
+    if mode != MODE_AUTO:
+        return mode
+    if "fork" in multiprocessing.get_all_start_methods():
+        return MODE_FORK
+    return MODE_THREAD
+
+
+@dataclass(frozen=True)
+class ExecConfig:
+    """How much supervised parallelism a pipeline run gets.
+
+    The defaults describe the historical serial pipeline: one worker, one
+    shard per stage, no deadlines. ``shards`` defaults to ``workers`` so
+    asking for parallelism automatically shards the work to feed it.
+    """
+
+    workers: int = 1
+    shards: Optional[int] = None
+    mode: str = MODE_AUTO
+    #: Per shard-task deadline in seconds (None: no watchdog kill).
+    task_deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("need at least one worker")
+        if self.shards is not None and self.shards < 1:
+            raise ValueError("need at least one shard")
+        if self.mode not in ALL_MODES:
+            raise ValueError(
+                f"unknown pool mode: {self.mode!r} (modes: {ALL_MODES})"
+            )
+        if self.task_deadline is not None and self.task_deadline <= 0:
+            raise ValueError("task deadline must be positive")
+
+    @property
+    def n_shards(self) -> int:
+        return self.shards if self.shards is not None else self.workers
+
+    @property
+    def parallel(self) -> bool:
+        """Whether this config changes anything vs. the serial pipeline."""
+        return self.workers > 1 or self.n_shards > 1 or (
+            self.task_deadline is not None
+        )
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One unit of supervised work."""
+
+    name: str
+    fn: Callable[[], Any]
+    deadline: Optional[float] = None
+
+
+@dataclass
+class TaskOutcome:
+    """What became of one task."""
+
+    name: str
+    status: str
+    value: Any = None
+    error: Optional[str] = None
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+
+class _ForkWorker:
+    """One forked child computing one task, reporting through a pipe."""
+
+    def __init__(self, spec: TaskSpec) -> None:
+        ctx = multiprocessing.get_context("fork")
+        self.spec = spec
+        self.recv_conn, send_conn = ctx.Pipe(duplex=False)
+        self.process = ctx.Process(
+            target=_fork_entry, args=(send_conn, spec.fn), daemon=True
+        )
+        self.started_at = time.monotonic()
+        self.heartbeat_seen = False
+        self.process.start()
+        # The parent's copy of the child's send handle must close so that
+        # a dead child reads as EOF instead of a silently open pipe.
+        send_conn.close()
+
+    def poll(self) -> Optional[TaskOutcome]:
+        """Non-blocking check; an outcome means the task is finished."""
+        while self.recv_conn.poll(0):
+            try:
+                kind, payload = self.recv_conn.recv()
+            except (EOFError, OSError):
+                break  # child died mid-send; fall through to liveness check
+            if kind == "heartbeat":
+                self.heartbeat_seen = True
+                continue
+            status = STATUS_OK if kind == "ok" else STATUS_ERROR
+            return self._finish(status, value=payload if kind == "ok" else None,
+                                error=None if kind == "ok" else payload)
+        if not self.process.is_alive():
+            return self._finish(
+                STATUS_CRASHED,
+                error=f"worker exited with code {self.process.exitcode} "
+                      f"before delivering a result",
+            )
+        return None
+
+    def expired(self, start_timeout: float) -> Optional[str]:
+        """Why the watchdog should kill this worker now, if it should."""
+        elapsed = time.monotonic() - self.started_at
+        if self.spec.deadline is not None and elapsed > self.spec.deadline:
+            return f"deadline ({self.spec.deadline:.1f}s) exceeded"
+        if not self.heartbeat_seen and elapsed > start_timeout:
+            return f"no heartbeat within {start_timeout:.1f}s of spawn"
+        return None
+
+    def kill(self, reason: str) -> TaskOutcome:
+        self.process.kill()
+        self.process.join(timeout=5.0)
+        return self._finish(STATUS_DEADLINE, error=f"killed: {reason}")
+
+    def _finish(self, status: str, value: Any = None,
+                error: Optional[str] = None) -> TaskOutcome:
+        elapsed = time.monotonic() - self.started_at
+        self.recv_conn.close()
+        if self.process.is_alive():
+            # Result delivered but the child lingers; don't leak it.
+            self.process.join(timeout=1.0)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join(timeout=5.0)
+        return TaskOutcome(
+            self.spec.name, status, value=value, error=error, elapsed=elapsed
+        )
+
+
+def _fork_entry(conn, fn) -> None:
+    """Child side: heartbeat, compute, report, exit."""
+    try:
+        conn.send(("heartbeat", None))
+        result = fn()
+        conn.send(("ok", result))
+    except BaseException as exc:  # noqa: BLE001 - boundary must not leak
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+        os._exit(0)
+
+
+@dataclass
+class _ThreadWorker:
+    """One daemon thread computing one task (abandonable, not killable)."""
+
+    spec: TaskSpec
+    started_at: float = field(default_factory=time.monotonic)
+    result: Dict[str, Any] = field(default_factory=dict)
+    thread: Optional[threading.Thread] = None
+
+    def start(self) -> "_ThreadWorker":
+        def _run() -> None:
+            try:
+                self.result["outcome"] = (STATUS_OK, self.spec.fn(), None)
+            except BaseException as exc:  # noqa: BLE001
+                self.result["outcome"] = (
+                    STATUS_ERROR, None, f"{type(exc).__name__}: {exc}"
+                )
+
+        self.thread = threading.Thread(
+            target=_run, name=f"repro-exec-{self.spec.name}", daemon=True
+        )
+        self.thread.start()
+        return self
+
+    def poll(self) -> Optional[TaskOutcome]:
+        if "outcome" in self.result:
+            status, value, error = self.result["outcome"]
+            return TaskOutcome(
+                self.spec.name, status, value=value, error=error,
+                elapsed=time.monotonic() - self.started_at,
+            )
+        return None
+
+    def expired(self, start_timeout: float) -> Optional[str]:
+        elapsed = time.monotonic() - self.started_at
+        if self.spec.deadline is not None and elapsed > self.spec.deadline:
+            return f"deadline ({self.spec.deadline:.1f}s) exceeded"
+        return None
+
+    def kill(self, reason: str) -> TaskOutcome:
+        # Threads cannot be killed; the daemon thread is abandoned and its
+        # eventual result (if any) discarded. The outcome says so.
+        return TaskOutcome(
+            self.spec.name,
+            STATUS_DEADLINE,
+            error=f"abandoned (threads cannot be killed): {reason}",
+            elapsed=time.monotonic() - self.started_at,
+        )
+
+
+class SupervisedPool:
+    """Deadline-enforcing worker pool shared by the stage supervisors."""
+
+    def __init__(
+        self,
+        max_workers: int = 1,
+        mode: str = MODE_AUTO,
+        poll_interval: float = 0.01,
+        start_timeout: float = 30.0,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError("need at least one worker")
+        self.max_workers = max_workers
+        self.mode = resolve_mode(mode)
+        self.poll_interval = poll_interval
+        self.start_timeout = start_timeout
+        # Caps in-flight workers across concurrent run() callers.
+        self._slots = threading.Semaphore(max_workers)
+        # Forking while another supervisor thread forks is safe but
+        # serializing spawns keeps the child's inherited state coherent.
+        self._spawn_lock = threading.Lock()
+        self._log = get_logger("exec")
+
+    @classmethod
+    def from_config(cls, config: ExecConfig) -> "SupervisedPool":
+        return cls(max_workers=config.workers, mode=config.mode)
+
+    def run(self, tasks: Sequence[TaskSpec]) -> List[TaskOutcome]:
+        """Run tasks under supervision; outcomes in task order."""
+        if self.mode == MODE_SERIAL:
+            return [self._run_inline(spec) for spec in tasks]
+        outcomes: Dict[int, TaskOutcome] = {}
+        pending = list(enumerate(tasks))
+        active: Dict[int, Any] = {}
+        try:
+            while pending or active:
+                while pending and self._slots.acquire(blocking=not active):
+                    index, spec = pending.pop(0)
+                    active[index] = self._spawn(spec)
+                finished = []
+                for index, worker in active.items():
+                    outcome = worker.poll()
+                    if outcome is None:
+                        reason = worker.expired(self.start_timeout)
+                        if reason is not None:
+                            outcome = worker.kill(reason)
+                            self._log.warning(
+                                "hung worker killed",
+                                task=worker.spec.name,
+                                reason=reason,
+                            )
+                    if outcome is not None:
+                        finished.append(index)
+                        outcomes[index] = outcome
+                        self._slots.release()
+                        if not outcome.ok:
+                            self._log.warning(
+                                "task failed",
+                                task=outcome.name,
+                                status=outcome.status,
+                                error=outcome.error,
+                            )
+                for index in finished:
+                    del active[index]
+                if active and not finished:
+                    time.sleep(self.poll_interval)
+        finally:
+            for worker in active.values():  # unwind on error paths only
+                worker.kill("pool shutting down")
+                self._slots.release()
+        return [outcomes[index] for index in range(len(tasks))]
+
+    def _spawn(self, spec: TaskSpec):
+        with self._spawn_lock:
+            if self.mode == MODE_FORK:
+                return _ForkWorker(spec)
+            return _ThreadWorker(spec).start()
+
+    def _run_inline(self, spec: TaskSpec) -> TaskOutcome:
+        start = time.monotonic()
+        try:
+            value = spec.fn()
+        except KeyboardInterrupt:
+            raise
+        except BaseException as exc:  # noqa: BLE001
+            return TaskOutcome(
+                spec.name,
+                STATUS_ERROR,
+                error=f"{type(exc).__name__}: {exc}",
+                elapsed=time.monotonic() - start,
+            )
+        return TaskOutcome(
+            spec.name, STATUS_OK, value=value,
+            elapsed=time.monotonic() - start,
+        )
+
+
+__all__ = [
+    "ALL_MODES",
+    "ExecConfig",
+    "MODE_AUTO",
+    "MODE_FORK",
+    "MODE_SERIAL",
+    "MODE_THREAD",
+    "STATUS_CRASHED",
+    "STATUS_DEADLINE",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "SupervisedPool",
+    "TaskOutcome",
+    "TaskSpec",
+    "resolve_mode",
+]

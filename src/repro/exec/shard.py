@@ -1,0 +1,86 @@
+"""Deterministic shard planning and per-shard checkpoint naming.
+
+A stage that shards must come back together byte-identically, so shard
+boundaries are pure functions of (work size, shard count) — never of
+worker timing. :func:`split_even` produces the canonical contiguous
+chunking; stages that partition by key (e.g. by victim address) instead
+use ``key % n_shards`` directly and only need :class:`ShardPlan` for the
+count and the checkpoint names.
+
+Per-shard checkpoints are ordinary :mod:`repro.store` checkpoints under
+a ``{stage}.shard{i}of{n}`` name. The shard count is baked into the name
+on purpose: a resume with a different ``--shards`` must not reuse
+partial results computed under a different partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+SHARD_SEP = ".shard"
+
+
+def shard_checkpoint_name(stage: str, index: int, n_shards: int) -> str:
+    """Checkpoint name for shard ``index`` of ``n_shards`` of ``stage``."""
+    if not 0 <= index < n_shards:
+        raise ValueError(f"shard index {index} out of range for {n_shards}")
+    return f"{stage}{SHARD_SEP}{index}of{n_shards}"
+
+
+def is_shard_checkpoint(name: str) -> bool:
+    return SHARD_SEP in name
+
+
+def split_even(items: Sequence[T], n_shards: int) -> List[Sequence[T]]:
+    """Split into ``n_shards`` contiguous chunks, sizes differing by ≤ 1.
+
+    Deterministic in (len(items), n_shards); empty chunks are kept so
+    shard indices stay aligned with the plan even when there is less
+    work than shards.
+    """
+    if n_shards < 1:
+        raise ValueError("need at least one shard")
+    base, extra = divmod(len(items), n_shards)
+    chunks: List[Sequence[T]] = []
+    start = 0
+    for index in range(n_shards):
+        size = base + (1 if index < extra else 0)
+        chunks.append(items[start:start + size])
+        start += size
+    return chunks
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The sharding of one stage: how many pieces, and what they're called."""
+
+    stage: str
+    n_shards: int
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError("need at least one shard")
+
+    @property
+    def sharded(self) -> bool:
+        return self.n_shards > 1
+
+    def checkpoint_names(self) -> Tuple[str, ...]:
+        return tuple(
+            shard_checkpoint_name(self.stage, i, self.n_shards)
+            for i in range(self.n_shards)
+        )
+
+    def task_name(self, index: int) -> str:
+        return f"{self.stage}[{index}/{self.n_shards}]"
+
+
+__all__ = [
+    "ShardPlan",
+    "is_shard_checkpoint",
+    "shard_checkpoint_name",
+    "split_even",
+]

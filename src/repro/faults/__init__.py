@@ -5,8 +5,18 @@ See :mod:`repro.faults.plan` for what can go wrong and when,
 and :mod:`repro.faults.fileio` for seeded corruption of serialized feeds
 and checkpoints at rest (truncation, bit flips, schema drift, duplicated
 records) — the inputs the validation/quarantine layer defends against.
+:mod:`repro.faults.exec` injects execution-layer faults (hung, slow,
+crashed, poisoned workers) that the supervised executor in
+:mod:`repro.exec` must contain.
 """
 
+from repro.faults.exec import (
+    ExecFault,
+    ExecFaultPlan,
+    PoisonShardError,
+    WorkerCrashError,
+    apply_exec_fault,
+)
 from repro.faults.fileio import (
     drift_schema,
     duplicate_records,
@@ -41,6 +51,11 @@ __all__ = [
     "FaultPlan",
     "FaultPlanConfig",
     "OutageWindow",
+    "ExecFault",
+    "ExecFaultPlan",
+    "PoisonShardError",
+    "WorkerCrashError",
+    "apply_exec_fault",
     "FaultInjectorSet",
     "TelescopeFaultInjector",
     "HoneypotFaultInjector",

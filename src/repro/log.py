@@ -87,15 +87,36 @@ class StructuredLogger:
     handler attached to the ``repro`` hierarchy still works unmodified.
     """
 
-    def __init__(self, logger: logging.Logger) -> None:
+    def __init__(
+        self,
+        logger: logging.Logger,
+        bound: Optional[Dict[str, Any]] = None,
+    ) -> None:
         self.logger = logger
+        self._bound: Dict[str, Any] = dict(bound or {})
 
     @property
     def name(self) -> str:
         return self.logger.name
 
+    def bind(self, **fields: Any) -> "StructuredLogger":
+        """A child logger that stamps *fields* onto every record.
+
+        The worker/shard machinery logs many lines that all belong to one
+        (stage, shard, attempt) coordinate; binding once beats repeating
+        the coordinate at every call site — and makes it impossible to
+        forget on the error path, where it matters most.
+        """
+        merged = dict(self._bound)
+        merged.update(fields)
+        return StructuredLogger(self.logger, merged)
+
     def _log(self, level: int, event: str, fields: Dict[str, Any]) -> None:
         if self.logger.isEnabledFor(level):
+            if self._bound:
+                merged = dict(self._bound)
+                merged.update(fields)
+                fields = merged
             extra = {_FIELDS_ATTR: fields} if fields else None
             self.logger.log(level, event, extra=extra)
 

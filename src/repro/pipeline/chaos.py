@@ -1,0 +1,219 @@
+"""Chaos drill: exercise the executor's failure envelope end to end.
+
+Unit tests prove each supervision mechanism (watchdog, breaker, shard
+checkpoints) in isolation; the drill proves the *composition*: a full
+pipeline run under each injected execution fault must either recover to
+byte-identical output or complete visibly degraded — and must never hang
+past its time budget. ``python -m repro chaos`` runs it from the CLI and
+CI runs ``chaos --quick`` as a smoke job.
+
+Each scenario runs the sharded pipeline with one
+:class:`~repro.faults.exec.ExecFaultPlan` armed and checks the outcome
+against a serial fault-free baseline:
+
+* ``hung-worker``  — a shard sleeps forever; the watchdog must kill it at
+  the task deadline and the retry must recover byte-identically;
+* ``slow-worker``  — a shard is delayed but finishes inside its deadline;
+  output must be byte-identical (skipped under ``--quick``);
+* ``worker-crash`` — a forked worker dies mid-shard; the retry recomputes
+  only the failed shard and output must be byte-identical;
+* ``poison-shard`` — a shard fails on every attempt; the feed must degrade
+  through the empty-typed path with the breaker trip visible in the
+  :class:`~repro.pipeline.quality.DataQualityReport`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.exec.deadline import RunDeadlineExceeded
+from repro.exec.pool import ExecConfig
+from repro.faults.exec import (
+    ExecFaultPlan,
+    KIND_CRASH,
+    KIND_HUNG,
+    KIND_POISON,
+    KIND_SLOW,
+)
+from repro.log import get_logger
+from repro.pipeline.config import ScenarioConfig
+from repro.pipeline.datasets import event_to_dict
+from repro.pipeline.quality import STATUS_DOWN
+from repro.pipeline.runner import StageFailedError, run_resilient
+
+log = get_logger("chaos")
+
+#: What a scenario must demonstrate to pass.
+EXPECT_IDENTICAL = "byte-identical recovery"
+EXPECT_DEGRADED = "visible degradation"
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One injected execution fault and the recovery contract it tests."""
+
+    name: str
+    faults: ExecFaultPlan
+    expect: str
+    #: Per-shard watchdog deadline for this scenario (None: no watchdog).
+    task_deadline: Optional[float] = None
+    #: Feed that must show up degraded (EXPECT_DEGRADED scenarios only).
+    degraded_feed: str = ""
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Outcome of one drill scenario."""
+
+    name: str
+    expect: str
+    passed: bool
+    detail: str
+    elapsed: float
+
+
+def drill_scenarios(quick: bool = False) -> List[ChaosScenario]:
+    """The drill matrix; ``quick`` drops the slow-worker soak."""
+    scenarios = [
+        ChaosScenario(
+            name="hung-worker",
+            faults=ExecFaultPlan.single(KIND_HUNG, "honeypot", shard=0),
+            expect=EXPECT_IDENTICAL,
+            task_deadline=2.0,
+        ),
+        ChaosScenario(
+            name="worker-crash",
+            faults=ExecFaultPlan.single(KIND_CRASH, "telescope", shard=1),
+            expect=EXPECT_IDENTICAL,
+        ),
+        ChaosScenario(
+            name="poison-shard",
+            faults=ExecFaultPlan.single(KIND_POISON, "honeypot", shard=0),
+            expect=EXPECT_DEGRADED,
+            degraded_feed="honeypot",
+        ),
+    ]
+    if not quick:
+        scenarios.insert(
+            1,
+            ChaosScenario(
+                name="slow-worker",
+                faults=ExecFaultPlan.single(
+                    KIND_SLOW, "measurement", shard=0, delay=0.5
+                ),
+                expect=EXPECT_IDENTICAL,
+                task_deadline=30.0,
+            ),
+        )
+    return scenarios
+
+
+def _events_bytes(result) -> bytes:
+    """The exact bytes ``events.jsonl`` would hold for this result."""
+    return "".join(
+        json.dumps(event_to_dict(event)) + "\n"
+        for event in result.fused.combined.events
+    ).encode("utf-8")
+
+
+def run_chaos_drill(
+    config: Optional[ScenarioConfig] = None,
+    quick: bool = False,
+    workers: int = 2,
+    shards: int = 3,
+    scenario_budget: float = 120.0,
+) -> List[ScenarioResult]:
+    """Run every drill scenario against a serial fault-free baseline.
+
+    Each scenario's pipeline run carries *scenario_budget* as a hard
+    run deadline, so "no scenario hangs past its deadline" is enforced
+    by the same :class:`~repro.exec.deadline.RunDeadline` machinery the
+    CLI uses — a hang is reported as a failed scenario, not a stuck
+    drill.
+    """
+    config = config if config is not None else ScenarioConfig.small()
+    log.info("chaos drill baseline (serial, fault-free)")
+    reference = _events_bytes(run_resilient(config))
+    results: List[ScenarioResult] = []
+    for scenario in drill_scenarios(quick):
+        log.info(
+            "chaos scenario",
+            name=scenario.name,
+            faults=scenario.faults.describe(),
+        )
+        started = time.monotonic()
+        result = None
+        failure = ""
+        try:
+            result = run_resilient(
+                config,
+                exec_config=ExecConfig(
+                    workers=workers,
+                    shards=shards,
+                    task_deadline=scenario.task_deadline,
+                ),
+                exec_faults=scenario.faults,
+                deadline=scenario_budget,
+            )
+        except RunDeadlineExceeded:
+            failure = (
+                f"scenario exceeded its {scenario_budget:.0f}s budget"
+            )
+        except StageFailedError as exc:
+            failure = f"core stage failed: {exc}"
+        elapsed = time.monotonic() - started
+        if result is None:
+            passed, detail = False, failure
+        elif scenario.expect == EXPECT_IDENTICAL:
+            if _events_bytes(result) == reference:
+                passed = True
+                detail = "recovered; fused events byte-identical to serial"
+            else:
+                passed = False
+                detail = "completed but fused events diverged from serial"
+        else:
+            feed = result.quality.feed(scenario.degraded_feed)
+            tripped = [
+                b.name for b in result.quality.breakers if b.transitions
+            ]
+            if feed.status == STATUS_DOWN and tripped:
+                passed = True
+                detail = (
+                    f"feed {scenario.degraded_feed!r} down, breaker(s) "
+                    f"tripped: {', '.join(tripped)}"
+                )
+            else:
+                passed = False
+                detail = (
+                    f"degradation not visible (feed status "
+                    f"{feed.status!r}, tripped breakers: {tripped})"
+                )
+        results.append(
+            ScenarioResult(
+                name=scenario.name,
+                expect=scenario.expect,
+                passed=passed,
+                detail=detail,
+                elapsed=elapsed,
+            )
+        )
+        log.info(
+            "chaos scenario finished",
+            name=scenario.name,
+            passed=passed,
+            elapsed=round(elapsed, 2),
+        )
+    return results
+
+
+__all__ = [
+    "EXPECT_DEGRADED",
+    "EXPECT_IDENTICAL",
+    "ChaosScenario",
+    "ScenarioResult",
+    "drill_scenarios",
+    "run_chaos_drill",
+]

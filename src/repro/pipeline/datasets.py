@@ -35,6 +35,30 @@ log = get_logger("datasets")
 REASON_UNPARSEABLE = "unparseable-json"
 REASON_DUPLICATE = "duplicate"
 
+#: Common suffix for dead-letter files, so they are recognisable on disk.
+QUARANTINE_SUFFIX = ".quarantine.jsonl"
+
+
+def quarantine_path_for(
+    events_path: Union[str, Path],
+    feed: str = "",
+    directory: Optional[Union[str, Path]] = None,
+) -> Path:
+    """Dead-letter path for one feed's load, namespaced per feed.
+
+    Historically the convention was ``<events file>.quarantine.jsonl``;
+    when several feeds load files with the same name into one run
+    directory, their dead-letter writes collide and the last load's
+    atomic replace silently erases the earlier feed's rejected records.
+    Passing *feed* yields ``<events file>.<feed>.quarantine.jsonl``, so
+    each feed keeps its own file. *directory* overrides the parent (by
+    default the quarantine sits next to its events file).
+    """
+    events_path = Path(events_path)
+    base = Path(directory) if directory is not None else events_path.parent
+    middle = f".{feed}" if feed else ""
+    return base / f"{events_path.name}{middle}{QUARANTINE_SUFFIX}"
+
 
 def event_to_dict(event: AttackEvent) -> dict:
     return {
@@ -141,6 +165,10 @@ class FeedLoadReport:
     loaded: int = 0
     quarantined: List[QuarantinedRecord] = field(default_factory=list)
     quarantine_path: Optional[str] = None
+    #: Which feed the file belongs to ("telescope", "honeypot", ...);
+    #: namespaces the dead-letter file and keys per-feed counts in the
+    #: data-quality report. Empty for ad-hoc loads.
+    feed: str = ""
 
     @property
     def rejected(self) -> int:
@@ -184,6 +212,7 @@ def read_events_jsonl(
     path: Union[str, Path],
     strict: bool = False,
     quarantine_path: Optional[Union[str, Path]] = None,
+    feed: str = "",
 ) -> Tuple[List[AttackEvent], FeedLoadReport]:
     """Read a JSONL event feed, validating every record.
 
@@ -192,10 +221,16 @@ def read_events_jsonl(
     behaviour, for pipelines that prefer to stop on corrupt input). When
     *quarantine_path* is given, rejected records are written there as a
     dead-letter JSONL (one object per record with ``line_no``, ``reason``
-    and the raw line) — only created when something was rejected.
+    and the raw line) — only created when something was rejected. *feed*
+    names the feed the file belongs to: it tags the report (for per-feed
+    accounting in the quality report) and, when no explicit
+    *quarantine_path* was given, selects the collision-free default
+    dead-letter path from :func:`quarantine_path_for`.
     """
     path = Path(path)
-    report = FeedLoadReport(path=str(path))
+    if quarantine_path is None and feed:
+        quarantine_path = quarantine_path_for(path, feed)
+    report = FeedLoadReport(path=str(path), feed=feed)
     events: List[AttackEvent] = []
     seen: Set[AttackEvent] = set()
     # errors="replace": a corrupt byte must surface as an unparseable
@@ -249,6 +284,7 @@ def load_events_jsonl(
     path: Union[str, Path],
     strict: bool = False,
     quarantine_path: Optional[Union[str, Path]] = None,
+    feed: str = "",
 ) -> List[AttackEvent]:
     """Read events back from a JSON Lines file (validated, tolerant).
 
@@ -257,7 +293,7 @@ def load_events_jsonl(
     record instead of quarantining it.
     """
     events, _report = read_events_jsonl(
-        path, strict=strict, quarantine_path=quarantine_path
+        path, strict=strict, quarantine_path=quarantine_path, feed=feed
     )
     return events
 
@@ -276,9 +312,11 @@ def write_quarantine_jsonl(
 
 
 __all__ = [
+    "QUARANTINE_SUFFIX",
     "REASON_DUPLICATE",
     "REASON_UNPARSEABLE",
     "FeedLoadReport",
+    "quarantine_path_for",
     "MalformedRecordError",
     "QuarantinedRecord",
     "event_from_dict",

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.taxonomy import classify_sites, taxonomy_counts
 from repro.core.webmap import WebImpactAnalysis
+from repro.exec.breaker import BreakerReport
 from repro.faults.plan import ALL_FEEDS
 
 #: Feed health states, in decreasing order of trust.
@@ -98,6 +99,9 @@ class RecordQuality:
     quarantined: int
     reasons: Tuple[Tuple[str, int], ...] = ()
     quarantine_path: Optional[str] = None
+    #: Which feed the load belonged to; namespaces the dead-letter file
+    #: so two feeds quarantining in the same run dir cannot collide.
+    feed: str = ""
 
     @classmethod
     def from_load_report(cls, report) -> "RecordQuality":
@@ -107,6 +111,7 @@ class RecordQuality:
             quarantined=report.rejected,
             reasons=tuple(report.reason_counts().items()),
             quarantine_path=report.quarantine_path,
+            feed=getattr(report, "feed", ""),
         )
 
 
@@ -131,6 +136,16 @@ class DataQualityReport:
     headline: Optional[HeadlineMetrics] = None
     baseline: Optional[HeadlineMetrics] = None
     plan_description: str = ""
+    breakers: List[BreakerReport] = field(default_factory=list)
+
+    def per_feed_quarantine_counts(self) -> Dict[str, int]:
+        """Quarantined-record totals keyed by feed (satellite: surfacing
+        the per-feed dead-letter accounting)."""
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            key = record.feed or record.source
+            counts[key] = counts.get(key, 0) + record.quarantined
+        return counts
 
     def feed(self, name: str) -> FeedQuality:
         for quality in self.feeds:
@@ -184,6 +199,21 @@ class DataQualityReport:
                     lines.append(
                         f"    dead-letter file: {record.quarantine_path}"
                     )
+            per_feed = self.per_feed_quarantine_counts()
+            if sum(per_feed.values()):
+                lines.append(
+                    "  per feed: "
+                    + ", ".join(
+                        f"{feed}={count}"
+                        for feed, count in sorted(per_feed.items())
+                    )
+                )
+        tripped = [b for b in self.breakers if b.transitions]
+        if tripped:
+            lines.append("")
+            lines.append("circuit breakers:")
+            for breaker in tripped:
+                lines.append(f"  {breaker.describe()}")
         if self.stages:
             lines.append("")
             lines.append("stages:")
@@ -236,6 +266,7 @@ def feed_status(uptime: float, dropped: int) -> str:
 
 __all__ = [
     "ALL_FEEDS",
+    "BreakerReport",
     "STATUS_OK",
     "STATUS_DEGRADED",
     "STATUS_DOWN",

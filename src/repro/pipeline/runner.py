@@ -36,6 +36,7 @@ checkpoints so even the feed-quality accounting survives the crash.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -43,6 +44,16 @@ from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.dns.openintel import OpenIntelDataset
 from repro.dps.detection import DPSUsageDataset
+from repro.exec.breaker import CircuitBreaker
+from repro.exec.deadline import RunDeadline, RunDeadlineExceeded
+from repro.exec.pool import ExecConfig, SupervisedPool, TaskSpec
+from repro.exec.shard import is_shard_checkpoint, shard_checkpoint_name
+from repro.faults.exec import (
+    ExecFaultPlan,
+    PoisonShardError,
+    WorkerCrashError,
+    apply_exec_fault,
+)
 from repro.faults.injectors import FaultInjectorSet
 from repro.faults.plan import (
     FEED_DPS,
@@ -65,14 +76,23 @@ from repro.pipeline.quality import (
 from repro.store.checkpoint import CheckpointIssue, CheckpointStore
 from repro.pipeline.simulation import (
     SimulationResult,
+    apply_dns_faults,
     assemble_result,
     build_internet,
+    detect_honeypot_shard,
+    detect_telescope_shard,
     fuse_observations,
+    honeypot_capture,
     measure_dns,
+    measure_dns_shard,
+    merge_dns_shards,
+    merge_honeypot_shards,
+    merge_telescope_shards,
     observe_honeypots,
     observe_telescope,
     run_migration,
     schedule_attacks,
+    telescope_capture,
 )
 
 #: Orchestrated stage names, in execution order.
@@ -85,6 +105,35 @@ STAGE_ORDER = (
     "measurement",
     "fusion",
 )
+
+#: The mutually independent observation stages the executor may run
+#: concurrently and shard internally.
+OBSERVATION_STAGES = ("telescope", "honeypot", "measurement")
+
+#: Actual data dependencies between stages. The sequential STAGE_ORDER
+#: overstates them: the three observation stages only need the attack /
+#: migration layers, not each other — which matters the moment they run
+#: concurrently and one of them checkpoints before an earlier-ordered
+#: sibling (see :meth:`CheckpointStore.load_valid_graph`).
+STAGE_DEPS: Dict[str, tuple] = {
+    "internet": (),
+    "attacks": ("internet",),
+    "migration": ("internet", "attacks"),
+    "telescope": ("attacks",),
+    "honeypot": ("attacks",),
+    "measurement": ("migration",),
+    "fusion": ("migration", "telescope", "honeypot", "measurement"),
+}
+
+#: Injector-counter prefixes each stage's own execution mutates; used to
+#: snapshot/restore exactly the counters a retried attempt regenerates,
+#: and to persist per-stage counter deltas that merge correctly no
+#: matter which order concurrent stages complete in.
+STAGE_COUNTER_PREFIXES: Dict[str, tuple] = {
+    "telescope": ("telescope.",),
+    "honeypot": ("honeypot.",),
+    "measurement": ("openintel.", "dps."),
+}
 
 class TransientStageError(RuntimeError):
     """A stage failure worth retrying (collector hiccup, not a bug)."""
@@ -156,6 +205,10 @@ class ResilientPipeline:
         sleep: Optional[Callable[[float], None]] = None,
         run_dir: Optional[Union[str, Path]] = None,
         crash_after: Optional[str] = None,
+        exec_config: Optional[ExecConfig] = None,
+        exec_faults: Optional[ExecFaultPlan] = None,
+        deadline: Optional[Union[float, RunDeadline]] = None,
+        breakers: Optional[Dict[str, CircuitBreaker]] = None,
     ) -> None:
         self.config = config
         self.plan = plan if plan is not None else FaultPlan.none(
@@ -181,6 +234,39 @@ class ResilientPipeline:
         self._sleep = sleep if sleep is not None else time.sleep
         self._log = get_logger("runner")
         self.crash_after = crash_after
+        self.exec_config = exec_config if exec_config is not None else ExecConfig()
+        self.exec_faults = (
+            exec_faults if exec_faults is not None else ExecFaultPlan.none()
+        )
+        self.deadline = (
+            deadline
+            if isinstance(deadline, RunDeadline)
+            else RunDeadline(deadline)
+        )
+        # Default breaker threshold matches the retry budget: a feed that
+        # fails every attempt trips its breaker exactly as the stage
+        # degrades, while a feed that recovers within the budget (the
+        # retry contract) is never refused its final attempt.
+        self.breakers: Dict[str, CircuitBreaker] = (
+            breakers
+            if breakers is not None
+            else {
+                stage: CircuitBreaker(
+                    stage, failure_threshold=self.retry.max_attempts
+                )
+                for stage in OBSERVATION_STAGES
+            }
+        )
+        self._pool: Optional[SupervisedPool] = (
+            SupervisedPool.from_config(self.exec_config)
+            if self.exec_config.parallel
+            else None
+        )
+        # Guards checkpoint/state persistence and report lists when the
+        # observation stages run under concurrent supervisor threads.
+        self._state_lock = threading.RLock()
+        self._attempt_now: Dict[str, int] = {}
+        self._shard_cache: Dict[str, Any] = {}
         self.store: Optional[CheckpointStore] = None
         if run_dir is not None:
             self.store = CheckpointStore(run_dir)
@@ -189,33 +275,53 @@ class ResilientPipeline:
     # -- durable state --------------------------------------------------------
 
     def _restore_from_store(self) -> None:
-        """Adopt the longest valid checkpoint prefix from the run dir."""
-        payloads, issues = self.store.load_valid_prefix(STAGE_ORDER)
+        """Adopt every checkpoint whose dependencies survived validation."""
+        payloads, issues = self.store.load_valid_graph(
+            STAGE_ORDER, STAGE_DEPS
+        )
         self._checkpoints.update(payloads)
         self.checkpoint_issues = issues
-        # Runner state is snapshotted per completed stage; adopt the
-        # snapshot of the *last restored* stage, so counters belonging to
-        # a discarded checkpoint are dropped with it and regenerated
-        # deterministically by the re-run.
+        # Runner state is snapshotted per completed stage. Newer state
+        # files carry each stage's *own* counter deltas, which merge
+        # correctly regardless of the order concurrent stages completed
+        # in; older ones carry a single global snapshot, adopted from the
+        # last restored stage (correct for the serial runs that wrote
+        # them). Counters of discarded checkpoints are dropped either way
+        # and regenerated deterministically by the re-run.
         state = self.store.read_json(self.STATE_FILE) or {}
         snapshots = state.get("stage_state", {})
-        last_restored = None
-        for stage in STAGE_ORDER:
-            if stage in payloads:
-                last_restored = stage
-        snapshot = snapshots.get(last_restored) if last_restored else None
-        if snapshot:
-            self.injectors.restore_counters(
-                snapshot.get("injector_counters", {})
-            )
+        restored = [stage for stage in STAGE_ORDER if stage in payloads]
+        own_counter_stages = [
+            stage
+            for stage in restored
+            if "own_counters" in (snapshots.get(stage) or {})
+        ]
+        if own_counter_stages:
+            merged: Dict[str, int] = {}
+            degraded: set = set()
+            for stage in own_counter_stages:
+                snapshot = snapshots[stage]
+                merged.update(snapshot["own_counters"])
+                degraded.update(snapshot.get("degraded_stages", []))
+            self.injectors.restore_counters(merged)
             self._degraded_stages.update(
-                stage
-                for stage in snapshot.get("degraded_stages", [])
-                if stage in payloads
+                stage for stage in degraded if stage in payloads
             )
+        elif restored:
+            snapshot = snapshots.get(restored[-1])
+            if snapshot:
+                self.injectors.restore_counters(
+                    snapshot.get("injector_counters", {})
+                )
+                self._degraded_stages.update(
+                    stage
+                    for stage in snapshot.get("degraded_stages", [])
+                    if stage in payloads
+                )
+        self._restore_shard_checkpoints(payloads)
         for stage in payloads:
             self._log.info("stage restored from checkpoint", stage=stage)
-        for issue in issues:
+        for issue in self.checkpoint_issues:
             self._log.warning(
                 "checkpoint discarded",
                 stage=issue.stage,
@@ -223,23 +329,75 @@ class ResilientPipeline:
                 detail=issue.detail,
             )
 
+    def _restore_shard_checkpoints(self, payloads: Dict[str, Any]) -> None:
+        """Adopt per-shard partials of incomplete stages; drop stale ones.
+
+        A shard checkpoint is only reusable when the whole stage is still
+        incomplete, the shard count matches the current plan (the name
+        bakes it in), and the stage's dependencies were restored — shard
+        outputs derive from them just like the full stage output does.
+        """
+        n = self.exec_config.n_shards
+        valid_names = {
+            shard_checkpoint_name(stage, i, n)
+            for stage in OBSERVATION_STAGES
+            if stage not in payloads
+            and all(dep in payloads for dep in STAGE_DEPS[stage])
+            for i in range(n)
+        }
+        for name in self.store.stages():
+            if not is_shard_checkpoint(name):
+                continue
+            if name not in valid_names:
+                self.store.discard(name)
+                continue
+            try:
+                self._shard_cache[name] = self.store.load(name)
+                self._log.info("shard restored from checkpoint", shard=name)
+            except Exception as exc:
+                self.checkpoint_issues.append(
+                    CheckpointIssue(name, "corrupt", str(exc))
+                )
+                self.store.discard(name)
+
     def _persist_stage(self, name: str) -> None:
         """Checkpoint a completed stage and the resumable runner state."""
         if self.store is None:
+            self._drop_shards(name)
             return
-        self.store.save(name, self._checkpoints[name])
-        state = self.store.read_json(self.STATE_FILE) or {}
-        snapshots = state.setdefault("stage_state", {})
-        snapshots[name] = {
-            "injector_counters": self.injectors.counters(),
-            "degraded_stages": sorted(self._degraded_stages),
-        }
-        self.store.write_json(self.STATE_FILE, state)
+        with self._state_lock:
+            self.store.save(name, self._checkpoints[name])
+            state = self.store.read_json(self.STATE_FILE) or {}
+            snapshots = state.setdefault("stage_state", {})
+            counters = self.injectors.counters()
+            prefixes = STAGE_COUNTER_PREFIXES.get(name, ())
+            snapshots[name] = {
+                # Full snapshot kept for older readers; own_counters is
+                # what current restores merge.
+                "injector_counters": counters,
+                "own_counters": {
+                    key: value
+                    for key, value in counters.items()
+                    if key.startswith(prefixes)
+                },
+                "degraded_stages": sorted(self._degraded_stages),
+            }
+            self.store.write_json(self.STATE_FILE, state)
+            self._drop_shards(name)
         if self.crash_after == name:
             self._log.error(
                 "simulated hard crash (recovery drill)", stage=name
             )
             os._exit(137)  # SIGKILL semantics: no cleanup, no atexit
+
+    def _drop_shards(self, stage: str) -> None:
+        """Retire a completed stage's per-shard partials."""
+        n = self.exec_config.n_shards
+        for index in range(n):
+            name = shard_checkpoint_name(stage, index, n)
+            self._shard_cache.pop(name, None)
+            if self.store is not None:
+                self.store.discard(name)
 
     def attach_record_report(self, report: Any) -> None:
         """Surface a :class:`FeedLoadReport` in this run's quality report."""
@@ -273,31 +431,12 @@ class ResilientPipeline:
         diversion_log, ledger, internet = self._run_stage(
             "migration", _migrate
         )
-        telescope_events = self._run_stage(
-            "telescope",
-            lambda: observe_telescope(
-                config, ground_truth, fault=self.injectors.telescope
-            ),
-            degraded_factory=list,
+        observations = self._run_observations(
+            ground_truth, internet, diversion_log
         )
-        honeypot_events = self._run_stage(
-            "honeypot",
-            lambda: observe_honeypots(
-                config, ground_truth, fault=self.injectors.honeypot
-            ),
-            degraded_factory=list,
-        )
-        openintel, dps_usage = self._run_stage(
-            "measurement",
-            lambda: measure_dns(
-                config,
-                internet,
-                diversion_log,
-                openintel_fault=self.injectors.openintel,
-                dps_fault=self.injectors.dps,
-            ),
-            degraded_factory=self._empty_measurement,
-        )
+        telescope_events = observations["telescope"]
+        honeypot_events = observations["honeypot"]
+        openintel, dps_usage = observations["measurement"]
         fused, web_index = self._run_stage(
             "fusion",
             lambda: fuse_observations(
@@ -320,6 +459,215 @@ class ResilientPipeline:
         result.quality = self._build_quality(result, baseline)
         return result
 
+    # -- supervised observation phase -----------------------------------------
+
+    def _run_observations(
+        self,
+        ground_truth: Any,
+        internet: Any,
+        diversion_log: Any,
+    ) -> Dict[str, Any]:
+        """Run the three independent observation stages, possibly at once.
+
+        With the default serial :class:`ExecConfig` this is exactly the
+        historical sequential path. With parallelism enabled, each stage
+        runs under its own supervisor thread and its inner work fans out
+        over the shared :class:`SupervisedPool`; stage ordering of
+        reports and checkpoints is canonicalized elsewhere, so the
+        completion order does not matter.
+        """
+        stages: Dict[str, tuple] = {
+            "telescope": (
+                lambda: self._observe_telescope_supervised(ground_truth),
+                list,
+            ),
+            "honeypot": (
+                lambda: self._observe_honeypots_supervised(ground_truth),
+                list,
+            ),
+            "measurement": (
+                lambda: self._measure_dns_supervised(internet, diversion_log),
+                self._empty_measurement,
+            ),
+        }
+        concurrent = (
+            self.exec_config.parallel
+            and self.exec_config.workers > 1
+            and sum(1 for s in stages if s not in self._checkpoints) > 1
+        )
+        if not concurrent:
+            return {
+                name: self._run_stage(name, fn, degraded_factory=degraded)
+                for name, (fn, degraded) in stages.items()
+            }
+        results: Dict[str, Any] = {}
+        errors: Dict[str, BaseException] = {}
+
+        def _supervise(name: str, fn, degraded) -> None:
+            try:
+                results[name] = self._run_stage(
+                    name, fn, degraded_factory=degraded
+                )
+            except BaseException as exc:  # noqa: BLE001 - rethrown below
+                errors[name] = exc
+
+        threads = [
+            threading.Thread(
+                target=_supervise,
+                args=(name, fn, degraded),
+                name=f"repro-stage-{name}",
+            )
+            for name, (fn, degraded) in stages.items()
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            # Deterministic choice when several stages failed together:
+            # a run-deadline abort outranks stage failures (it explains
+            # them), then canonical stage order.
+            for error in errors.values():
+                if isinstance(error, RunDeadlineExceeded):
+                    raise error
+            first = min(errors, key=OBSERVATION_STAGES.index)
+            raise errors[first]
+        return results
+
+    def _observe_telescope_supervised(self, ground_truth: Any) -> Any:
+        config, fault = self.config, self.injectors.telescope
+        if not self.exec_config.parallel:
+            return observe_telescope(config, ground_truth, fault=fault)
+        # Capture consumes shared sequential RNG state and mutates the
+        # injector's loss counters, so it runs here in the supervising
+        # process; only the RNG-free detection fans out.
+        capture = telescope_capture(config, ground_truth, fault=fault)
+        shards = self._run_shards(
+            "telescope",
+            lambda i, n: lambda: detect_telescope_shard(config, capture, i, n),
+        )
+        return merge_telescope_shards(shards)
+
+    def _observe_honeypots_supervised(self, ground_truth: Any) -> Any:
+        config, fault = self.config, self.injectors.honeypot
+        if not self.exec_config.parallel:
+            return observe_honeypots(config, ground_truth, fault=fault)
+        request_log = honeypot_capture(config, ground_truth, fault=fault)
+        shards = self._run_shards(
+            "honeypot",
+            lambda i, n: lambda: detect_honeypot_shard(
+                config, request_log, i, n
+            ),
+        )
+        return merge_honeypot_shards(shards)
+
+    def _measure_dns_supervised(
+        self, internet: Any, diversion_log: Any
+    ) -> Any:
+        config = self.config
+        openintel_fault = self.injectors.openintel
+        dps_fault = self.injectors.dps
+        if not self.exec_config.parallel:
+            return measure_dns(
+                config,
+                internet,
+                diversion_log,
+                openintel_fault=openintel_fault,
+                dps_fault=dps_fault,
+            )
+        parts = self._run_shards(
+            "measurement",
+            lambda i, n: lambda: measure_dns_shard(
+                config, internet, diversion_log, i, n
+            ),
+        )
+        openintel, dps_usage = merge_dns_shards(config, parts)
+        # Degradation mutates injector counters: parent process only.
+        return apply_dns_faults(
+            openintel,
+            dps_usage,
+            openintel_fault=openintel_fault,
+            dps_fault=dps_fault,
+        )
+
+    def _run_shards(
+        self,
+        stage: str,
+        make_fn: Callable[[int, int], Callable[[], Any]],
+    ) -> List[Any]:
+        """Fan one stage's shard tasks out over the pool; merge-ready list.
+
+        Completed shards are checkpointed (and cached) individually, so a
+        retry after a partial failure — or a resumed process — only
+        recomputes the shards that never finished. Any shard failure
+        surfaces as a :class:`TransientStageError` for the stage retry
+        loop; a shard that fails on every attempt (poison) therefore
+        drives the stage down the breaker/degrade path.
+        """
+        n = self.exec_config.n_shards
+        attempt = self._attempt_now.get(stage, 1)
+        shard_log = self._log.bind(stage=stage, attempt=attempt, shards=n)
+        names = [shard_checkpoint_name(stage, i, n) for i in range(n)]
+        todo = [i for i in range(n) if names[i] not in self._shard_cache]
+        if len(todo) < n:
+            shard_log.info(
+                "shards reused from checkpoint", reused=n - len(todo)
+            )
+        if todo:
+            deadline = self._task_deadline()
+            tasks = []
+            for i in todo:
+                fn = make_fn(i, n)
+                fault = self.exec_faults.lookup(stage, i, attempt)
+                if fault is not None:
+                    shard_log.warning(
+                        "exec fault armed", shard=i, fault=fault.kind
+                    )
+
+                def task(fn=fn, fault=fault):
+                    apply_exec_fault(fault)
+                    return fn()
+
+                tasks.append(
+                    TaskSpec(
+                        name=f"{stage}[{i}/{n}]", fn=task, deadline=deadline
+                    )
+                )
+            outcomes = self._pool.run(tasks)
+            failures = []
+            for i, outcome in zip(todo, outcomes):
+                if outcome.ok:
+                    self._shard_cache[names[i]] = outcome.value
+                    if self.store is not None:
+                        with self._state_lock:
+                            self.store.save(names[i], outcome.value)
+                else:
+                    failures.append((i, outcome))
+            if failures:
+                detail = "; ".join(
+                    f"shard {i}: {o.status} ({o.error})" for i, o in failures
+                )
+                raise TransientStageError(
+                    f"{len(failures)}/{n} shard(s) of {stage} failed: {detail}"
+                )
+        return [self._shard_cache[name] for name in names]
+
+    def _task_deadline(self) -> Optional[float]:
+        """Per-shard watchdog deadline: the task cap, bounded by what is
+        left of the whole-run deadline so a hung shard cannot out-sleep
+        the run-level abort."""
+        candidates = [
+            value
+            for value in (
+                self.exec_config.task_deadline,
+                self.deadline.remaining(),
+            )
+            if value is not None
+        ]
+        if not candidates:
+            return None
+        return max(0.01, min(candidates))
+
     def _run_stage(
         self,
         name: str,
@@ -327,22 +675,64 @@ class ResilientPipeline:
         degraded_factory: Optional[Callable[[], Any]] = None,
     ) -> Any:
         if name in self._checkpoints:
-            self.stage_reports.append(
+            self._add_report(
                 StageReport(name=name, status="cached", attempts=0)
             )
             self._log.debug("stage served from checkpoint", stage=name)
             return self._checkpoints[name]
+        self.deadline.check(f"stage {name!r}")
         self._log.debug("stage starting", stage=name)
         start = time.perf_counter()
         attempts = 0
         last_error: Optional[Exception] = None
+        breaker = self.breakers.get(name)
+        prefixes = STAGE_COUNTER_PREFIXES.get(name, ())
+        serial_exec = not self.exec_config.parallel
         while attempts < self.retry.max_attempts:
+            self.deadline.check(f"stage {name!r} attempt {attempts + 1}")
             attempts += 1
+            self._attempt_now[name] = attempts
+            if breaker is not None and not breaker.allow():
+                last_error = TransientStageError(
+                    f"circuit breaker for {name!r} is {breaker.state}; "
+                    f"attempt refused"
+                )
+                self._log.warning(
+                    "stage attempt refused by circuit breaker",
+                    stage=name,
+                    attempt=attempts,
+                    breaker_state=breaker.state,
+                )
+                continue
+            # An attempt that fails after partially running (a shard
+            # crash, say) has already folded losses into the injector
+            # counters; the retry regenerates them, so the failed
+            # attempt's contribution must be rolled back first.
+            counter_baseline = {
+                key: value
+                for key, value in self.injectors.counters().items()
+                if key.startswith(prefixes)
+            } if prefixes else {}
             try:
                 self._maybe_inject_failure(name)
+                if serial_exec:
+                    # With no pool, exec faults hit the stage body itself
+                    # (shard 0): crash/poison surface as stage failures,
+                    # hung genuinely hangs — serial mode has no watchdog.
+                    apply_exec_fault(
+                        self.exec_faults.lookup(name, 0, attempts)
+                    )
                 output = fn()
-            except TransientStageError as exc:
+            except (
+                TransientStageError,
+                PoisonShardError,
+                WorkerCrashError,
+            ) as exc:
                 last_error = exc
+                if breaker is not None:
+                    breaker.record_failure(str(exc))
+                if counter_baseline:
+                    self.injectors.restore_counters(counter_baseline)
                 self._log.warning(
                     "stage attempt failed",
                     stage=name,
@@ -353,9 +743,11 @@ class ResilientPipeline:
                 if attempts < self.retry.max_attempts:
                     self._sleep(self.retry.delay(attempts))
                 continue
+            if breaker is not None:
+                breaker.record_success()
             self._checkpoints[name] = output
             elapsed = time.perf_counter() - start
-            self.stage_reports.append(
+            self._add_report(
                 StageReport(
                     name=name,
                     status="ok",
@@ -375,7 +767,7 @@ class ResilientPipeline:
             output = degraded_factory()
             self._checkpoints[name] = output
             self._degraded_stages.add(name)
-            self.stage_reports.append(
+            self._add_report(
                 StageReport(
                     name=name,
                     status="degraded",
@@ -392,7 +784,7 @@ class ResilientPipeline:
             )
             self._persist_stage(name)
             return output
-        self.stage_reports.append(
+        self._add_report(
             StageReport(
                 name=name,
                 status="failed",
@@ -408,6 +800,10 @@ class ResilientPipeline:
             error=str(last_error),
         )
         raise StageFailedError(name, last_error)
+
+    def _add_report(self, report: StageReport) -> None:
+        with self._state_lock:
+            self.stage_reports.append(report)
 
     def _maybe_inject_failure(self, name: str) -> None:
         remaining = self._pending_failures.get(name, 0)
@@ -488,9 +884,20 @@ class ResilientPipeline:
             ),
         ]
         headline = HeadlineMetrics.from_result(result)
+        # Concurrent supervisors append stage reports in completion
+        # order; canonicalize to pipeline order so the rendered report
+        # is deterministic regardless of worker timing.
+        stages = sorted(
+            self.stage_reports,
+            key=lambda report: (
+                STAGE_ORDER.index(report.name)
+                if report.name in STAGE_ORDER
+                else len(STAGE_ORDER)
+            ),
+        )
         return DataQualityReport(
             feeds=feeds,
-            stages=list(self.stage_reports),
+            stages=stages,
             records=[
                 RecordQuality.from_load_report(report)
                 for report in self.record_reports
@@ -498,6 +905,11 @@ class ResilientPipeline:
             headline=headline,
             baseline=baseline,
             plan_description=plan.describe(),
+            breakers=[
+                self.breakers[stage].report()
+                for stage in OBSERVATION_STAGES
+                if stage in self.breakers
+            ],
         )
 
     def _feed_quality(
@@ -536,8 +948,18 @@ def run_resilient(
     retry: RetryPolicy = RetryPolicy(),
     sleep: Optional[Callable[[float], None]] = None,
     run_dir: Optional[Union[str, Path]] = None,
+    exec_config: Optional[ExecConfig] = None,
+    exec_faults: Optional[ExecFaultPlan] = None,
+    deadline: Optional[Union[float, RunDeadline]] = None,
 ) -> SimulationResult:
     """One-shot convenience wrapper around :class:`ResilientPipeline`."""
     return ResilientPipeline(
-        config, plan=plan, retry=retry, sleep=sleep, run_dir=run_dir
+        config,
+        plan=plan,
+        retry=retry,
+        sleep=sleep,
+        run_dir=run_dir,
+        exec_config=exec_config,
+        exec_faults=exec_faults,
+        deadline=deadline,
     ).run(baseline=baseline)

@@ -171,12 +171,20 @@ def run_migration(
     return diversion_log, ledger
 
 
-def observe_telescope(
+def telescope_capture(
     config: ScenarioConfig,
     ground_truth: List[GroundTruthAttack],
     fault=None,
-) -> List[TelescopeEvent]:
-    """Stage 4: the darknet capture, optionally degraded, then RSDoS."""
+) -> List:
+    """The darknet capture (optionally degraded), materialized.
+
+    Capture generation consumes a *shared sequential* RNG across attacks
+    (backscatter and noise models), so it cannot be sharded without
+    changing the stream; it runs once, and only the RNG-free detection
+    downstream fans out. Fault filtering happens here too, so injector
+    counters mutate in the calling process rather than in a fork child
+    whose memory is thrown away.
+    """
     noise = (
         TelescopeNoise(config.telescope_noise_config())
         if config.telescope_noise
@@ -188,7 +196,47 @@ def observe_telescope(
     capture = telescope.capture(ground_truth, n_days=config.n_days)
     if fault is not None:
         capture = fault.filter(capture)
-    events = list(RSDoSDetector(config.rsdos_config()).run(capture))
+    return list(capture)
+
+
+def _telescope_order(events: List[TelescopeEvent]) -> List[TelescopeEvent]:
+    """Canonical event order: (start_ts, victim) is unique per event.
+
+    The detector emits events in flow-expiry order, which depends on the
+    interleaving of *other* victims' traffic — exactly the thing victim
+    sharding changes. The flow content itself is a function of each
+    victim's own batches only, so sorting both the serial and the merged
+    sharded output into this canonical order makes them identical lists.
+    """
+    return sorted(events, key=lambda e: (e.start_ts, e.victim))
+
+
+def detect_telescope_shard(
+    config: ScenarioConfig,
+    capture: List,
+    shard_index: int,
+    n_shards: int,
+) -> List[TelescopeEvent]:
+    """RSDoS over one victim-partition of the capture.
+
+    Flows are keyed by victim (``batch.src``) and their content depends
+    only on that victim's batches, so partitioning by ``victim % n`` and
+    re-sorting reproduces the serial result exactly. Day-based sharding
+    would *not*: flows and gap timeouts cross day boundaries.
+    """
+    detector = RSDoSDetector(config.rsdos_config())
+    batches = (b for b in capture if b.src % n_shards == shard_index)
+    return list(detector.run(batches))
+
+
+def observe_telescope(
+    config: ScenarioConfig,
+    ground_truth: List[GroundTruthAttack],
+    fault=None,
+) -> List[TelescopeEvent]:
+    """Stage 4: the darknet capture, optionally degraded, then RSDoS."""
+    capture = telescope_capture(config, ground_truth, fault=fault)
+    events = _telescope_order(detect_telescope_shard(config, capture, 0, 1))
     log.debug(
         "telescope observed",
         events=len(events),
@@ -197,23 +245,147 @@ def observe_telescope(
     return events
 
 
-def observe_honeypots(
+def merge_telescope_shards(
+    shards: List[List[TelescopeEvent]],
+) -> List[TelescopeEvent]:
+    """Merge per-shard detections into the canonical (serial) order."""
+    merged: List[TelescopeEvent] = []
+    for shard in shards:
+        merged.extend(shard)
+    return _telescope_order(merged)
+
+
+def honeypot_capture(
     config: ScenarioConfig,
     ground_truth: List[GroundTruthAttack],
     fault=None,
-) -> List[AmpPotEvent]:
-    """Stage 4b: the fleet's request log, optionally degraded, then events."""
+) -> List:
+    """The fleet's request log (optionally degraded), materialized.
+
+    Like :func:`telescope_capture`: the fleet models draw from shared
+    sequential RNG state, so capture is generated once and only the
+    detection shards fan out.
+    """
     fleet = AmpPotFleet(config.fleet_config())
     request_log = fleet.capture(
         ground_truth, n_days=config.n_days if config.honeypot_noise else 0
     )
     if fault is not None:
         request_log = fault.filter(request_log)
-    events = list(
-        HoneypotDetector(config.honeypot_detection_config()).run(request_log)
+    return list(request_log)
+
+
+def _honeypot_order(events: List[AmpPotEvent]) -> List[AmpPotEvent]:
+    """Canonical order: (start_ts, victim, protocol) is unique per event."""
+    return sorted(events, key=lambda e: (e.start_ts, e.victim, e.protocol))
+
+
+def detect_honeypot_shard(
+    config: ScenarioConfig,
+    request_log: List,
+    shard_index: int,
+    n_shards: int,
+) -> List[AmpPotEvent]:
+    """Honeypot event extraction over one victim-partition of the log.
+
+    Flows are keyed by (victim, protocol); a victim partition keeps every
+    flow whole, and closure content is gap-driven per key (sweep timing
+    only changes *when* a flow closes, never what it contains).
+    """
+    detector = HoneypotDetector(config.honeypot_detection_config())
+    batches = (b for b in request_log if b.victim % n_shards == shard_index)
+    return list(detector.run(batches))
+
+
+def observe_honeypots(
+    config: ScenarioConfig,
+    ground_truth: List[GroundTruthAttack],
+    fault=None,
+) -> List[AmpPotEvent]:
+    """Stage 4b: the fleet's request log, optionally degraded, then events."""
+    request_log = honeypot_capture(config, ground_truth, fault=fault)
+    events = _honeypot_order(
+        detect_honeypot_shard(config, request_log, 0, 1)
     )
     log.debug("honeypots observed", events=len(events))
     return events
+
+
+def merge_honeypot_shards(
+    shards: List[List[AmpPotEvent]],
+) -> List[AmpPotEvent]:
+    """Merge per-shard detections into the canonical (serial) order."""
+    merged: List[AmpPotEvent] = []
+    for shard in shards:
+        merged.extend(shard)
+    return _honeypot_order(merged)
+
+
+def measure_dns_shard(
+    config: ScenarioConfig,
+    internet: InternetLayer,
+    diversion_log: BGPDiversionLog,
+    shard_index: int,
+    n_shards: int,
+) -> Tuple[OpenIntelDataset, DPSUsageDataset]:
+    """Stage 5 over one contiguous chunk of the zone list.
+
+    Both the OpenINTEL compilation and the DPS scan iterate zones
+    independently and append in zone order, so measuring contiguous
+    chunks and concatenating in chunk order reproduces the serial
+    output exactly — including ``first_seen`` dict insertion order.
+    """
+    from repro.exec.shard import split_even
+
+    zones = split_even(internet.zones, n_shards)[shard_index]
+    platform = OpenIntelPlatform(list(zones), config.n_days)
+    openintel = platform.measure(ns_directory=internet.ns_directory)
+    detector = DPSDetector(internet.providers, diversion_log=diversion_log)
+    dps_usage = detector.scan(zones, config.n_days)
+    return openintel, dps_usage
+
+
+def merge_dns_shards(
+    config: ScenarioConfig,
+    parts: List[Tuple[OpenIntelDataset, DPSUsageDataset]],
+) -> Tuple[OpenIntelDataset, DPSUsageDataset]:
+    """Concatenate zone-chunk measurements back into the serial datasets."""
+    openintel = OpenIntelDataset(
+        n_days=config.n_days,
+        zone_stats=[z for part, _ in parts for z in part.zone_stats],
+        hosting_intervals=[
+            iv for part, _ in parts for iv in part.hosting_intervals
+        ],
+        first_seen={
+            name: day
+            for part, _ in parts
+            for name, day in part.first_seen.items()
+        },
+        mail_intervals=[
+            iv for part, _ in parts for iv in part.mail_intervals
+        ],
+        ns_intervals=[iv for part, _ in parts for iv in part.ns_intervals],
+    )
+    dps_usage = DPSUsageDataset(
+        usages=[u for _, part in parts for u in part.usages],
+        n_days=config.n_days,
+    )
+    return openintel, dps_usage
+
+
+def apply_dns_faults(
+    openintel: OpenIntelDataset,
+    dps_usage: DPSUsageDataset,
+    openintel_fault=None,
+    dps_fault=None,
+) -> Tuple[OpenIntelDataset, DPSUsageDataset]:
+    """Degrade the merged measurement; runs in the supervising process
+    so injector counters are not lost in a fork child."""
+    if openintel_fault is not None:
+        openintel = openintel_fault.degrade(openintel)
+    if dps_fault is not None:
+        dps_usage = dps_fault.corrupt(dps_usage)
+    return openintel, dps_usage
 
 
 def measure_dns(
@@ -224,15 +396,13 @@ def measure_dns(
     dps_fault=None,
 ) -> Tuple[OpenIntelDataset, DPSUsageDataset]:
     """Stage 5: daily DNS measurement and DPS-signature detection."""
-    platform = OpenIntelPlatform(internet.zones, config.n_days)
-    openintel = platform.measure(ns_directory=internet.ns_directory)
-    if openintel_fault is not None:
-        openintel = openintel_fault.degrade(openintel)
-    detector = DPSDetector(internet.providers, diversion_log=diversion_log)
-    dps_usage = detector.scan(internet.zones, config.n_days)
-    if dps_fault is not None:
-        dps_usage = dps_fault.corrupt(dps_usage)
-    return openintel, dps_usage
+    openintel, dps_usage = measure_dns_shard(
+        config, internet, diversion_log, 0, 1
+    )
+    return apply_dns_faults(
+        openintel, dps_usage, openintel_fault=openintel_fault,
+        dps_fault=dps_fault,
+    )
 
 
 def fuse_observations(

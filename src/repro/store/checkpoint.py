@@ -272,6 +272,68 @@ class CheckpointStore:
             )
         return payloads, issues
 
+    def load_valid_graph(
+        self, order: Sequence[str], deps: Dict[str, Sequence[str]]
+    ) -> Tuple[Dict[str, Any], List[CheckpointIssue]]:
+        """Restore every checkpoint whose dependencies were restored.
+
+        The prefix policy of :meth:`load_valid_prefix` assumes strictly
+        sequential stages; once independent stages run concurrently, one
+        of them can complete while an *earlier-ordered* sibling has not,
+        and a prefix walk would throw the finished one away. Here *deps*
+        names each stage's actual data dependencies: a stage is restored
+        when its own checkpoint validates and every dependency was
+        restored; otherwise it is discarded (its inputs can no longer be
+        trusted), and the discard cascades to dependents naturally.
+
+        Names on disk that are not in *order* (e.g. per-shard partial
+        checkpoints) are left untouched — their lifecycle belongs to the
+        caller.
+        """
+        payloads: Dict[str, Any] = {}
+        issues: List[CheckpointIssue] = []
+        for stage in order:
+            missing_deps = [
+                dep for dep in deps.get(stage, ()) if dep not in payloads
+            ]
+            if missing_deps:
+                if self.has(stage):
+                    issues.append(
+                        CheckpointIssue(
+                            stage,
+                            "orphaned",
+                            "discarded: depends on invalid or missing "
+                            + ", ".join(missing_deps),
+                        )
+                    )
+                    self.discard(stage)
+                continue
+            if not self.has(stage):
+                continue
+            try:
+                payloads[stage] = self.load(stage)
+            except CheckpointError as exc:
+                kind = (
+                    "version"
+                    if isinstance(exc, CheckpointVersionError)
+                    else "corrupt"
+                    if isinstance(exc, CheckpointCorruptionError)
+                    else "missing"
+                )
+                issues.append(CheckpointIssue(stage, kind, exc.reason))
+                log.warning(
+                    "checkpoint rejected", stage=stage, kind=kind,
+                    reason=exc.reason,
+                )
+                self.discard(stage)
+        if payloads:
+            log.info(
+                "checkpoints restored",
+                stages=",".join(payloads),
+                rejected=len(issues),
+            )
+        return payloads, issues
+
     # -- run-level JSON documents --------------------------------------------
 
     def write_json(self, name: str, payload: Dict[str, Any]) -> None:

@@ -13,11 +13,13 @@ from repro.core.events import (
 )
 from repro.pipeline.datasets import (
     MalformedRecordError,
+    QUARANTINE_SUFFIX,
     REASON_DUPLICATE,
     REASON_UNPARSEABLE,
     event_from_dict,
     event_to_dict,
     load_events_jsonl,
+    quarantine_path_for,
     read_events_jsonl,
     save_events_jsonl,
 )
@@ -248,3 +250,58 @@ class TestTolerantLoading:
         assert report.describe() == (
             "2 loaded; 1 quarantined; unparseable-json×1"
         )
+
+
+class TestPerFeedQuarantine:
+    """Dead-letter files are namespaced per feed: no more collisions."""
+
+    def _bad_feed(self, path):
+        path.write_text('{"garbage": true}\n', encoding="utf-8")
+
+    def test_quarantine_path_for_namespaces_by_feed(self, tmp_path):
+        events_file = tmp_path / "events.jsonl"
+        assert quarantine_path_for(events_file) == (
+            tmp_path / ("events.jsonl" + QUARANTINE_SUFFIX)
+        )
+        assert quarantine_path_for(events_file, feed="telescope") == (
+            tmp_path / "events.jsonl.telescope.quarantine.jsonl"
+        )
+        assert quarantine_path_for(
+            events_file, feed="telescope", directory=tmp_path / "q"
+        ) == tmp_path / "q" / "events.jsonl.telescope.quarantine.jsonl"
+
+    def test_two_feeds_keep_separate_dead_letter_files(self, tmp_path):
+        """The collision this fixes: same file name, two feeds, one dir."""
+        path = tmp_path / "events.jsonl"
+        self._bad_feed(path)
+        _e1, first = read_events_jsonl(path, feed="telescope")
+        _e2, second = read_events_jsonl(path, feed="honeypot")
+        assert first.quarantine_path != second.quarantine_path
+        assert "telescope" in first.quarantine_path
+        assert "honeypot" in second.quarantine_path
+        # Both survived on disk; neither load clobbered the other.
+        assert (tmp_path / "events.jsonl.telescope.quarantine.jsonl").exists()
+        assert (tmp_path / "events.jsonl.honeypot.quarantine.jsonl").exists()
+
+    def test_feed_tag_lands_in_report(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        self._bad_feed(path)
+        _events, report = read_events_jsonl(path, feed="telescope")
+        assert report.feed == "telescope"
+
+    def test_explicit_quarantine_path_still_wins(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        self._bad_feed(path)
+        explicit = tmp_path / "custom.jsonl"
+        _events, report = read_events_jsonl(
+            path, feed="telescope", quarantine_path=explicit
+        )
+        assert report.quarantine_path == str(explicit)
+        assert explicit.exists()
+
+    def test_feed_without_rejects_writes_nothing(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        save_events_jsonl(events(), path)
+        _events, report = read_events_jsonl(path, feed="telescope")
+        assert report.quarantine_path is None
+        assert list(tmp_path.glob("*quarantine*")) == []

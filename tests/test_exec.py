@@ -1,0 +1,425 @@
+"""Unit tests for the supervised executor building blocks.
+
+Covers the worker pool (result ordering, error capture, the watchdog
+killing hung workers, crash reporting), the per-feed circuit breaker's
+closed → open → half-open life cycle under an injected clock, the
+run-level deadline, deterministic shard planning, execution-fault plans,
+and the bounded streaming-fusion hand-off (backpressure).
+"""
+
+import time
+
+import pytest
+
+from repro.core.events import AttackEvent, SOURCE_TELESCOPE
+from repro.core.streaming import BoundedStreamingFusion, StreamingFusion
+from repro.exec.breaker import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+)
+from repro.exec.deadline import RunDeadline, RunDeadlineExceeded
+from repro.exec.pool import (
+    ExecConfig,
+    MODE_FORK,
+    MODE_SERIAL,
+    MODE_THREAD,
+    STATUS_DEADLINE,
+    STATUS_ERROR,
+    STATUS_OK,
+    SupervisedPool,
+    TaskSpec,
+    resolve_mode,
+)
+from repro.exec.shard import (
+    ShardPlan,
+    is_shard_checkpoint,
+    shard_checkpoint_name,
+    split_even,
+)
+from repro.faults.exec import (
+    ExecFault,
+    ExecFaultPlan,
+    KIND_CRASH,
+    KIND_HUNG,
+    KIND_POISON,
+    PoisonShardError,
+    apply_exec_fault,
+)
+
+HAVE_FORK = resolve_mode("auto") == MODE_FORK
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+    def __call__(self) -> float:
+        return self.now
+
+
+# -- ExecConfig ---------------------------------------------------------------
+
+
+class TestExecConfig:
+    def test_defaults_are_the_serial_pipeline(self):
+        config = ExecConfig()
+        assert not config.parallel
+        assert config.n_shards == 1
+
+    def test_shards_default_to_workers(self):
+        assert ExecConfig(workers=4).n_shards == 4
+        assert ExecConfig(workers=4, shards=2).n_shards == 2
+
+    def test_task_deadline_alone_counts_as_parallel(self):
+        # A watchdog needs the supervised path even with one worker.
+        assert ExecConfig(task_deadline=5.0).parallel
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workers": 0},
+            {"shards": 0},
+            {"mode": "warp"},
+            {"task_deadline": 0.0},
+        ],
+    )
+    def test_rejects_nonsense(self, kwargs):
+        with pytest.raises(ValueError):
+            ExecConfig(**kwargs)
+
+
+# -- SupervisedPool -----------------------------------------------------------
+
+
+class TestSupervisedPool:
+    @pytest.mark.parametrize(
+        "mode",
+        [MODE_SERIAL, MODE_THREAD]
+        + ([MODE_FORK] if HAVE_FORK else []),
+    )
+    def test_outcomes_in_task_order(self, mode):
+        pool = SupervisedPool(max_workers=2, mode=mode)
+        tasks = [
+            TaskSpec(name=f"t{i}", fn=(lambda i=i: i * i))
+            for i in range(5)
+        ]
+        outcomes = pool.run(tasks)
+        assert [o.name for o in outcomes] == [f"t{i}" for i in range(5)]
+        assert all(o.status == STATUS_OK for o in outcomes)
+        assert [o.value for o in outcomes] == [0, 1, 4, 9, 16]
+
+    @pytest.mark.parametrize(
+        "mode",
+        [MODE_SERIAL, MODE_THREAD]
+        + ([MODE_FORK] if HAVE_FORK else []),
+    )
+    def test_task_exception_is_captured_not_raised(self, mode):
+        pool = SupervisedPool(max_workers=1, mode=mode)
+
+        def boom():
+            raise RuntimeError("shard is cursed")
+
+        good, bad = pool.run(
+            [TaskSpec("good", lambda: 7), TaskSpec("bad", boom)]
+        )
+        assert good.ok and good.value == 7
+        assert bad.status == STATUS_ERROR
+        assert "shard is cursed" in bad.error
+
+    @pytest.mark.skipif(not HAVE_FORK, reason="fork start method required")
+    def test_watchdog_kills_hung_fork_worker(self):
+        pool = SupervisedPool(max_workers=2, mode=MODE_FORK)
+        started = time.monotonic()
+        hung, fine = pool.run(
+            [
+                TaskSpec("hung", lambda: time.sleep(120), deadline=0.5),
+                TaskSpec("fine", lambda: "done", deadline=30.0),
+            ]
+        )
+        elapsed = time.monotonic() - started
+        assert hung.status == STATUS_DEADLINE
+        assert "killed" in hung.error
+        assert fine.ok and fine.value == "done"
+        assert elapsed < 30, "watchdog did not fire anywhere near the deadline"
+
+    def test_watchdog_abandons_hung_thread_worker(self):
+        pool = SupervisedPool(max_workers=1, mode=MODE_THREAD)
+        (outcome,) = pool.run(
+            [TaskSpec("hung", lambda: time.sleep(120), deadline=0.2)]
+        )
+        assert outcome.status == STATUS_DEADLINE
+        assert "abandoned" in outcome.error
+
+    @pytest.mark.skipif(not HAVE_FORK, reason="fork start method required")
+    def test_crashed_worker_reported_with_exit_code(self):
+        import os
+
+        pool = SupervisedPool(max_workers=1, mode=MODE_FORK)
+        (outcome,) = pool.run([TaskSpec("dies", lambda: os._exit(13))])
+        assert outcome.status == "crashed"
+        assert "13" in outcome.error
+
+    def test_serial_mode_runs_inline(self):
+        pool = SupervisedPool(max_workers=1, mode=MODE_SERIAL)
+        marker = []
+        pool.run([TaskSpec("inline", lambda: marker.append(1))])
+        # Inline execution mutates the caller's state directly — the
+        # property the fork workers deliberately do NOT have.
+        assert marker == [1]
+
+
+# -- CircuitBreaker -----------------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def test_closed_allows_and_counts_failures(self):
+        breaker = CircuitBreaker("feed", failure_threshold=3)
+        assert breaker.allow()
+        breaker.record_failure("hiccup")
+        breaker.record_failure("hiccup")
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.allow()
+
+    def test_threshold_trips_open_and_refuses(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "feed", failure_threshold=2, cooldown=30.0, clock=clock
+        )
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        assert not breaker.allow()
+        assert not breaker.allow()
+        assert breaker.refusals == 2
+
+    def test_cooldown_elapses_to_half_open_single_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "feed", failure_threshold=1, cooldown=10.0, clock=clock
+        )
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(10.0)
+        assert breaker.allow()  # the probe
+        assert breaker.state == BREAKER_HALF_OPEN
+        assert not breaker.allow()  # only ONE probe
+
+    def test_probe_success_closes_and_resets(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "feed", failure_threshold=2, cooldown=5.0, clock=clock
+        )
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == BREAKER_CLOSED
+        # Reset consecutive count: one new failure must not re-trip.
+        breaker.record_failure()
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_probe_failure_reopens_for_another_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "feed", failure_threshold=1, cooldown=5.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure("still down")
+        assert breaker.state == BREAKER_OPEN
+        assert not breaker.allow()
+        clock.advance(5.0)
+        assert breaker.allow()
+
+    def test_report_is_deterministic_and_renders(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "honeypot", failure_threshold=1, cooldown=1.0, clock=clock
+        )
+        breaker.record_failure("poison shard")
+        clock.advance(1.0)
+        breaker.allow()
+        breaker.record_success()
+        report = breaker.report()
+        assert [t.to_state for t in report.transitions] == [
+            BREAKER_OPEN, BREAKER_HALF_OPEN, BREAKER_CLOSED,
+        ]
+        text = report.describe()
+        assert "honeypot" in text
+        assert "closed -> open -> half-open -> closed" in text
+
+
+# -- RunDeadline --------------------------------------------------------------
+
+
+class TestRunDeadline:
+    def test_no_deadline_never_expires(self):
+        deadline = RunDeadline(None)
+        assert not deadline.active
+        assert deadline.remaining() is None
+        deadline.check("anywhere")  # no raise
+
+    def test_expiry_raises_with_location(self):
+        clock = FakeClock()
+        deadline = RunDeadline(10.0, clock=clock)
+        deadline.check("stage 'attacks'")
+        clock.advance(10.1)
+        with pytest.raises(RunDeadlineExceeded) as err:
+            deadline.check("stage 'telescope'")
+        assert "stage 'telescope'" in str(err.value)
+        assert "resumable" in str(err.value)
+
+    def test_remaining_counts_down(self):
+        clock = FakeClock()
+        deadline = RunDeadline(10.0, clock=clock)
+        clock.advance(4.0)
+        assert deadline.remaining() == pytest.approx(6.0)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            RunDeadline(0.0)
+
+
+# -- shard planning -----------------------------------------------------------
+
+
+class TestSharding:
+    def test_split_even_covers_everything_in_order(self):
+        items = list(range(10))
+        chunks = split_even(items, 3)
+        assert [len(c) for c in chunks] == [4, 3, 3]
+        assert [x for chunk in chunks for x in chunk] == items
+
+    def test_split_even_keeps_empty_shards(self):
+        chunks = split_even([1, 2], 4)
+        assert len(chunks) == 4
+        assert [list(c) for c in chunks] == [[1], [2], [], []]
+
+    def test_checkpoint_names_bake_in_shard_count(self):
+        # A resume with a different --shards must not see these names.
+        assert shard_checkpoint_name("telescope", 0, 4) == (
+            "telescope.shard0of4"
+        )
+        assert shard_checkpoint_name("telescope", 0, 2) != (
+            shard_checkpoint_name("telescope", 0, 4)
+        )
+        with pytest.raises(ValueError):
+            shard_checkpoint_name("telescope", 4, 4)
+
+    def test_is_shard_checkpoint(self):
+        assert is_shard_checkpoint("honeypot.shard1of3")
+        assert not is_shard_checkpoint("honeypot")
+
+    def test_plan_names_align_with_indices(self):
+        plan = ShardPlan("measurement", 3)
+        assert plan.sharded
+        assert plan.checkpoint_names() == (
+            "measurement.shard0of3",
+            "measurement.shard1of3",
+            "measurement.shard2of3",
+        )
+        assert plan.task_name(1) == "measurement[1/3]"
+
+
+# -- execution-fault plans ----------------------------------------------------
+
+
+class TestExecFaultPlan:
+    def test_parse_round_trips(self):
+        plan = ExecFaultPlan.parse(
+            ("hung:honeypot:0", "poison:telescope", "crash:measurement:1:2")
+        )
+        assert plan.lookup("honeypot", 0, 1).kind == KIND_HUNG
+        assert plan.lookup("honeypot", 1, 1) is None
+        # No shard given: matches every shard of the stage.
+        assert plan.lookup("telescope", 2, 1).kind == KIND_POISON
+        # attempts=2: fires on attempts 1 and 2, clean from attempt 3.
+        assert plan.lookup("measurement", 1, 2).kind == KIND_CRASH
+        assert plan.lookup("measurement", 1, 3) is None
+
+    def test_poison_fires_on_every_attempt(self):
+        fault = ExecFault(kind=KIND_POISON, stage="honeypot", shard=0)
+        assert fault.matches("honeypot", 0, 1)
+        assert fault.matches("honeypot", 0, 99)
+
+    def test_parse_rejects_bad_spec(self):
+        with pytest.raises(ValueError):
+            ExecFaultPlan.parse(("hung",))
+
+    def test_apply_poison_raises(self):
+        with pytest.raises(PoisonShardError):
+            apply_exec_fault(
+                ExecFault(kind=KIND_POISON, stage="honeypot", shard=0)
+            )
+
+    def test_apply_none_is_noop(self):
+        apply_exec_fault(None)
+
+    def test_describe_is_stable(self):
+        plan = ExecFaultPlan.parse(("hung:honeypot:0",))
+        assert "hung" in plan.describe()
+        assert "honeypot" in plan.describe()
+
+
+# -- bounded streaming fusion -------------------------------------------------
+
+
+def _event(ts: float, target: int) -> AttackEvent:
+    return AttackEvent(
+        source=SOURCE_TELESCOPE,
+        target=target,
+        start_ts=ts,
+        end_ts=ts + 60.0,
+        intensity=100.0,
+    )
+
+
+class TestBoundedStreamingFusion:
+    def test_matches_unbounded_fusion(self):
+        events = [_event(i * 3600.0, 1000 + i) for i in range(50)]
+        plain = StreamingFusion()
+        for event in events:
+            plain.ingest(event)
+        plain.finish()
+
+        bounded = BoundedStreamingFusion(maxsize=4)
+        bounded.ingest_many(events)
+        fused = bounded.close()
+        assert fused.running_summary() == plain.running_summary()
+        assert len(fused.summaries) == len(plain.summaries)
+
+    def test_backpressure_is_observable(self):
+        bounded = BoundedStreamingFusion(maxsize=1)
+        bounded.ingest_many(
+            _event(i * 60.0, 2000 + i) for i in range(200)
+        )
+        bounded.close()
+        # With a one-slot queue and a consumer doing real work, some puts
+        # must have found the queue full; memory stayed at maxsize.
+        assert bounded.blocked_puts > 0
+        assert bounded.depth == 0
+
+    def test_consumer_error_reaches_producer(self):
+        bounded = BoundedStreamingFusion(maxsize=8)
+        bounded.ingest(_event(10 * 86400.0, 1))
+        with pytest.raises(ValueError, match="out of order"):
+            # Two days backwards: beyond the fusion's disorder tolerance.
+            bounded.ingest(_event(8 * 86400.0 - 1.0, 2))
+            bounded.close()
+
+    def test_ingest_after_close_rejected(self):
+        bounded = BoundedStreamingFusion(maxsize=2)
+        bounded.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            bounded.ingest(_event(0.0, 1))
+
+    def test_rejects_zero_bound(self):
+        with pytest.raises(ValueError):
+            BoundedStreamingFusion(maxsize=0)

@@ -8,6 +8,11 @@ fault-free reference and run the small scenario through
 import pytest
 
 from repro.core.events import AttackEvent, SOURCE_TELESCOPE
+from repro.exec.breaker import BREAKER_OPEN
+from repro.exec.deadline import RunDeadline, RunDeadlineExceeded
+from repro.exec.pool import ExecConfig
+from repro.exec.shard import shard_checkpoint_name
+from repro.faults.exec import ExecFaultPlan, KIND_CRASH, KIND_HUNG, KIND_POISON
 from repro.faults.fileio import flip_bits
 from repro.faults.plan import (
     ALL_FEEDS,
@@ -411,3 +416,160 @@ class TestDurableRuns:
                 run_dir=tmp_path / "run",
                 crash_after="no-such-stage",
             )
+
+
+class TestSupervisedExecution:
+    """The executor tentpole, in process: sharding, breakers, deadlines."""
+
+    def test_sharded_run_matches_serial(self, small_config, sim):
+        result = run_resilient(
+            small_config,
+            exec_config=ExecConfig(workers=2, shards=3),
+            sleep=no_sleep,
+        )
+        assert result.fused.combined.events == sim.fused.combined.events
+        assert result.openintel.zone_stats == sim.openintel.zone_stats
+        assert all(s.status == STATUS_OK for s in result.quality.stages)
+
+    def test_poison_shard_degrades_feed_and_trips_breaker(
+        self, small_config
+    ):
+        result = run_resilient(
+            small_config,
+            exec_config=ExecConfig(shards=3),
+            exec_faults=ExecFaultPlan.single(
+                KIND_POISON, "honeypot", shard=0
+            ),
+            sleep=no_sleep,
+        )
+        # The unprocessable shard fails every attempt; the stage must fall
+        # back to the empty-typed feed, not crash the run.
+        assert result.quality.feed("honeypot").status == STATUS_DOWN
+        assert result.quality.feed("telescope").status == STATUS_OK
+        breaker = next(
+            b for b in result.quality.breakers if b.name == "honeypot"
+        )
+        assert breaker.state == BREAKER_OPEN
+        assert any(t.to_state == BREAKER_OPEN for t in breaker.transitions)
+        assert "circuit breakers:" in result.quality.render()
+
+    def test_crash_shard_recovers_byte_identical(self, small_config, sim):
+        result = run_resilient(
+            small_config,
+            exec_config=ExecConfig(workers=2, shards=3),
+            exec_faults=ExecFaultPlan.single(
+                KIND_CRASH, "telescope", shard=1
+            ),
+            sleep=no_sleep,
+        )
+        assert result.fused.combined.events == sim.fused.combined.events
+        telescope = next(
+            s for s in result.quality.stages if s.name == "telescope"
+        )
+        assert telescope.status == STATUS_OK and telescope.attempts == 2
+
+    def test_deadline_aborts_mid_stage_and_resumes_identically(
+        self, small_config, sim, tmp_path
+    ):
+        """Kill a run between shard attempts; resume must finish the stage.
+
+        The run deadline uses an injected clock advanced only by the
+        retry backoff sleep, so expiry lands deterministically right
+        after telescope's first (hung-shard) attempt — when two of three
+        shard checkpoints are already on disk.
+        """
+        run_dir = tmp_path / "run"
+        fake_now = [0.0]
+
+        def clock():
+            return fake_now[0]
+
+        def sleep_advancing(_delay):
+            fake_now[0] += 10.0
+
+        with pytest.raises(RunDeadlineExceeded):
+            ResilientPipeline(
+                small_config,
+                run_dir=run_dir,
+                exec_config=ExecConfig(shards=3, task_deadline=0.5),
+                exec_faults=ExecFaultPlan.single(
+                    KIND_HUNG, "telescope", shard=1
+                ),
+                deadline=RunDeadline(5.0, clock=clock),
+                sleep=sleep_advancing,
+            ).run()
+        on_disk = set(CheckpointStore(run_dir).stages())
+        assert "telescope" not in on_disk
+        assert shard_checkpoint_name("telescope", 0, 3) in on_disk
+        assert shard_checkpoint_name("telescope", 2, 3) in on_disk
+
+        resumed = ResilientPipeline(
+            small_config,
+            run_dir=run_dir,
+            exec_config=ExecConfig(shards=3),
+            sleep=no_sleep,
+        )
+        # The surviving shard partials were adopted before the run.
+        assert shard_checkpoint_name("telescope", 0, 3) in resumed._shard_cache
+        result = resumed.run()
+        assert result.fused.combined.events == sim.fused.combined.events
+        # Completed stages retire their shard partials.
+        assert not any(
+            ".shard" in name
+            for name in CheckpointStore(run_dir).stages()
+        )
+
+    def test_mismatched_shard_count_partials_are_discarded(
+        self, small_config, sim, tmp_path
+    ):
+        run_dir = tmp_path / "run"
+        fake_now = [0.0]
+        with pytest.raises(RunDeadlineExceeded):
+            ResilientPipeline(
+                small_config,
+                run_dir=run_dir,
+                exec_config=ExecConfig(shards=3, task_deadline=0.5),
+                exec_faults=ExecFaultPlan.single(
+                    KIND_HUNG, "telescope", shard=1
+                ),
+                deadline=RunDeadline(
+                    5.0, clock=lambda: fake_now[0]
+                ),
+                sleep=lambda _d: fake_now.__setitem__(
+                    0, fake_now[0] + 10.0
+                ),
+            ).run()
+        # Resume under a different partition: the 3-shard partials must
+        # not be reused (the name bakes the count in), and the run must
+        # still come out byte-identical.
+        resumed = ResilientPipeline(
+            small_config,
+            run_dir=run_dir,
+            exec_config=ExecConfig(shards=2),
+            sleep=no_sleep,
+        )
+        assert not resumed._shard_cache
+        result = resumed.run()
+        assert result.fused.combined.events == sim.fused.combined.events
+
+
+class TestPerFeedQuarantineCounts:
+    def test_per_feed_counts_surface_in_quality(
+        self, small_config, tmp_path
+    ):
+        bad = tmp_path / "shared.jsonl"
+        bad.write_text('{"garbage": true}\nnot json\n', encoding="utf-8")
+        _events, telescope = read_events_jsonl(bad, feed="telescope")
+        _events, honeypot = read_events_jsonl(bad, feed="honeypot")
+        pipeline = ResilientPipeline(small_config, sleep=no_sleep)
+        pipeline.attach_record_report(telescope)
+        pipeline.attach_record_report(honeypot)
+        result = pipeline.run()
+        counts = result.quality.per_feed_quarantine_counts()
+        assert counts == {"telescope": 2, "honeypot": 2}
+        rendered = result.quality.render()
+        assert "per feed: honeypot=2, telescope=2" in rendered
+        # The namespaced dead-letter files both survive side by side.
+        assert (record.feed for record in result.quality.records)
+        paths = {r.quarantine_path for r in result.quality.records}
+        assert len(paths) == 2
