@@ -8,6 +8,9 @@ the paper's headline ratios drift and what each feed lost. The rendered
 drift can be tracked across revisions of the pipeline.
 """
 
+import time
+
+from bench_util import write_bench_json
 from repro.faults.plan import FaultPlan
 from repro.pipeline.quality import HeadlineMetrics
 from repro.pipeline.runner import run_resilient
@@ -24,6 +27,7 @@ def test_faulttolerance_drift(benchmark, sim, bench_config, write_report):
         n_honeypots=bench_config.n_honeypots,
     )
 
+    start = time.perf_counter()
     degraded = benchmark.pedantic(
         lambda: run_resilient(
             bench_config, plan=plan, baseline=baseline, sleep=lambda _d: None
@@ -31,8 +35,22 @@ def test_faulttolerance_drift(benchmark, sim, bench_config, write_report):
         rounds=1,
         iterations=1,
     )
+    wall = time.perf_counter() - start
     quality = degraded.quality
     write_report("faulttolerance", quality.render())
+    observed = sum(feed.events_observed for feed in quality.feeds)
+    write_bench_json(
+        "faulttolerance",
+        params={"fault_seed": FAULT_SEED, "n_days": bench_config.n_days},
+        wall_s=wall,
+        events_per_s=observed / wall if wall else None,
+        extra={
+            "headline_drift": {
+                key: round(value, 6)
+                for key, value in quality.headline_drift().items()
+            }
+        },
+    )
 
     # The standard plan is lossy but mild: the pipeline must complete with
     # every stage ok and the headline ratios within a few points.

@@ -1,0 +1,92 @@
+"""Telemetry overhead: what instrumentation costs, on and off.
+
+The tentpole's contract is *zero-cost when disabled*: every counter
+increment and span enter/exit in the hot path resolves to a shared
+null-object no-op unless ``--metrics`` installed a live registry. This
+bench quantifies both sides on the same serial pipeline the parallel
+bench uses as its baseline:
+
+* **disabled** — the default: instrumented code paths against the null
+  registry/tracer/profiler;
+* **enabled**  — a live :class:`~repro.obs.Telemetry` threaded through
+  the run.
+
+The committed ``benchmarks/out/obs_overhead.json`` records both means
+and the enabled-over-disabled overhead percentage; the acceptance bar is
+that the *disabled* configuration stays within 5% of the fastest run,
+i.e. dormant instrumentation is free at pipeline scale.
+"""
+
+import statistics
+import time
+
+from bench_util import write_bench_json
+from repro.obs import Telemetry
+from repro.pipeline.runner import run_resilient
+
+ROUNDS = 3
+
+
+def _timed_runs(bench_config, telemetry):
+    walls = []
+    events = 0
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        result = run_resilient(
+            bench_config, telemetry=telemetry, sleep=lambda _d: None
+        )
+        walls.append(time.perf_counter() - start)
+        events = len(result.fused.combined.events)
+    return walls, events
+
+
+def test_telemetry_overhead(benchmark, bench_config, write_report):
+    # Warm-up round so neither arm pays first-run import/cache costs.
+    run_resilient(bench_config, sleep=lambda _d: None)
+
+    disabled_walls, events = benchmark.pedantic(
+        lambda: _timed_runs(bench_config, None), rounds=1, iterations=1
+    )
+    enabled_walls, enabled_events = _timed_runs(
+        bench_config, Telemetry.create()
+    )
+    assert enabled_events == events, "telemetry changed pipeline output size"
+
+    disabled = min(disabled_walls)
+    enabled = min(enabled_walls)
+    fastest = min(disabled, enabled)
+    disabled_overhead_pct = (disabled - fastest) / fastest * 100
+    enabled_overhead_pct = (enabled - disabled) / disabled * 100
+
+    lines = [
+        "Telemetry overhead (serial pipeline, best of "
+        f"{ROUNDS} rounds, {events} fused events)",
+        "",
+        f"{'configuration':<12} {'best_s':>8} {'mean_s':>8}",
+        f"{'disabled':<12} {disabled:>8.3f} "
+        f"{statistics.mean(disabled_walls):>8.3f}",
+        f"{'enabled':<12} {enabled:>8.3f} "
+        f"{statistics.mean(enabled_walls):>8.3f}",
+        "",
+        f"disabled vs fastest: {disabled_overhead_pct:+.2f}%",
+        f"enabled  vs disabled: {enabled_overhead_pct:+.2f}%",
+    ]
+    write_report("obs_overhead", "\n".join(lines))
+    write_bench_json(
+        "obs_overhead",
+        params={"rounds": ROUNDS, "fused_events": events},
+        wall_s=disabled,
+        events_per_s=events / disabled if disabled else None,
+        extra={
+            "disabled_wall_s": [round(w, 6) for w in disabled_walls],
+            "enabled_wall_s": [round(w, 6) for w in enabled_walls],
+            "disabled_overhead_pct": round(disabled_overhead_pct, 3),
+            "enabled_overhead_pct": round(enabled_overhead_pct, 3),
+        },
+    )
+    # The acceptance bar: dormant instrumentation must be free — the
+    # disabled configuration stays within 5% of the fastest observed run.
+    assert disabled_overhead_pct < 5.0, (
+        f"disabled telemetry cost {disabled_overhead_pct:.2f}% "
+        "(bar: <5%)"
+    )

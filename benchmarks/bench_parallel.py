@@ -15,6 +15,7 @@ multi-core hosts the same bench shows the scaling.
 import os
 import time
 
+from bench_util import write_bench_json
 from repro.exec.pool import ExecConfig
 from repro.pipeline.runner import run_resilient
 
@@ -65,6 +66,23 @@ def test_parallel_scaling(benchmark, bench_config, write_report):
             "not speedups"
         )
     write_report("parallel", "\n".join(lines))
+    write_bench_json(
+        "parallel",
+        params={
+            "cores": cores,
+            "worker_counts": list(WORKER_COUNTS),
+            "fused_events": len(reference),
+        },
+        wall_s=serial_elapsed,
+        events_per_s=(
+            len(reference) / serial_elapsed if serial_elapsed else None
+        ),
+        extra={
+            "timings_s": {
+                name: round(elapsed, 6) for name, elapsed in timings
+            }
+        },
+    )
     benchmark.extra_info["cores"] = cores
     for name, elapsed in timings:
         benchmark.extra_info[name] = round(elapsed, 2)

@@ -8,8 +8,11 @@ read. Rendered numbers land in ``benchmarks/out/store.txt`` so the
 durability overhead is tracked across revisions.
 """
 
+import time
+
 import pytest
 
+from bench_util import write_bench_json
 from repro.pipeline.datasets import read_events_jsonl, save_events_jsonl
 from repro.store import CheckpointStore
 
@@ -36,6 +39,18 @@ def test_checkpoint_save_throughput(benchmark, events, run_dir, write_report):
         "store",
         f"checkpoint payload: {manifest.record_count} events, "
         f"{mb:.2f} MB (sha256 {manifest.sha256[:12]}…)",
+    )
+    start = time.perf_counter()
+    store.save("events", events)
+    wall = time.perf_counter() - start
+    write_bench_json(
+        "store",
+        params={
+            "records": manifest.record_count,
+            "payload_mb": round(mb, 3),
+        },
+        wall_s=wall,
+        events_per_s=manifest.record_count / wall if wall else None,
     )
 
 

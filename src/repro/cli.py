@@ -39,6 +39,7 @@ validation layer — recovery without logs is guesswork.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
@@ -49,6 +50,15 @@ from repro.exec.pool import ALL_MODES, ExecConfig, MODE_AUTO
 from repro.faults.exec import ExecFaultPlan
 from repro.faults.plan import ALL_FEEDS, FaultPlan
 from repro.log import configure_logging, get_logger
+from repro.obs import (
+    METRICS_FILE,
+    TRACE_FILE,
+    TRACE_JSONL_FILE,
+    Telemetry,
+    prometheus_from_snapshot,
+    set_telemetry,
+)
+from repro.obs.report import QUALITY_FILE, render_flight_report
 from repro.pipeline.chaos import run_chaos_drill
 from repro.pipeline.config import ScenarioConfig
 from repro.pipeline.datasets import (
@@ -128,6 +138,16 @@ def _add_exec_args(
              "with kind one of hung/slow/crash/poison (repeatable; "
              "fault drills)",
     )
+    _add_metrics_arg(sub)
+
+
+def _add_metrics_arg(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--metrics", action="store_true",
+        help="enable telemetry: with --run-dir, write metrics.json, "
+             "trace.json, trace.jsonl and profile.json there; otherwise "
+             "print the Prometheus text exposition after the run",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -205,7 +225,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     report = subparsers.add_parser(
-        "report", help="regenerate every table and figure"
+        "report", help="regenerate every table and figure, or render a "
+                       "run directory's flight report (--run-dir)"
     )
     report.add_argument(
         "--out-dir", type=Path, default=None, metavar="DIR",
@@ -214,6 +235,11 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--only", nargs="*", default=None, metavar="ID",
         help=f"subset of artifacts (ids: {', '.join(REPORT_ORDER)})",
+    )
+    report.add_argument(
+        "--run-dir", type=Path, default=None, metavar="DIR",
+        help="flight report: summarize a finished run's telemetry "
+             "artifacts (stages, retries, breaker trips, kills, drops)",
     )
 
     subparsers.add_parser("headline", help="print the headline ratios")
@@ -262,6 +288,39 @@ def _build_parser() -> argparse.ArgumentParser:
         help="hard per-scenario time budget; a scenario that exceeds it "
              "fails instead of hanging the drill (default: 120)",
     )
+    chaos.add_argument(
+        "--run-dir", type=Path, default=None, metavar="DIR",
+        help="write telemetry artifacts for the whole drill to DIR "
+             "(with --metrics)",
+    )
+    _add_metrics_arg(chaos)
+
+    metrics_cmd = subparsers.add_parser(
+        "metrics",
+        help="print a finished run's metrics (Prometheus text or JSON)",
+    )
+    metrics_cmd.add_argument(
+        "run_dir", type=Path, metavar="RUN_DIR",
+        help="run directory holding metrics.json (simulate --metrics)",
+    )
+    metrics_cmd.add_argument(
+        "--format", choices=("prom", "json"), default="prom",
+        help="output format (default: prom)",
+    )
+
+    trace_cmd = subparsers.add_parser(
+        "trace",
+        help="print a finished run's span trace (Chrome trace_event JSON "
+             "or raw JSONL)",
+    )
+    trace_cmd.add_argument(
+        "run_dir", type=Path, metavar="RUN_DIR",
+        help="run directory holding trace.json (simulate --metrics)",
+    )
+    trace_cmd.add_argument(
+        "--format", choices=("chrome", "jsonl"), default="chrome",
+        help="output format (default: chrome)",
+    )
     return parser
 
 
@@ -285,6 +344,33 @@ def _exec_faults(args: argparse.Namespace) -> Optional[ExecFaultPlan]:
     return ExecFaultPlan.parse(tuple(args.exec_fault))
 
 
+def _enable_metrics(args: argparse.Namespace) -> Optional[Telemetry]:
+    """Install process-wide telemetry when ``--metrics`` was given."""
+    if not getattr(args, "metrics", False):
+        return None
+    telemetry = Telemetry.create()
+    set_telemetry(telemetry)
+    return telemetry
+
+
+def _finish_metrics(
+    telemetry: Optional[Telemetry], run_dir: Optional[Path]
+) -> None:
+    """Export telemetry artifacts (run dir) or print the Prometheus text."""
+    if telemetry is None:
+        return
+    if run_dir is not None:
+        written = telemetry.write_artifacts(run_dir)
+        log.info(
+            "telemetry artifacts written",
+            run_dir=str(run_dir),
+            artifacts=",".join(sorted(written)),
+        )
+    else:
+        print()
+        print(telemetry.metrics.render_prometheus(), end="")
+
+
 def _run_durable(
     config: ScenarioConfig,
     run_dir: Path,
@@ -306,6 +392,7 @@ def _run_durable(
     written = save_events_jsonl(
         result.fused.combined.events, run_dir / EVENTS_FILE
     )
+    pipeline.store.write_json(QUALITY_FILE, result.quality.to_dict())
     log.info(
         "durable run complete",
         run_dir=str(run_dir),
@@ -324,6 +411,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     config = _config(args)
     exec_config = _exec_config(args)
     exec_faults = _exec_faults(args)
+    telemetry = _enable_metrics(args)
     try:
         if args.run_dir is not None:
             store = CheckpointStore(args.run_dir)
@@ -361,6 +449,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         else:
             result = run_simulation(config)
     except RunDeadlineExceeded as exc:
+        _finish_metrics(telemetry, args.run_dir)
         print(f"deadline exceeded: {exc}", file=sys.stderr)
         return EXIT_DEADLINE
     print(render_table1(result.fused.summary_rows()))
@@ -369,6 +458,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             result.fused.combined.events, args.save_events
         )
         print(f"\nwrote {written} events to {args.save_events}")
+    _finish_metrics(telemetry, args.run_dir)
     return 0
 
 
@@ -422,6 +512,7 @@ def cmd_resume(args: argparse.Namespace) -> int:
         "resuming run", run_dir=str(args.run_dir), preset=preset,
         seed=config.seed, workers=exec_config.workers,
     )
+    telemetry = _enable_metrics(args)
     try:
         result = _run_durable(
             config,
@@ -431,9 +522,11 @@ def cmd_resume(args: argparse.Namespace) -> int:
             deadline=args.deadline,
         )
     except RunDeadlineExceeded as exc:
+        _finish_metrics(telemetry, args.run_dir)
         print(f"deadline exceeded: {exc}", file=sys.stderr)
         return EXIT_DEADLINE
     print(render_table1(result.fused.summary_rows()))
+    _finish_metrics(telemetry, args.run_dir)
     return 0
 
 
@@ -464,6 +557,12 @@ def cmd_validate(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
+    if args.run_dir is not None:
+        if not args.run_dir.is_dir():
+            print(f"no such run directory: {args.run_dir}", file=sys.stderr)
+            return 2
+        print(render_flight_report(args.run_dir))
+        return 0
     result = run_simulation(_config(args))
     report = generate_full_report(result)
     wanted = args.only if args.only else list(REPORT_ORDER)
@@ -536,6 +635,7 @@ def cmd_robustness(args: argparse.Namespace) -> int:
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
+    telemetry = _enable_metrics(args)
     results = run_chaos_drill(
         config=_config(args),
         quick=args.quick,
@@ -552,7 +652,39 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         )
     failed = sum(1 for r in results if not r.passed)
     print(f"{len(results) - failed}/{len(results)} scenarios passed")
+    _finish_metrics(telemetry, args.run_dir)
     return 0 if failed == 0 else 1
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    path = args.run_dir / METRICS_FILE
+    if not path.exists():
+        print(
+            f"no {METRICS_FILE} in {args.run_dir} "
+            "(produce one with 'simulate --run-dir DIR --metrics')",
+            file=sys.stderr,
+        )
+        return 2
+    text = path.read_text(encoding="utf-8")
+    if args.format == "json":
+        print(text, end="")
+        return 0
+    print(prometheus_from_snapshot(json.loads(text)), end="")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    name = TRACE_FILE if args.format == "chrome" else TRACE_JSONL_FILE
+    path = args.run_dir / name
+    if not path.exists():
+        print(
+            f"no {name} in {args.run_dir} "
+            "(produce one with 'simulate --run-dir DIR --metrics')",
+            file=sys.stderr,
+        )
+        return 2
+    print(path.read_text(encoding="utf-8"), end="")
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -567,6 +699,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "headline": cmd_headline,
         "robustness": cmd_robustness,
         "chaos": cmd_chaos,
+        "metrics": cmd_metrics,
+        "trace": cmd_trace,
     }
     return handlers[args.command](args)
 

@@ -20,6 +20,7 @@ from typing import Deque, Dict, Iterable, List, Optional, Set
 from repro.core.events import AttackEvent, SOURCE_HONEYPOT, SOURCE_TELESCOPE
 from repro.core.webmap import WebHostingIndex
 from repro.net.addressing import slash16, slash24
+from repro.obs.metrics import get_registry
 
 DAY = 86400.0
 
@@ -255,6 +256,7 @@ class BoundedStreamingFusion:
         self,
         fusion: Optional[StreamingFusion] = None,
         maxsize: int = 1024,
+        metrics=None,
         **fusion_kwargs,
     ) -> None:
         if maxsize < 1:
@@ -268,6 +270,17 @@ class BoundedStreamingFusion:
         self._closed = False
         #: Producer-observed backpressure: ingest calls that had to wait.
         self.blocked_puts = 0
+        registry = metrics if metrics is not None else get_registry()
+        self._m_ingested = registry.counter(
+            "stream_events_ingested_total", "events handed to the fusion queue"
+        )
+        self._m_blocked = registry.counter(
+            "stream_backpressure_waits_total",
+            "ingest calls that blocked on a full queue",
+        )
+        self._m_depth = registry.gauge(
+            "stream_queue_depth", "events currently queued for fusion"
+        )
         self._consumer = threading.Thread(
             target=self._drain, name="repro-stream-fusion", daemon=True
         )
@@ -286,6 +299,7 @@ class BoundedStreamingFusion:
                 self._error = exc
             finally:
                 self._queue.task_done()
+                self._m_depth.set(self._queue.qsize())
 
     def _check_error(self) -> None:
         if self._error is not None:
@@ -299,7 +313,10 @@ class BoundedStreamingFusion:
         self._check_error()
         if self._queue.full():
             self.blocked_puts += 1
+            self._m_blocked.inc()
         self._queue.put(event)
+        self._m_ingested.inc()
+        self._m_depth.set(self._queue.qsize())
 
     def ingest_many(self, events: Iterable[AttackEvent]) -> None:
         for event in events:

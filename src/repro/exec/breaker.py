@@ -24,13 +24,21 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.log import get_logger
+from repro.obs.metrics import get_registry
 
 BREAKER_CLOSED = "closed"
 BREAKER_OPEN = "open"
 BREAKER_HALF_OPEN = "half-open"
+
+#: Numeric encoding of breaker states for the ``breaker_state`` gauge.
+BREAKER_STATE_CODES = {
+    BREAKER_CLOSED: 0,
+    BREAKER_OPEN: 1,
+    BREAKER_HALF_OPEN: 2,
+}
 
 
 @dataclass(frozen=True)
@@ -40,6 +48,21 @@ class BreakerTransition:
     from_state: str
     to_state: str
     reason: str
+
+    def to_dict(self) -> dict:
+        return {
+            "from_state": self.from_state,
+            "to_state": self.to_state,
+            "reason": self.reason,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BreakerTransition":
+        return cls(
+            from_state=data["from_state"],
+            to_state=data["to_state"],
+            reason=data["reason"],
+        )
 
 
 @dataclass(frozen=True)
@@ -61,6 +84,28 @@ class BreakerReport:
             f"{self.refusals} refused attempt(s); {path})"
         )
 
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "state": self.state,
+            "failures_seen": self.failures_seen,
+            "refusals": self.refusals,
+            "transitions": [t.to_dict() for t in self.transitions],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BreakerReport":
+        return cls(
+            name=data["name"],
+            state=data["state"],
+            failures_seen=data["failures_seen"],
+            refusals=data["refusals"],
+            transitions=tuple(
+                BreakerTransition.from_dict(t)
+                for t in data.get("transitions", ())
+            ),
+        )
+
 
 class CircuitBreaker:
     """Closed → open → half-open breaker with an injectable clock."""
@@ -71,6 +116,7 @@ class CircuitBreaker:
         failure_threshold: int = 2,
         cooldown: float = 30.0,
         clock: Callable[[], float] = time.monotonic,
+        metrics: Optional[object] = None,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError("failure threshold must be at least 1")
@@ -87,6 +133,28 @@ class CircuitBreaker:
         self.refusals = 0
         self.transitions: List[BreakerTransition] = []
         self._log = get_logger("exec.breaker")
+        registry = metrics if metrics is not None else get_registry()
+        self._m_state = registry.gauge(
+            "breaker_state",
+            "breaker state (0 closed, 1 open, 2 half-open)",
+            ("breaker",),
+        )
+        self._m_transitions = registry.counter(
+            "breaker_transitions_total",
+            "breaker state changes",
+            ("breaker", "to_state"),
+        )
+        self._m_failures = registry.counter(
+            "breaker_failures_total",
+            "failures recorded against the breaker",
+            ("breaker",),
+        )
+        self._m_refusals = registry.counter(
+            "breaker_refusals_total",
+            "attempts refused while open/half-open",
+            ("breaker",),
+        )
+        self._m_state.set(BREAKER_STATE_CODES[self._state], breaker=name)
 
     @property
     def state(self) -> str:
@@ -105,9 +173,11 @@ class CircuitBreaker:
                 self._transition(BREAKER_HALF_OPEN, "cooldown elapsed")
                 return True
             self.refusals += 1
+            self._m_refusals.inc(breaker=self.name)
             return False
         # Half-open: the single probe is in flight; further attempts wait.
         self.refusals += 1
+        self._m_refusals.inc(breaker=self.name)
         return False
 
     def record_success(self) -> None:
@@ -118,6 +188,7 @@ class CircuitBreaker:
     def record_failure(self, reason: str = "") -> None:
         self.failures_seen += 1
         self._consecutive_failures += 1
+        self._m_failures.inc(breaker=self.name)
         if self._state == BREAKER_HALF_OPEN:
             self._reopen(f"probe failed{': ' + reason if reason else ''}")
         elif (
@@ -137,6 +208,8 @@ class CircuitBreaker:
         self.transitions.append(
             BreakerTransition(self._state, to_state, reason)
         )
+        self._m_transitions.inc(breaker=self.name, to_state=to_state)
+        self._m_state.set(BREAKER_STATE_CODES[to_state], breaker=self.name)
         level = self._log.info if to_state == BREAKER_CLOSED else self._log.warning
         level(
             "circuit breaker transition",
@@ -161,6 +234,7 @@ __all__ = [
     "BREAKER_CLOSED",
     "BREAKER_HALF_OPEN",
     "BREAKER_OPEN",
+    "BREAKER_STATE_CODES",
     "BreakerReport",
     "BreakerTransition",
     "CircuitBreaker",

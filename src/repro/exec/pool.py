@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.log import get_logger
+from repro.obs.metrics import get_registry
 
 MODE_AUTO = "auto"
 MODE_FORK = "fork"
@@ -266,6 +267,7 @@ class SupervisedPool:
         mode: str = MODE_AUTO,
         poll_interval: float = 0.01,
         start_timeout: float = 30.0,
+        metrics: Optional[Any] = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError("need at least one worker")
@@ -279,13 +281,44 @@ class SupervisedPool:
         # serializing spawns keeps the child's inherited state coherent.
         self._spawn_lock = threading.Lock()
         self._log = get_logger("exec")
+        registry = metrics if metrics is not None else get_registry()
+        self._m_queued = registry.counter(
+            "exec_tasks_queued_total", "tasks submitted to the pool"
+        )
+        self._m_started = registry.counter(
+            "exec_tasks_started_total", "tasks that began executing"
+        )
+        self._m_outcomes = registry.counter(
+            "exec_task_outcomes_total",
+            "finished tasks by status",
+            ("status",),
+        )
+        self._m_killed = registry.counter(
+            "exec_workers_killed_total",
+            "workers killed/abandoned by the watchdog",
+        )
+        self._m_heartbeats = registry.counter(
+            "exec_worker_heartbeats_total",
+            "first heartbeats received from forked workers",
+        )
+        self._m_inflight = registry.gauge(
+            "exec_inflight_workers", "workers currently running"
+        )
+        self._m_task_seconds = registry.histogram(
+            "exec_task_seconds", "task wall time by status", ("status",)
+        )
 
     @classmethod
-    def from_config(cls, config: ExecConfig) -> "SupervisedPool":
-        return cls(max_workers=config.workers, mode=config.mode)
+    def from_config(
+        cls, config: ExecConfig, metrics: Optional[Any] = None
+    ) -> "SupervisedPool":
+        return cls(
+            max_workers=config.workers, mode=config.mode, metrics=metrics
+        )
 
     def run(self, tasks: Sequence[TaskSpec]) -> List[TaskOutcome]:
         """Run tasks under supervision; outcomes in task order."""
+        self._m_queued.inc(len(tasks))
         if self.mode == MODE_SERIAL:
             return [self._run_inline(spec) for spec in tasks]
         outcomes: Dict[int, TaskOutcome] = {}
@@ -296,13 +329,22 @@ class SupervisedPool:
                 while pending and self._slots.acquire(blocking=not active):
                     index, spec = pending.pop(0)
                     active[index] = self._spawn(spec)
+                    self._m_started.inc()
+                    self._m_inflight.inc()
                 finished = []
                 for index, worker in active.items():
                     outcome = worker.poll()
+                    if (
+                        getattr(worker, "heartbeat_seen", False)
+                        and not getattr(worker, "_hb_counted", False)
+                    ):
+                        worker._hb_counted = True
+                        self._m_heartbeats.inc()
                     if outcome is None:
                         reason = worker.expired(self.start_timeout)
                         if reason is not None:
                             outcome = worker.kill(reason)
+                            self._m_killed.inc()
                             self._log.warning(
                                 "hung worker killed",
                                 task=worker.spec.name,
@@ -312,6 +354,8 @@ class SupervisedPool:
                         finished.append(index)
                         outcomes[index] = outcome
                         self._slots.release()
+                        self._m_inflight.dec()
+                        self._record_outcome(outcome)
                         if not outcome.ok:
                             self._log.warning(
                                 "task failed",
@@ -327,7 +371,13 @@ class SupervisedPool:
             for worker in active.values():  # unwind on error paths only
                 worker.kill("pool shutting down")
                 self._slots.release()
+                self._m_inflight.dec()
+                self._m_killed.inc()
         return [outcomes[index] for index in range(len(tasks))]
+
+    def _record_outcome(self, outcome: TaskOutcome) -> None:
+        self._m_outcomes.inc(status=outcome.status)
+        self._m_task_seconds.observe(outcome.elapsed, status=outcome.status)
 
     def _spawn(self, spec: TaskSpec):
         with self._spawn_lock:
@@ -337,21 +387,26 @@ class SupervisedPool:
 
     def _run_inline(self, spec: TaskSpec) -> TaskOutcome:
         start = time.monotonic()
+        self._m_started.inc()
         try:
             value = spec.fn()
         except KeyboardInterrupt:
             raise
         except BaseException as exc:  # noqa: BLE001
-            return TaskOutcome(
+            outcome = TaskOutcome(
                 spec.name,
                 STATUS_ERROR,
                 error=f"{type(exc).__name__}: {exc}",
                 elapsed=time.monotonic() - start,
             )
-        return TaskOutcome(
+            self._record_outcome(outcome)
+            return outcome
+        outcome = TaskOutcome(
             spec.name, STATUS_OK, value=value,
             elapsed=time.monotonic() - start,
         )
+        self._record_outcome(outcome)
+        return outcome
 
 
 __all__ = [

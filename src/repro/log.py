@@ -162,6 +162,15 @@ def configure_logging(
     for handler in list(root.handlers):
         if getattr(handler, _MANAGED_ATTR, False):
             root.removeHandler(handler)
+            # Close the replaced handler so repeated configuration (a CLI
+            # invoked twice in-process, a test harness) cannot stack open
+            # streams or double-print through a lingering handler. The
+            # default stderr stream is owned by the interpreter; close()
+            # on StreamHandler only releases the handler's own resources.
+            try:
+                handler.close()
+            except Exception:
+                pass
     handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
     handler.setFormatter(
         JsonLineFormatter() if json_mode else ConsoleFormatter()

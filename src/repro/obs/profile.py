@@ -1,0 +1,188 @@
+"""Stage profiling: wall time, CPU time, peak RSS and throughput.
+
+Tracing says *when* a stage ran; profiling says *what it cost*. A
+:class:`StageProfiler` wraps each pipeline stage (and, when sharded, each
+shard) and records:
+
+* **wall time** — from the injectable wall clock;
+* **CPU time** — process CPU seconds consumed while the stage ran (an
+  approximation under concurrent stages, stated as such in the report);
+* **peak RSS** — the high-water resident set, via ``getrusage`` (kilobytes
+  on Linux); monotone per process, so the per-stage value is "peak so
+  far", which is exactly what a memory budget cares about;
+* **events/sec** — the stage's output record count over its wall time,
+  the steering number for the ROADMAP's performance work.
+
+All three probes are injectable, so deterministic tests substitute fake
+clocks and a constant RSS function and get byte-identical ``profile.json``
+artifacts. The disabled default is :class:`NullProfiler`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None
+
+
+def peak_rss_kb() -> int:
+    """Peak resident set size of this process, in kilobytes (0: unknown)."""
+    if resource is None:
+        return 0
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports kilobytes; macOS reports bytes.
+    import sys
+    if sys.platform == "darwin":  # pragma: no cover
+        return int(usage / 1024)
+    return int(usage)
+
+
+@dataclass
+class StageProfile:
+    """Measured cost of one stage (or one shard of one stage)."""
+
+    stage: str
+    shard: Optional[str] = None
+    wall_s: float = 0.0
+    cpu_s: float = 0.0
+    peak_rss_kb: int = 0
+    events: int = 0
+
+    @property
+    def events_per_s(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "stage": self.stage,
+            "shard": self.shard,
+            "wall_s": round(self.wall_s, 6),
+            "cpu_s": round(self.cpu_s, 6),
+            "peak_rss_kb": self.peak_rss_kb,
+            "events": self.events,
+            "events_per_s": round(self.events_per_s, 3),
+        }
+
+
+class _ProfileHandle:
+    """Given to the profiled body so it can report its record count."""
+
+    def __init__(self, profile: StageProfile) -> None:
+        self._profile = profile
+
+    def set_events(self, count: int) -> None:
+        self._profile.events = int(count)
+
+
+class StageProfiler:
+    """Collects :class:`StageProfile` records for a run."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        cpu_clock: Callable[[], float] = time.process_time,
+        rss_fn: Callable[[], int] = peak_rss_kb,
+    ) -> None:
+        self._clock = clock
+        self._cpu_clock = cpu_clock
+        self._rss_fn = rss_fn
+        self._lock = threading.Lock()
+        self.profiles: List[StageProfile] = []
+
+    @contextmanager
+    def profile(
+        self, stage: str, shard: Optional[str] = None
+    ) -> Iterator[_ProfileHandle]:
+        record = StageProfile(stage=stage, shard=shard)
+        handle = _ProfileHandle(record)
+        wall0 = self._clock()
+        cpu0 = self._cpu_clock()
+        try:
+            yield handle
+        finally:
+            record.wall_s = self._clock() - wall0
+            record.cpu_s = self._cpu_clock() - cpu0
+            record.peak_rss_kb = self._rss_fn()
+            with self._lock:
+                self.profiles.append(record)
+
+    def note(
+        self,
+        stage: str,
+        wall_s: float,
+        events: int = 0,
+        shard: Optional[str] = None,
+        cpu_s: float = 0.0,
+    ) -> None:
+        """Record a cost measured elsewhere (e.g. a worker's task outcome)."""
+        with self._lock:
+            self.profiles.append(
+                StageProfile(
+                    stage=stage,
+                    shard=shard,
+                    wall_s=wall_s,
+                    cpu_s=cpu_s,
+                    peak_rss_kb=self._rss_fn(),
+                    events=int(events),
+                )
+            )
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            profiles = [p.to_dict() for p in self.profiles]
+        return {"profiles": profiles}
+
+    def to_json(self) -> str:
+        return json.dumps(self.snapshot(), sort_keys=True, indent=2) + "\n"
+
+
+class NullProfiler:
+    """Disabled profiling: no-op context manager, empty snapshot."""
+
+    enabled = False
+    profiles: tuple = ()
+
+    @contextmanager
+    def profile(
+        self, stage: str, shard: Optional[str] = None
+    ) -> Iterator[_ProfileHandle]:
+        yield _NULL_HANDLE
+
+    def note(self, stage: str, wall_s: float, events: int = 0,
+             shard: Optional[str] = None, cpu_s: float = 0.0) -> None:
+        pass
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"profiles": []}
+
+    def to_json(self) -> str:
+        return json.dumps(self.snapshot(), sort_keys=True, indent=2) + "\n"
+
+
+class _NullHandle:
+    def set_events(self, count: int) -> None:
+        pass
+
+
+_NULL_HANDLE = _NullHandle()
+
+NULL_PROFILER = NullProfiler()
+
+
+__all__ = [
+    "NULL_PROFILER",
+    "NullProfiler",
+    "StageProfile",
+    "StageProfiler",
+    "peak_rss_kb",
+]

@@ -1,0 +1,238 @@
+"""Flight report: one post-run summary from a run directory's artifacts.
+
+After a durable run with ``--metrics``, the run dir holds machine-readable
+telemetry (``metrics.json``, ``profile.json``, ``trace.jsonl``), the
+runner's ``quality.json`` and the ``meta.json`` the CLI wrote at launch.
+:func:`render_flight_report` fuses whatever subset of those exists into
+the table an operator reads first after a chaos drill: per-stage timings
+and attempts, retries, breaker trips, worker kills, drop counts and
+throughput. ``python -m repro report --run-dir DIR`` prints it.
+
+Everything here reads plain JSON from disk — no live registry needed —
+so the report works on a run dir copied off another machine.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.obs import METRICS_FILE, PROFILE_FILE, TRACE_JSONL_FILE
+
+#: The runner's serialized DataQualityReport (written by the CLI).
+QUALITY_FILE = "quality.json"
+META_FILE = "meta.json"
+
+
+def _read_json(run_dir: Path, name: str) -> Optional[Dict[str, Any]]:
+    path = run_dir / name
+    if not path.exists():
+        return None
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, OSError):
+        return None
+
+
+def _read_jsonl(run_dir: Path, name: str) -> Optional[List[Dict[str, Any]]]:
+    path = run_dir / name
+    if not path.exists():
+        return None
+    records = []
+    try:
+        for line in path.read_text(encoding="utf-8").splitlines():
+            if line.strip():
+                records.append(json.loads(line))
+    except (json.JSONDecodeError, OSError):
+        return None
+    return records
+
+
+def load_run_artifacts(run_dir: Union[str, Path]) -> Dict[str, Any]:
+    """Every telemetry artifact the run dir has, keyed by kind."""
+    run_dir = Path(run_dir)
+    return {
+        "meta": _read_json(run_dir, META_FILE),
+        "metrics": _read_json(run_dir, METRICS_FILE),
+        "profile": _read_json(run_dir, PROFILE_FILE),
+        "quality": _read_json(run_dir, QUALITY_FILE),
+        "trace": _read_jsonl(run_dir, TRACE_JSONL_FILE),
+    }
+
+
+def _metric_series(
+    metrics: Optional[Dict[str, Any]], name: str
+) -> List[Dict[str, Any]]:
+    if not metrics:
+        return []
+    family = metrics.get("metrics", {}).get(name)
+    return family.get("series", []) if family else []
+
+
+def _metric_total(metrics: Optional[Dict[str, Any]], name: str,
+                  **labels: str) -> float:
+    """Sum of a family's series values matching the given labels."""
+    total = 0.0
+    for series in _metric_series(metrics, name):
+        got = series.get("labels", {})
+        if all(got.get(k) == v for k, v in labels.items()):
+            total += series.get("value", 0)
+    return total
+
+
+def _fmt_count(value: float) -> str:
+    return str(int(value)) if float(value).is_integer() else f"{value:.2f}"
+
+
+def render_flight_report(run_dir: Union[str, Path]) -> str:
+    """The post-run summary table (sections appear as artifacts allow)."""
+    run_dir = Path(run_dir)
+    art = load_run_artifacts(run_dir)
+    meta, metrics = art["meta"], art["metrics"]
+    profile, quality, trace = art["profile"], art["quality"], art["trace"]
+    if not any((metrics, profile, quality, trace)):
+        return (
+            f"=== Flight report: {run_dir} ===\n"
+            "no telemetry artifacts found "
+            "(run with --run-dir and --metrics to produce them)"
+        )
+    lines: List[str] = [f"=== Flight report: {run_dir} ==="]
+    if meta:
+        lines.append(
+            "run: "
+            + ", ".join(
+                f"{key}={meta[key]}"
+                for key in ("command", "preset", "seed", "workers", "shards")
+                if meta.get(key) is not None
+            )
+        )
+    lines.append("")
+
+    # -- stages: status/attempts from quality, cost from profile ------------
+    profiles_by_stage: Dict[str, Dict[str, Any]] = {}
+    shard_counts: Dict[str, int] = {}
+    for entry in (profile or {}).get("profiles", []):
+        if entry.get("shard"):
+            shard_counts[entry["stage"]] = (
+                shard_counts.get(entry["stage"], 0) + 1
+            )
+        else:
+            profiles_by_stage[entry["stage"]] = entry
+    stage_rows = (quality or {}).get("stages", [])
+    if stage_rows or profiles_by_stage:
+        lines.append(
+            f"{'stage':<12} {'status':<9} {'attempts':>8} {'wall_s':>8} "
+            f"{'cpu_s':>8} {'peak_mb':>8} {'events':>9} {'ev/s':>10}"
+        )
+        names = [row["name"] for row in stage_rows] or sorted(
+            profiles_by_stage
+        )
+        rows_by_name = {row["name"]: row for row in stage_rows}
+        for name in names:
+            row = rows_by_name.get(name, {})
+            prof = profiles_by_stage.get(name, {})
+            wall = prof.get("wall_s", row.get("elapsed", 0.0)) or 0.0
+            rendered = (
+                f"{name:<12} {row.get('status', '-'):<9} "
+                f"{row.get('attempts', 0):>8} {wall:>8.3f} "
+                f"{prof.get('cpu_s', 0.0):>8.3f} "
+                f"{prof.get('peak_rss_kb', 0) / 1024:>8.1f} "
+                f"{prof.get('events', 0):>9} "
+                f"{prof.get('events_per_s', 0.0):>10.1f}"
+            )
+            if shard_counts.get(name):
+                rendered += f"  [{shard_counts[name]} shard(s)]"
+            lines.append(rendered)
+        lines.append("")
+
+    # -- supervision: retries, breaker trips, worker kills -------------------
+    supervision: List[str] = []
+    retries = _metric_total(metrics, "pipeline_stage_attempt_failures_total")
+    if metrics is not None:
+        supervision.append(f"  failed stage attempts (retried): "
+                           f"{_fmt_count(retries)}")
+    trips = _metric_series(metrics, "breaker_transitions_total")
+    opened = sum(
+        s["value"] for s in trips
+        if s.get("labels", {}).get("to_state") == "open"
+    )
+    if trips or metrics is not None:
+        supervision.append(f"  breaker trips (-> open): {_fmt_count(opened)}")
+    refused = _metric_total(metrics, "breaker_refusals_total")
+    if refused:
+        supervision.append(f"  attempts refused by breakers: "
+                           f"{_fmt_count(refused)}")
+    kills = _metric_total(metrics, "exec_workers_killed_total")
+    crashes = _metric_total(
+        metrics, "exec_task_outcomes_total", status="crashed"
+    )
+    if metrics is not None:
+        supervision.append(f"  workers killed by watchdog: "
+                           f"{_fmt_count(kills)}")
+        supervision.append(f"  worker crashes detected: "
+                           f"{_fmt_count(crashes)}")
+    if supervision:
+        lines.append("supervision:")
+        lines.extend(supervision)
+        lines.append("")
+
+    # -- data loss: feed drops + quarantine ----------------------------------
+    feeds = (quality or {}).get("feeds", [])
+    drops = _metric_series(metrics, "records_quarantined_total")
+    if feeds or drops:
+        lines.append("data loss:")
+        for feed in feeds:
+            lines.append(
+                f"  {feed['feed']:<10} {feed['status']:<9} "
+                f"dropped={feed['events_dropped']} "
+                f"observed={feed['events_observed']}"
+            )
+        for series in drops:
+            labels = series.get("labels", {})
+            lines.append(
+                f"  quarantine {labels.get('feed') or '(unnamed)'} "
+                f"[{labels.get('reason')}]: "
+                f"{_fmt_count(series['value'])} record(s)"
+            )
+        lines.append("")
+
+    # -- storage and streaming ----------------------------------------------
+    saves = _metric_total(metrics, "checkpoint_saves_total")
+    if saves:
+        mb = _metric_total(metrics, "checkpoint_bytes_written_total") / 1e6
+        fsyncs = _metric_total(metrics, "store_fsyncs_total")
+        lines.append(
+            f"checkpoints: {_fmt_count(saves)} saved, {mb:.2f} MB written, "
+            f"{_fmt_count(fsyncs)} fsync(s)"
+        )
+    backpressure = _metric_total(
+        metrics, "stream_backpressure_waits_total"
+    )
+    ingested = _metric_total(metrics, "stream_events_ingested_total")
+    if ingested:
+        lines.append(
+            f"streaming: {_fmt_count(ingested)} events ingested, "
+            f"{_fmt_count(backpressure)} backpressure wait(s)"
+        )
+
+    # -- trace summary -------------------------------------------------------
+    if trace:
+        total = sum(span.get("duration", 0.0) for span in trace)
+        roots = [s for s in trace if s.get("parent_id") is None]
+        root_wall = sum(span.get("duration", 0.0) for span in roots)
+        lines.append(
+            f"trace: {len(trace)} span(s), {root_wall:.3f}s in "
+            f"{len(roots)} root span(s), {total:.3f}s total span time"
+        )
+    while lines and not lines[-1]:
+        lines.pop()
+    return "\n".join(lines)
+
+
+__all__ = [
+    "META_FILE",
+    "QUALITY_FILE",
+    "load_run_artifacts",
+    "render_flight_report",
+]

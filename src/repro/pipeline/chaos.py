@@ -39,6 +39,7 @@ from repro.faults.exec import (
     KIND_SLOW,
 )
 from repro.log import get_logger
+from repro.obs import Telemetry, get_telemetry
 from repro.pipeline.config import ScenarioConfig
 from repro.pipeline.datasets import event_to_dict
 from repro.pipeline.quality import STATUS_DOWN
@@ -125,6 +126,7 @@ def run_chaos_drill(
     workers: int = 2,
     shards: int = 3,
     scenario_budget: float = 120.0,
+    telemetry: Optional[Telemetry] = None,
 ) -> List[ScenarioResult]:
     """Run every drill scenario against a serial fault-free baseline.
 
@@ -135,8 +137,15 @@ def run_chaos_drill(
     drill.
     """
     config = config if config is not None else ScenarioConfig.small()
+    telemetry = telemetry if telemetry is not None else get_telemetry()
+    scenario_outcomes = telemetry.metrics.counter(
+        "chaos_scenario_outcomes_total",
+        "chaos drill scenario verdicts",
+        ("scenario", "verdict"),
+    )
     log.info("chaos drill baseline (serial, fault-free)")
-    reference = _events_bytes(run_resilient(config))
+    with telemetry.tracer.span("chaos-baseline"):
+        reference = _events_bytes(run_resilient(config, telemetry=telemetry))
     results: List[ScenarioResult] = []
     for scenario in drill_scenarios(quick):
         log.info(
@@ -148,16 +157,20 @@ def run_chaos_drill(
         result = None
         failure = ""
         try:
-            result = run_resilient(
-                config,
-                exec_config=ExecConfig(
-                    workers=workers,
-                    shards=shards,
-                    task_deadline=scenario.task_deadline,
-                ),
-                exec_faults=scenario.faults,
-                deadline=scenario_budget,
-            )
+            with telemetry.tracer.span(
+                "chaos-scenario", scenario=scenario.name
+            ):
+                result = run_resilient(
+                    config,
+                    exec_config=ExecConfig(
+                        workers=workers,
+                        shards=shards,
+                        task_deadline=scenario.task_deadline,
+                    ),
+                    exec_faults=scenario.faults,
+                    deadline=scenario_budget,
+                    telemetry=telemetry,
+                )
         except RunDeadlineExceeded:
             failure = (
                 f"scenario exceeded its {scenario_budget:.0f}s budget"
@@ -191,6 +204,10 @@ def run_chaos_drill(
                     f"degradation not visible (feed status "
                     f"{feed.status!r}, tripped breakers: {tripped})"
                 )
+        scenario_outcomes.inc(
+            scenario=scenario.name,
+            verdict="passed" if passed else "failed",
+        )
         results.append(
             ScenarioResult(
                 name=scenario.name,

@@ -26,6 +26,7 @@ from repro.core.events import (
     validate_event_dict,
 )
 from repro.log import get_logger
+from repro.obs.metrics import get_registry
 from repro.store.atomic import fsync_directory
 
 log = get_logger("datasets")
@@ -262,6 +263,15 @@ def read_events_jsonl(
             seen.add(event)
             events.append(event)
     report.loaded = len(events)
+    if report.quarantined:
+        dropped = get_registry().counter(
+            "records_quarantined_total",
+            "records routed to the dead-letter file",
+            ("feed", "reason"),
+        )
+        feed_label = feed or "unknown"
+        for reason, count in report.reason_counts().items():
+            dropped.inc(count, feed=feed_label, reason=reason)
     if quarantine_path is not None and report.quarantined:
         report.quarantine_path = str(quarantine_path)
         write_quarantine_jsonl(report.quarantined, quarantine_path)

@@ -57,6 +57,25 @@ class HeadlineMetrics:
             migrating_fraction=counts.attacked_migrating_fraction,
         )
 
+    def to_dict(self) -> dict:
+        return {
+            "attacks": self.attacks,
+            "unique_targets": self.unique_targets,
+            "attacked_slash24_fraction": self.attacked_slash24_fraction,
+            "attacked_site_fraction": self.attacked_site_fraction,
+            "migrating_fraction": self.migrating_fraction,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HeadlineMetrics":
+        return cls(
+            attacks=data["attacks"],
+            unique_targets=data["unique_targets"],
+            attacked_slash24_fraction=data["attacked_slash24_fraction"],
+            attacked_site_fraction=data["attacked_site_fraction"],
+            migrating_fraction=data["migrating_fraction"],
+        )
+
     def drift_from(self, baseline: "HeadlineMetrics") -> Dict[str, float]:
         """Absolute drift of each ratio vs. a fault-free baseline."""
         return {
@@ -83,6 +102,27 @@ class FeedQuality:
     events_dropped: int
     status: str
     detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "feed": self.feed,
+            "uptime": self.uptime,
+            "events_observed": self.events_observed,
+            "events_dropped": self.events_dropped,
+            "status": self.status,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FeedQuality":
+        return cls(
+            feed=data["feed"],
+            uptime=data["uptime"],
+            events_observed=data["events_observed"],
+            events_dropped=data["events_dropped"],
+            status=data["status"],
+            detail=data.get("detail", ""),
+        )
 
 
 @dataclass(frozen=True)
@@ -114,6 +154,29 @@ class RecordQuality:
             feed=getattr(report, "feed", ""),
         )
 
+    def to_dict(self) -> dict:
+        return {
+            "source": self.source,
+            "loaded": self.loaded,
+            "quarantined": self.quarantined,
+            "reasons": [[reason, count] for reason, count in self.reasons],
+            "quarantine_path": self.quarantine_path,
+            "feed": self.feed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RecordQuality":
+        return cls(
+            source=data["source"],
+            loaded=data["loaded"],
+            quarantined=data["quarantined"],
+            reasons=tuple(
+                (reason, count) for reason, count in data.get("reasons", ())
+            ),
+            quarantine_path=data.get("quarantine_path"),
+            feed=data.get("feed", ""),
+        )
+
 
 @dataclass
 class StageReport:
@@ -124,6 +187,25 @@ class StageReport:
     attempts: int = 1
     elapsed: float = 0.0
     error: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "attempts": self.attempts,
+            "elapsed": self.elapsed,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StageReport":
+        return cls(
+            name=data["name"],
+            status=data["status"],
+            attempts=data.get("attempts", 1),
+            elapsed=data.get("elapsed", 0.0),
+            error=data.get("error"),
+        )
 
 
 @dataclass
@@ -137,6 +219,36 @@ class DataQualityReport:
     baseline: Optional[HeadlineMetrics] = None
     plan_description: str = ""
     breakers: List[BreakerReport] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (the ``quality.json`` run artifact)."""
+        return {
+            "plan_description": self.plan_description,
+            "feeds": [f.to_dict() for f in self.feeds],
+            "stages": [s.to_dict() for s in self.stages],
+            "records": [r.to_dict() for r in self.records],
+            "breakers": [b.to_dict() for b in self.breakers],
+            "headline": self.headline.to_dict() if self.headline else None,
+            "baseline": self.baseline.to_dict() if self.baseline else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DataQualityReport":
+        headline = data.get("headline")
+        baseline = data.get("baseline")
+        return cls(
+            feeds=[FeedQuality.from_dict(f) for f in data.get("feeds", ())],
+            stages=[StageReport.from_dict(s) for s in data.get("stages", ())],
+            records=[
+                RecordQuality.from_dict(r) for r in data.get("records", ())
+            ],
+            headline=HeadlineMetrics.from_dict(headline) if headline else None,
+            baseline=HeadlineMetrics.from_dict(baseline) if baseline else None,
+            plan_description=data.get("plan_description", ""),
+            breakers=[
+                BreakerReport.from_dict(b) for b in data.get("breakers", ())
+            ],
+        )
 
     def per_feed_quarantine_counts(self) -> Dict[str, int]:
         """Quarantined-record totals keyed by feed (satellite: surfacing

@@ -63,6 +63,7 @@ from repro.faults.plan import (
     FaultPlan,
 )
 from repro.log import get_logger
+from repro.obs import Telemetry, get_telemetry
 from repro.pipeline.config import ScenarioConfig
 from repro.pipeline.quality import (
     DataQualityReport,
@@ -134,6 +135,11 @@ STAGE_COUNTER_PREFIXES: Dict[str, tuple] = {
     "honeypot": ("honeypot.",),
     "measurement": ("openintel.", "dps."),
 }
+
+def _payload_events(output: Any) -> int:
+    """Record count of a stage payload (event lists; 0 for composites)."""
+    return len(output) if isinstance(output, list) else 0
+
 
 class TransientStageError(RuntimeError):
     """A stage failure worth retrying (collector hiccup, not a bug)."""
@@ -209,8 +215,10 @@ class ResilientPipeline:
         exec_faults: Optional[ExecFaultPlan] = None,
         deadline: Optional[Union[float, RunDeadline]] = None,
         breakers: Optional[Dict[str, CircuitBreaker]] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.config = config
+        self.telemetry = telemetry if telemetry is not None else get_telemetry()
         self.plan = plan if plan is not None else FaultPlan.none(
             config.n_days, config.n_honeypots
         )
@@ -243,6 +251,35 @@ class ResilientPipeline:
             if isinstance(deadline, RunDeadline)
             else RunDeadline(deadline)
         )
+        metrics = self.telemetry.metrics
+        self._tracer = self.telemetry.tracer
+        self._profiler = self.telemetry.profiler
+        self._obs_clock = self.telemetry.clock
+        self._m_attempts = metrics.counter(
+            "pipeline_stage_attempts_total", "stage attempts started",
+            ("stage",),
+        )
+        self._m_attempt_failures = metrics.counter(
+            "pipeline_stage_attempt_failures_total",
+            "stage attempts that ended in a transient failure",
+            ("stage",),
+        )
+        self._m_outcomes = metrics.counter(
+            "pipeline_stage_outcomes_total", "final stage outcomes",
+            ("stage", "status"),
+        )
+        self._m_stage_seconds = metrics.histogram(
+            "pipeline_stage_seconds", "stage wall time (telemetry clock)",
+            ("stage",),
+        )
+        self._m_shards_reused = metrics.counter(
+            "pipeline_shards_reused_total",
+            "shards served from a prior checkpoint", ("stage",),
+        )
+        self._m_shards_computed = metrics.counter(
+            "pipeline_shards_computed_total",
+            "shards computed by the pool", ("stage",),
+        )
         # Default breaker threshold matches the retry budget: a feed that
         # fails every attempt trips its breaker exactly as the stage
         # degrades, while a feed that recovers within the budget (the
@@ -252,13 +289,15 @@ class ResilientPipeline:
             if breakers is not None
             else {
                 stage: CircuitBreaker(
-                    stage, failure_threshold=self.retry.max_attempts
+                    stage,
+                    failure_threshold=self.retry.max_attempts,
+                    metrics=metrics,
                 )
                 for stage in OBSERVATION_STAGES
             }
         )
         self._pool: Optional[SupervisedPool] = (
-            SupervisedPool.from_config(self.exec_config)
+            SupervisedPool.from_config(self.exec_config, metrics=metrics)
             if self.exec_config.parallel
             else None
         )
@@ -269,7 +308,7 @@ class ResilientPipeline:
         self._shard_cache: Dict[str, Any] = {}
         self.store: Optional[CheckpointStore] = None
         if run_dir is not None:
-            self.store = CheckpointStore(run_dir)
+            self.store = CheckpointStore(run_dir, metrics=metrics)
             self._restore_from_store()
 
     # -- durable state --------------------------------------------------------
@@ -409,6 +448,12 @@ class ResilientPipeline:
         self, baseline: Optional[HeadlineMetrics] = None
     ) -> SimulationResult:
         """Run (or resume) the pipeline; returns a result with ``quality``."""
+        with self._tracer.span("run", n_days=self.config.n_days):
+            return self._run_pipeline(baseline)
+
+    def _run_pipeline(
+        self, baseline: Optional[HeadlineMetrics]
+    ) -> SimulationResult:
         config = self.config
         self.stage_reports = []
         internet = self._run_stage("internet", lambda: build_internet(config))
@@ -613,6 +658,7 @@ class ResilientPipeline:
             shard_log.info(
                 "shards reused from checkpoint", reused=n - len(todo)
             )
+            self._m_shards_reused.inc(n - len(todo), stage=stage)
         if todo:
             deadline = self._task_deadline()
             tasks = []
@@ -633,10 +679,20 @@ class ResilientPipeline:
                         name=f"{stage}[{i}/{n}]", fn=task, deadline=deadline
                     )
                 )
-            outcomes = self._pool.run(tasks)
+            with self._tracer.span(
+                "shards", stage=stage, attempt=attempt, shards=len(todo)
+            ):
+                outcomes = self._pool.run(tasks)
             failures = []
             for i, outcome in zip(todo, outcomes):
                 if outcome.ok:
+                    self._m_shards_computed.inc(stage=stage)
+                    self._profiler.note(
+                        stage,
+                        wall_s=outcome.elapsed,
+                        events=_payload_events(outcome.value),
+                        shard=f"{i}/{n}",
+                    )
                     self._shard_cache[names[i]] = outcome.value
                     if self.store is not None:
                         with self._state_lock:
@@ -675,23 +731,48 @@ class ResilientPipeline:
         degraded_factory: Optional[Callable[[], Any]] = None,
     ) -> Any:
         if name in self._checkpoints:
+            self._m_outcomes.inc(stage=name, status="cached")
             self._add_report(
                 StageReport(name=name, status="cached", attempts=0)
             )
             self._log.debug("stage served from checkpoint", stage=name)
             return self._checkpoints[name]
+        with self._tracer.span("stage", stage=name) as span:
+            with self._profiler.profile(name) as prof:
+                return self._run_stage_attempts(
+                    name, fn, degraded_factory, span, prof
+                )
+
+    def _run_stage_attempts(
+        self,
+        name: str,
+        fn: Callable[[], Any],
+        degraded_factory: Optional[Callable[[], Any]],
+        span: Any,
+        prof: Any,
+    ) -> Any:
         self.deadline.check(f"stage {name!r}")
         self._log.debug("stage starting", stage=name)
         start = time.perf_counter()
+        obs_start = self._obs_clock()
         attempts = 0
         last_error: Optional[Exception] = None
         breaker = self.breakers.get(name)
         prefixes = STAGE_COUNTER_PREFIXES.get(name, ())
         serial_exec = not self.exec_config.parallel
+
+        def _finish(status: str) -> None:
+            self._m_outcomes.inc(stage=name, status=status)
+            self._m_stage_seconds.observe(
+                self._obs_clock() - obs_start, stage=name
+            )
+            span.set_attr(status=status, attempts=attempts)
+
         while attempts < self.retry.max_attempts:
             self.deadline.check(f"stage {name!r} attempt {attempts + 1}")
             attempts += 1
             self._attempt_now[name] = attempts
+            self._m_attempts.inc(stage=name)
             if breaker is not None and not breaker.allow():
                 last_error = TransientStageError(
                     f"circuit breaker for {name!r} is {breaker.state}; "
@@ -714,21 +795,23 @@ class ResilientPipeline:
                 if key.startswith(prefixes)
             } if prefixes else {}
             try:
-                self._maybe_inject_failure(name)
-                if serial_exec:
-                    # With no pool, exec faults hit the stage body itself
-                    # (shard 0): crash/poison surface as stage failures,
-                    # hung genuinely hangs — serial mode has no watchdog.
-                    apply_exec_fault(
-                        self.exec_faults.lookup(name, 0, attempts)
-                    )
-                output = fn()
+                with self._tracer.span("attempt", stage=name, attempt=attempts):
+                    self._maybe_inject_failure(name)
+                    if serial_exec:
+                        # With no pool, exec faults hit the stage body itself
+                        # (shard 0): crash/poison surface as stage failures,
+                        # hung genuinely hangs — serial mode has no watchdog.
+                        apply_exec_fault(
+                            self.exec_faults.lookup(name, 0, attempts)
+                        )
+                    output = fn()
             except (
                 TransientStageError,
                 PoisonShardError,
                 WorkerCrashError,
             ) as exc:
                 last_error = exc
+                self._m_attempt_failures.inc(stage=name)
                 if breaker is not None:
                     breaker.record_failure(str(exc))
                 if counter_baseline:
@@ -747,6 +830,8 @@ class ResilientPipeline:
                 breaker.record_success()
             self._checkpoints[name] = output
             elapsed = time.perf_counter() - start
+            _finish("ok")
+            prof.set_events(_payload_events(output))
             self._add_report(
                 StageReport(
                     name=name,
@@ -767,6 +852,7 @@ class ResilientPipeline:
             output = degraded_factory()
             self._checkpoints[name] = output
             self._degraded_stages.add(name)
+            _finish("degraded")
             self._add_report(
                 StageReport(
                     name=name,
@@ -784,6 +870,7 @@ class ResilientPipeline:
             )
             self._persist_stage(name)
             return output
+        _finish("failed")
         self._add_report(
             StageReport(
                 name=name,
@@ -951,6 +1038,7 @@ def run_resilient(
     exec_config: Optional[ExecConfig] = None,
     exec_faults: Optional[ExecFaultPlan] = None,
     deadline: Optional[Union[float, RunDeadline]] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> SimulationResult:
     """One-shot convenience wrapper around :class:`ResilientPipeline`."""
     return ResilientPipeline(
@@ -962,4 +1050,5 @@ def run_resilient(
         exec_config=exec_config,
         exec_faults=exec_faults,
         deadline=deadline,
+        telemetry=telemetry,
     ).run(baseline=baseline)

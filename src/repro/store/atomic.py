@@ -16,7 +16,16 @@ import os
 from pathlib import Path
 from typing import Union
 
+from repro.obs.metrics import get_registry
+
 PathLike = Union[str, Path]
+
+
+def _fsync_counter():
+    """The process-wide fsync counter (no-op under the null registry)."""
+    return get_registry().counter(
+        "store_fsyncs_total", "fsync calls issued by the durable store"
+    )
 
 
 def fsync_directory(path: PathLike) -> None:
@@ -32,6 +41,7 @@ def fsync_directory(path: PathLike) -> None:
         return
     try:
         os.fsync(fd)
+        _fsync_counter().inc()
     except OSError:
         pass
     finally:
@@ -48,6 +58,7 @@ def atomic_write_bytes(path: PathLike, data: bytes) -> None:
             handle.write(data)
             handle.flush()
             os.fsync(handle.fileno())
+            _fsync_counter().inc()
         os.replace(tmp_path, path)
         replaced = True
         fsync_directory(path.parent)

@@ -40,6 +40,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.log import get_logger
+from repro.obs.metrics import get_registry
 from repro.store.atomic import atomic_write_bytes, atomic_write_text
 
 log = get_logger("store")
@@ -113,10 +114,25 @@ class CheckpointStore:
 
     CHECKPOINT_DIR = "checkpoints"
 
-    def __init__(self, run_dir: Union[str, Path]) -> None:
+    def __init__(
+        self, run_dir: Union[str, Path], metrics: Optional[Any] = None
+    ) -> None:
         self.run_dir = Path(run_dir)
         self.checkpoint_dir = self.run_dir / self.CHECKPOINT_DIR
         self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        registry = metrics if metrics is not None else get_registry()
+        self._m_saves = registry.counter(
+            "checkpoint_saves_total", "stage checkpoints persisted"
+        )
+        self._m_bytes = registry.counter(
+            "checkpoint_bytes_written_total",
+            "checkpoint payload bytes written",
+        )
+        self._m_loads = registry.counter(
+            "checkpoint_loads_total",
+            "checkpoint load attempts by result",
+            ("result",),
+        )
 
     # -- paths ----------------------------------------------------------------
 
@@ -141,6 +157,8 @@ class CheckpointStore:
         )
         atomic_write_bytes(self.payload_path(stage), data)
         atomic_write_text(self.manifest_path(stage), manifest.to_json())
+        self._m_saves.inc()
+        self._m_bytes.inc(len(data))
         log.debug(
             "checkpoint saved",
             stage=stage,
@@ -170,6 +188,22 @@ class CheckpointStore:
 
     def load(self, stage: str) -> Any:
         """Verified load: version, size and checksum checked before unpickle."""
+        try:
+            payload = self._load_verified(stage)
+        except CheckpointError as exc:
+            result = (
+                "version"
+                if isinstance(exc, CheckpointVersionError)
+                else "corrupt"
+                if isinstance(exc, CheckpointCorruptionError)
+                else "missing"
+            )
+            self._m_loads.inc(result=result)
+            raise
+        self._m_loads.inc(result="ok")
+        return payload
+
+    def _load_verified(self, stage: str) -> Any:
         manifest = self.manifest(stage)
         if manifest.schema_version != STORE_SCHEMA_VERSION:
             raise CheckpointVersionError(

@@ -98,3 +98,27 @@ class TestReconfiguration:
         root.addHandler(foreign)
         configure_logging(stream=io.StringIO())
         assert foreign in root.handlers
+
+    def test_replaced_managed_handler_is_closed(self, clean_logging):
+        """Reconfiguration must release the old handler's resources, not
+        just unhook it — a CLI invoked twice in-process (or a test
+        harness) would otherwise accumulate open handlers."""
+        configure_logging(stream=io.StringIO())
+        root = logging.getLogger(ROOT_LOGGER)
+        (first,) = [
+            h for h in root.handlers
+            if getattr(h, "repro_managed_handler", False)
+        ]
+        closed = []
+        first.close = lambda: closed.append(True)  # spy on the instance
+        configure_logging(stream=io.StringIO())
+        assert first not in root.handlers
+        assert closed == [True]
+
+    def test_cli_reentry_does_not_stack_output(self, clean_logging):
+        """Two verbose CLI entries in one process log each line once."""
+        stream = io.StringIO()
+        configure_logging(verbose=True, stream=stream)
+        configure_logging(verbose=True, stream=stream)
+        get_logger("reentry").info("solo")
+        assert stream.getvalue().count("solo") == 1

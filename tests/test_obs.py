@@ -1,0 +1,519 @@
+"""Unit and integration tests for the unified telemetry layer.
+
+Covers the metrics registry (labeled counters/gauges/histograms and both
+exposition formats), the span tracer, the stage profiler, the bundled
+:class:`~repro.obs.Telemetry` life cycle, byte-deterministic artifacts
+under an injected clock, exact counter values after a deterministic
+fault scenario, and the CLI surface (``--metrics`` artifacts, the
+``metrics``/``trace`` subcommands and the flight report).
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.core.events import AttackEvent, SOURCE_TELESCOPE
+from repro.exec.pool import (
+    MODE_THREAD,
+    STATUS_DEADLINE,
+    SupervisedPool,
+    TaskSpec,
+)
+from repro.faults.plan import FaultPlan, FaultPlanConfig
+from repro.obs import (
+    METRICS_FILE,
+    PROFILE_FILE,
+    TRACE_FILE,
+    TRACE_JSONL_FILE,
+    Telemetry,
+    get_telemetry,
+    set_telemetry,
+)
+from repro.obs.metrics import (
+    MetricsRegistry,
+    NULL_REGISTRY,
+    get_registry,
+    prometheus_from_snapshot,
+    set_registry,
+)
+from repro.obs.profile import NULL_PROFILER, StageProfiler
+from repro.obs.trace import NULL_TRACER, SpanTracer
+from repro.pipeline.datasets import (
+    REASON_DUPLICATE,
+    REASON_UNPARSEABLE,
+    event_to_dict,
+    read_events_jsonl,
+)
+from repro.pipeline.runner import RetryPolicy, run_resilient
+
+
+class FakeClock:
+    """Deterministic clock: advances a fixed step per call."""
+
+    def __init__(self, start: float = 0.0, step: float = 0.001) -> None:
+        self.now = start
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+@pytest.fixture(autouse=True)
+def _reset_global_telemetry():
+    """Tests installing process-wide telemetry must not leak it."""
+    yield
+    set_telemetry(None)
+
+
+def no_sleep(_delay: float) -> None:
+    pass
+
+
+class TestMetricsRegistry:
+    def test_counter_inc_and_value(self):
+        registry = MetricsRegistry()
+        hits = registry.counter("hits_total", "hits", ("kind",))
+        hits.inc(kind="a")
+        hits.inc(2, kind="a")
+        hits.inc(kind="b")
+        assert registry.value("hits_total", kind="a") == 3
+        assert registry.value("hits_total", kind="b") == 1
+        assert registry.value("hits_total", kind="absent") == 0
+        assert registry.value("never_registered") == 0
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("c_total").inc(-1)
+
+    def test_label_set_enforced_exactly(self):
+        registry = MetricsRegistry()
+        c = registry.counter("c_total", "", ("stage",))
+        with pytest.raises(ValueError):
+            c.inc()  # missing label
+        with pytest.raises(ValueError):
+            c.inc(stage="x", extra="y")  # surplus label
+
+    def test_reregistration_returns_same_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c_total", "", ("stage",))
+        again = registry.counter("c_total", "", ("stage",))
+        assert first is again
+        with pytest.raises(ValueError):
+            registry.gauge("c_total", "", ("stage",))  # kind conflict
+        with pytest.raises(ValueError):
+            registry.counter("c_total", "", ("other",))  # label conflict
+
+    def test_gauge_set_inc_dec(self):
+        registry = MetricsRegistry()
+        depth = registry.gauge("queue_depth")
+        depth.set(5)
+        depth.inc()
+        depth.dec(3)
+        assert registry.value("queue_depth") == 3
+
+    def test_histogram_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_seconds", buckets=(1.0, 5.0))
+        for value in (0.5, 3.0, 100.0):
+            hist.observe(value)
+        assert hist.count() == 3
+        assert hist.sum() == pytest.approx(103.5)
+        series = registry.snapshot()["metrics"]["lat_seconds"]["series"][0]
+        assert series["buckets"] == {"1.0": 1.0, "5.0": 2.0}
+        assert series["count"] == 3
+
+    def test_snapshot_deterministic_with_fake_clock(self):
+        def build():
+            registry = MetricsRegistry(clock=FakeClock())
+            registry.counter("a_total", "help a", ("k",)).inc(k="v")
+            registry.histogram("h_seconds").observe(0.02)
+            return registry.to_json()
+
+        assert build() == build()
+
+    def test_prometheus_rendering(self):
+        registry = MetricsRegistry(clock=lambda: 0.0)
+        registry.counter("hits_total", "hits", ("kind",)).inc(kind="a")
+        registry.gauge("depth").set(2)
+        registry.histogram("lat_seconds", buckets=(1.0,)).observe(0.5)
+        text = registry.render_prometheus()
+        assert "# HELP hits_total hits" in text
+        assert "# TYPE hits_total counter" in text
+        assert 'hits_total{kind="a"} 1' in text
+        assert "depth 2" in text
+        assert 'lat_seconds_bucket{le="1.0"} 1' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+        assert "lat_seconds_count 1" in text
+        assert "lat_seconds_sum 0.5" in text
+
+    def test_prometheus_roundtrips_through_json_snapshot(self):
+        """metrics.json re-renders to the same Prometheus text."""
+        registry = MetricsRegistry(clock=lambda: 1.0)
+        registry.counter("c_total", "c", ("x",)).inc(x='we"ird\nname')
+        registry.histogram("h_seconds", buckets=(0.1, 1.0)).observe(0.05)
+        reloaded = json.loads(registry.to_json())
+        assert prometheus_from_snapshot(reloaded) == (
+            registry.render_prometheus()
+        )
+
+    def test_null_registry_is_free_and_silent(self):
+        handle = NULL_REGISTRY.counter("anything_total", "", ("a", "b"))
+        assert handle is NULL_REGISTRY.gauge("other")
+        assert handle is NULL_REGISTRY.histogram("third")
+        handle.inc(a=1, b=2)
+        handle.set(9)
+        handle.observe(1.0)
+        assert NULL_REGISTRY.value("anything_total", a=1, b=2) == 0
+        assert NULL_REGISTRY.render_prometheus() == ""
+        assert NULL_REGISTRY.snapshot()["metrics"] == {}
+        assert not NULL_REGISTRY.enabled
+
+
+class TestSpanTracer:
+    def test_parent_child_links_and_completion_order(self):
+        tracer = SpanTracer(clock=FakeClock())
+        with tracer.span("outer", stage="x"):
+            with tracer.span("inner", attempt=1):
+                pass
+        inner, outer = tracer.spans
+        assert (inner.name, outer.name) == ("inner", "outer")
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert inner.start > outer.start
+        assert inner.end < outer.end
+        assert inner.duration > 0
+
+    def test_error_recorded_and_reraised(self):
+        tracer = SpanTracer(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        (span,) = tracer.spans
+        assert span.attrs["error"] == "RuntimeError: boom"
+        assert span.end > span.start
+
+    def test_chrome_export_shape(self):
+        tracer = SpanTracer(clock=FakeClock())
+        with tracer.span("stage", stage="attacks"):
+            pass
+        doc = tracer.to_chrome()
+        (event,) = doc["traceEvents"]
+        assert event["ph"] == "X"
+        assert event["pid"] == 1
+        assert event["tid"] == 0
+        assert event["name"] == "stage"
+        assert event["args"]["stage"] == "attacks"
+        assert event["args"]["span_id"] == 1
+        assert event["dur"] > 0
+        assert doc["metadata"]["threads"]["0"]
+
+    def test_jsonl_export(self):
+        tracer = SpanTracer(clock=FakeClock())
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        lines = tracer.to_jsonl().splitlines()
+        parsed = [json.loads(line) for line in lines]
+        assert [p["name"] for p in parsed] == ["a", "b"]
+        assert all(p["duration"] > 0 for p in parsed)
+
+    def test_null_tracer_noop(self):
+        with NULL_TRACER.span("anything", k="v") as span:
+            span.set_attr(more="attrs")
+        assert NULL_TRACER.spans == ()
+        assert NULL_TRACER.to_jsonl() == ""
+        assert NULL_TRACER.to_chrome()["traceEvents"] == []
+
+
+class TestStageProfiler:
+    def test_profile_records_wall_cpu_rss_events(self):
+        profiler = StageProfiler(
+            clock=FakeClock(step=1.0),
+            cpu_clock=FakeClock(step=0.25),
+            rss_fn=lambda: 4096,
+        )
+        with profiler.profile("attacks") as handle:
+            handle.set_events(500)
+        (profile,) = profiler.profiles
+        assert profile.stage == "attacks"
+        assert profile.wall_s == pytest.approx(1.0)
+        assert profile.cpu_s == pytest.approx(0.25)
+        assert profile.peak_rss_kb == 4096
+        assert profile.events == 500
+        assert profile.events_per_s == pytest.approx(500.0)
+
+    def test_note_records_externally_measured_cost(self):
+        profiler = StageProfiler(rss_fn=lambda: 1)
+        profiler.note("telescope", wall_s=2.0, events=100, shard="0/3")
+        snapshot = profiler.snapshot()["profiles"][0]
+        assert snapshot["shard"] == "0/3"
+        assert snapshot["events_per_s"] == pytest.approx(50.0)
+
+    def test_null_profiler_noop(self):
+        with NULL_PROFILER.profile("x") as handle:
+            handle.set_events(9)
+        NULL_PROFILER.note("x", wall_s=1.0)
+        assert NULL_PROFILER.snapshot() == {"profiles": []}
+
+
+class TestTelemetryBundle:
+    def test_disabled_is_shared_singleton(self):
+        assert Telemetry.disabled() is Telemetry.disabled()
+        assert not Telemetry.disabled().enabled
+        assert get_telemetry() is Telemetry.disabled()
+
+    def test_create_shares_one_clock(self):
+        clock = FakeClock()
+        telemetry = Telemetry.create(clock=clock)
+        assert telemetry.enabled
+        assert telemetry.clock is clock
+        assert telemetry.metrics._clock is clock
+        assert telemetry.tracer._clock is clock
+        assert telemetry.profiler._clock is clock
+
+    def test_set_telemetry_installs_shared_registry(self):
+        telemetry = Telemetry.create()
+        set_telemetry(telemetry)
+        assert get_telemetry() is telemetry
+        assert get_registry() is telemetry.metrics
+        set_telemetry(None)
+        assert get_telemetry() is Telemetry.disabled()
+        assert get_registry() is NULL_REGISTRY
+
+    def test_write_artifacts(self, tmp_path):
+        telemetry = Telemetry.create(
+            clock=FakeClock(), cpu_clock=FakeClock(), rss_fn=lambda: 0
+        )
+        with telemetry.tracer.span("run"):
+            telemetry.metrics.counter("c_total").inc()
+        written = telemetry.write_artifacts(tmp_path / "run")
+        assert sorted(written) == [
+            METRICS_FILE, PROFILE_FILE, TRACE_FILE, TRACE_JSONL_FILE
+        ]
+        for path in written.values():
+            assert (tmp_path / "run").joinpath(path.split("/")[-1]).exists()
+        chrome = json.loads((tmp_path / "run" / TRACE_FILE).read_text())
+        assert chrome["traceEvents"][0]["name"] == "run"
+
+
+class TestDeterministicArtifacts:
+    def _artifacts(self, small_config):
+        telemetry = Telemetry.create(
+            clock=FakeClock(),
+            cpu_clock=FakeClock(step=0.0005),
+            rss_fn=lambda: 1024,
+        )
+        run_resilient(small_config, telemetry=telemetry, sleep=no_sleep)
+        return (
+            telemetry.metrics.to_json(),
+            telemetry.tracer.to_chrome_json(),
+            telemetry.profiler.to_json(),
+        )
+
+    def test_two_serial_runs_export_identical_bytes(self, small_config):
+        """The acceptance bar: same seed + same injected clock ->
+        byte-identical metrics.json and trace.json (serial runs)."""
+        first = self._artifacts(small_config)
+        second = self._artifacts(small_config)
+        assert first[0] == second[0]  # metrics.json
+        assert first[1] == second[1]  # trace.json
+        assert first[2] == second[2]  # profile.json
+
+
+class TestExactCountersUnderFaults:
+    """A deterministic fault scenario must yield exact counter values."""
+
+    def _run(self, small_config):
+        plan = FaultPlan.generate(
+            FaultPlanConfig(
+                seed=1,
+                n_days=small_config.n_days,
+                n_honeypots=small_config.n_honeypots,
+                telescope_outage_rate=0.0,
+                honeypot_churn_rate=0.0,
+                openintel_miss_rate=0.0,
+                dps_corruption_rate=0.0,
+                transient_failures={"honeypot": 3},
+            )
+        )
+        telemetry = Telemetry.create(clock=FakeClock())
+        result = run_resilient(
+            small_config,
+            plan=plan,
+            retry=RetryPolicy(max_attempts=3, backoff_base=0.0),
+            sleep=no_sleep,
+            telemetry=telemetry,
+        )
+        return result, telemetry.metrics
+
+    def test_exact_counter_values(self, small_config):
+        result, metrics = self._run(small_config)
+        value = metrics.value
+        # Three injected failures exhaust the retry budget exactly.
+        assert value(
+            "pipeline_stage_attempts_total", stage="honeypot"
+        ) == 3
+        assert value(
+            "pipeline_stage_attempt_failures_total", stage="honeypot"
+        ) == 3
+        assert value(
+            "pipeline_stage_outcomes_total",
+            stage="honeypot", status="degraded",
+        ) == 1
+        # Breaker threshold == retry budget: trips open on failure #3.
+        assert value("breaker_failures_total", breaker="honeypot") == 3
+        assert value(
+            "breaker_transitions_total", breaker="honeypot", to_state="open"
+        ) == 1
+        assert value("breaker_state", breaker="honeypot") == 1  # open
+        # Every other stage completed cleanly on the first attempt.
+        for stage in ("internet", "attacks", "migration", "telescope",
+                      "measurement", "fusion"):
+            assert value(
+                "pipeline_stage_outcomes_total", stage=stage, status="ok"
+            ) == 1, stage
+            assert value(
+                "pipeline_stage_attempt_failures_total", stage=stage
+            ) == 0, stage
+        # The quality report agrees with the counters.
+        stage = {s.name: s for s in result.quality.stages}["honeypot"]
+        assert stage.status == "degraded"
+        assert stage.attempts == 3
+        # One stage-seconds observation per finished stage.
+        seconds = metrics._families["pipeline_stage_seconds"]
+        assert seconds.count(stage="honeypot") == 1
+        assert seconds.count(stage="fusion") == 1
+
+
+class TestSupervisedPoolCounters:
+    def test_watchdog_kill_is_counted(self):
+        registry = MetricsRegistry()
+        pool = SupervisedPool(
+            max_workers=2, mode=MODE_THREAD, metrics=registry
+        )
+        hung, fine = pool.run([
+            TaskSpec("hung", lambda: time.sleep(120), deadline=0.2),
+            TaskSpec("fine", lambda: 42),
+        ])
+        assert hung.status == STATUS_DEADLINE
+        assert fine.value == 42
+        assert registry.value("exec_tasks_queued_total") == 2
+        assert registry.value("exec_workers_killed_total") == 1
+        assert registry.value(
+            "exec_task_outcomes_total", status="deadline"
+        ) == 1
+        assert registry.value("exec_task_outcomes_total", status="ok") == 1
+        assert registry.value("exec_inflight_workers") == 0
+
+
+class TestQuarantineCounters:
+    def _write_feed(self, path):
+        event = AttackEvent(SOURCE_TELESCOPE, 123, 0.0, 60.0, 2.5)
+        good = json.dumps(event_to_dict(event))
+        path.write_text(
+            good + "\n" + "{not json}\n" + good + "\n", encoding="utf-8"
+        )
+
+    def test_drops_counted_per_feed_and_reason(self, tmp_path):
+        path = tmp_path / "telescope.jsonl"
+        self._write_feed(path)
+        registry = MetricsRegistry()
+        set_registry(registry)
+        events, report = read_events_jsonl(path, feed="telescope")
+        assert len(events) == 1
+        assert report.rejected == 2
+        assert registry.value(
+            "records_quarantined_total",
+            feed="telescope", reason=REASON_UNPARSEABLE,
+        ) == 1
+        assert registry.value(
+            "records_quarantined_total",
+            feed="telescope", reason=REASON_DUPLICATE,
+        ) == 1
+
+    def test_feedless_load_counts_under_unknown(self, tmp_path):
+        path = tmp_path / "anon.jsonl"
+        self._write_feed(path)
+        registry = MetricsRegistry()
+        set_registry(registry)
+        read_events_jsonl(path)
+        assert registry.value(
+            "records_quarantined_total",
+            feed="unknown", reason=REASON_UNPARSEABLE,
+        ) == 1
+
+    def test_disabled_registry_stays_silent(self, tmp_path):
+        path = tmp_path / "telescope.jsonl"
+        self._write_feed(path)
+        events, report = read_events_jsonl(path, feed="telescope")
+        assert len(events) == 1  # quarantine works without telemetry
+        assert get_registry() is NULL_REGISTRY
+
+
+class TestCLITelemetry:
+    def test_simulate_metrics_writes_artifacts(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        code = main([
+            "--preset", "small", "simulate",
+            "--run-dir", str(run_dir), "--metrics",
+        ])
+        assert code == 0
+        capsys.readouterr()
+        for name in (METRICS_FILE, TRACE_FILE, TRACE_JSONL_FILE,
+                     PROFILE_FILE, "quality.json"):
+            assert (run_dir / name).exists(), name
+        snapshot = json.loads((run_dir / METRICS_FILE).read_text())
+        outcomes = snapshot["metrics"]["pipeline_stage_outcomes_total"]
+        ok_stages = {
+            series["labels"]["stage"]
+            for series in outcomes["series"]
+            if series["labels"]["status"] == "ok"
+        }
+        assert "fusion" in ok_stages
+
+        # The flight report renders from the persisted artifacts.
+        assert main(["report", "--run-dir", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Flight report" in out
+        assert "fusion" in out
+
+        # `metrics` serves Prometheus text and raw JSON from the run dir.
+        assert main(["metrics", str(run_dir)]) == 0
+        prom = capsys.readouterr().out
+        assert "# TYPE pipeline_stage_outcomes_total counter" in prom
+        assert main(["metrics", str(run_dir), "--format", "json"]) == 0
+        assert json.loads(capsys.readouterr().out)["metrics"]
+
+        # `trace` serves both export shapes.
+        assert main(["trace", str(run_dir)]) == 0
+        chrome = json.loads(capsys.readouterr().out)
+        assert any(
+            e["name"] == "run" for e in chrome["traceEvents"]
+        )
+        assert main(["trace", str(run_dir), "--format", "jsonl"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert any(json.loads(l)["name"] == "stage" for l in lines)
+
+    def test_metrics_command_without_artifact(self, tmp_path, capsys):
+        assert main(["metrics", str(tmp_path)]) == 2
+        assert METRICS_FILE in capsys.readouterr().err
+
+    def test_trace_command_without_artifact(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path)]) == 2
+        assert TRACE_FILE in capsys.readouterr().err
+
+    def test_simulate_without_metrics_writes_no_artifacts(
+        self, tmp_path, capsys
+    ):
+        run_dir = tmp_path / "plain"
+        assert main([
+            "--preset", "small", "simulate", "--run-dir", str(run_dir),
+        ]) == 0
+        capsys.readouterr()
+        assert not (run_dir / METRICS_FILE).exists()
+        assert not (run_dir / TRACE_FILE).exists()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Lint: no bare ``print(`` in library code under ``src/repro/``.
+
+Library layers report through structured logging (:mod:`repro.log`) and
+telemetry (:mod:`repro.obs`); a stray ``print`` bypasses both and spams
+host applications. The CLI is the program edge and prints by design, so
+it is allowlisted.
+
+AST-based, so strings and docstrings that merely mention ``print(`` do
+not trip the check. Exits non-zero listing each offending call site.
+
+Usage: ``python tools/check_no_print.py [root]`` (default: ``src/repro``).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Program-edge modules that print to the user on purpose.
+ALLOWLIST = frozenset({
+    "src/repro/cli.py",
+    "src/repro/__main__.py",
+})
+
+
+def find_prints(path: Path) -> list:
+    """(line, col) of every ``print(...)`` call in *path*."""
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    except SyntaxError as exc:
+        print(f"{path}: syntax error: {exc}", file=sys.stderr)
+        return [(exc.lineno or 0, exc.offset or 0)]
+    sites = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            sites.append((node.lineno, node.col_offset))
+    return sites
+
+
+def main(argv) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path("src/repro")
+    repo = Path.cwd()
+    failures = 0
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(repo).as_posix() if path.is_absolute() else (
+            path.as_posix()
+        )
+        if rel in ALLOWLIST:
+            continue
+        for line, col in find_prints(path):
+            print(f"{rel}:{line}:{col}: bare print() in library code "
+                  "(use repro.log / repro.obs)")
+            failures += 1
+    if failures:
+        print(f"{failures} bare print call(s) found", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
