@@ -74,7 +74,7 @@ from repro.pipeline.runner import (
     STAGE_ORDER,
     run_resilient,
 )
-from repro.pipeline.simulation import run_simulation
+from repro.pipeline.simulation import CAPTURE_CODECS, run_simulation
 from repro.store.checkpoint import CheckpointStore
 
 log = get_logger("cli")
@@ -137,6 +137,20 @@ def _add_exec_args(
         help="inject an execution fault, kind:stage[:shard[:attempts]] "
              "with kind one of hung/slow/crash/poison (repeatable; "
              "fault drills)",
+    )
+    sub.add_argument(
+        "--capture-codec", choices=CAPTURE_CODECS,
+        default=None if resumable else "columnar",
+        help="observation capture encoding fed to the detectors: "
+             "'columnar' (structure-of-arrays fast path, default) or "
+             "'object' (reference batch lists); output is byte-identical "
+             "either way",
+    )
+    sub.add_argument(
+        "--stage-cache", type=Path, default=None, metavar="DIR",
+        help="content-addressed cross-run cache of observation-stage "
+             "outputs: a re-run with the same scenario serves them from "
+             "DIR instead of recomputing (fault-free runs only)",
     )
     _add_metrics_arg(sub)
 
@@ -378,6 +392,8 @@ def _run_durable(
     exec_config: Optional[ExecConfig] = None,
     exec_faults: Optional[ExecFaultPlan] = None,
     deadline: Optional[float] = None,
+    capture_codec: str = "columnar",
+    stage_cache: Optional[Path] = None,
 ):
     """Run the pipeline durably and leave the fused events in the run dir."""
     pipeline = ResilientPipeline(
@@ -387,6 +403,8 @@ def _run_durable(
         exec_config=exec_config,
         exec_faults=exec_faults,
         deadline=deadline,
+        capture_codec=capture_codec,
+        stage_cache=stage_cache,
     )
     result = pipeline.run()
     written = save_events_jsonl(
@@ -399,6 +417,9 @@ def _run_durable(
         events=written,
         cached_stages=sum(
             1 for s in result.quality.stages if s.status == "cached"
+        ),
+        cache_hit_stages=sum(
+            1 for s in result.quality.stages if s.status == "cache-hit"
         ),
     )
     return result
@@ -425,6 +446,12 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                     "workers": exec_config.workers,
                     "shards": exec_config.shards,
                     "exec_mode": exec_config.mode,
+                    "capture_codec": args.capture_codec,
+                    "stage_cache": (
+                        str(args.stage_cache)
+                        if args.stage_cache is not None
+                        else None
+                    ),
                 },
             )
             result = _run_durable(
@@ -434,17 +461,22 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                 exec_config=exec_config,
                 exec_faults=exec_faults,
                 deadline=args.deadline,
+                capture_codec=args.capture_codec,
+                stage_cache=args.stage_cache,
             )
         elif (
             exec_config.parallel
             or exec_faults is not None
             or args.deadline is not None
+            or args.stage_cache is not None
         ):
             result = run_resilient(
                 config,
                 exec_config=exec_config,
                 exec_faults=exec_faults,
                 deadline=args.deadline,
+                capture_codec=args.capture_codec,
+                stage_cache=args.stage_cache,
             )
         else:
             result = run_simulation(config)
@@ -508,6 +540,20 @@ def cmd_resume(args: argparse.Namespace) -> int:
         ),
         task_deadline=args.task_deadline,
     )
+    capture_codec = (
+        args.capture_codec
+        if args.capture_codec is not None
+        else meta.get("capture_codec") or "columnar"
+    )
+    stage_cache = (
+        args.stage_cache
+        if args.stage_cache is not None
+        else (
+            Path(meta["stage_cache"])
+            if meta.get("stage_cache")
+            else None
+        )
+    )
     log.info(
         "resuming run", run_dir=str(args.run_dir), preset=preset,
         seed=config.seed, workers=exec_config.workers,
@@ -520,6 +566,8 @@ def cmd_resume(args: argparse.Namespace) -> int:
             exec_config=exec_config,
             exec_faults=_exec_faults(args),
             deadline=args.deadline,
+            capture_codec=capture_codec,
+            stage_cache=stage_cache,
         )
     except RunDeadlineExceeded as exc:
         _finish_metrics(telemetry, args.run_dir)

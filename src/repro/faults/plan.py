@@ -203,6 +203,23 @@ class FaultPlan:
     def transient_failure_counts(self) -> Dict[str, int]:
         return dict(self.transient_failures)
 
+    def is_benign(self) -> bool:
+        """True when the plan injects nothing at all.
+
+        A benign plan means every stage output (and every attempt count
+        in the quality report) matches a fault-free run, so stage outputs
+        are pure functions of the scenario config — the precondition for
+        serving them from the cross-run stage cache.
+        """
+        return (
+            not self.telescope_outages
+            and not self.honeypot_outages
+            and not self.openintel_missed_days
+            and self.dps_corruption_rate == 0.0
+            and self.stream_late_fraction == 0.0
+            and not self.transient_failures
+        )
+
     def telescope_uptime(self) -> float:
         down = sum(w.n_days for w in self.telescope_outages)
         return 1.0 - min(down, self.n_days) / self.n_days

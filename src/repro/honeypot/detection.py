@@ -9,10 +9,12 @@ dribble), and — matching how AmpPot operates — event durations are capped at
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.honeypot.amppot import RequestBatch
+from repro.honeypot.columnar import RequestColumns
 
 DAY_SECONDS = 86400.0
 
@@ -69,14 +71,28 @@ class _OpenFlow:
 
 
 class HoneypotDetector:
-    """Streaming aggregation of request batches into attack events."""
+    """Streaming aggregation of request batches into attack events.
 
-    def __init__(self, config: DetectionConfig = DetectionConfig()) -> None:
+    Idle-flow expiry mirrors :class:`repro.telescope.flows.FlowTable`: a
+    lazy min-heap of ``(last_ts, key)`` entries (pushed at flow creation,
+    re-pushed on a stale pop) replaces the full scan over every open flow.
+    ``indexed=False`` keeps the reference scan for equivalence testing.
+    """
+
+    def __init__(
+        self,
+        config: DetectionConfig = DetectionConfig(),
+        indexed: bool = True,
+    ) -> None:
         self.config = config
         self._flows: Dict[Tuple[int, str], _OpenFlow] = {}
         self._last_sweep = float("-inf")
         self.batches_seen = 0
         self.flows_discarded = 0
+        self._indexed = indexed
+        self._heap: List[Tuple[float, Tuple[int, str]]] = []
+        self._seq: Dict[Tuple[int, str], int] = {}
+        self._next_seq = 0
 
     def process(self, batch: RequestBatch) -> List[AmpPotEvent]:
         """Feed one batch (time-sorted input); return closed events."""
@@ -91,6 +107,7 @@ class HoneypotDetector:
             )
             if gap_exceeded or cap_exceeded:
                 event = self._close(self._flows.pop(key), capped=cap_exceeded)
+                self._seq.pop(key, None)
                 if event is not None:
                     closed.append(event)
                 flow = None
@@ -102,6 +119,10 @@ class HoneypotDetector:
                 last_ts=batch.timestamp,
             )
             self._flows[key] = flow
+            if self._indexed:
+                self._seq[key] = self._next_seq
+                self._next_seq += 1
+                heapq.heappush(self._heap, (flow.last_ts, key))
         flow.add(batch)
         return closed
 
@@ -119,6 +140,8 @@ class HoneypotDetector:
             if event is not None:
                 events.append(event)
         self._flows.clear()
+        self._heap.clear()
+        self._seq.clear()
         return events
 
     def _maybe_sweep(self, now: float) -> List[AmpPotEvent]:
@@ -127,10 +150,36 @@ class HoneypotDetector:
             return []
         self._last_sweep = now
         cutoff = now - self.config.gap_timeout
-        expired_keys = [k for k, f in self._flows.items() if f.last_ts < cutoff]
+        if not self._indexed:
+            expired_keys = [
+                k for k, f in self._flows.items() if f.last_ts < cutoff
+            ]
+            events = []
+            for key in expired_keys:
+                event = self._close(self._flows.pop(key))
+                if event is not None:
+                    events.append(event)
+            return events
+        # Lazy-heap sweep: pop entries past the cutoff, re-pushing flows
+        # that were refreshed since their entry was pushed; re-sorted by
+        # flow creation order so the closed events come out exactly as the
+        # reference scan produces them.
+        ordered: List[Tuple[int, _OpenFlow]] = []
+        heap = self._heap
+        flows = self._flows
+        while heap and heap[0][0] < cutoff:
+            _, key = heapq.heappop(heap)
+            flow = flows.get(key)
+            if flow is None:
+                continue  # entry outlived its flow
+            if flow.last_ts < cutoff:
+                ordered.append((self._seq.pop(key), flows.pop(key)))
+            else:
+                heapq.heappush(heap, (flow.last_ts, key))
+        ordered.sort(key=lambda pair: pair[0])
         events = []
-        for key in expired_keys:
-            event = self._close(self._flows.pop(key))
+        for _, flow in ordered:
+            event = self._close(flow)
             if event is not None:
                 events.append(event)
         return events
@@ -150,3 +199,108 @@ class HoneypotDetector:
             requests=flow.requests,
             honeypots=len(flow.honeypot_ids),
         )
+
+
+# Flow-record slots for the columnar fast path (plain lists instead of
+# _OpenFlow instances):
+# 0 victim, 1 protocol id, 2 first_ts, 3 last_ts, 4 requests,
+# 5 honeypot-id bitmask, 6 creation seq.
+def detect_columns(
+    config: DetectionConfig,
+    columns: RequestColumns,
+    shard_index: int = 0,
+    n_shards: int = 1,
+) -> List[AmpPotEvent]:
+    """Event extraction over a columnar request log — the object path
+    inlined.
+
+    Produces the exact event list :class:`HoneypotDetector` yields over
+    ``columns.to_batches()`` (same events, same order). The set of abused
+    honeypot instances is tracked as a bitmask instead of a ``set`` — only
+    its cardinality survives into the event.
+    """
+    protocols = columns.protocols
+    n_protocols = max(1, len(protocols))
+
+    gap_timeout = config.gap_timeout
+    sweep_interval = gap_timeout / 4
+    min_requests = config.min_requests
+    max_duration = config.max_event_duration
+    heappush, heappop = heapq.heappush, heapq.heappop
+
+    # Keys are the packed integer victim * n_protocols + protocol_id —
+    # cheaper to hash than (victim, protocol) tuples.
+    flows: dict = {}
+    heap: List[Tuple[float, int]] = []
+    events: List[AmpPotEvent] = []
+    last_sweep = float("-inf")
+    next_seq = 0
+    sharded = n_shards > 1
+
+    def close(record: list, capped: bool = False) -> None:
+        if record[4] <= min_requests:
+            return
+        end_ts = record[3]
+        if capped:
+            capped_end = record[2] + max_duration
+            if capped_end < end_ts:
+                end_ts = capped_end
+        events.append(
+            AmpPotEvent(
+                victim=record[0],
+                start_ts=record[2],
+                end_ts=end_ts,
+                protocol=protocols[record[1]],
+                requests=record[4],
+                honeypots=bin(record[5]).count("1"),
+            )
+        )
+
+    for now, victim, honeypot_id, protocol_id, count in zip(
+        columns.timestamps,
+        columns.victims,
+        columns.honeypot_ids,
+        columns.protocol_ids,
+        columns.counts,
+    ):
+        if sharded and victim % n_shards != shard_index:
+            continue
+        if now - last_sweep >= sweep_interval:
+            last_sweep = now
+            cutoff = now - gap_timeout
+            swept: List[Tuple[int, list]] = []
+            while heap and heap[0][0] < cutoff:
+                _, entry_key = heappop(heap)
+                record = flows.get(entry_key)
+                if record is None:
+                    continue  # entry outlived its flow
+                if record[3] < cutoff:
+                    del flows[entry_key]
+                    swept.append((record[6], record))
+                else:
+                    heappush(heap, (record[3], entry_key))
+            if swept:
+                swept.sort(key=lambda pair: pair[0])
+                for _, record in swept:
+                    close(record)
+        key = victim * n_protocols + protocol_id
+        record = flows.get(key)
+        if record is not None:
+            cap_exceeded = now - record[2] > max_duration
+            if cap_exceeded or now - record[3] > gap_timeout:
+                del flows[key]
+                close(record, capped=cap_exceeded)
+                record = None
+        if record is None:
+            record = [victim, protocol_id, now, now, 0, 0, next_seq]
+            next_seq += 1
+            flows[key] = record
+            heappush(heap, (now, key))
+        if now > record[3]:
+            record[3] = now
+        record[4] += count
+        record[5] |= 1 << honeypot_id
+
+    for record in flows.values():
+        close(record)
+    return events

@@ -2,27 +2,37 @@
 
 The paper annotates every target IP address with its origin AS using CAIDA's
 Routeviews prefix-to-AS data set. This module provides the same lookup
-semantics over the synthetic BGP table produced by the topology generator: a
-binary trie keyed on address bits, returning the most-specific announced
-prefix and its origin ASN.
+semantics over the synthetic BGP table produced by the topology generator.
+
+Lookups run against a flattened binary-search index: one sorted
+``array('I')`` of network base addresses per announced prefix length,
+probed from the most-specific length down with :func:`bisect.bisect_left`.
+IPv4 has at most 33 lengths, and synthetic tables announce only a handful,
+so a lookup is a few bisects over contiguous machine-word arrays — much
+faster than chasing per-bit trie nodes through the heap, and the index
+rebuilds lazily after ``announce``/``withdraw`` churn.
 """
 
 from __future__ import annotations
 
+from array import array
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
-from repro.net.addressing import Prefix
+from repro.net.addressing import Prefix, mask_for
 
 
 @dataclass
-class _TrieNode:
-    __slots__ = ("children", "asn", "prefix")
+class _Level:
+    """All announcements of one prefix length, packed for binary search."""
 
-    def __init__(self) -> None:
-        self.children: List[Optional["_TrieNode"]] = [None, None]
-        self.asn: Optional[int] = None
-        self.prefix: Optional[Prefix] = None
+    __slots__ = ("length", "mask", "networks", "entries")
+
+    length: int
+    mask: int
+    networks: array  # sorted base addresses, array('I')
+    entries: List[Tuple[Prefix, int]]  # aligned with networks
 
 
 class RoutingTable:
@@ -36,54 +46,70 @@ class RoutingTable:
     """
 
     def __init__(self) -> None:
-        self._root = _TrieNode()
         self._announcements: Dict[Prefix, int] = {}
+        self._levels: List[_Level] = []
+        self._dirty = False
 
     def __len__(self) -> int:
         return len(self._announcements)
 
     def announce(self, prefix: Prefix, asn: int) -> None:
         """Install an announcement; a re-announcement replaces the origin."""
-        node = self._root
-        for depth in range(prefix.length):
-            bit = (prefix.network >> (31 - depth)) & 1
-            if node.children[bit] is None:
-                node.children[bit] = _TrieNode()
-            node = node.children[bit]
-        node.asn = asn
-        node.prefix = prefix
         self._announcements[prefix] = asn
+        self._dirty = True
 
     def withdraw(self, prefix: Prefix) -> bool:
         """Remove an announcement. Returns whether it existed."""
         if prefix not in self._announcements:
             return False
         del self._announcements[prefix]
-        node = self._root
-        for depth in range(prefix.length):
-            bit = (prefix.network >> (31 - depth)) & 1
-            child = node.children[bit]
-            if child is None:
-                return False
-            node = child
-        node.asn = None
-        node.prefix = None
+        self._dirty = True
         return True
+
+    def _rebuild(self) -> None:
+        """Pack announcements into per-length sorted arrays (most-specific
+        first). ``Prefix`` canonicalizes host bits at construction, so the
+        base address is usable as a search key without re-masking."""
+        by_length: Dict[int, List[Tuple[int, Prefix, int]]] = {}
+        for prefix, asn in self._announcements.items():
+            by_length.setdefault(prefix.length, []).append(
+                (prefix.network, prefix, asn)
+            )
+        levels = []
+        for length in sorted(by_length, reverse=True):
+            rows = sorted(by_length[length], key=lambda row: row[0])
+            levels.append(
+                _Level(
+                    length=length,
+                    mask=mask_for(length),
+                    networks=array("I", (network for network, _, _ in rows)),
+                    entries=[(prefix, asn) for _, prefix, asn in rows],
+                )
+            )
+        self._levels = levels
+        self._dirty = False
 
     def lookup(self, address: int) -> Optional[Tuple[Prefix, int]]:
         """Longest-prefix match; returns (prefix, origin ASN) or ``None``."""
-        node = self._root
+        if self._dirty:
+            self._rebuild()
+        for level in self._levels:
+            key = address & level.mask
+            networks = level.networks
+            index = bisect_left(networks, key)
+            if index < len(networks) and networks[index] == key:
+                return level.entries[index]
+        return None
+
+    def lookup_reference(self, address: int) -> Optional[Tuple[Prefix, int]]:
+        """Reference linear scan over every announcement (verification
+        path for the packed index; O(announcements) per call)."""
         best: Optional[Tuple[Prefix, int]] = None
-        for depth in range(32):
-            if node.asn is not None and node.prefix is not None:
-                best = (node.prefix, node.asn)
-            bit = (address >> (31 - depth)) & 1
-            child = node.children[bit]
-            if child is None:
-                return best
-            node = child
-        if node.asn is not None and node.prefix is not None:
-            best = (node.prefix, node.asn)
+        for prefix, asn in self._announcements.items():
+            if prefix.contains(address) and (
+                best is None or prefix.length > best[0].length
+            ):
+                best = (prefix, asn)
         return best
 
     def origin_asn(self, address: int) -> Optional[int]:

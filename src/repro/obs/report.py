@@ -197,6 +197,30 @@ def render_flight_report(run_dir: Union[str, Path]) -> str:
             )
         lines.append("")
 
+    # -- cross-run stage cache ------------------------------------------------
+    cache_hits = _metric_total(metrics, "stage_cache_hits_total")
+    cache_misses = _metric_total(metrics, "stage_cache_misses_total")
+    if cache_hits or cache_misses:
+        read_mb = _metric_total(
+            metrics, "stage_cache_bytes_read_total"
+        ) / 1e6
+        written_mb = _metric_total(
+            metrics, "stage_cache_bytes_written_total"
+        ) / 1e6
+        hit_stages = sorted(
+            s.get("labels", {}).get("stage", "?")
+            for s in _metric_series(metrics, "stage_cache_hits_total")
+            if s.get("value")
+        )
+        line = (
+            f"stage cache: {_fmt_count(cache_hits)} hit(s), "
+            f"{_fmt_count(cache_misses)} miss(es), "
+            f"{read_mb:.2f} MB read, {written_mb:.2f} MB written"
+        )
+        if hit_stages:
+            line += f" [{', '.join(hit_stages)}]"
+        lines.append(line)
+
     # -- storage and streaming ----------------------------------------------
     saves = _metric_total(metrics, "checkpoint_saves_total")
     if saves:

@@ -108,12 +108,31 @@ def save_events_jsonl(
     concurrent writer's fresh temp file).
     """
     count = 0
+    dumps = json.dumps
     with _atomic_text_writer(path) as handle:
+        # Chunked writes: lines are batched and joined so the hot loop
+        # performs one handle.write per WRITE_CHUNK_LINES events instead
+        # of one per event. The bytes are identical to the line-at-a-time
+        # path (each line still ends in exactly one newline).
+        chunk: list = []
         for event in events:
-            handle.write(json.dumps(event_to_dict(event)) + "\n")
+            chunk.append(dumps(event_to_dict(event)))
             count += 1
+            if len(chunk) >= WRITE_CHUNK_LINES:
+                handle.write("\n".join(chunk) + "\n")
+                chunk.clear()
+        if chunk:
+            handle.write("\n".join(chunk) + "\n")
     log.debug("events saved", path=str(path), events=count)
     return count
+
+
+#: Lines per buffered write in the chunked JSONL serializers.
+WRITE_CHUNK_LINES = 4096
+
+#: Userspace buffer for the atomic text writer: large enough that a
+#: chunked write rarely crosses into the OS more than once.
+WRITE_BUFFER_BYTES = 1 << 20
 
 
 @contextmanager
@@ -123,7 +142,9 @@ def _atomic_text_writer(path: Union[str, Path]):
     tmp_path = path.with_name(path.name + ".tmp")
     replaced = False
     try:
-        with open(tmp_path, "w", encoding="utf-8") as handle:
+        with open(
+            tmp_path, "w", encoding="utf-8", buffering=WRITE_BUFFER_BYTES
+        ) as handle:
             yield handle
             handle.flush()
             os.fsync(handle.fileno())
@@ -313,11 +334,17 @@ def write_quarantine_jsonl(
 ) -> int:
     """Write rejected records as a dead-letter JSONL file (atomically)."""
     count = 0
+    dumps = json.dumps
     with _atomic_text_writer(path) as handle:
+        chunk: list = []
         for record in records:
-            handle.write(json.dumps(record.to_dict(), sort_keys=True))
-            handle.write("\n")
+            chunk.append(dumps(record.to_dict(), sort_keys=True))
             count += 1
+            if len(chunk) >= WRITE_CHUNK_LINES:
+                handle.write("\n".join(chunk) + "\n")
+                chunk.clear()
+        if chunk:
+            handle.write("\n".join(chunk) + "\n")
     return count
 
 

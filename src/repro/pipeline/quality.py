@@ -183,7 +183,9 @@ class StageReport:
     """Outcome of one orchestrated stage."""
 
     name: str
-    status: str  # "ok" | "degraded" | "failed" | "cached"
+    # "cached" is a same-run checkpoint hit; "cache-hit" is the
+    # cross-run stage cache (see repro.store.stagecache).
+    status: str  # "ok" | "degraded" | "failed" | "cached" | "cache-hit"
     attempts: int = 1
     elapsed: float = 0.0
     error: Optional[str] = None

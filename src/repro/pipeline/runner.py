@@ -75,7 +75,9 @@ from repro.pipeline.quality import (
     feed_status,
 )
 from repro.store.checkpoint import CheckpointIssue, CheckpointStore
+from repro.store.stagecache import CACHE_MISS, StageCache, stage_fingerprint
 from repro.pipeline.simulation import (
+    CAPTURE_CODECS,
     SimulationResult,
     apply_dns_faults,
     assemble_result,
@@ -216,8 +218,16 @@ class ResilientPipeline:
         deadline: Optional[Union[float, RunDeadline]] = None,
         breakers: Optional[Dict[str, CircuitBreaker]] = None,
         telemetry: Optional[Telemetry] = None,
+        capture_codec: str = "columnar",
+        stage_cache: Optional[Union[str, Path, StageCache]] = None,
     ) -> None:
         self.config = config
+        if capture_codec not in CAPTURE_CODECS:
+            raise ValueError(
+                f"unknown capture codec {capture_codec!r} "
+                f"(codecs: {', '.join(CAPTURE_CODECS)})"
+            )
+        self.capture_codec = capture_codec
         self.telemetry = telemetry if telemetry is not None else get_telemetry()
         self.plan = plan if plan is not None else FaultPlan.none(
             config.n_days, config.n_honeypots
@@ -279,6 +289,18 @@ class ResilientPipeline:
         self._m_shards_computed = metrics.counter(
             "pipeline_shards_computed_total",
             "shards computed by the pool", ("stage",),
+        )
+        # Cross-run stage cache: only consulted for fault-free plans
+        # (outputs are then pure functions of the scenario config) and
+        # only for the expensive observation stages.
+        if isinstance(stage_cache, StageCache):
+            self.stage_cache: Optional[StageCache] = stage_cache
+        elif stage_cache is not None:
+            self.stage_cache = StageCache(stage_cache, metrics=metrics)
+        else:
+            self.stage_cache = None
+        self._cache_eligible = (
+            self.plan.is_benign() and not self.exec_faults.faults
         )
         # Default breaker threshold matches the retry budget: a feed that
         # fails every attempt trips its breaker exactly as the stage
@@ -581,12 +603,17 @@ class ResilientPipeline:
 
     def _observe_telescope_supervised(self, ground_truth: Any) -> Any:
         config, fault = self.config, self.injectors.telescope
+        codec = self.capture_codec
         if not self.exec_config.parallel:
-            return observe_telescope(config, ground_truth, fault=fault)
+            return observe_telescope(
+                config, ground_truth, fault=fault, codec=codec
+            )
         # Capture consumes shared sequential RNG state and mutates the
         # injector's loss counters, so it runs here in the supervising
         # process; only the RNG-free detection fans out.
-        capture = telescope_capture(config, ground_truth, fault=fault)
+        capture = telescope_capture(
+            config, ground_truth, fault=fault, codec=codec
+        )
         shards = self._run_shards(
             "telescope",
             lambda i, n: lambda: detect_telescope_shard(config, capture, i, n),
@@ -595,9 +622,14 @@ class ResilientPipeline:
 
     def _observe_honeypots_supervised(self, ground_truth: Any) -> Any:
         config, fault = self.config, self.injectors.honeypot
+        codec = self.capture_codec
         if not self.exec_config.parallel:
-            return observe_honeypots(config, ground_truth, fault=fault)
-        request_log = honeypot_capture(config, ground_truth, fault=fault)
+            return observe_honeypots(
+                config, ground_truth, fault=fault, codec=codec
+            )
+        request_log = honeypot_capture(
+            config, ground_truth, fault=fault, codec=codec
+        )
         shards = self._run_shards(
             "honeypot",
             lambda i, n: lambda: detect_honeypot_shard(
@@ -737,6 +769,19 @@ class ResilientPipeline:
             )
             self._log.debug("stage served from checkpoint", stage=name)
             return self._checkpoints[name]
+        payload = self._stage_cache_get(name)
+        if payload is not CACHE_MISS:
+            # Served from the cross-run cache: adopt it exactly like a
+            # computed output so resume checkpoints (and crash drills)
+            # behave identically to an uncached run.
+            self._checkpoints[name] = payload
+            self._m_outcomes.inc(stage=name, status="cache-hit")
+            self._add_report(
+                StageReport(name=name, status="cache-hit", attempts=0)
+            )
+            self._log.info("stage served from stage cache", stage=name)
+            self._persist_stage(name)
+            return payload
         with self._tracer.span("stage", stage=name) as span:
             with self._profiler.profile(name) as prof:
                 return self._run_stage_attempts(
@@ -829,6 +874,7 @@ class ResilientPipeline:
             if breaker is not None:
                 breaker.record_success()
             self._checkpoints[name] = output
+            self._stage_cache_put(name, output)
             elapsed = time.perf_counter() - start
             _finish("ok")
             prof.set_events(_payload_events(output))
@@ -891,6 +937,40 @@ class ResilientPipeline:
     def _add_report(self, report: StageReport) -> None:
         with self._state_lock:
             self.stage_reports.append(report)
+
+    # -- cross-run stage cache ------------------------------------------------
+
+    def _stage_cacheable(self, name: str) -> bool:
+        """Only the expensive observation stages, and only when no fault
+        plan (data or exec) can make the output diverge from the pure
+        function of the scenario config the fingerprint describes."""
+        return (
+            self.stage_cache is not None
+            and self._cache_eligible
+            and name in OBSERVATION_STAGES
+        )
+
+    def _stage_fingerprint(self, name: str) -> str:
+        return stage_fingerprint(
+            self.config,
+            name,
+            n_shards=(
+                self.exec_config.n_shards if self.exec_config.parallel else 1
+            ),
+            capture_codec=self.capture_codec,
+        )
+
+    def _stage_cache_get(self, name: str) -> Any:
+        if not self._stage_cacheable(name):
+            return CACHE_MISS
+        return self.stage_cache.get(name, self._stage_fingerprint(name))
+
+    def _stage_cache_put(self, name: str, output: Any) -> None:
+        # Only "ok" outcomes reach here; degraded outputs never enter
+        # the cache (they reflect a failure, not the scenario).
+        if not self._stage_cacheable(name):
+            return
+        self.stage_cache.put(name, self._stage_fingerprint(name), output)
 
     def _maybe_inject_failure(self, name: str) -> None:
         remaining = self._pending_failures.get(name, 0)
@@ -1039,6 +1119,8 @@ def run_resilient(
     exec_faults: Optional[ExecFaultPlan] = None,
     deadline: Optional[Union[float, RunDeadline]] = None,
     telemetry: Optional[Telemetry] = None,
+    capture_codec: str = "columnar",
+    stage_cache: Optional[Union[str, Path, StageCache]] = None,
 ) -> SimulationResult:
     """One-shot convenience wrapper around :class:`ResilientPipeline`."""
     return ResilientPipeline(
@@ -1051,4 +1133,6 @@ def run_resilient(
         exec_faults=exec_faults,
         deadline=deadline,
         telemetry=telemetry,
+        capture_codec=capture_codec,
+        stage_cache=stage_cache,
     ).run(baseline=baseline)

@@ -38,7 +38,13 @@ from repro.dps.detection import BGPDiversionLog, DPSDetector, DPSUsageDataset
 from repro.dps.migration_sim import MigrationLedger, MigrationSimulator
 from repro.dps.providers import DPSProvider, build_providers
 from repro.honeypot.amppot import AmpPotFleet
-from repro.honeypot.detection import AmpPotEvent, HoneypotDetector
+from repro.honeypot.columnar import RequestColumns
+from repro.honeypot.detection import (
+    AmpPotEvent,
+    HoneypotDetector,
+    detect_columns as detect_honeypot_columns,
+)
+from repro.net.columnar import PacketColumns
 from repro.internet.hosting import HostingEcosystem
 from repro.internet.population import ActiveAddressCensus
 from repro.internet.topology import InternetTopology
@@ -46,9 +52,19 @@ from repro.log import get_logger
 from repro.pipeline.config import ScenarioConfig
 from repro.telescope.backscatter import BackscatterModel
 from repro.telescope.darknet import NetworkTelescope, TelescopeNoise
-from repro.telescope.rsdos import RSDoSDetector, TelescopeEvent
+from repro.telescope.rsdos import (
+    RSDoSDetector,
+    TelescopeEvent,
+    detect_columns as detect_telescope_columns,
+)
 
 log = get_logger("simulation")
+
+#: Capture representations the observation stages accept. ``"object"`` is
+#: the reference per-batch path; ``"columnar"`` encodes captures into
+#: structure-of-arrays columns and detects over them (byte-identical
+#: events, several times faster).
+CAPTURE_CODECS = ("object", "columnar")
 
 
 @dataclass
@@ -175,7 +191,8 @@ def telescope_capture(
     config: ScenarioConfig,
     ground_truth: List[GroundTruthAttack],
     fault=None,
-) -> List:
+    codec: str = "object",
+):
     """The darknet capture (optionally degraded), materialized.
 
     Capture generation consumes a *shared sequential* RNG across attacks
@@ -184,7 +201,14 @@ def telescope_capture(
     downstream fans out. Fault filtering happens here too, so injector
     counters mutate in the calling process rather than in a fork child
     whose memory is thrown away.
+
+    ``codec="columnar"`` returns the capture as
+    :class:`~repro.net.columnar.PacketColumns` (encoded after fault
+    filtering), which the detection shards consume through the columnar
+    fast path.
     """
+    if codec not in CAPTURE_CODECS:
+        raise ValueError(f"unknown capture codec: {codec!r}")
     noise = (
         TelescopeNoise(config.telescope_noise_config())
         if config.telescope_noise
@@ -196,6 +220,8 @@ def telescope_capture(
     capture = telescope.capture(ground_truth, n_days=config.n_days)
     if fault is not None:
         capture = fault.filter(capture)
+    if codec == "columnar":
+        return PacketColumns.from_batches(capture)
     return list(capture)
 
 
@@ -224,6 +250,10 @@ def detect_telescope_shard(
     re-sorting reproduces the serial result exactly. Day-based sharding
     would *not*: flows and gap timeouts cross day boundaries.
     """
+    if isinstance(capture, PacketColumns):
+        return detect_telescope_columns(
+            config.rsdos_config(), capture, shard_index, n_shards
+        )
     detector = RSDoSDetector(config.rsdos_config())
     batches = (b for b in capture if b.src % n_shards == shard_index)
     return list(detector.run(batches))
@@ -233,9 +263,10 @@ def observe_telescope(
     config: ScenarioConfig,
     ground_truth: List[GroundTruthAttack],
     fault=None,
+    codec: str = "object",
 ) -> List[TelescopeEvent]:
     """Stage 4: the darknet capture, optionally degraded, then RSDoS."""
-    capture = telescope_capture(config, ground_truth, fault=fault)
+    capture = telescope_capture(config, ground_truth, fault=fault, codec=codec)
     events = _telescope_order(detect_telescope_shard(config, capture, 0, 1))
     log.debug(
         "telescope observed",
@@ -259,19 +290,25 @@ def honeypot_capture(
     config: ScenarioConfig,
     ground_truth: List[GroundTruthAttack],
     fault=None,
-) -> List:
+    codec: str = "object",
+):
     """The fleet's request log (optionally degraded), materialized.
 
     Like :func:`telescope_capture`: the fleet models draw from shared
     sequential RNG state, so capture is generated once and only the
-    detection shards fan out.
+    detection shards fan out. ``codec="columnar"`` returns
+    :class:`~repro.honeypot.columnar.RequestColumns`.
     """
+    if codec not in CAPTURE_CODECS:
+        raise ValueError(f"unknown capture codec: {codec!r}")
     fleet = AmpPotFleet(config.fleet_config())
     request_log = fleet.capture(
         ground_truth, n_days=config.n_days if config.honeypot_noise else 0
     )
     if fault is not None:
         request_log = fault.filter(request_log)
+    if codec == "columnar":
+        return RequestColumns.from_batches(request_log)
     return list(request_log)
 
 
@@ -292,6 +329,13 @@ def detect_honeypot_shard(
     flow whole, and closure content is gap-driven per key (sweep timing
     only changes *when* a flow closes, never what it contains).
     """
+    if isinstance(request_log, RequestColumns):
+        return detect_honeypot_columns(
+            config.honeypot_detection_config(),
+            request_log,
+            shard_index,
+            n_shards,
+        )
     detector = HoneypotDetector(config.honeypot_detection_config())
     batches = (b for b in request_log if b.victim % n_shards == shard_index)
     return list(detector.run(batches))
@@ -301,9 +345,12 @@ def observe_honeypots(
     config: ScenarioConfig,
     ground_truth: List[GroundTruthAttack],
     fault=None,
+    codec: str = "object",
 ) -> List[AmpPotEvent]:
     """Stage 4b: the fleet's request log, optionally degraded, then events."""
-    request_log = honeypot_capture(config, ground_truth, fault=fault)
+    request_log = honeypot_capture(
+        config, ground_truth, fault=fault, codec=codec
+    )
     events = _honeypot_order(
         detect_honeypot_shard(config, request_log, 0, 1)
     )

@@ -12,6 +12,7 @@ from repro.store.atomic import (
     fsync_directory,
 )
 from repro.store.checkpoint import (
+    CHECKPOINT_CODECS,
     STORE_SCHEMA_VERSION,
     CheckpointCorruptionError,
     CheckpointError,
@@ -21,9 +22,22 @@ from repro.store.checkpoint import (
     CheckpointStore,
     CheckpointVersionError,
 )
+from repro.store.stagecache import (
+    CACHE_MISS,
+    STAGE_CACHE_SCHEMA,
+    StageCache,
+    StageCacheManifest,
+    stage_fingerprint,
+)
 
 __all__ = [
+    "CACHE_MISS",
+    "CHECKPOINT_CODECS",
+    "STAGE_CACHE_SCHEMA",
     "STORE_SCHEMA_VERSION",
+    "StageCache",
+    "StageCacheManifest",
+    "stage_fingerprint",
     "CheckpointCorruptionError",
     "CheckpointError",
     "CheckpointIssue",

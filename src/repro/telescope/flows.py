@@ -8,8 +8,9 @@ expired state is handed to the classifier.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Set
+from typing import Dict, Iterator, List, Set, Tuple
 
 from repro.net.packet import PROTO_ICMP, PROTO_TCP, PacketBatch
 
@@ -71,15 +72,33 @@ class FlowTable:
 
     ``add`` returns any flows expired by the advancing clock; time must be
     fed in non-decreasing order (the capture layer sorts batches).
+
+    Expiry is driven by a lazy min-heap of ``(last_ts, victim)`` entries.
+    A flow is pushed once at creation; a sweep pops entries older than the
+    cutoff and either expires the flow (its ``last_ts`` really is stale)
+    or re-pushes it under its refreshed timestamp. Each flow thus costs
+    O(log n) at creation and amortized O(log n) per idle-timeout window,
+    instead of the reference sweep's O(live flows) scan on every sweep
+    tick. Construct with ``indexed=False`` to keep the reference full-scan
+    sweep (used by the equivalence tests and benchmarks).
     """
 
-    def __init__(self, timeout: float = 300.0, sweep_interval: float = 60.0) -> None:
+    def __init__(
+        self,
+        timeout: float = 300.0,
+        sweep_interval: float = 60.0,
+        indexed: bool = True,
+    ) -> None:
         if timeout <= 0:
             raise ValueError("flow timeout must be positive")
         self.timeout = timeout
         self._sweep_interval = sweep_interval
         self._flows: Dict[int, FlowState] = {}
         self._last_sweep = float("-inf")
+        self._indexed = indexed
+        self._heap: List[Tuple[float, int]] = []
+        self._seq: Dict[int, int] = {}
+        self._next_seq = 0
 
     def __len__(self) -> int:
         return len(self._flows)
@@ -90,12 +109,17 @@ class FlowTable:
         flow = self._flows.get(batch.src)
         if flow is not None and batch.timestamp - flow.last_ts > self.timeout:
             expired.append(self._flows.pop(batch.src))
+            self._seq.pop(batch.src, None)
             flow = None
         if flow is None:
             flow = FlowState(
                 victim=batch.src, first_ts=batch.timestamp, last_ts=batch.timestamp
             )
             self._flows[batch.src] = flow
+            if self._indexed:
+                self._seq[batch.src] = self._next_seq
+                self._next_seq += 1
+                heapq.heappush(self._heap, (flow.last_ts, batch.src))
         flow.add(batch)
         return expired
 
@@ -104,13 +128,35 @@ class FlowTable:
             return []
         self._last_sweep = now
         cutoff = now - self.timeout
-        expired = [f for f in self._flows.values() if f.last_ts < cutoff]
-        for flow in expired:
-            del self._flows[flow.victim]
-        return expired
+        if not self._indexed:
+            expired = [f for f in self._flows.values() if f.last_ts < cutoff]
+            for flow in expired:
+                del self._flows[flow.victim]
+            return expired
+        # Pop every entry older than the cutoff. A popped flow that was
+        # refreshed since its entry was pushed is re-enqueued under its
+        # current last_ts instead of expired. The expired set is re-sorted
+        # by flow creation order so the result matches the reference
+        # full-scan sweep exactly.
+        ordered: List[Tuple[int, FlowState]] = []
+        heap = self._heap
+        flows = self._flows
+        while heap and heap[0][0] < cutoff:
+            _, victim = heapq.heappop(heap)
+            flow = flows.get(victim)
+            if flow is None:
+                continue  # entry outlived its flow
+            if flow.last_ts < cutoff:
+                ordered.append((self._seq.pop(victim), flows.pop(victim)))
+            else:
+                heapq.heappush(heap, (flow.last_ts, victim))
+        ordered.sort(key=lambda pair: pair[0])
+        return [flow for _, flow in ordered]
 
     def flush(self) -> Iterator[FlowState]:
         """Expire every remaining flow (end of capture)."""
         flows = list(self._flows.values())
         self._flows.clear()
+        self._heap.clear()
+        self._seq.clear()
         yield from flows

@@ -1,0 +1,540 @@
+"""Equivalence tests for the hot-path engine.
+
+Every fast path introduced by the performance layer must be a drop-in
+replacement: columnar detection, heap-indexed flow expiry, the packed
+LPM/hosting lookups, chunked JSONL serialization, the zlib checkpoint
+codec and the cross-run stage cache are each pinned against their
+reference implementation — identical events, identical lookups,
+identical bytes — across seeded scenarios, randomized streams and
+injected fault plans.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.faults.injectors import FaultInjectorSet
+from repro.faults.plan import FaultPlan
+from repro.honeypot.amppot import RequestBatch
+from repro.honeypot.columnar import RequestColumns
+from repro.honeypot.detection import (
+    DetectionConfig,
+    HoneypotDetector,
+    detect_columns as detect_honeypot_columns,
+)
+from repro.net.columnar import PacketColumns
+from repro.net.packet import PROTO_ICMP, PROTO_TCP, PROTO_UDP, PacketBatch
+from repro.net.protocols import REFLECTION_PROTOCOLS
+from repro.pipeline import datasets
+from repro.pipeline.datasets import (
+    QuarantinedRecord,
+    event_to_dict,
+    save_events_jsonl,
+    write_quarantine_jsonl,
+    _atomic_text_writer,
+)
+from repro.pipeline.runner import OBSERVATION_STAGES, run_resilient
+from repro.pipeline.simulation import (
+    detect_honeypot_shard,
+    detect_telescope_shard,
+    honeypot_capture,
+    observe_honeypots,
+    observe_telescope,
+    telescope_capture,
+)
+from repro.store.checkpoint import (
+    CheckpointCorruptionError,
+    CheckpointStore,
+    CheckpointVersionError,
+)
+from repro.store.stagecache import CACHE_MISS, StageCache, stage_fingerprint
+from repro.telescope.rsdos import (
+    RSDoSDetector,
+    detect_columns as detect_telescope_columns,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src"
+
+
+# -- shared captures ----------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def capture(small_config, sim):
+    return telescope_capture(small_config, sim.ground_truth)
+
+
+@pytest.fixture(scope="module")
+def request_log(small_config, sim):
+    return honeypot_capture(small_config, sim.ground_truth)
+
+
+# -- columnar codecs ----------------------------------------------------------
+
+
+class TestColumnarCodecs:
+    def test_packet_columns_round_trip(self, capture):
+        columns = PacketColumns.from_batches(capture)
+        assert columns.to_batches() == capture
+        assert len(columns) == len(capture)
+
+    def test_request_columns_round_trip(self, request_log):
+        columns = RequestColumns.from_batches(request_log)
+        assert columns.to_batches() == request_log
+        assert len(columns) == len(request_log)
+
+    @pytest.mark.parametrize("n_shards", [1, 3])
+    def test_telescope_detection_equivalent(
+        self, small_config, capture, n_shards
+    ):
+        columns = PacketColumns.from_batches(capture)
+        for shard in range(n_shards):
+            assert detect_telescope_shard(
+                small_config, columns, shard, n_shards
+            ) == detect_telescope_shard(small_config, capture, shard, n_shards)
+
+    @pytest.mark.parametrize("n_shards", [1, 3])
+    def test_honeypot_detection_equivalent(
+        self, small_config, request_log, n_shards
+    ):
+        columns = RequestColumns.from_batches(request_log)
+        for shard in range(n_shards):
+            assert detect_honeypot_shard(
+                small_config, columns, shard, n_shards
+            ) == detect_honeypot_shard(
+                small_config, request_log, shard, n_shards
+            )
+
+    def test_observation_stages_codec_identical(self, small_config, sim):
+        ground_truth = sim.ground_truth
+        assert observe_telescope(
+            small_config, ground_truth, codec="columnar"
+        ) == observe_telescope(small_config, ground_truth, codec="object")
+        assert observe_honeypots(
+            small_config, ground_truth, codec="columnar"
+        ) == observe_honeypots(small_config, ground_truth, codec="object")
+
+    def test_equivalent_under_fault_plan(self, small_config, sim):
+        plan = FaultPlan.standard(
+            small_config.n_days, n_honeypots=small_config.n_honeypots
+        )
+        injectors = FaultInjectorSet(plan)
+        degraded = telescope_capture(
+            small_config, sim.ground_truth, fault=injectors.telescope
+        )
+        columns = PacketColumns.from_batches(degraded)
+        assert detect_telescope_columns(
+            small_config.rsdos_config(), columns
+        ) == list(
+            RSDoSDetector(small_config.rsdos_config()).run(iter(degraded))
+        )
+        degraded_log = honeypot_capture(
+            small_config, sim.ground_truth, fault=injectors.honeypot
+        )
+        log_columns = RequestColumns.from_batches(degraded_log)
+        assert detect_honeypot_columns(
+            small_config.honeypot_detection_config(), log_columns
+        ) == list(
+            HoneypotDetector(
+                small_config.honeypot_detection_config()
+            ).run(iter(degraded_log))
+        )
+
+    def test_unknown_codec_rejected(self, small_config, sim):
+        with pytest.raises(ValueError, match="codec"):
+            telescope_capture(small_config, sim.ground_truth, codec="bogus")
+        with pytest.raises(ValueError, match="codec"):
+            honeypot_capture(small_config, sim.ground_truth, codec="bogus")
+
+
+# -- heap-indexed expiry ------------------------------------------------------
+
+
+def _random_backscatter(seed: int, n: int = 4000):
+    """A time-sorted stream of synthetic backscatter batches."""
+    rng = random.Random(seed)
+    ts = 0.0
+    batches = []
+    for _ in range(n):
+        ts += rng.expovariate(1 / 5.0)
+        proto = rng.choice((PROTO_TCP, PROTO_ICMP, PROTO_UDP))
+        batches.append(
+            PacketBatch(
+                timestamp=ts,
+                src=rng.randrange(12),
+                proto=proto,
+                count=rng.randrange(1, 50),
+                bytes=rng.randrange(40, 4000),
+                distinct_dsts=rng.randrange(1, 8),
+                src_ports=frozenset(
+                    rng.sample(range(1024), rng.randrange(1, 4))
+                ),
+                tcp_flags=0x12 if proto == PROTO_TCP else 0,
+                icmp_type=0 if proto == PROTO_ICMP else -1,
+            )
+        )
+    return batches
+
+
+def _random_requests(seed: int, n: int = 4000):
+    rng = random.Random(seed)
+    protocols = sorted(REFLECTION_PROTOCOLS)
+    ts = 0.0
+    batches = []
+    for _ in range(n):
+        ts += rng.expovariate(1 / 300.0)
+        batches.append(
+            RequestBatch(
+                timestamp=ts,
+                victim=rng.randrange(30),
+                honeypot_id=rng.randrange(24),
+                protocol=rng.choice(protocols),
+                count=rng.randrange(1, 400),
+            )
+        )
+    return batches
+
+
+class TestIndexedExpiry:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_telescope_heap_matches_scan_random(self, seed):
+        from repro.telescope.rsdos import RSDoSConfig
+
+        # Permissive thresholds so the randomized flows actually emit
+        # events — otherwise both paths trivially agree on nothing.
+        config = RSDoSConfig(
+            min_packets=3, min_duration=10.0, min_max_pps=0.01
+        )
+        batches = _random_backscatter(seed)
+        indexed = list(
+            RSDoSDetector(config, indexed=True).run(iter(batches))
+        )
+        reference = list(
+            RSDoSDetector(config, indexed=False).run(iter(batches))
+        )
+        assert indexed
+        assert indexed == reference
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_honeypot_heap_matches_scan_random(self, seed):
+        config = DetectionConfig(gap_timeout=1800.0, min_requests=10)
+        batches = _random_requests(seed)
+        indexed = list(
+            HoneypotDetector(config, indexed=True).run(iter(batches))
+        )
+        reference = list(
+            HoneypotDetector(config, indexed=False).run(iter(batches))
+        )
+        assert indexed
+        assert indexed == reference
+
+    def test_telescope_heap_matches_scan_scenario(
+        self, small_config, capture
+    ):
+        config = small_config.rsdos_config()
+        assert list(
+            RSDoSDetector(config, indexed=True).run(iter(capture))
+        ) == list(RSDoSDetector(config, indexed=False).run(iter(capture)))
+
+    def test_honeypot_heap_matches_scan_scenario(
+        self, small_config, request_log
+    ):
+        config = small_config.honeypot_detection_config()
+        assert list(
+            HoneypotDetector(config, indexed=True).run(iter(request_log))
+        ) == list(
+            HoneypotDetector(config, indexed=False).run(iter(request_log))
+        )
+
+
+# -- packed lookups -----------------------------------------------------------
+
+
+class TestPackedLookups:
+    def test_lpm_matches_reference(self, sim):
+        routing = sim.topology.routing
+        rng = random.Random(11)
+        for _ in range(5000):
+            address = rng.randrange(1 << 32)
+            assert routing.lookup(address) == routing.lookup_reference(
+                address
+            )
+
+    def test_lpm_rebuilds_after_withdraw(self, sim):
+        routing = sim.topology.routing
+        prefix, asn = next(iter(routing.announced_prefixes()))
+        address = prefix.network
+        assert routing.lookup(address) is not None
+        routing.withdraw(prefix)
+        assert routing.lookup(address) == routing.lookup_reference(address)
+        routing.announce(prefix, asn)
+        assert routing.lookup(address) == routing.lookup_reference(address)
+
+    def test_hosting_count_matches_reference(self, sim, small_config):
+        index = sim.web_index
+        rng = random.Random(12)
+        targets = [e.target for e in sim.fused.combined.events]
+        for _ in range(5000):
+            ip = rng.choice(targets)
+            day = rng.randrange(small_config.n_days)
+            assert index.count_on(ip, day) == index.count_on_reference(
+                ip, day
+            )
+
+
+# -- chunked serialization ----------------------------------------------------
+
+
+class TestChunkedSerialization:
+    def _reference_events(self, events, path):
+        with _atomic_text_writer(path) as handle:
+            for event in events:
+                handle.write(json.dumps(event_to_dict(event)) + "\n")
+
+    def test_events_byte_identical(self, sim, tmp_path):
+        events = sim.fused.combined.events
+        self._reference_events(events, tmp_path / "ref.jsonl")
+        save_events_jsonl(events, tmp_path / "fast.jsonl")
+        assert (tmp_path / "fast.jsonl").read_bytes() == (
+            tmp_path / "ref.jsonl"
+        ).read_bytes()
+
+    def test_events_byte_identical_across_chunks(
+        self, sim, tmp_path, monkeypatch
+    ):
+        # A tiny chunk size forces many joins, covering the chunk
+        # boundary and the trailing partial chunk.
+        monkeypatch.setattr(datasets, "WRITE_CHUNK_LINES", 7)
+        events = sim.fused.combined.events[:100]
+        self._reference_events(events, tmp_path / "ref.jsonl")
+        assert save_events_jsonl(events, tmp_path / "fast.jsonl") == 100
+        assert (tmp_path / "fast.jsonl").read_bytes() == (
+            tmp_path / "ref.jsonl"
+        ).read_bytes()
+
+    def test_quarantine_byte_identical(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(datasets, "WRITE_CHUNK_LINES", 4)
+        records = [
+            QuarantinedRecord(line_no=i, reason="parse-error", raw=f"x{i}")
+            for i in range(11)
+        ]
+        with _atomic_text_writer(tmp_path / "ref.jsonl") as handle:
+            for record in records:
+                handle.write(json.dumps(record.to_dict(), sort_keys=True))
+                handle.write("\n")
+        assert write_quarantine_jsonl(records, tmp_path / "fast.jsonl") == 11
+        assert (tmp_path / "fast.jsonl").read_bytes() == (
+            tmp_path / "ref.jsonl"
+        ).read_bytes()
+
+    def test_empty_inputs(self, tmp_path):
+        assert save_events_jsonl([], tmp_path / "events.jsonl") == 0
+        assert (tmp_path / "events.jsonl").read_bytes() == b""
+        assert write_quarantine_jsonl([], tmp_path / "q.jsonl") == 0
+        assert (tmp_path / "q.jsonl").read_bytes() == b""
+
+
+# -- zlib checkpoint codec ----------------------------------------------------
+
+
+class TestCheckpointCodec:
+    PAYLOAD = {"events": list(range(3000)), "tag": "x" * 500}
+
+    def test_zlib_round_trip_and_compression(self, tmp_path):
+        plain = CheckpointStore(tmp_path / "plain")
+        packed = CheckpointStore(tmp_path / "zlib", codec="zlib")
+        m_plain = plain.save("attacks", self.PAYLOAD)
+        m_packed = packed.save("attacks", self.PAYLOAD)
+        assert m_packed.codec == "zlib"
+        assert m_packed.payload_bytes < m_plain.payload_bytes
+        assert packed.load("attacks") == self.PAYLOAD
+
+    def test_codec_read_from_manifest_not_store(self, tmp_path):
+        # A store constructed with the default codec must still read a
+        # zlib entry: the manifest, not the reader, names the encoding.
+        CheckpointStore(tmp_path, codec="zlib").save("attacks", self.PAYLOAD)
+        assert CheckpointStore(tmp_path).load("attacks") == self.PAYLOAD
+
+    def test_legacy_manifest_defaults_to_pickle(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("attacks", self.PAYLOAD)
+        manifest_path = store.manifest_path("attacks")
+        document = json.loads(manifest_path.read_text())
+        del document["codec"]
+        manifest_path.write_text(json.dumps(document))
+        assert store.load("attacks") == self.PAYLOAD
+
+    def test_unknown_codec_is_version_skew(self, tmp_path):
+        store = CheckpointStore(tmp_path, codec="zlib")
+        store.save("attacks", self.PAYLOAD)
+        manifest_path = store.manifest_path("attacks")
+        document = json.loads(manifest_path.read_text())
+        document["codec"] = "lz4"
+        manifest_path.write_text(json.dumps(document))
+        with pytest.raises(CheckpointVersionError, match="lz4"):
+            store.load("attacks")
+
+    def test_corrupt_compressed_payload_detected(self, tmp_path):
+        store = CheckpointStore(tmp_path, codec="zlib")
+        store.save("attacks", self.PAYLOAD)
+        payload_path = store.payload_path("attacks")
+        data = bytearray(payload_path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        payload_path.write_bytes(bytes(data))
+        with pytest.raises(CheckpointCorruptionError):
+            store.load("attacks")
+
+    def test_unknown_store_codec_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="codec"):
+            CheckpointStore(tmp_path, codec="gzip")
+
+
+# -- cross-run stage cache ----------------------------------------------------
+
+
+class TestStageFingerprint:
+    def test_sensitive_to_every_input(self, small_config):
+        base = stage_fingerprint(small_config, "telescope")
+        assert stage_fingerprint(small_config, "telescope") == base
+        assert stage_fingerprint(small_config, "honeypot") != base
+        assert stage_fingerprint(small_config, "telescope", n_shards=3) != base
+        assert (
+            stage_fingerprint(
+                small_config, "telescope", capture_codec="columnar"
+            )
+            != base
+        )
+        reseeded = small_config.with_seed(small_config.seed + 1)
+        assert stage_fingerprint(reseeded, "telescope") != base
+
+
+class TestStageCache:
+    PAYLOAD = ["event"] * 64
+
+    def test_miss_then_hit_round_trip(self, tmp_path, small_config):
+        cache = StageCache(tmp_path)
+        fingerprint = stage_fingerprint(small_config, "telescope")
+        assert cache.get("telescope", fingerprint) is CACHE_MISS
+        cache.put("telescope", fingerprint, self.PAYLOAD)
+        assert cache.get("telescope", fingerprint) == self.PAYLOAD
+        assert cache.entries() == [("telescope", fingerprint[:16])]
+
+    def test_poisoned_payload_is_a_miss(self, tmp_path, small_config):
+        cache = StageCache(tmp_path)
+        fingerprint = stage_fingerprint(small_config, "telescope")
+        cache.put("telescope", fingerprint, self.PAYLOAD)
+        payload_path = cache.payload_path("telescope", fingerprint)
+        data = bytearray(payload_path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        payload_path.write_bytes(bytes(data))
+        assert cache.get("telescope", fingerprint) is CACHE_MISS
+
+    def test_stale_fingerprint_is_a_miss(self, tmp_path, small_config):
+        # Same filename prefix, different full fingerprint in the
+        # manifest: the entry belongs to another scenario and must not
+        # be served.
+        cache = StageCache(tmp_path)
+        fingerprint = stage_fingerprint(small_config, "telescope")
+        cache.put("telescope", fingerprint, self.PAYLOAD)
+        manifest_path = cache.manifest_path("telescope", fingerprint)
+        document = json.loads(manifest_path.read_text())
+        document["fingerprint"] = "0" * 64
+        manifest_path.write_text(json.dumps(document))
+        assert cache.get("telescope", fingerprint) is CACHE_MISS
+
+    def test_schema_skew_is_a_miss(self, tmp_path, small_config):
+        cache = StageCache(tmp_path)
+        fingerprint = stage_fingerprint(small_config, "telescope")
+        cache.put("telescope", fingerprint, self.PAYLOAD)
+        manifest_path = cache.manifest_path("telescope", fingerprint)
+        document = json.loads(manifest_path.read_text())
+        document["schema_version"] = 999
+        manifest_path.write_text(json.dumps(document))
+        assert cache.get("telescope", fingerprint) is CACHE_MISS
+
+    def test_warm_run_hits_and_matches(self, tmp_path, small_config):
+        cache_dir = tmp_path / "cache"
+        cold = run_resilient(small_config, stage_cache=cache_dir)
+        warm = run_resilient(small_config, stage_cache=cache_dir)
+        assert warm.fused.combined.events == cold.fused.combined.events
+        warm_status = {
+            s.name: s.status for s in warm.quality.stages
+        }
+        for stage in OBSERVATION_STAGES:
+            assert warm_status[stage] == "cache-hit"
+        assert all(
+            s.status == "ok" for s in cold.quality.stages
+        )
+
+    def test_faulted_plan_bypasses_cache(self, tmp_path, small_config):
+        plan = FaultPlan.standard(
+            small_config.n_days, n_honeypots=small_config.n_honeypots
+        )
+        cache_dir = tmp_path / "cache"
+        run_resilient(small_config, plan=plan, stage_cache=cache_dir)
+        assert list(cache_dir.glob("*.manifest.json")) == []
+
+
+class TestStageCacheCLI:
+    """Crash mid-run with the cache enabled, resume, then re-run warm."""
+
+    @staticmethod
+    def run_cli(*args, check_rc=None):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "--preset", "small", *args],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=str(REPO_ROOT),
+            timeout=300,
+        )
+        if check_rc is not None:
+            assert proc.returncode == check_rc, proc.stderr
+        return proc
+
+    def test_resume_fills_cache_and_warm_run_hits(self, tmp_path):
+        cache = tmp_path / "cache"
+        crash_dir = tmp_path / "run_crash"
+        warm_dir = tmp_path / "run_warm"
+        # Crash right after the attacks stage: no observation stage has
+        # run yet, so the cache is still cold.
+        self.run_cli(
+            "simulate", "--run-dir", str(crash_dir),
+            "--stage-cache", str(cache), "--crash-after", "attacks",
+            check_rc=137,
+        )
+        assert list(cache.glob("*.manifest.json")) == []
+        # Resume finishes the run and publishes the observation stages.
+        self.run_cli("resume", str(crash_dir), check_rc=0)
+        cached = {stage for stage, _ in StageCache(cache).entries()}
+        assert set(OBSERVATION_STAGES) <= cached
+        # A second run dir starts cold but serves them from the cache.
+        self.run_cli(
+            "simulate", "--run-dir", str(warm_dir),
+            "--stage-cache", str(cache), "--metrics", check_rc=0,
+        )
+        quality = json.loads((warm_dir / "quality.json").read_text())
+        statuses = {s["name"]: s["status"] for s in quality["stages"]}
+        for stage in OBSERVATION_STAGES:
+            assert statuses[stage] == "cache-hit"
+        metrics = json.loads(
+            (warm_dir / "metrics.json").read_text()
+        )["metrics"]
+        hits = sum(
+            series["value"]
+            for series in metrics["stage_cache_hits_total"]["series"]
+        )
+        assert hits == len(OBSERVATION_STAGES)
+        assert (warm_dir / "events.jsonl").read_bytes() == (
+            crash_dir / "events.jsonl"
+        ).read_bytes()
