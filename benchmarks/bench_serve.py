@@ -1,0 +1,239 @@
+"""Live ingestion service under concurrent load, at 1x and 2x capacity.
+
+The tentpole's overload contract is *bounded latency, explicit refusal*:
+when offered load exceeds what the applier can absorb, the service must
+answer quickly (503 + Retry-After or drop-oldest shedding) instead of
+letting request latency grow without bound. This bench drives the real
+HTTP stack with concurrent ingest workers plus a query worker:
+
+* **steady**   — offered load the applier can sustain;
+* **overload** — the same workers at 2x the offered rate.
+
+The acceptance bar, asserted here and recorded in
+``benchmarks/out/serve_load.json``: overload p99 ingest latency stays
+within ``P99_BOUND_S`` (refusing fast is the point), and the overload
+arm actually sheds (refusal + drop rate above zero).
+"""
+
+import json
+import statistics
+import threading
+import time
+import urllib.error
+import urllib.request
+
+from bench_util import write_bench_json
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.http import ServeHTTPServer
+from repro.serve.service import LiveIngestService, ServeConfig
+
+INGEST_WORKERS = 4
+BATCH = 16
+ARM_SECONDS = 3.0
+APPLY_DELAY = 0.002  # per-batch applier stall: makes capacity finite
+P99_BOUND_S = 0.5    # overload answers (even refusals) must stay under this
+
+
+def _percentile(samples, q):
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _event(i):
+    return {
+        "source": "telescope",
+        "target": (10 << 24) + (i % 8192),
+        "start_ts": float(i % 80000),
+        "end_ts": float(i % 80000) + 30.0,
+        "intensity": 25.0,
+    }
+
+
+class _LoadArm:
+    """One measured arm: N ingest workers at a target request rate."""
+
+    def __init__(self, port, requests_per_worker_s):
+        self.port = port
+        self.interval = 1.0 / requests_per_worker_s
+        self.latencies = []
+        self.statuses = {202: 0, 503: 0}
+        self.query_latencies = []
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+
+    def _post(self, worker, sequence):
+        body = json.dumps(
+            [_event(worker * 1_000_000 + sequence * BATCH + j)
+             for j in range(BATCH)]
+        ).encode("utf-8")
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{self.port}/ingest/attacks?feed=telescope",
+            data=body, headers={"Content-Type": "application/json"},
+        )
+        start = time.perf_counter()
+        try:
+            with urllib.request.urlopen(request, timeout=10) as response:
+                status = response.status
+                response.read()
+        except urllib.error.HTTPError as error:
+            status = error.code
+            error.read()
+        elapsed = time.perf_counter() - start
+        with self._lock:
+            self.latencies.append(elapsed)
+            self.statuses[status] = self.statuses.get(status, 0) + 1
+
+    def _ingest_worker(self, worker):
+        sequence = 0
+        while not self._stop.is_set():
+            began = time.perf_counter()
+            self._post(worker, sequence)
+            sequence += 1
+            remaining = self.interval - (time.perf_counter() - began)
+            if remaining > 0:
+                self._stop.wait(remaining)
+
+    def _query_worker(self):
+        while not self._stop.is_set():
+            start = time.perf_counter()
+            try:
+                with urllib.request.urlopen(
+                    f"http://127.0.0.1:{self.port}"
+                    "/attacks?prefix=10.0.0.0/16&limit=50",
+                    timeout=10,
+                ) as response:
+                    response.read()
+            except urllib.error.URLError:
+                pass
+            with self._lock:
+                self.query_latencies.append(time.perf_counter() - start)
+            self._stop.wait(0.05)
+
+    def run(self, seconds):
+        threads = [
+            threading.Thread(target=self._ingest_worker, args=(w,),
+                             daemon=True)
+            for w in range(INGEST_WORKERS)
+        ]
+        threads.append(
+            threading.Thread(target=self._query_worker, daemon=True)
+        )
+        for thread in threads:
+            thread.start()
+        time.sleep(seconds)
+        self._stop.set()
+        for thread in threads:
+            thread.join(timeout=10)
+
+    def summary(self):
+        total = sum(self.statuses.values())
+        refused = self.statuses.get(503, 0)
+        return {
+            "requests": total,
+            "accepted": self.statuses.get(202, 0),
+            "refused": refused,
+            "refusal_rate": refused / total if total else 0.0,
+            "p50_s": _percentile(self.latencies, 0.50),
+            "p99_s": _percentile(self.latencies, 0.99),
+            "query_p50_s": _percentile(self.query_latencies, 0.50),
+            "query_p99_s": _percentile(self.query_latencies, 0.99),
+        }
+
+
+def _run_arm(tmp_path, name, requests_per_worker_s, seconds):
+    service = LiveIngestService(
+        ServeConfig(
+            data_dir=tmp_path / name,
+            queue_size=256,
+            high_watermark=192,
+            low_watermark=64,
+            snapshot_every_events=5000,
+            apply_delay=APPLY_DELAY,
+        ),
+        metrics=MetricsRegistry(),
+    )
+    service.start()
+    server = ServeHTTPServer(("127.0.0.1", 0), service)
+    port = server.server_address[1]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        arm = _LoadArm(port, requests_per_worker_s)
+        arm.run(seconds)
+        summary = arm.summary()
+        summary["dropped"] = sum(service.dropped_by_feed.values())
+        stats = service.stats()
+        summary["applied_events"] = stats["summary"]["applied_events"]
+        return summary
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.stop()
+
+
+def test_serve_overload_latency(benchmark, tmp_path, write_report):
+    # Calibrate empirically: an unthrottled probe arm measures what the
+    # applier actually absorbs (requests/s accepted per worker), then the
+    # steady arm offers half of that and the overload arm twice it.
+    probe = _run_arm(tmp_path, "probe", 500.0, 1.5)
+    sustained_rps = max(2.0, probe["accepted"] / 1.5 / INGEST_WORKERS)
+    steady = benchmark.pedantic(
+        lambda: _run_arm(tmp_path, "steady", sustained_rps / 2, ARM_SECONDS),
+        rounds=1, iterations=1,
+    )
+    overload = _run_arm(tmp_path, "overload", sustained_rps * 2, ARM_SECONDS)
+
+    # Overload must answer fast (refusal is cheap) and actually shed.
+    assert overload["p99_s"] is not None
+    assert overload["p99_s"] < P99_BOUND_S, (
+        f"overload p99 {overload['p99_s']:.3f}s breaches "
+        f"{P99_BOUND_S}s bound"
+    )
+    assert overload["refused"] + overload["dropped"] > 0, (
+        "2x offered load never shed - arm is miscalibrated"
+    )
+    # Steady must mostly get through - otherwise "2x" means nothing.
+    assert steady["accepted"] > 0
+    assert steady["refusal_rate"] < 0.5, (
+        f"steady arm refused {steady['refusal_rate'] * 100:.0f}% - "
+        "calibration failed"
+    )
+
+    def row(name, arm):
+        return (
+            f"{name:<9} {arm['requests']:>6} {arm['accepted']:>6} "
+            f"{arm['refused']:>6} {arm['dropped']:>6} "
+            f"{arm['p50_s'] * 1000:>8.1f} {arm['p99_s'] * 1000:>8.1f} "
+            f"{(arm['query_p99_s'] or 0) * 1000:>9.1f}"
+        )
+
+    lines = [
+        f"Serve load ({INGEST_WORKERS} ingest workers x {BATCH} "
+        f"records, {ARM_SECONDS:g}s arms)",
+        "",
+        f"{'arm':<9} {'reqs':>6} {'ok':>6} {'503':>6} {'drop':>6} "
+        f"{'p50_ms':>8} {'p99_ms':>8} {'q_p99_ms':>9}",
+        row("steady", steady),
+        row("overload", overload),
+        "",
+        f"overload refusal rate: {overload['refusal_rate'] * 100:.1f}%",
+        f"p99 bound: {P99_BOUND_S * 1000:g}ms",
+    ]
+    write_report("serve_load", "\n".join(lines))
+    write_bench_json(
+        "serve_load",
+        params={
+            "ingest_workers": INGEST_WORKERS,
+            "batch": BATCH,
+            "arm_seconds": ARM_SECONDS,
+            "apply_delay_s": APPLY_DELAY,
+            "p99_bound_s": P99_BOUND_S,
+            "sustained_rps_per_worker": round(sustained_rps, 2),
+        },
+        wall_s=2 * ARM_SECONDS,
+        events_per_s=steady["applied_events"] / ARM_SECONDS,
+        extra={"steady": steady, "overload": overload},
+    )

@@ -22,7 +22,13 @@ Commands:
 * ``chaos``    — run the executor's chaos drill: a full pipeline under each
   injected execution fault (hung worker, slow worker, worker crash,
   poison shard) must recover byte-identically or degrade visibly, never
-  hang (``--quick`` is the CI smoke variant).
+  hang (``--quick`` is the CI smoke variant). With ``--serve`` the drill
+  targets the live service instead: ingest burst, slow consumer, and a
+  kill -9 of a real serve subprocess with a state-equivalence verdict;
+* ``serve``    — run the live ingestion service: accepted events are
+  WAL-logged before acknowledgment, state is snapshotted on a rolling
+  schedule, and a killed process recovers on restart value-identical to
+  an uninterrupted run. SIGTERM drains gracefully and exits 0.
 
 ``simulate`` and ``resume`` accept the parallel-execution knobs
 (``--workers``, ``--shards``, ``--exec-mode``, ``--task-deadline``) — a
@@ -30,6 +36,13 @@ sharded run is byte-identical to a serial one — plus ``--deadline``,
 which aborts the run cleanly once the budget is spent: checkpoints are
 already flushed, the run dir stays resumable, and the process exits with
 code 124 (the ``timeout(1)`` convention, distinct from a crash).
+
+Durable runs also handle SIGINT/SIGTERM deliberately: the first signal
+stops the run at the next stage boundary (the in-progress stage either
+finalizes its checkpoint or is abandoned whole), the run dir stays
+resumable, and the process exits ``128 + signum`` (130 for Ctrl-C, 143
+for SIGTERM) — distinct from both the deadline abort and a crash. A
+second signal kills immediately.
 
 Global ``--verbose`` / ``--log-json`` flags wire structured logging
 (:mod:`repro.log`) through the runner, the checkpoint store and the
@@ -46,6 +59,7 @@ from typing import Optional, Sequence
 
 from repro.core.report import render_table1
 from repro.exec.deadline import RunDeadline, RunDeadlineExceeded
+from repro.exec.interrupt import InterruptGuard, RunInterrupted
 from repro.exec.pool import ALL_MODES, ExecConfig, MODE_AUTO
 from repro.faults.exec import ExecFaultPlan
 from repro.faults.plan import ALL_FEEDS, FaultPlan
@@ -75,6 +89,9 @@ from repro.pipeline.runner import (
     run_resilient,
 )
 from repro.pipeline.simulation import CAPTURE_CODECS, run_simulation
+from repro.serve.chaos import run_serve_chaos_drill
+from repro.serve.http import run_service
+from repro.serve.service import ServeConfig
 from repro.store.checkpoint import CheckpointStore
 
 log = get_logger("cli")
@@ -307,7 +324,87 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write telemetry artifacts for the whole drill to DIR "
              "(with --metrics)",
     )
+    chaos.add_argument(
+        "--serve", action="store_true",
+        help="drill the live service instead of the batch executor: "
+             "ingest burst, slow consumer, and kill -9 of a real serve "
+             "subprocess with a state-equivalence verdict",
+    )
+    chaos.add_argument(
+        "--serve-dir", type=Path, default=None, metavar="DIR",
+        help="work directory for the --serve scenarios "
+             "(default: a temporary directory)",
+    )
     _add_metrics_arg(chaos)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the live ingestion service (WAL + rolling snapshots; "
+             "kill -9 recovers value-identically, SIGTERM drains)",
+    )
+    serve.add_argument(
+        "--data-dir", type=Path, required=True, metavar="DIR",
+        help="durable state: WAL segments, rolling snapshots, endpoint "
+             "file — everything recovery needs",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8321, metavar="N",
+        help="bind port; 0 picks an ephemeral port, recorded in the "
+             "data dir's endpoint.json (default: 8321)",
+    )
+    serve.add_argument(
+        "--queue-size", type=int, default=4096, metavar="N",
+        help="admission queue bound (default: 4096)",
+    )
+    serve.add_argument(
+        "--high-watermark", type=int, default=None, metavar="N",
+        help="queue depth at which ingest starts answering 503 "
+             "(default: 4/5 of --queue-size)",
+    )
+    serve.add_argument(
+        "--low-watermark", type=int, default=None, metavar="N",
+        help="queue depth at which 503s stop again "
+             "(default: 1/2 of --queue-size)",
+    )
+    serve.add_argument(
+        "--retry-after", type=float, default=1.0, metavar="SECONDS",
+        help="Retry-After hint on refused batches (default: 1.0)",
+    )
+    serve.add_argument(
+        "--snapshot-every", type=int, default=2000, metavar="EVENTS",
+        help="rolling snapshot after this many applied records "
+             "(default: 2000)",
+    )
+    serve.add_argument(
+        "--snapshot-interval", type=float, default=30.0, metavar="SECONDS",
+        help="also snapshot when this much time passed with anything "
+             "applied (default: 30)",
+    )
+    serve.add_argument(
+        "--snapshot-keep", type=int, default=2, metavar="N",
+        help="rolling snapshots to retain; older ones are fall-backs "
+             "when the newest fails verification (default: 2)",
+    )
+    serve.add_argument(
+        "--wal-fsync-every", type=int, default=64, metavar="N",
+        help="fsync the WAL every N appends; every append is still "
+             "flushed, so only power loss can cost the tail "
+             "(default: 64)",
+    )
+    serve.add_argument(
+        "--max-events-per-victim", type=int, default=256, metavar="N",
+        help="per-victim query ring bound (default: 256)",
+    )
+    serve.add_argument(
+        "--apply-delay", type=float, default=0.0, metavar="SECONDS",
+        help="chaos hook: slow the applier by this much per record "
+             "(slow-consumer drills; default: 0)",
+    )
+    _add_metrics_arg(serve)
 
     metrics_cmd = subparsers.add_parser(
         "metrics",
@@ -392,6 +489,7 @@ def _run_durable(
     exec_config: Optional[ExecConfig] = None,
     exec_faults: Optional[ExecFaultPlan] = None,
     deadline: Optional[float] = None,
+    interrupt: Optional[InterruptGuard] = None,
     capture_codec: str = "columnar",
     stage_cache: Optional[Path] = None,
 ):
@@ -403,6 +501,7 @@ def _run_durable(
         exec_config=exec_config,
         exec_faults=exec_faults,
         deadline=deadline,
+        interrupt=interrupt,
         capture_codec=capture_codec,
         stage_cache=stage_cache,
     )
@@ -433,6 +532,10 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     exec_config = _exec_config(args)
     exec_faults = _exec_faults(args)
     telemetry = _enable_metrics(args)
+    # Durable and supervised runs stop at stage boundaries on SIGINT or
+    # SIGTERM: checkpoints stay coherent, the run dir stays resumable,
+    # and the exit code says which signal it was.
+    guard = InterruptGuard().install()
     try:
         if args.run_dir is not None:
             store = CheckpointStore(args.run_dir)
@@ -461,6 +564,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                 exec_config=exec_config,
                 exec_faults=exec_faults,
                 deadline=args.deadline,
+                interrupt=guard,
                 capture_codec=args.capture_codec,
                 stage_cache=args.stage_cache,
             )
@@ -475,15 +579,23 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                 exec_config=exec_config,
                 exec_faults=exec_faults,
                 deadline=args.deadline,
+                interrupt=guard,
                 capture_codec=args.capture_codec,
                 stage_cache=args.stage_cache,
             )
         else:
             result = run_simulation(config)
+            guard.check("simulation finished")
     except RunDeadlineExceeded as exc:
         _finish_metrics(telemetry, args.run_dir)
         print(f"deadline exceeded: {exc}", file=sys.stderr)
         return EXIT_DEADLINE
+    except RunInterrupted as exc:
+        _finish_metrics(telemetry, args.run_dir)
+        print(f"interrupted: {exc}", file=sys.stderr)
+        return exc.exit_code
+    finally:
+        guard.restore()
     print(render_table1(result.fused.summary_rows()))
     if args.save_events is not None:
         written = save_events_jsonl(
@@ -559,6 +671,7 @@ def cmd_resume(args: argparse.Namespace) -> int:
         seed=config.seed, workers=exec_config.workers,
     )
     telemetry = _enable_metrics(args)
+    guard = InterruptGuard().install()
     try:
         result = _run_durable(
             config,
@@ -566,6 +679,7 @@ def cmd_resume(args: argparse.Namespace) -> int:
             exec_config=exec_config,
             exec_faults=_exec_faults(args),
             deadline=args.deadline,
+            interrupt=guard,
             capture_codec=capture_codec,
             stage_cache=stage_cache,
         )
@@ -573,6 +687,12 @@ def cmd_resume(args: argparse.Namespace) -> int:
         _finish_metrics(telemetry, args.run_dir)
         print(f"deadline exceeded: {exc}", file=sys.stderr)
         return EXIT_DEADLINE
+    except RunInterrupted as exc:
+        _finish_metrics(telemetry, args.run_dir)
+        print(f"interrupted: {exc}", file=sys.stderr)
+        return exc.exit_code
+    finally:
+        guard.restore()
     print(render_table1(result.fused.summary_rows()))
     _finish_metrics(telemetry, args.run_dir)
     return 0
@@ -684,6 +804,28 @@ def cmd_robustness(args: argparse.Namespace) -> int:
 
 def cmd_chaos(args: argparse.Namespace) -> int:
     telemetry = _enable_metrics(args)
+    if args.serve:
+        import tempfile
+
+        work_dir = args.serve_dir
+        if work_dir is None:
+            work_dir = Path(tempfile.mkdtemp(prefix="repro-serve-chaos-"))
+        results = run_serve_chaos_drill(
+            work_dir,
+            quick=args.quick,
+            scenario_budget=args.scenario_budget,
+        )
+        print("=== Serve chaos drill ===")
+        for result in results:
+            verdict = "PASS" if result.passed else "FAIL"
+            print(
+                f"{verdict} {result.name:<14} [{result.expect}] "
+                f"({result.elapsed:.1f}s): {result.detail}"
+            )
+        failed = sum(1 for r in results if not r.passed)
+        print(f"{len(results) - failed}/{len(results)} scenarios passed")
+        _finish_metrics(telemetry, args.run_dir)
+        return 0 if failed == 0 else 1
     results = run_chaos_drill(
         config=_config(args),
         quick=args.quick,
@@ -702,6 +844,34 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     print(f"{len(results) - failed}/{len(results)} scenarios passed")
     _finish_metrics(telemetry, args.run_dir)
     return 0 if failed == 0 else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    telemetry = _enable_metrics(args)
+    config = ServeConfig(
+        data_dir=args.data_dir,
+        queue_size=args.queue_size,
+        high_watermark=args.high_watermark,
+        low_watermark=args.low_watermark,
+        retry_after=args.retry_after,
+        snapshot_every_events=args.snapshot_every,
+        snapshot_interval_s=args.snapshot_interval,
+        snapshot_keep=args.snapshot_keep,
+        wal_fsync_every=args.wal_fsync_every,
+        max_events_per_victim=args.max_events_per_victim,
+        apply_delay=args.apply_delay,
+    )
+    try:
+        return run_service(
+            config,
+            host=args.host,
+            port=args.port,
+            metrics=telemetry.metrics if telemetry is not None else None,
+        )
+    finally:
+        # The data dir doubles as the run dir: a graceful exit leaves
+        # metrics.json next to the snapshots for `repro report`.
+        _finish_metrics(telemetry, args.data_dir)
 
 
 def cmd_metrics(args: argparse.Namespace) -> int:
@@ -747,6 +917,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "headline": cmd_headline,
         "robustness": cmd_robustness,
         "chaos": cmd_chaos,
+        "serve": cmd_serve,
         "metrics": cmd_metrics,
         "trace": cmd_trace,
     }

@@ -11,10 +11,12 @@ output the paper envisions for operators).
 
 from __future__ import annotations
 
+import hashlib
+import json
 import queue
 import threading
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Deque, Dict, Iterable, List, Optional, Set
 
 from repro.core.events import AttackEvent, SOURCE_HONEYPOT, SOURCE_TELESCOPE
@@ -23,6 +25,9 @@ from repro.net.addressing import slash16, slash24
 from repro.obs.metrics import get_registry
 
 DAY = 86400.0
+
+#: Version of the serialized StreamingFusion state (rolling snapshots).
+FUSION_STATE_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -229,6 +234,119 @@ class StreamingFusion:
             "asns": len(self._all_asns),
         }
 
+    # -- durable state --------------------------------------------------------
+
+    def state_dict(self) -> Dict:
+        """The complete fused state as a canonical JSON-able document.
+
+        Everything mutable is captured (running aggregates, the open day,
+        closed summaries, alerts, baselines), with sets rendered as sorted
+        lists so two fusions that ingested the same events byte-agree. The
+        web index is *configuration*, not state: a restored fusion gets it
+        re-attached by the caller.
+        """
+        current = None
+        if self._current is not None:
+            current = {
+                "day": self._current.day,
+                "attacks": self._current.attacks,
+                "telescope": self._current.telescope,
+                "honeypot": self._current.honeypot,
+                "targets": sorted(self._current.targets),
+                "nets": sorted(self._current.nets),
+                "asns": sorted(self._current.asns),
+                "sites": sorted(self._current.sites),
+            }
+        return {
+            "version": FUSION_STATE_VERSION,
+            "baseline_days": self.baseline_days,
+            "alert_factor": self.alert_factor,
+            "outage_days": sorted(self.outage_days),
+            "summaries": [asdict(s) for s in self.summaries],
+            "alerts": [
+                {
+                    "day": a.day,
+                    "metric": a.metric,
+                    "value": a.value,
+                    "baseline": a.baseline,
+                }
+                for a in self.alerts
+            ],
+            "total_events": self.total_events,
+            "all_targets": sorted(self._all_targets),
+            "all_slash24s": sorted(self._all_slash24s),
+            "all_slash16s": sorted(self._all_slash16s),
+            "all_asns": sorted(self._all_asns),
+            "current": current,
+            "recent_attacks": list(self._recent_attacks),
+            "recent_sites": list(self._recent_sites),
+            "last_ts": (
+                None if self._last_ts == float("-inf") else self._last_ts
+            ),
+        }
+
+    @classmethod
+    def from_state_dict(
+        cls, state: Dict, web_index: Optional[WebHostingIndex] = None
+    ) -> "StreamingFusion":
+        """Rebuild a fusion from :meth:`state_dict` output.
+
+        Raises :class:`ValueError` on a version the build does not read —
+        snapshot loaders turn that into a fall-back to an older snapshot.
+        """
+        version = state.get("version")
+        if version != FUSION_STATE_VERSION:
+            raise ValueError(
+                f"fusion state v{version!r}, this build reads "
+                f"v{FUSION_STATE_VERSION}"
+            )
+        fusion = cls(
+            web_index=web_index,
+            baseline_days=int(state["baseline_days"]),
+            alert_factor=float(state["alert_factor"]),
+            outage_days=state.get("outage_days", ()),
+        )
+        fusion.summaries = [DaySummary(**s) for s in state["summaries"]]
+        fusion.alerts = [
+            Alert(
+                day=a["day"],
+                metric=a["metric"],
+                value=a["value"],
+                baseline=a["baseline"],
+            )
+            for a in state["alerts"]
+        ]
+        fusion.total_events = int(state["total_events"])
+        fusion._all_targets = set(state["all_targets"])
+        fusion._all_slash24s = set(state["all_slash24s"])
+        fusion._all_slash16s = set(state["all_slash16s"])
+        fusion._all_asns = set(state["all_asns"])
+        current = state.get("current")
+        if current is not None:
+            fusion._current = _DayState(
+                day=current["day"],
+                attacks=current["attacks"],
+                telescope=current["telescope"],
+                honeypot=current["honeypot"],
+                targets=set(current["targets"]),
+                nets=set(current["nets"]),
+                asns=set(current["asns"]),
+                sites=set(current["sites"]),
+            )
+        fusion._recent_attacks.extend(state["recent_attacks"])
+        fusion._recent_sites.extend(state["recent_sites"])
+        last_ts = state.get("last_ts")
+        fusion._last_ts = float("-inf") if last_ts is None else last_ts
+        return fusion
+
+    def state_digest(self) -> str:
+        """SHA-256 over the canonical state — two fusions that ingested
+        the same stream (in any interleaving of crash/recover) agree."""
+        canonical = json.dumps(
+            self.state_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
 
 class BoundedStreamingFusion:
     """A :class:`StreamingFusion` behind a bounded queue with backpressure.
@@ -317,6 +435,28 @@ class BoundedStreamingFusion:
         self._queue.put(event)
         self._m_ingested.inc()
         self._m_depth.set(self._queue.qsize())
+
+    def offer(self, event: AttackEvent) -> bool:
+        """Non-blocking ingest: ``False`` when the queue is full.
+
+        The overload-safe alternative to :meth:`ingest` for callers that
+        must not block (a network intake answering clients): instead of
+        exerting backpressure on the producer thread, a full queue is
+        reported to the caller, who decides to shed (and tell the client
+        to retry) rather than stall.
+        """
+        if self._closed:
+            raise RuntimeError("stream already closed")
+        self._check_error()
+        try:
+            self._queue.put_nowait(event)
+        except queue.Full:
+            self.blocked_puts += 1
+            self._m_blocked.inc()
+            return False
+        self._m_ingested.inc()
+        self._m_depth.set(self._queue.qsize())
+        return True
 
     def ingest_many(self, events: Iterable[AttackEvent]) -> None:
         for event in events:

@@ -240,6 +240,68 @@ def render_flight_report(run_dir: Union[str, Path]) -> str:
             f"{_fmt_count(backpressure)} backpressure wait(s)"
         )
 
+    # -- live service (serve data dirs double as run dirs) -------------------
+    admitted = _metric_total(metrics, "serve_admitted_total")
+    wal_appends = _metric_total(metrics, "serve_wal_appends_total")
+    if admitted or wal_appends:
+        applied = _metric_total(metrics, "serve_applied_total")
+        shed = _metric_total(metrics, "serve_shed_total")
+        rejected = _metric_total(metrics, "serve_rejected_total")
+        lines.append("live service:")
+        lines.append(
+            f"  admitted {_fmt_count(admitted)}, applied "
+            f"{_fmt_count(applied)}, shed {_fmt_count(shed)}, "
+            f"rejected {_fmt_count(rejected)}"
+        )
+        by_feed = {
+            s.get("labels", {}).get("feed", "?"): s.get("value", 0)
+            for s in _metric_series(metrics, "serve_admitted_total")
+        }
+        if by_feed:
+            lines.append(
+                "  admitted by feed: "
+                + ", ".join(
+                    f"{feed}={_fmt_count(count)}"
+                    for feed, count in sorted(by_feed.items())
+                )
+            )
+        depth = _metric_total(metrics, "serve_queue_depth")
+        shedding = _metric_total(metrics, "serve_shedding")
+        lines.append(
+            f"  queue depth at export: {_fmt_count(depth)} "
+            f"(shed mode: {'on' if shedding else 'off'})"
+        )
+        snapshots = _metric_total(metrics, "serve_snapshots_total")
+        snapshot_age = _metric_total(metrics, "serve_snapshot_age_seconds")
+        wal_mb = _metric_total(metrics, "serve_wal_bytes_total") / 1e6
+        fsyncs = _metric_total(metrics, "serve_wal_fsyncs_total")
+        lines.append(
+            f"  durability: {_fmt_count(snapshots)} snapshot(s) "
+            f"(newest {snapshot_age:.1f}s old), "
+            f"{_fmt_count(wal_appends)} WAL append(s), "
+            f"{wal_mb:.2f} MB, {_fmt_count(fsyncs)} fsync(s)"
+        )
+        replayed = _metric_total(metrics, "serve_recovery_replayed")
+        recovery_s = _metric_total(
+            metrics, "serve_recovery_duration_seconds"
+        )
+        discarded = _metric_total(
+            metrics, "serve_snapshots_discarded_total"
+        )
+        line = (
+            f"  last recovery: {_fmt_count(replayed)} WAL record(s) "
+            f"replayed in {recovery_s:.3f}s"
+        )
+        if discarded:
+            line += f", {_fmt_count(discarded)} corrupt snapshot(s) skipped"
+        lines.append(line)
+        stalls = _metric_total(metrics, "serve_watchdog_stalls_total")
+        if stalls:
+            lines.append(
+                f"  watchdog stalls: {_fmt_count(stalls)}"
+            )
+        lines.append("")
+
     # -- trace summary -------------------------------------------------------
     if trace:
         total = sum(span.get("duration", 0.0) for span in trace)

@@ -36,6 +36,7 @@ checkpoints so even the feed-quality accounting survives the crash.
 from __future__ import annotations
 
 import os
+import random
 import threading
 import time
 from dataclasses import dataclass
@@ -46,6 +47,7 @@ from repro.dns.openintel import OpenIntelDataset
 from repro.dps.detection import DPSUsageDataset
 from repro.exec.breaker import CircuitBreaker
 from repro.exec.deadline import RunDeadline, RunDeadlineExceeded
+from repro.exec.interrupt import InterruptGuard, RunInterrupted
 from repro.exec.pool import ExecConfig, SupervisedPool, TaskSpec
 from repro.exec.shard import is_shard_checkpoint, shard_checkpoint_name
 from repro.faults.exec import (
@@ -164,6 +166,19 @@ class RetryPolicy:
     backoff_base: float = 0.05
     backoff_factor: float = 2.0
     backoff_max: float = 60.0
+    #: Decorrelated jitter (off by default, so existing callers keep the
+    #: exact exponential sequence): each delay is drawn uniformly from
+    #: [base, 3 * previous delay], capped. Retries from many processes
+    #: that failed together then *spread out* instead of re-colliding at
+    #: the same exponential instants. The draw is seeded, so a given
+    #: (seed, attempt) pair always yields the same delay — retry timing
+    #: stays reproducible, which is what makes it testable.
+    jitter: bool = False
+    jitter_seed: int = 0
+
+    #: Multiplier of the decorrelated-jitter upper bound ("sleep * 3" in
+    #: the classic formulation).
+    JITTER_SPREAD = 3.0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -182,11 +197,36 @@ class RetryPolicy:
         """
         if self.backoff_base == 0.0:
             return 0.0
+        if self.jitter:
+            return self._jittered_delay(attempt)
         try:
             raw = self.backoff_base * self.backoff_factor ** (attempt - 1)
         except OverflowError:
             return self.backoff_max
         return min(raw, self.backoff_max)
+
+    def _jittered_delay(self, attempt: int) -> float:
+        """Decorrelated jitter, derived deterministically from the seed.
+
+        The decorrelated sequence is stateful (each delay depends on the
+        previous one), but the policy is a frozen value object — so the
+        sequence is re-derived from the seed on every call rather than
+        carried as mutable state. Attempt counts are small; O(attempt)
+        per call is noise next to the sleep it sizes.
+        """
+        rng = random.Random(self.jitter_seed)
+        sleep = self.backoff_base
+        for _ in range(attempt):
+            sleep = min(
+                self.backoff_max,
+                rng.uniform(self.backoff_base, sleep * self.JITTER_SPREAD),
+            )
+        return sleep
+
+    def delays(self, attempts: Optional[int] = None) -> List[float]:
+        """The full backoff sequence (one delay per retry), for drills."""
+        count = attempts if attempts is not None else self.max_attempts - 1
+        return [self.delay(attempt) for attempt in range(1, count + 1)]
 
 
 class ResilientPipeline:
@@ -216,6 +256,7 @@ class ResilientPipeline:
         exec_config: Optional[ExecConfig] = None,
         exec_faults: Optional[ExecFaultPlan] = None,
         deadline: Optional[Union[float, RunDeadline]] = None,
+        interrupt: Optional[InterruptGuard] = None,
         breakers: Optional[Dict[str, CircuitBreaker]] = None,
         telemetry: Optional[Telemetry] = None,
         capture_codec: str = "columnar",
@@ -261,6 +302,9 @@ class ResilientPipeline:
             if isinstance(deadline, RunDeadline)
             else RunDeadline(deadline)
         )
+        # A default-constructed guard has no handlers installed, so
+        # check() is a no-op unless the CLI armed it.
+        self.interrupt = interrupt if interrupt is not None else InterruptGuard()
         metrics = self.telemetry.metrics
         self._tracer = self.telemetry.tracer
         self._profiler = self.telemetry.profiler
@@ -592,10 +636,10 @@ class ResilientPipeline:
             thread.join()
         if errors:
             # Deterministic choice when several stages failed together:
-            # a run-deadline abort outranks stage failures (it explains
-            # them), then canonical stage order.
+            # a run-deadline or interrupt abort outranks stage failures
+            # (it explains them), then canonical stage order.
             for error in errors.values():
-                if isinstance(error, RunDeadlineExceeded):
+                if isinstance(error, (RunDeadlineExceeded, RunInterrupted)):
                     raise error
             first = min(errors, key=OBSERVATION_STAGES.index)
             raise errors[first]
@@ -797,6 +841,7 @@ class ResilientPipeline:
         prof: Any,
     ) -> Any:
         self.deadline.check(f"stage {name!r}")
+        self.interrupt.check(f"stage {name!r}")
         self._log.debug("stage starting", stage=name)
         start = time.perf_counter()
         obs_start = self._obs_clock()
@@ -815,6 +860,7 @@ class ResilientPipeline:
 
         while attempts < self.retry.max_attempts:
             self.deadline.check(f"stage {name!r} attempt {attempts + 1}")
+            self.interrupt.check(f"stage {name!r} attempt {attempts + 1}")
             attempts += 1
             self._attempt_now[name] = attempts
             self._m_attempts.inc(stage=name)
@@ -1118,6 +1164,7 @@ def run_resilient(
     exec_config: Optional[ExecConfig] = None,
     exec_faults: Optional[ExecFaultPlan] = None,
     deadline: Optional[Union[float, RunDeadline]] = None,
+    interrupt: Optional[InterruptGuard] = None,
     telemetry: Optional[Telemetry] = None,
     capture_codec: str = "columnar",
     stage_cache: Optional[Union[str, Path, StageCache]] = None,
@@ -1132,6 +1179,7 @@ def run_resilient(
         exec_config=exec_config,
         exec_faults=exec_faults,
         deadline=deadline,
+        interrupt=interrupt,
         telemetry=telemetry,
         capture_codec=capture_codec,
         stage_cache=stage_cache,

@@ -1,0 +1,44 @@
+"""Live ingestion service: overload-safe streaming fusion with recovery.
+
+The paper's measurement apparatus is a continuously running observatory —
+telescope, honeypot, OpenINTEL and DPS feeds arrive as *streams*. This
+package is the repo's fifth execution mode: a long-running, supervised,
+crash-recoverable service (``python -m repro serve``) that ingests
+observation events incrementally into a rolling fused store and answers
+queries over HTTP while the stream is still flowing.
+
+The robustness envelope, not the endpoints, is the point:
+
+* **admission control and load shedding** (:mod:`repro.serve.admission`)
+  — a bounded intake queue with high/low watermarks; a burst degrades
+  throughput (503 + Retry-After, drop-oldest with per-feed counters)
+  instead of growing memory until the process dies;
+* **rolling durability** (:mod:`repro.serve.wal`,
+  :mod:`repro.serve.snapshot`) — every accepted event is written to an
+  append-only JSONL write-ahead log *before* it is acknowledged, and the
+  fused state is periodically checkpointed through
+  :class:`~repro.store.checkpoint.CheckpointStore`; ``kill -9`` at any
+  instant recovers by snapshot-load + WAL replay, value-identical to an
+  uninterrupted run;
+* **supervision** (:mod:`repro.serve.service`) — the applier runs under
+  a heartbeat watchdog with per-feed circuit breakers, and SIGTERM
+  triggers a graceful drain (flush WAL, final snapshot, answer in-flight
+  queries, exit 0).
+"""
+
+from repro.serve.admission import AdmissionQueue, SubmitResult
+from repro.serve.service import LiveIngestService, RecoveryInfo, ServeConfig
+from repro.serve.snapshot import SnapshotManager
+from repro.serve.state import LiveFusedStore
+from repro.serve.wal import WriteAheadLog
+
+__all__ = [
+    "AdmissionQueue",
+    "LiveFusedStore",
+    "LiveIngestService",
+    "RecoveryInfo",
+    "ServeConfig",
+    "SnapshotManager",
+    "SubmitResult",
+    "WriteAheadLog",
+]

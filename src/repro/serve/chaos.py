@@ -1,0 +1,372 @@
+"""Chaos drill for the live service: overload, slow consumer, kill -9.
+
+The pipeline chaos drill (:mod:`repro.pipeline.chaos`) proves the batch
+executor's failure envelope; this module proves the *service's*: the
+three failure modes a long-running ingester actually meets in
+production, each with a deterministic verdict.
+
+* ``ingest-burst``  — batches arrive far faster than the applier drains;
+  admission must shed (503 refusals and/or drop-oldest) instead of
+  growing without bound, the accounting must close exactly
+  (accepted = applied + dropped), and a restart from the data dir must
+  land on the same state digest — load shedding may not cost recovery
+  equivalence;
+* ``slow-consumer`` — the applier is artificially slowed; the service
+  must enter shed mode, keep answering (no blocked submit), and leave
+  shed mode again once drained (watermark hysteresis, both directions);
+* ``kill9-recover`` — a real ``python -m repro serve`` subprocess is
+  SIGKILLed mid-ingest and restarted; the recovered process must report
+  a state digest identical to the victim's last acknowledged state, in
+  bounded time.
+
+Verdicts reuse :class:`~repro.pipeline.chaos.ScenarioResult` so the CLI
+renders both drills the same way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.log import get_logger
+from repro.pipeline.chaos import ScenarioResult
+from repro.serve.http import ENDPOINT_FILE
+from repro.serve.service import LiveIngestService, ServeConfig
+from repro.serve.wal import KIND_ATTACK
+
+log = get_logger("serve.chaos")
+
+EXPECT_SHED = "deterministic load shedding"
+EXPECT_HYSTERESIS = "shed mode entered and left"
+EXPECT_EQUIVALENT = "state-equivalent recovery"
+
+
+def _event(i: int) -> dict:
+    """Deterministic fixture event stream (strictly ordered)."""
+    return {
+        "source": "telescope",
+        "target": (10 << 24) + (i % 4096),
+        "start_ts": float(i),
+        "end_ts": float(i) + 30.0,
+        "intensity": 100.0 + (i % 17),
+    }
+
+
+def _restart_digest(data_dir: Path, config: ServeConfig) -> str:
+    """State digest a fresh process recovers to from *data_dir*."""
+    recovered = LiveIngestService(
+        ServeConfig(
+            data_dir=data_dir,
+            max_events_per_victim=config.max_events_per_victim,
+            baseline_days=config.baseline_days,
+            alert_factor=config.alert_factor,
+        )
+    )
+    recovered.start()
+    try:
+        return recovered.store.state_digest()
+    finally:
+        recovered.stop()
+
+
+def run_ingest_burst(work_dir: Path, budget: float = 60.0) -> ScenarioResult:
+    """Overload a tiny queue; shedding must be exact and recoverable."""
+    started = time.monotonic()
+    data_dir = work_dir / "burst"
+    config = ServeConfig(
+        data_dir=data_dir,
+        queue_size=64,
+        high_watermark=60,
+        low_watermark=16,
+        snapshot_every_events=50,
+        apply_delay=0.002,
+    )
+    service = LiveIngestService(config)
+    service.start()
+    sent = accepted = refused = 0
+    try:
+        for batch_index in range(24):
+            batch = [_event(batch_index * 48 + j) for j in range(48)]
+            sent += len(batch)
+            result = service.submit("telescope", KIND_ATTACK, batch)
+            if result.refused:
+                refused += len(batch)
+            else:
+                accepted += result.accepted
+        if not service.quiesce(timeout=budget):
+            return ScenarioResult(
+                "ingest-burst", EXPECT_SHED, False,
+                f"queue never drained (depth {service.queue.depth})",
+                time.monotonic() - started,
+            )
+        dropped = sum(service.dropped_by_feed.values())
+        applied = service.store.applied_events
+        live_digest = service.store.state_digest()
+        service.drain(timeout=budget)
+    finally:
+        service.stop()
+    problems = []
+    if refused == 0 and dropped == 0:
+        problems.append("no shedding under 18x overcommit")
+    if accepted != applied + dropped:
+        problems.append(
+            f"accounting leak: accepted {accepted} != "
+            f"applied {applied} + dropped {dropped}"
+        )
+    recovered_digest = _restart_digest(data_dir, config)
+    if recovered_digest != live_digest:
+        problems.append("recovered digest differs from live digest")
+    elapsed = time.monotonic() - started
+    if problems:
+        return ScenarioResult(
+            "ingest-burst", EXPECT_SHED, False, "; ".join(problems), elapsed
+        )
+    return ScenarioResult(
+        "ingest-burst", EXPECT_SHED, True,
+        f"sent {sent}, accepted {accepted}, refused {refused}, "
+        f"dropped {dropped}, applied {applied}; restart digest identical",
+        elapsed,
+    )
+
+
+def run_slow_consumer(
+    work_dir: Path, budget: float = 60.0
+) -> ScenarioResult:
+    """A slowed applier must trip shed mode, then recover via hysteresis."""
+    started = time.monotonic()
+    config = ServeConfig(
+        data_dir=work_dir / "slow",
+        queue_size=32,
+        high_watermark=24,
+        low_watermark=8,
+        snapshot_every_events=500,
+        apply_delay=0.01,
+        heartbeat_timeout=0.2,
+    )
+    service = LiveIngestService(config)
+    service.start()
+    shed_seen = False
+    slowest_submit = 0.0
+    try:
+        for i in range(40):
+            batch = [_event(i * 8 + j) for j in range(8)]
+            before = time.monotonic()
+            service.submit("telescope", KIND_ATTACK, batch)
+            slowest_submit = max(slowest_submit, time.monotonic() - before)
+            if service.queue.shedding:
+                shed_seen = True
+        drained = service.quiesce(timeout=budget)
+        shed_cleared = not service.queue.shedding
+        post = service.submit("telescope", KIND_ATTACK, [_event(10_000)])
+        service.drain(timeout=budget)
+    finally:
+        service.stop()
+    problems = []
+    if not shed_seen:
+        problems.append("never entered shed mode")
+    if not drained:
+        problems.append("queue never drained")
+    if not shed_cleared:
+        problems.append("shed mode never cleared after drain")
+    if not post.accepted:
+        problems.append("submit refused after recovery")
+    if slowest_submit > 1.0:
+        problems.append(f"a submit blocked for {slowest_submit:.2f}s")
+    elapsed = time.monotonic() - started
+    if problems:
+        return ScenarioResult(
+            "slow-consumer", EXPECT_HYSTERESIS, False,
+            "; ".join(problems), elapsed,
+        )
+    return ScenarioResult(
+        "slow-consumer", EXPECT_HYSTERESIS, True,
+        f"shed mode entered and left; slowest submit {slowest_submit*1000:.0f}ms",
+        elapsed,
+    )
+
+
+# -- kill -9 against a real subprocess ----------------------------------------
+
+
+def wait_for_endpoint(
+    data_dir: Path, timeout: float = 20.0
+) -> Tuple[str, int]:
+    """Block until the service wrote its endpoint file and answers."""
+    path = data_dir / ENDPOINT_FILE
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if path.exists():
+            try:
+                info = json.loads(path.read_text(encoding="utf-8"))
+                _get_json(info["host"], info["port"], "/healthz")
+                return info["host"], info["port"]
+            except (ValueError, KeyError, OSError):
+                pass
+        time.sleep(0.05)
+    raise TimeoutError(f"service at {data_dir} never became ready")
+
+
+def _get_json(host: str, port: int, path: str) -> dict:
+    with urllib.request.urlopen(
+        f"http://{host}:{port}{path}", timeout=10
+    ) as response:
+        return json.loads(response.read())
+
+
+def _post_json(host: str, port: int, path: str, body) -> Tuple[int, dict]:
+    request = urllib.request.Request(
+        f"http://{host}:{port}{path}",
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _spawn_serve(data_dir: Path, extra: Tuple[str, ...] = ()) -> subprocess.Popen:
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--data-dir", str(data_dir),
+            "--port", "0",
+            "--snapshot-every", "20",
+        ]
+        + list(extra),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _await_applied(host: str, port: int, budget: float) -> dict:
+    """Poll /stats until the applier caught up with intake."""
+    deadline = time.monotonic() + budget
+    while True:
+        stats = _get_json(host, port, "/stats")
+        if stats["applied_seq"] >= stats["seq"] and stats["queue_depth"] == 0:
+            return stats
+        if time.monotonic() >= deadline:
+            raise TimeoutError("applier never caught up with intake")
+        time.sleep(0.05)
+
+
+def run_kill9_recover(
+    work_dir: Path,
+    budget: float = 120.0,
+    # Not a multiple of the snapshot cadence, so recovery must exercise
+    # WAL replay, not just the snapshot load.
+    events: int = 130,
+    recovery_budget: float = 30.0,
+) -> ScenarioResult:
+    """SIGKILL a live serve process mid-ingest; the restart must match."""
+    started = time.monotonic()
+    data_dir = work_dir / "kill9"
+    victim = _spawn_serve(data_dir)
+    restarted: Optional[subprocess.Popen] = None
+    try:
+        host, port = wait_for_endpoint(data_dir)
+        for base in range(0, events, 30):
+            batch = [_event(base + j) for j in range(min(30, events - base))]
+            status, _body = _post_json(
+                host, port, "/ingest/attacks?feed=telescope", batch
+            )
+            if status not in (202,):
+                return ScenarioResult(
+                    "kill9-recover", EXPECT_EQUIVALENT, False,
+                    f"ingest answered {status}", time.monotonic() - started,
+                )
+        _await_applied(host, port, budget / 2)
+        before = _get_json(host, port, "/digest")
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.wait(timeout=10)
+        # The endpoint file still names the dead process; remove it so
+        # readiness below cannot race against the stale port.
+        (data_dir / ENDPOINT_FILE).unlink()
+        restart_begin = time.monotonic()
+        restarted = _spawn_serve(data_dir)
+        host, port = wait_for_endpoint(data_dir)
+        recovery_elapsed = time.monotonic() - restart_begin
+        after = _get_json(host, port, "/digest")
+        stats = _get_json(host, port, "/stats")
+        problems = []
+        if after["digest"] != before["digest"]:
+            problems.append(
+                "digest mismatch after kill -9 "
+                f"({before['digest'][:12]} != {after['digest'][:12]})"
+            )
+        if recovery_elapsed > recovery_budget:
+            problems.append(
+                f"recovery took {recovery_elapsed:.1f}s "
+                f"(budget {recovery_budget:.0f}s)"
+            )
+        elapsed = time.monotonic() - started
+        if problems:
+            return ScenarioResult(
+                "kill9-recover", EXPECT_EQUIVALENT, False,
+                "; ".join(problems), elapsed,
+            )
+        recovery = stats["recovery"]
+        return ScenarioResult(
+            "kill9-recover", EXPECT_EQUIVALENT, True,
+            f"digest identical after SIGKILL; snapshot seq "
+            f"{recovery['snapshot_seq']}, replayed {recovery['replayed']}, "
+            f"ready again in {recovery_elapsed:.1f}s",
+            elapsed,
+        )
+    except (TimeoutError, OSError, subprocess.SubprocessError) as exc:
+        return ScenarioResult(
+            "kill9-recover", EXPECT_EQUIVALENT, False,
+            f"{type(exc).__name__}: {exc}", time.monotonic() - started,
+        )
+    finally:
+        for proc in (victim, restarted):
+            if proc is not None and proc.poll() is None:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+
+
+def run_serve_chaos_drill(
+    work_dir: Path, quick: bool = False, scenario_budget: float = 120.0
+) -> List[ScenarioResult]:
+    """All serve scenarios; ``quick`` drops the slow-consumer soak."""
+    work_dir = Path(work_dir)
+    work_dir.mkdir(parents=True, exist_ok=True)
+    results = [run_ingest_burst(work_dir, budget=scenario_budget)]
+    if not quick:
+        results.append(run_slow_consumer(work_dir, budget=scenario_budget))
+    results.append(
+        run_kill9_recover(work_dir, budget=scenario_budget)
+    )
+    for result in results:
+        log.info(
+            "serve chaos scenario finished",
+            scenario=result.name,
+            passed=result.passed,
+            detail=result.detail,
+        )
+    return results
+
+
+__all__ = [
+    "EXPECT_EQUIVALENT",
+    "EXPECT_HYSTERESIS",
+    "EXPECT_SHED",
+    "run_ingest_burst",
+    "run_kill9_recover",
+    "run_serve_chaos_drill",
+    "run_slow_consumer",
+    "wait_for_endpoint",
+]

@@ -1,0 +1,364 @@
+"""The query and ingest API over :class:`LiveIngestService` (stdlib HTTP).
+
+Endpoints::
+
+    GET  /healthz                     liveness + drain flag
+    GET  /summary                     live Table-1-style aggregates
+    GET  /attacks?ip=A.B.C.D          recent events against one victim
+    GET  /attacks?prefix=A.B.C.0/24   ... against any victim in a /24 or /16
+    GET  /victims?prefix=A.B.C.0/24   victim IPs seen in a prefix
+    GET  /domains?domain=example.com  latest DPS status for one domain
+    GET  /domains                     DPS coverage counts
+    GET  /stats                       operational stats (queue, shed, recovery)
+    GET  /digest                      state digest (the equivalence oracle)
+    GET  /metrics                     Prometheus text exposition
+    POST /ingest/attacks?feed=F       ingest attack events (202 / 503)
+    POST /ingest/dps                  ingest DPS status records (202 / 503)
+
+Ingest bodies are JSON: either a bare array of records or
+``{"records": [...]}``. A refused batch answers **503** with a
+``Retry-After`` header — the admission queue is above its high
+watermark, a feed's circuit breaker is open, or the service is draining
+— and the client is expected to back off and resend; nothing refused was
+logged, so nothing refused is owed durability.
+
+The server is a ``ThreadingHTTPServer``: handler threads only validate
+and append (WAL + queue), the single applier thread owns all state
+mutation, and reads hit indexes guarded by the GIL plus the store's
+atomic-append discipline. ``run_service`` is the process entrypoint the
+CLI uses: it binds, writes ``endpoint.json`` (host, port, pid) into the
+data dir so drills and tests can discover an ephemeral port, installs
+SIGTERM/SIGINT handlers that drain gracefully, and exits 0.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.log import get_logger
+from repro.net.addressing import parse_ipv4
+from repro.serve.service import (
+    ATTACK_FEEDS,
+    FEED_DPS,
+    LiveIngestService,
+    ServeConfig,
+)
+from repro.serve.wal import KIND_ATTACK, KIND_DPS
+
+log = get_logger("serve.http")
+
+#: File the running service writes its bound address into (discovery for
+#: drills and tests that start the service on an ephemeral port).
+ENDPOINT_FILE = "endpoint.json"
+
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+def _parse_prefix(text: str) -> Tuple[int, int]:
+    """``A.B.C.0/24`` -> (base address, length); /24 and /16 only."""
+    if "/" not in text:
+        raise ValueError("prefix must look like A.B.C.0/24")
+    base_text, _, length_text = text.partition("/")
+    length = int(length_text)
+    if length not in (24, 16):
+        raise ValueError("prefix queries support /24 and /16 only")
+    return parse_ipv4(base_text), length
+
+
+class ServeRequestHandler(BaseHTTPRequestHandler):
+    """Routes requests to the service; JSON in, JSON out."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> LiveIngestService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # -- plumbing -------------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        log.debug("http", request=format % args)
+
+    def _send_json(
+        self, status: int, body: dict, retry_after: Optional[float] = None
+    ) -> None:
+        payload = json.dumps(body, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        if retry_after is not None:
+            self.send_header("Retry-After", f"{retry_after:g}")
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        payload = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _read_records(self) -> Optional[list]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._send_json(400, {"error": "body required (JSON records)"})
+            return None
+        try:
+            data = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            self._send_json(400, {"error": "body is not valid JSON"})
+            return None
+        if isinstance(data, dict) and isinstance(data.get("records"), list):
+            return data["records"]
+        if isinstance(data, list):
+            return data
+        self._send_json(
+            400, {"error": 'expected a JSON array or {"records": [...]}'}
+        )
+        return None
+
+    def _query(self) -> dict:
+        return {
+            key: values[-1]
+            for key, values in parse_qs(urlparse(self.path).query).items()
+        }
+
+    def _limit(self, query: dict, default: int = 50) -> int:
+        try:
+            return max(1, min(1000, int(query.get("limit", default))))
+        except ValueError:
+            return default
+
+    # -- GET ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802
+        path = urlparse(self.path).path
+        query = self._query()
+        try:
+            if path == "/healthz":
+                self._send_json(
+                    200,
+                    {"ok": True, "draining": self.service._draining.is_set()},
+                )
+            elif path == "/summary":
+                self._send_json(200, self.service.store.summary())
+            elif path == "/attacks":
+                self._get_attacks(query)
+            elif path == "/victims":
+                base, length = _parse_prefix(query.get("prefix", ""))
+                victims = self.service.store.victims_in_prefix(base, length)
+                self._send_json(
+                    200,
+                    {
+                        "prefix": query["prefix"],
+                        "count": len(victims),
+                        "victims": victims,
+                    },
+                )
+            elif path == "/domains":
+                self._get_domains(query)
+            elif path == "/stats":
+                self._send_json(200, self.service.stats())
+            elif path == "/digest":
+                self._send_json(
+                    200,
+                    {
+                        "digest": self.service.store.state_digest(),
+                        "applied_seq": self.service._applied_seq,
+                    },
+                )
+            elif path == "/metrics":
+                self._send_text(
+                    200,
+                    self.service.metrics.render_prometheus(),
+                    "text/plain; version=0.0.4",
+                )
+            else:
+                self._send_json(404, {"error": f"no such endpoint: {path}"})
+        except ValueError as exc:
+            self._send_json(400, {"error": str(exc)})
+
+    def _get_attacks(self, query: dict) -> None:
+        limit = self._limit(query)
+        if "ip" in query:
+            victim = parse_ipv4(query["ip"])
+            events = self.service.store.events_for_ip(victim, limit=limit)
+            self._send_json(
+                200, {"ip": query["ip"], "count": len(events), "events": events}
+            )
+        elif "prefix" in query:
+            base, length = _parse_prefix(query["prefix"])
+            events = self.service.store.events_for_prefix(
+                base, length, limit=limit
+            )
+            self._send_json(
+                200,
+                {
+                    "prefix": query["prefix"],
+                    "count": len(events),
+                    "events": events,
+                },
+            )
+        else:
+            raise ValueError("need ?ip= or ?prefix=")
+
+    def _get_domains(self, query: dict) -> None:
+        store = self.service.store
+        if "domain" in query:
+            status = store.domain_status(query["domain"])
+            if status is None:
+                self._send_json(
+                    404, {"error": f"domain not seen: {query['domain']}"}
+                )
+            else:
+                self._send_json(200, status)
+        else:
+            self._send_json(
+                200,
+                {
+                    "domains": len(store._dps),
+                    "protected": store.protected_domains(),
+                },
+            )
+
+    # -- POST -----------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802
+        path = urlparse(self.path).path
+        query = self._query()
+        if path == "/ingest/attacks":
+            feed = query.get("feed", ATTACK_FEEDS[0])
+            if feed not in ATTACK_FEEDS:
+                self._send_json(
+                    400,
+                    {
+                        "error": f"unknown feed {feed!r} "
+                        f"(feeds: {', '.join(ATTACK_FEEDS)})"
+                    },
+                )
+                return
+            self._ingest(feed, KIND_ATTACK)
+        elif path == "/ingest/dps":
+            self._ingest(FEED_DPS, KIND_DPS)
+        else:
+            self._send_json(404, {"error": f"no such endpoint: {path}"})
+
+    def _ingest(self, feed: str, kind: str) -> None:
+        records = self._read_records()
+        if records is None:
+            return
+        result = self.service.submit(feed, kind, records)
+        if result.refused:
+            self._send_json(
+                503, result.to_dict(), retry_after=result.retry_after
+            )
+        elif result.accepted == 0 and result.rejected:
+            self._send_json(400, result.to_dict())
+        else:
+            self._send_json(202, result.to_dict())
+
+
+class ServeHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that carries the service for its handlers."""
+
+    daemon_threads = True
+
+    def __init__(self, address, service: LiveIngestService) -> None:
+        super().__init__(address, ServeRequestHandler)
+        self.service = service
+
+
+def write_endpoint_file(
+    data_dir: Path, host: str, port: int, pid: int
+) -> Path:
+    path = Path(data_dir) / ENDPOINT_FILE
+    path.write_text(
+        json.dumps({"host": host, "port": port, "pid": pid}, sort_keys=True)
+        + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def read_endpoint_file(data_dir: Path) -> dict:
+    return json.loads(
+        (Path(data_dir) / ENDPOINT_FILE).read_text(encoding="utf-8")
+    )
+
+
+def run_service(
+    config: ServeConfig,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    metrics=None,
+    install_signals: bool = True,
+    ready_event: Optional[threading.Event] = None,
+) -> int:
+    """Boot the service, serve until SIGTERM/SIGINT, drain, exit 0.
+
+    Binding before recovery would let queries race an unrecovered store,
+    so the order is: recover + start applier, bind, write the endpoint
+    file, serve. On signal the HTTP listener closes first (no new work),
+    then the service drains (backlog applied, final snapshot, WAL
+    flushed) — the graceful half of the crash-safety story; the
+    ungraceful half is the WAL.
+    """
+    import os
+
+    service = LiveIngestService(config, metrics=metrics)
+    info = service.start()
+    server = ServeHTTPServer((host, port), service)
+    bound_host, bound_port = server.server_address[:2]
+    write_endpoint_file(service.data_dir, bound_host, bound_port, os.getpid())
+    stop = threading.Event()
+
+    def _handle(signum, frame) -> None:
+        log.info("signal received; draining", signal=signum)
+        stop.set()
+
+    if install_signals:
+        signal.signal(signal.SIGTERM, _handle)
+        signal.signal(signal.SIGINT, _handle)
+    server_thread = threading.Thread(
+        target=server.serve_forever,
+        kwargs={"poll_interval": 0.1},
+        name="repro-serve-http",
+        daemon=True,
+    )
+    server_thread.start()
+    log.info(
+        "serving",
+        host=bound_host,
+        port=bound_port,
+        recovered=not info.fresh_start,
+        replayed=info.replayed,
+    )
+    if ready_event is not None:
+        ready_event.set()
+    try:
+        while not stop.wait(0.2):
+            pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        server_thread.join(timeout=2.0)
+        service.drain()
+    return 0
+
+
+__all__ = [
+    "ENDPOINT_FILE",
+    "ServeHTTPServer",
+    "ServeRequestHandler",
+    "read_endpoint_file",
+    "run_service",
+    "write_endpoint_file",
+]

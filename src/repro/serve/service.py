@@ -1,0 +1,588 @@
+"""The live ingestion service: intake, apply, snapshot, recover, drain.
+
+Data path (one-way, deterministic)::
+
+    HTTP handler threads                    applier thread
+    --------------------                    --------------
+    validate records
+    breaker / watermark check
+    [intake lock]
+      assign sequence numbers
+      append to WAL  (ack point)  ------>   take batch from queue
+      push to admission queue               apply to LiveFusedStore
+      tombstone any drop-oldest             rolling snapshot when due
+    ack 202 / 503+Retry-After
+
+The *ack point* is the WAL append: a record answered 202 is on disk
+before the client hears back, so ``kill -9`` anywhere in this diagram
+loses nothing acknowledged. Recovery is therefore snapshot-load + WAL
+replay, and because every apply is a deterministic function of (state,
+record) — including the rejections — the recovered store is
+value-identical to one that never crashed.
+
+Supervision: the applier carries a heartbeat the watchdog thread checks
+(the same contract the batch executor's
+:class:`~repro.exec.pool.SupervisedPool` watchdog enforces on workers —
+here a stall is reported and counted rather than killed, since the
+applier owns unreplayed in-memory ordering); each feed has a
+:class:`~repro.exec.breaker.CircuitBreaker` so a feed whose records keep
+failing at apply is refused at the door until its cooldown.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.core.events import validate_event_dict
+from repro.exec.breaker import CircuitBreaker
+from repro.log import get_logger
+from repro.obs.metrics import MetricsRegistry, NullRegistry, get_registry
+from repro.pipeline.datasets import event_from_dict, event_to_dict
+from repro.serve.admission import AdmissionQueue, QueueEntry, SubmitResult
+from repro.serve.snapshot import SnapshotManager, snapshot_stage_name
+from repro.serve.state import (
+    LiveFusedStore,
+    validate_dps_record,
+)
+from repro.serve.wal import (
+    KIND_ATTACK,
+    KIND_DPS,
+    KIND_SHED,
+    WriteAheadLog,
+)
+from repro.store.checkpoint import CheckpointStore
+
+log = get_logger("serve")
+
+#: Feeds the service accepts attack events from (label space for
+#: breakers and shed counters; "dps" is the domain-status feed).
+ATTACK_FEEDS = ("telescope", "honeypot")
+FEED_DPS = "dps"
+ALL_SERVE_FEEDS = ATTACK_FEEDS + (FEED_DPS,)
+
+#: Subdirectory of the data dir holding WAL segments.
+WAL_DIR = "wal"
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Every knob of the service's robustness envelope."""
+
+    data_dir: Union[str, Path]
+    queue_size: int = 4096
+    high_watermark: Optional[int] = None
+    low_watermark: Optional[int] = None
+    retry_after: float = 1.0
+    snapshot_every_events: int = 2000
+    snapshot_interval_s: float = 30.0
+    snapshot_keep: int = 2
+    wal_fsync_every: int = 64
+    max_events_per_victim: int = 256
+    baseline_days: int = 7
+    alert_factor: float = 3.0
+    apply_batch: int = 256
+    heartbeat_timeout: float = 10.0
+    drain_timeout: float = 30.0
+    breaker_threshold: int = 8
+    breaker_cooldown: float = 5.0
+    #: Chaos/test hook: seconds the applier sleeps per record (a slow
+    #: consumer without monkeypatching).
+    apply_delay: float = 0.0
+
+
+@dataclass
+class RecoveryInfo:
+    """What recovery did at the last start."""
+
+    snapshot_seq: int = 0
+    replayed: int = 0
+    torn_lines: int = 0
+    discarded_snapshots: int = 0
+    replay_rejected: int = 0
+    duration_s: float = 0.0
+    fresh_start: bool = True
+
+    def to_dict(self) -> dict:
+        return {
+            "snapshot_seq": self.snapshot_seq,
+            "replayed": self.replayed,
+            "torn_lines": self.torn_lines,
+            "discarded_snapshots": self.discarded_snapshots,
+            "replay_rejected": self.replay_rejected,
+            "duration_s": self.duration_s,
+            "fresh_start": self.fresh_start,
+        }
+
+
+class LiveIngestService:
+    """Long-running, crash-recoverable ingestion into a fused store."""
+
+    def __init__(
+        self,
+        config: ServeConfig,
+        metrics=None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config
+        self.data_dir = Path(config.data_dir)
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self._clock = clock
+        # A server's /metrics endpoint is part of its API: when neither
+        # the caller nor process telemetry provides a live registry,
+        # make one rather than silently serving an empty exposition.
+        registry = metrics if metrics is not None else get_registry()
+        if isinstance(registry, NullRegistry):
+            registry = MetricsRegistry()
+        self.metrics = registry
+        self.queue = AdmissionQueue(
+            maxsize=config.queue_size,
+            high_watermark=config.high_watermark,
+            low_watermark=config.low_watermark,
+            retry_after=config.retry_after,
+            metrics=registry,
+        )
+        self.wal = WriteAheadLog(
+            self.data_dir / WAL_DIR,
+            fsync_every=config.wal_fsync_every,
+            metrics=registry,
+        )
+        self.snapshots = SnapshotManager(
+            CheckpointStore(self.data_dir, metrics=registry),
+            keep=config.snapshot_keep,
+            metrics=registry,
+        )
+        self.store = LiveFusedStore(
+            baseline_days=config.baseline_days,
+            alert_factor=config.alert_factor,
+            max_events_per_victim=config.max_events_per_victim,
+            metrics=registry,
+        )
+        self.breakers: Dict[str, CircuitBreaker] = {
+            feed: CircuitBreaker(
+                f"serve-{feed}",
+                failure_threshold=config.breaker_threshold,
+                cooldown=config.breaker_cooldown,
+                clock=clock,
+                metrics=registry,
+            )
+            for feed in ALL_SERVE_FEEDS
+        }
+        self.recovery = RecoveryInfo()
+        # Plain mirrors of the hot counters, so /stats and tests work
+        # without a live metrics registry.
+        self.accepted_by_feed: Dict[str, int] = {}
+        self.rejected_by_feed: Dict[str, int] = {}
+        self.refused_by_feed: Dict[str, int] = {}
+        self.dropped_by_feed: Dict[str, int] = {}
+        self.apply_rejected = 0
+        self.watchdog_stalls = 0
+        self._m_rejected = registry.counter(
+            "serve_rejected_total", "ingest records rejected by validation",
+            ("feed", "reason"),
+        )
+        self._m_apply_rejected = registry.counter(
+            "serve_apply_rejected_total",
+            "records that failed deterministically at apply",
+            ("feed",),
+        )
+        self._m_snapshot_age = registry.gauge(
+            "serve_snapshot_age_seconds",
+            "seconds since the last completed snapshot",
+        )
+        self._m_recovery_s = registry.gauge(
+            "serve_recovery_duration_seconds",
+            "wall time the last crash recovery took",
+        )
+        self._m_recovery_replayed = registry.gauge(
+            "serve_recovery_replayed", "WAL records replayed at last start"
+        )
+        self._m_heartbeat_age = registry.gauge(
+            "serve_applier_heartbeat_age_seconds",
+            "seconds since the applier last made progress",
+        )
+        self._m_stalls = registry.counter(
+            "serve_watchdog_stalls_total",
+            "heartbeat timeouts the watchdog observed",
+        )
+        # Intake lock serializes seq assignment + WAL append + enqueue,
+        # making WAL order identical to apply order.
+        self._intake_lock = threading.Lock()
+        self._seq = 0
+        self._applied_seq = 0
+        self._applied_since_snapshot = 0
+        self._last_snapshot_at = clock()
+        self._last_beat = clock()
+        self._started_at = clock()
+        self._stop = threading.Event()
+        self._draining = threading.Event()
+        self._applier: Optional[threading.Thread] = None
+        self._watchdog: Optional[threading.Thread] = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> RecoveryInfo:
+        """Recover durable state, then start the applier and watchdog."""
+        info = self._recover()
+        self._applier = threading.Thread(
+            target=self._apply_loop, name="repro-serve-applier", daemon=True
+        )
+        self._applier.start()
+        self._watchdog = threading.Thread(
+            target=self._watch_loop, name="repro-serve-watchdog", daemon=True
+        )
+        self._watchdog.start()
+        log.info(
+            "service started",
+            data_dir=str(self.data_dir),
+            snapshot_seq=info.snapshot_seq,
+            replayed=info.replayed,
+        )
+        return info
+
+    def _recover(self) -> RecoveryInfo:
+        started = self._clock()
+        info = RecoveryInfo()
+        # Newest snapshot that both verifies (checksums, at the store
+        # layer) and decodes (state version, here). Either failure mode
+        # discards the snapshot and falls back one generation — the WAL
+        # still covers the widened gap.
+        while True:
+            loaded = self.snapshots.load_newest_valid()
+            info.discarded_snapshots += len(loaded.discarded)
+            if not loaded.found:
+                break
+            try:
+                payload = loaded.payload
+                self.store = LiveFusedStore.from_state_dict(
+                    payload["state"], metrics=self.metrics
+                )
+                info.snapshot_seq = int(payload["seq"])
+                info.fresh_start = False
+                break
+            except (ValueError, KeyError, TypeError) as exc:
+                log.warning(
+                    "snapshot payload unusable; falling back",
+                    seq=loaded.seq,
+                    error=str(exc),
+                )
+                self.snapshots.store.discard(snapshot_stage_name(loaded.seq))
+                info.discarded_snapshots += 1
+        records, report = self.wal.replay(after_seq=info.snapshot_seq)
+        info.torn_lines = report.torn_lines
+        for record in records:
+            try:
+                self._apply_record(record.kind, record.record, feed="replay")
+            except ValueError:
+                # Deterministic apply rejection: the live process skipped
+                # this record too, so skipping it again is equivalence,
+                # not loss.
+                info.replay_rejected += 1
+            info.replayed += 1
+        highest = max(info.snapshot_seq, self.wal.max_seq())
+        self._seq = highest
+        self._applied_seq = highest
+        # Continue the tail segment if one exists; else start fresh.
+        segments = self.wal.segments()
+        if segments:
+            from repro.serve.wal import segment_first_seq
+
+            self.wal.open_segment(segment_first_seq(segments[-1].name))
+        else:
+            self.wal.open_segment(self._seq + 1)
+        info.duration_s = self._clock() - started
+        self.recovery = info
+        self._m_recovery_s.set(info.duration_s)
+        self._m_recovery_replayed.set(info.replayed)
+        self._last_snapshot_at = self._clock()
+        if info.replayed or not info.fresh_start:
+            log.info(
+                "state recovered",
+                snapshot_seq=info.snapshot_seq,
+                replayed=info.replayed,
+                torn=info.torn_lines,
+                discarded_snapshots=info.discarded_snapshots,
+                duration_s=round(info.duration_s, 3),
+            )
+        return info
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Graceful shutdown: refuse intake, apply the backlog, snapshot.
+
+        Returns True when the queue fully drained inside *timeout* —
+        either way the WAL is flushed and the state snapshotted, so
+        nothing acknowledged is lost even on a timed-out drain.
+        """
+        timeout = timeout if timeout is not None else self.config.drain_timeout
+        self._draining.set()
+        deadline = self._clock() + timeout
+        drained = True
+        while self.queue.depth > 0:
+            if self._clock() >= deadline:
+                drained = False
+                log.warning(
+                    "drain timed out with entries queued",
+                    depth=self.queue.depth,
+                )
+                break
+            time.sleep(0.02)
+        self._stop.set()
+        self.queue.wake()
+        if self._applier is not None:
+            self._applier.join(timeout=max(timeout, 1.0))
+        if self._watchdog is not None:
+            self._watchdog.join(timeout=1.0)
+        self._snapshot_now()
+        self.wal.flush()
+        self.wal.close()
+        log.info("service drained", drained=drained, seq=self._applied_seq)
+        return drained
+
+    def quiesce(self, timeout: float = 30.0) -> bool:
+        """Wait until every admitted record was applied or dropped.
+
+        Queue depth alone is not enough: the applier takes entries in
+        batches, so the queue can read empty while a batch is still
+        being applied. This settles on the accounting identity instead —
+        applied + apply-rejected + dropped catches up with accepted.
+        Drills and tests use it; the serving path never needs to.
+        """
+        deadline = self._clock() + timeout
+        while True:
+            admitted = sum(self.accepted_by_feed.values())
+            settled = (
+                self.store.applied_events
+                + self.store.applied_dps
+                + self.apply_rejected
+                + sum(self.dropped_by_feed.values())
+            )
+            if self.queue.depth == 0 and settled >= admitted:
+                return True
+            if self._clock() >= deadline:
+                return False
+            time.sleep(0.01)
+
+    def stop(self) -> None:
+        """Hard stop (tests): no drain, no final snapshot."""
+        self._draining.set()
+        self._stop.set()
+        self.queue.wake()
+        if self._applier is not None:
+            self._applier.join(timeout=5.0)
+        if self._watchdog is not None:
+            self._watchdog.join(timeout=1.0)
+        self.wal.close()
+
+    # -- intake ---------------------------------------------------------------
+
+    def submit(
+        self, feed: str, kind: str, records: List[dict]
+    ) -> SubmitResult:
+        """Validate, admit, log and enqueue one ingest batch."""
+        if feed not in ALL_SERVE_FEEDS:
+            result = SubmitResult(rejected=len(records))
+            result.reasons["unknown-feed"] = len(records)
+            return result
+        result = SubmitResult()
+        if self._draining.is_set():
+            result.retry_after = self.config.retry_after
+            return result
+        breaker = self.breakers[feed]
+        if not breaker.allow():
+            self.refused_by_feed[feed] = (
+                self.refused_by_feed.get(feed, 0) + len(records)
+            )
+            result.retry_after = self.config.breaker_cooldown
+            return result
+        valid: List[dict] = []
+        validator = (
+            validate_event_dict if kind == KIND_ATTACK else validate_dps_record
+        )
+        for record in records:
+            reason = validator(record)
+            if reason is None:
+                valid.append(record)
+            else:
+                result.rejected += 1
+                result.reasons[reason] = result.reasons.get(reason, 0) + 1
+                self._m_rejected.inc(feed=feed, reason=reason)
+        if result.rejected:
+            self.rejected_by_feed[feed] = (
+                self.rejected_by_feed.get(feed, 0) + result.rejected
+            )
+        if not valid:
+            return result
+        retry_after = self.queue.refuse(feed, len(valid))
+        if retry_after is not None:
+            self.refused_by_feed[feed] = (
+                self.refused_by_feed.get(feed, 0) + len(valid)
+            )
+            result.shed = len(valid)
+            result.retry_after = retry_after
+            return result
+        with self._intake_lock:
+            entries = []
+            for record in valid:
+                self._seq += 1
+                self.wal.append(self._seq, kind, record)
+                entries.append(
+                    QueueEntry(
+                        seq=self._seq, kind=kind, feed=feed, record=record
+                    )
+                )
+            dropped = self.queue.push(entries)
+            if dropped:
+                # Make the drop decision durable *before* acknowledging,
+                # so replay and the live process agree on what was shed.
+                self._seq += 1
+                self.wal.append(
+                    self._seq,
+                    KIND_SHED,
+                    {
+                        "seqs": [entry.seq for entry in dropped],
+                        "feed": feed,
+                    },
+                )
+                for entry in dropped:
+                    self.dropped_by_feed[entry.feed] = (
+                        self.dropped_by_feed.get(entry.feed, 0) + 1
+                    )
+        result.accepted = len(valid)
+        self.accepted_by_feed[feed] = (
+            self.accepted_by_feed.get(feed, 0) + len(valid)
+        )
+        return result
+
+    # -- applier --------------------------------------------------------------
+
+    def _apply_record(self, kind: str, record: dict, feed: str) -> None:
+        if kind == KIND_ATTACK:
+            self.store.apply_attack(record)
+        elif kind == KIND_DPS:
+            self.store.apply_dps(record)
+        else:  # pragma: no cover - intake validates kinds
+            raise ValueError(f"unknown record kind {kind!r}")
+
+    def _apply_loop(self) -> None:
+        delay = self.config.apply_delay
+        while True:
+            batch = self.queue.take(
+                max_items=self.config.apply_batch, timeout=0.1
+            )
+            if not batch:
+                self._beat()
+                if self._stop.is_set():
+                    return
+                continue
+            for entry in batch:
+                if delay:
+                    time.sleep(delay)
+                try:
+                    self._apply_record(entry.kind, entry.record, entry.feed)
+                except ValueError as exc:
+                    # Deterministic rejection (e.g. out-of-order beyond
+                    # tolerance): counted, breaker-charged, and — because
+                    # the same record replays to the same rejection —
+                    # recovery stays value-identical.
+                    self.apply_rejected += 1
+                    self._m_apply_rejected.inc(feed=entry.feed)
+                    self.breakers[entry.feed].record_failure(str(exc))
+                else:
+                    self.breakers[entry.feed].record_success()
+                self._applied_seq = max(self._applied_seq, entry.seq)
+                self._applied_since_snapshot += 1
+                self._beat()
+            self._maybe_snapshot()
+
+    def _beat(self) -> None:
+        self._last_beat = self._clock()
+
+    def _maybe_snapshot(self) -> None:
+        due_events = (
+            self._applied_since_snapshot >= self.config.snapshot_every_events
+        )
+        due_time = (
+            self._applied_since_snapshot > 0
+            and self._clock() - self._last_snapshot_at
+            >= self.config.snapshot_interval_s
+        )
+        if due_events or due_time:
+            self._snapshot_now()
+
+    def _snapshot_now(self) -> None:
+        seq = self._applied_seq
+        payload = {"seq": seq, "state": self.store.state_dict()}
+        self.snapshots.save(seq, payload)
+        # Rotate under the intake lock: concurrent appends must not race
+        # the segment switch, and the fresh segment starts above every
+        # sequence number handed out so far.
+        with self._intake_lock:
+            self.wal.rotate(self._seq + 1)
+        # Prune only up to the *oldest retained* snapshot, not this one:
+        # if this snapshot is later found corrupt, recovery falls back to
+        # an older one and needs the WAL span between them intact.
+        retained = self.snapshots.seqs()
+        if retained:
+            self.wal.prune(retained[0])
+        self._applied_since_snapshot = 0
+        self._last_snapshot_at = self._clock()
+        self._m_snapshot_age.set(0.0)
+        log.debug("rolling snapshot", seq=seq)
+
+    # -- watchdog -------------------------------------------------------------
+
+    def _watch_loop(self) -> None:
+        interval = max(0.05, min(1.0, self.config.heartbeat_timeout / 4))
+        while not self._stop.wait(interval):
+            age = self._clock() - self._last_beat
+            self._m_heartbeat_age.set(age)
+            self._m_snapshot_age.set(self._clock() - self._last_snapshot_at)
+            if age > self.config.heartbeat_timeout and self.queue.depth > 0:
+                self.watchdog_stalls += 1
+                self._m_stalls.inc()
+                log.error(
+                    "applier heartbeat stale",
+                    age_s=round(age, 2),
+                    depth=self.queue.depth,
+                )
+
+    # -- introspection --------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Operational snapshot for ``GET /stats`` (plain values)."""
+        return {
+            "uptime_s": self._clock() - self._started_at,
+            "seq": self._seq,
+            "applied_seq": self._applied_seq,
+            "queue_depth": self.queue.depth,
+            "shedding": self.queue.shedding,
+            "draining": self._draining.is_set(),
+            "accepted": dict(sorted(self.accepted_by_feed.items())),
+            "rejected": dict(sorted(self.rejected_by_feed.items())),
+            "refused": dict(sorted(self.refused_by_feed.items())),
+            "dropped": dict(sorted(self.dropped_by_feed.items())),
+            "apply_rejected": self.apply_rejected,
+            "watchdog_stalls": self.watchdog_stalls,
+            "snapshot_seqs": self.snapshots.seqs(),
+            "snapshot_age_s": self._clock() - self._last_snapshot_at,
+            "breakers": {
+                feed: breaker.state
+                for feed, breaker in sorted(self.breakers.items())
+            },
+            "recovery": self.recovery.to_dict(),
+            "summary": self.store.summary(),
+        }
+
+
+__all__ = [
+    "ALL_SERVE_FEEDS",
+    "ATTACK_FEEDS",
+    "FEED_DPS",
+    "LiveIngestService",
+    "RecoveryInfo",
+    "ServeConfig",
+    "WAL_DIR",
+]

@@ -1,0 +1,266 @@
+"""Rolling fused state with query indexes: what the service serves from.
+
+:class:`LiveFusedStore` wraps the incremental
+:class:`~repro.core.streaming.StreamingFusion` (Table-1 aggregates, day
+summaries, spike alerts) and adds the indexes a query API needs to stay
+O(1) per request while the stream is still flowing:
+
+* ``victim ip -> recent events`` (bounded ring per victim, so one
+  much-attacked IP cannot grow memory without limit);
+* ``/24 and /16 prefix -> victim set`` (prefix queries without scans);
+* ``domain -> latest DPS status record``.
+
+Everything here is deterministic: applying the same record sequence to a
+fresh store — in one process or across any number of crash/recover
+cycles — produces the same :meth:`state_digest`. That property is what
+the recovery drills assert.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set
+
+from repro.core.events import AttackEvent
+from repro.core.streaming import FUSION_STATE_VERSION, StreamingFusion
+from repro.core.webmap import WebHostingIndex
+from repro.net.addressing import slash16, slash24
+from repro.obs.metrics import get_registry
+from repro.pipeline.datasets import event_from_dict, event_to_dict
+
+#: Version of the serialized LiveFusedStore state (snapshot payloads).
+STORE_STATE_VERSION = 1
+
+
+def validate_dps_record(data) -> Optional[str]:
+    """Validate one DPS status record; None when valid, else a reason code."""
+    if not isinstance(data, dict):
+        return "not-an-object"
+    domain = data.get("domain")
+    if not isinstance(domain, str) or not domain:
+        return "bad-type:domain"
+    provider = data.get("provider")
+    if not isinstance(provider, str) or not provider:
+        return "bad-type:provider"
+    day = data.get("day")
+    if isinstance(day, bool) or not isinstance(day, int):
+        return "bad-type:day"
+    if day < 0:
+        return "out-of-range:day"
+    if "active" in data and not isinstance(data["active"], bool):
+        return "bad-type:active"
+    return None
+
+
+def normalize_dps_record(data: dict) -> dict:
+    """The canonical form a valid DPS record is stored and replayed as."""
+    return {
+        "domain": data["domain"],
+        "provider": data["provider"],
+        "day": data["day"],
+        "active": bool(data.get("active", True)),
+    }
+
+
+class LiveFusedStore:
+    """Fused state + query indexes over an incremental event stream."""
+
+    def __init__(
+        self,
+        web_index: Optional[WebHostingIndex] = None,
+        baseline_days: int = 7,
+        alert_factor: float = 3.0,
+        max_events_per_victim: int = 256,
+        fusion: Optional[StreamingFusion] = None,
+        metrics=None,
+    ) -> None:
+        if max_events_per_victim < 1:
+            raise ValueError("need to keep at least one event per victim")
+        self.fusion = (
+            fusion
+            if fusion is not None
+            else StreamingFusion(
+                web_index=web_index,
+                baseline_days=baseline_days,
+                alert_factor=alert_factor,
+            )
+        )
+        self.max_events_per_victim = max_events_per_victim
+        self.applied_events = 0
+        self.applied_dps = 0
+        self._by_victim: Dict[int, Deque[dict]] = {}
+        self._victims_by_slash24: Dict[int, Set[int]] = {}
+        self._victims_by_slash16: Dict[int, Set[int]] = {}
+        self._dps: Dict[str, dict] = {}
+        registry = metrics if metrics is not None else get_registry()
+        self._m_applied = registry.counter(
+            "serve_applied_total", "records applied to the fused store",
+            ("kind",),
+        )
+
+    # -- applying -------------------------------------------------------------
+
+    def apply_attack(self, record: dict) -> None:
+        """Apply one validated attack-event record (normalizing first).
+
+        Order matters: the fusion's own monotonicity check runs *before*
+        any index mutation, so a rejected record (out-of-order beyond the
+        one-day tolerance) leaves the store untouched — the all-or-nothing
+        property replay determinism rests on.
+        """
+        event = event_from_dict(record)
+        self.fusion.ingest(event)
+        normalized = event_to_dict(event)
+        victim = event.target
+        ring = self._by_victim.get(victim)
+        if ring is None:
+            ring = deque(maxlen=self.max_events_per_victim)
+            self._by_victim[victim] = ring
+        ring.append(normalized)
+        self._victims_by_slash24.setdefault(slash24(victim), set()).add(victim)
+        self._victims_by_slash16.setdefault(slash16(victim), set()).add(victim)
+        self.applied_events += 1
+        self._m_applied.inc(kind="attack")
+
+    def apply_dps(self, record: dict) -> None:
+        """Apply one validated DPS status record (latest-by-day wins)."""
+        normalized = normalize_dps_record(record)
+        domain = normalized["domain"]
+        current = self._dps.get(domain)
+        if current is None or normalized["day"] >= current["day"]:
+            self._dps[domain] = normalized
+        self.applied_dps += 1
+        self._m_applied.inc(kind="dps")
+
+    # -- queries --------------------------------------------------------------
+
+    def events_for_ip(self, ip: int, limit: int = 50) -> List[dict]:
+        """Most recent events against one victim IP, newest first."""
+        ring = self._by_victim.get(ip)
+        if not ring:
+            return []
+        return list(ring)[-limit:][::-1]
+
+    def events_for_prefix(
+        self, base: int, length: int, limit: int = 50
+    ) -> List[dict]:
+        """Most recent events against any victim in a /24 or /16."""
+        if length == 24:
+            victims = self._victims_by_slash24.get(slash24(base), ())
+        elif length == 16:
+            victims = self._victims_by_slash16.get(slash16(base), ())
+        else:
+            raise ValueError("prefix queries support /24 and /16 only")
+        merged: List[dict] = []
+        for victim in victims:
+            merged.extend(self._by_victim.get(victim, ()))
+        merged.sort(key=lambda e: (e["start_ts"], e["target"]), reverse=True)
+        return merged[:limit]
+
+    def victims_in_prefix(self, base: int, length: int) -> List[int]:
+        if length == 24:
+            return sorted(self._victims_by_slash24.get(slash24(base), ()))
+        if length == 16:
+            return sorted(self._victims_by_slash16.get(slash16(base), ()))
+        raise ValueError("prefix queries support /24 and /16 only")
+
+    def domain_status(self, domain: str) -> Optional[dict]:
+        """Latest DPS status for one domain, or None if never reported."""
+        record = self._dps.get(domain)
+        return dict(record) if record else None
+
+    def protected_domains(self) -> int:
+        return sum(1 for r in self._dps.values() if r["active"])
+
+    def summary(self) -> dict:
+        """Live Table-1-style aggregates plus stream health."""
+        summary = self.fusion.running_summary()
+        summary.update(
+            {
+                "days_closed": len(self.fusion.summaries),
+                "alerts": len(self.fusion.alerts),
+                "indexed_victims": len(self._by_victim),
+                "dps_domains": len(self._dps),
+                "dps_protected": self.protected_domains(),
+                "applied_events": self.applied_events,
+                "applied_dps": self.applied_dps,
+            }
+        )
+        return summary
+
+    # -- durable state --------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Canonical JSON-able capture of the entire store."""
+        return {
+            "version": STORE_STATE_VERSION,
+            "max_events_per_victim": self.max_events_per_victim,
+            "applied_events": self.applied_events,
+            "applied_dps": self.applied_dps,
+            "fusion": self.fusion.state_dict(),
+            "by_victim": {
+                str(victim): list(ring)
+                for victim, ring in sorted(self._by_victim.items())
+            },
+            "dps": {
+                domain: self._dps[domain] for domain in sorted(self._dps)
+            },
+        }
+
+    @classmethod
+    def from_state_dict(
+        cls,
+        state: dict,
+        web_index: Optional[WebHostingIndex] = None,
+        metrics=None,
+    ) -> "LiveFusedStore":
+        version = state.get("version")
+        if version != STORE_STATE_VERSION:
+            raise ValueError(
+                f"store state v{version!r}, this build reads "
+                f"v{STORE_STATE_VERSION}"
+            )
+        store = cls(
+            max_events_per_victim=int(state["max_events_per_victim"]),
+            fusion=StreamingFusion.from_state_dict(
+                state["fusion"], web_index=web_index
+            ),
+            metrics=metrics,
+        )
+        store.applied_events = int(state["applied_events"])
+        store.applied_dps = int(state["applied_dps"])
+        for victim_text, events in state["by_victim"].items():
+            victim = int(victim_text)
+            ring: Deque[dict] = deque(
+                events, maxlen=store.max_events_per_victim
+            )
+            store._by_victim[victim] = ring
+            store._victims_by_slash24.setdefault(
+                slash24(victim), set()
+            ).add(victim)
+            store._victims_by_slash16.setdefault(
+                slash16(victim), set()
+            ).add(victim)
+        store._dps = {
+            domain: dict(record)
+            for domain, record in state["dps"].items()
+        }
+        return store
+
+    def state_digest(self) -> str:
+        """SHA-256 of the canonical state: the equivalence oracle the
+        kill-9 drills compare across recoveries."""
+        canonical = json.dumps(
+            self.state_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+__all__ = [
+    "LiveFusedStore",
+    "STORE_STATE_VERSION",
+    "normalize_dps_record",
+    "validate_dps_record",
+]

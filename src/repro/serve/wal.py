@@ -1,0 +1,318 @@
+"""Append-only write-ahead log of accepted ingest records.
+
+Durability contract: an event is acknowledged to the client (HTTP 202)
+only after its WAL line reached the operating system — so a ``kill -9``
+at any instant loses nothing that was acknowledged, and recovery is
+snapshot-load + replay of the WAL tail. ``fsync`` is batched
+(``fsync_every``): a process kill never loses flushed writes, only a
+*power* failure can lose the last unfsynced batch, and the window is
+bounded and configurable.
+
+Layout: one directory of segment files, ``wal-<first_seq>.jsonl``. A
+segment is named after the first sequence number it may contain; the
+service rotates to a fresh segment at every snapshot, so pruning is
+"delete every segment whose successor starts at or below the snapshot
+sequence" — no rewrite, no read-modify-write, nothing to corrupt.
+
+Records are one JSON object per line::
+
+    {"seq": 17, "kind": "attack", "record": {...}}
+    {"seq": 42, "kind": "shed",   "record": {"seqs": [18, 19], "feed": "telescope"}}
+
+``shed`` tombstones make load shedding itself durable: when admission
+drops already-logged events (drop-oldest overflow), the drop decision is
+appended too, so replay skips exactly what the live process never
+applied — recovery stays value-identical even across an overload burst.
+
+Replay is tolerant of a torn tail: a crash mid-append leaves at most one
+unparseable final line per segment, which is discarded (and counted) —
+it was never acknowledged, so discarding it is correct, not lossy.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.log import get_logger
+from repro.obs.metrics import get_registry
+
+log = get_logger("serve.wal")
+
+#: Segment file naming: wal-<12-digit first seq>.jsonl
+SEGMENT_PREFIX = "wal-"
+SEGMENT_SUFFIX = ".jsonl"
+
+#: Record kinds the log carries.
+KIND_ATTACK = "attack"
+KIND_DPS = "dps"
+KIND_SHED = "shed"
+
+WAL_KINDS = (KIND_ATTACK, KIND_DPS, KIND_SHED)
+
+
+def segment_name(first_seq: int) -> str:
+    return f"{SEGMENT_PREFIX}{first_seq:012d}{SEGMENT_SUFFIX}"
+
+
+def segment_first_seq(name: str) -> Optional[int]:
+    """The first-seq a segment file name encodes, or None for other files."""
+    if not (name.startswith(SEGMENT_PREFIX) and name.endswith(SEGMENT_SUFFIX)):
+        return None
+    middle = name[len(SEGMENT_PREFIX):-len(SEGMENT_SUFFIX)]
+    if not middle.isdigit():
+        return None
+    return int(middle)
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One replayed WAL entry."""
+
+    seq: int
+    kind: str
+    record: dict
+
+
+@dataclass
+class ReplayReport:
+    """What a replay pass saw: applied, skipped and discarded lines."""
+
+    records: int = 0
+    shed_seqs: int = 0
+    torn_lines: int = 0
+    segments: int = 0
+
+
+class WriteAheadLog:
+    """Segmented JSONL write-ahead log with batched fsync.
+
+    Not thread-safe by itself: the service serializes appends under its
+    admission lock, which also makes WAL order the apply order.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        fsync_every: int = 64,
+        metrics=None,
+    ) -> None:
+        if fsync_every < 1:
+            raise ValueError("fsync_every must be at least one append")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync_every = fsync_every
+        self._handle = None
+        self._current_path: Optional[Path] = None
+        self._appends_since_fsync = 0
+        registry = metrics if metrics is not None else get_registry()
+        self._m_appends = registry.counter(
+            "serve_wal_appends_total", "WAL records appended", ("kind",)
+        )
+        self._m_bytes = registry.counter(
+            "serve_wal_bytes_total", "WAL bytes written"
+        )
+        self._m_fsyncs = registry.counter(
+            "serve_wal_fsyncs_total", "WAL fsync calls"
+        )
+
+    # -- segments -------------------------------------------------------------
+
+    def segments(self) -> List[Path]:
+        """Segment files on disk, in first-seq order."""
+        found = []
+        for path in self.directory.iterdir():
+            first = segment_first_seq(path.name)
+            if first is not None:
+                found.append((first, path))
+        return [path for _first, path in sorted(found)]
+
+    def open_segment(self, first_seq: int) -> None:
+        """Start appending to the segment that begins at *first_seq*.
+
+        Appending to an existing segment continues it (the recovery path
+        re-opens the tail segment rather than abandoning it).
+        """
+        self._close_handle()
+        self._current_path = self.directory / segment_name(first_seq)
+        self._handle = open(self._current_path, "a", encoding="utf-8")
+        self._appends_since_fsync = 0
+
+    def rotate(self, next_seq: int) -> None:
+        """Close the current segment and open a fresh one at *next_seq*.
+
+        Called right after a snapshot: records at and above *next_seq*
+        land in the new segment, so every older segment holds only
+        sequences the snapshot already covers once the applier catches up.
+        """
+        self._fsync()
+        self.open_segment(next_seq)
+
+    def prune(self, upto_seq: int) -> int:
+        """Delete segments fully covered by a snapshot at *upto_seq*.
+
+        A segment is removable when it is not the current one and the
+        *next* segment starts at or below ``upto_seq + 1`` — i.e. every
+        record it can contain has ``seq <= upto_seq``.
+        """
+        removed = 0
+        segments = self.segments()
+        for index, path in enumerate(segments):
+            if path == self._current_path:
+                continue
+            if index + 1 >= len(segments):
+                continue
+            next_first = segment_first_seq(segments[index + 1].name)
+            if next_first is not None and next_first <= upto_seq + 1:
+                try:
+                    path.unlink()
+                    removed += 1
+                except FileNotFoundError:
+                    pass
+        if removed:
+            log.debug("wal segments pruned", removed=removed, upto=upto_seq)
+        return removed
+
+    # -- appending ------------------------------------------------------------
+
+    def append(self, seq: int, kind: str, record: dict) -> None:
+        """Append one record and flush it to the OS (ack-safe)."""
+        if kind not in WAL_KINDS:
+            raise ValueError(f"unknown WAL record kind: {kind!r}")
+        if self._handle is None:
+            self.open_segment(seq)
+        line = json.dumps(
+            {"seq": seq, "kind": kind, "record": record},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        self._m_appends.inc(kind=kind)
+        self._m_bytes.inc(len(line) + 1)
+        self._appends_since_fsync += 1
+        if self._appends_since_fsync >= self.fsync_every:
+            self._fsync()
+
+    def _fsync(self) -> None:
+        if self._handle is None or self._appends_since_fsync == 0:
+            return
+        os.fsync(self._handle.fileno())
+        self._m_fsyncs.inc()
+        self._appends_since_fsync = 0
+
+    def flush(self) -> None:
+        """Force everything appended so far to stable storage."""
+        self._fsync()
+
+    def _close_handle(self) -> None:
+        if self._handle is not None:
+            self._fsync()
+            self._handle.close()
+            self._handle = None
+
+    def close(self) -> None:
+        self._close_handle()
+
+    # -- replay ---------------------------------------------------------------
+
+    def _iter_segment(
+        self, path: Path, report: ReplayReport
+    ) -> Iterator[dict]:
+        try:
+            text = path.read_text(encoding="utf-8", errors="replace")
+        except OSError:
+            return
+        lines = text.splitlines()
+        for index, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError:
+                # A torn line can only be the crash-interrupted tail;
+                # anything after it in this segment is untrustworthy.
+                report.torn_lines += 1
+                if index < len(lines) - 1:
+                    log.warning(
+                        "wal line torn mid-segment; segment tail discarded",
+                        segment=path.name,
+                        line=index + 1,
+                    )
+                return
+            if (
+                not isinstance(data, dict)
+                or not isinstance(data.get("seq"), int)
+                or data.get("kind") not in WAL_KINDS
+                or not isinstance(data.get("record"), dict)
+            ):
+                report.torn_lines += 1
+                return
+            yield data
+
+    def replay(
+        self, after_seq: int = 0
+    ) -> Tuple[List[WalRecord], ReplayReport]:
+        """All apply-able records with ``seq > after_seq``, in order.
+
+        Two passes: the first collects ``shed`` tombstones (a drop
+        decision is recorded *after* the sequences it drops), the second
+        yields every non-shed record that is neither covered by the
+        snapshot nor shed. Segments are small — they only span the
+        distance since the last snapshot — so the double read is cheap.
+        """
+        report = ReplayReport()
+        shed: set = set()
+        segments = self.segments()
+        report.segments = len(segments)
+        parsed: List[dict] = []
+        for path in segments:
+            for data in self._iter_segment(path, report):
+                parsed.append(data)
+                if data["kind"] == KIND_SHED:
+                    shed.update(
+                        s
+                        for s in data["record"].get("seqs", ())
+                        if isinstance(s, int)
+                    )
+        report.shed_seqs = len(shed)
+        records: List[WalRecord] = []
+        seen: set = set()
+        for data in parsed:
+            seq = data["seq"]
+            if seq <= after_seq or seq in shed or data["kind"] == KIND_SHED:
+                continue
+            if seq in seen:
+                continue
+            seen.add(seq)
+            records.append(WalRecord(seq, data["kind"], data["record"]))
+        records.sort(key=lambda r: r.seq)
+        report.records = len(records)
+        return records, report
+
+    def max_seq(self) -> int:
+        """Highest sequence number present anywhere in the log (0: none)."""
+        report = ReplayReport()
+        highest = 0
+        for path in self.segments():
+            for data in self._iter_segment(path, report):
+                if data["seq"] > highest:
+                    highest = data["seq"]
+        return highest
+
+
+__all__ = [
+    "KIND_ATTACK",
+    "KIND_DPS",
+    "KIND_SHED",
+    "ReplayReport",
+    "WAL_KINDS",
+    "WalRecord",
+    "WriteAheadLog",
+    "segment_first_seq",
+    "segment_name",
+]

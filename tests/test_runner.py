@@ -10,6 +10,7 @@ import pytest
 from repro.core.events import AttackEvent, SOURCE_TELESCOPE
 from repro.exec.breaker import BREAKER_OPEN
 from repro.exec.deadline import RunDeadline, RunDeadlineExceeded
+from repro.exec.interrupt import InterruptGuard, RunInterrupted
 from repro.exec.pool import ExecConfig
 from repro.exec.shard import shard_checkpoint_name
 from repro.faults.exec import ExecFaultPlan, KIND_CRASH, KIND_HUNG, KIND_POISON
@@ -78,6 +79,56 @@ class TestRetryPolicy:
         policy = RetryPolicy(backoff_base=0.0)
         assert policy.delay(1) == 0.0
         assert policy.delay(10**9) == 0.0
+
+
+class TestDecorrelatedJitter:
+    def test_off_by_default_keeps_exponential_sequence(self):
+        plain = RetryPolicy(max_attempts=5, backoff_base=0.1)
+        assert not plain.jitter
+        assert plain.delays() == [
+            pytest.approx(0.1), pytest.approx(0.2),
+            pytest.approx(0.4), pytest.approx(0.8),
+        ]
+
+    def test_same_seed_same_sequence(self):
+        a = RetryPolicy(max_attempts=6, backoff_base=0.1, jitter=True,
+                        jitter_seed=42)
+        b = RetryPolicy(max_attempts=6, backoff_base=0.1, jitter=True,
+                        jitter_seed=42)
+        assert a.delays() == b.delays()
+        # And each delay(n) call is self-consistent with the sequence.
+        for attempt in range(1, 6):
+            assert a.delay(attempt) == a.delays()[attempt - 1]
+
+    def test_different_seeds_decorrelate(self):
+        a = RetryPolicy(max_attempts=6, backoff_base=0.1, jitter=True,
+                        jitter_seed=1)
+        b = RetryPolicy(max_attempts=6, backoff_base=0.1, jitter=True,
+                        jitter_seed=2)
+        assert a.delays() != b.delays()
+
+    def test_jitter_bounded_by_base_and_cap(self):
+        policy = RetryPolicy(max_attempts=30, backoff_base=0.1,
+                             backoff_max=2.0, jitter=True, jitter_seed=7)
+        for delay in policy.delays(29):
+            assert 0.1 <= delay <= 2.0
+
+    def test_jitter_spreads_within_decorrelated_envelope(self):
+        """Each delay lies in [base, 3 * previous delay], capped."""
+        policy = RetryPolicy(max_attempts=10, backoff_base=0.1,
+                             backoff_max=60.0, jitter=True, jitter_seed=3)
+        delays = policy.delays(9)
+        previous = policy.backoff_base
+        for delay in delays:
+            assert delay <= min(
+                policy.backoff_max,
+                previous * RetryPolicy.JITTER_SPREAD,
+            ) + 1e-12
+            previous = delay
+
+    def test_zero_base_still_free_with_jitter(self):
+        policy = RetryPolicy(backoff_base=0.0, jitter=True)
+        assert policy.delay(5) == 0.0
 
     def test_max_attempts_one_never_sleeps(self, small_config):
         slept = []
@@ -573,3 +624,49 @@ class TestPerFeedQuarantineCounts:
         assert (record.feed for record in result.quality.records)
         paths = {r.quarantine_path for r in result.quality.records}
         assert len(paths) == 2
+
+
+class TestInterruptGuard:
+    def test_unarmed_guard_is_a_noop(self):
+        guard = InterruptGuard()
+        guard.check("anywhere")  # no signal, no handlers: nothing raised
+
+    def test_triggered_guard_raises_with_exit_code(self):
+        guard = InterruptGuard()
+        guard.trigger(15)
+        with pytest.raises(RunInterrupted) as caught:
+            guard.check("stage 'fusion'")
+        assert caught.value.signum == 15
+        assert caught.value.exit_code == 143
+        assert "stage 'fusion'" in str(caught.value)
+
+    def test_interrupted_durable_run_stays_resumable(
+        self, small_config, tmp_path, sim
+    ):
+        run_dir = tmp_path / "run"
+        guard = InterruptGuard()
+        guard.trigger()  # signal arrives before the first stage boundary
+        pipeline = ResilientPipeline(
+            small_config, run_dir=run_dir, interrupt=guard, sleep=no_sleep
+        )
+        with pytest.raises(RunInterrupted):
+            pipeline.run()
+        # A fresh pipeline without the interrupt finishes the run and
+        # matches the uninterrupted reference exactly.
+        resumed = ResilientPipeline(
+            small_config, run_dir=run_dir, sleep=no_sleep
+        )
+        result = resumed.run()
+        assert result.fused.combined.events == sim.fused.combined.events
+
+    def test_interrupt_outranks_stage_failures(self, small_config):
+        guard = InterruptGuard()
+        guard.trigger()
+        pipeline = ResilientPipeline(
+            small_config,
+            interrupt=guard,
+            exec_config=ExecConfig(workers=2, mode="thread"),
+            sleep=no_sleep,
+        )
+        with pytest.raises(RunInterrupted):
+            pipeline.run()

@@ -1,0 +1,194 @@
+"""HTTP API tests for the live service, plus the real kill -9 drill.
+
+The in-process tests bind a ``ServeHTTPServer`` on an ephemeral port and
+exercise every endpoint, the 503 + Retry-After shed path and the error
+paths. The subprocess test runs the same drill CI's serve-smoke job
+runs: boot ``python -m repro serve``, ingest, SIGKILL, restart, assert
+the recovered digest matches.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.chaos import run_kill9_recover
+from repro.serve.http import ServeHTTPServer, read_endpoint_file
+from repro.serve.service import LiveIngestService, ServeConfig
+from repro.serve.wal import KIND_ATTACK
+
+
+def attack(i):
+    return {
+        "source": "telescope",
+        "target": (10 << 24) + i,
+        "start_ts": float(i),
+        "end_ts": float(i) + 30.0,
+        "intensity": 50.0,
+    }
+
+
+@pytest.fixture()
+def served(tmp_path):
+    service = LiveIngestService(
+        ServeConfig(data_dir=tmp_path / "serve", snapshot_every_events=100),
+        metrics=MetricsRegistry(),
+    )
+    service.start()
+    server = ServeHTTPServer(("127.0.0.1", 0), service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield service, server.server_address[1]
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.stop()
+
+
+def get(port, path):
+    try:
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}{path}", timeout=10
+        ) as response:
+            return response.status, json.loads(response.read()), response
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read()), error
+
+
+def post(port, path, body, raw=False):
+    data = body if raw else json.dumps(body).encode("utf-8")
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}", data=data,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read()), response
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read()), error
+
+
+class TestIngestAndQuery:
+    def test_full_roundtrip(self, served):
+        service, port = served
+        status, body, _r = post(
+            port, "/ingest/attacks?feed=telescope",
+            [attack(i) for i in range(6)],
+        )
+        assert status == 202 and body["accepted"] == 6
+        status, body, _r = post(
+            port, "/ingest/dps",
+            {"records": [{"domain": "x.com", "provider": "p", "day": 0}]},
+        )
+        assert status == 202 and body["accepted"] == 1
+        assert service.quiesce(timeout=10)
+
+        status, body, _r = get(port, "/healthz")
+        assert status == 200 and body["ok"] is True
+
+        status, body, _r = get(port, "/summary")
+        assert body["applied_events"] == 6 and body["dps_domains"] == 1
+
+        status, body, _r = get(port, "/attacks?ip=10.0.0.3")
+        assert status == 200 and body["count"] == 1
+        assert body["events"][0]["target"] == (10 << 24) + 3
+
+        status, body, _r = get(port, "/attacks?prefix=10.0.0.0/24&limit=4")
+        assert status == 200 and body["count"] == 4
+
+        status, body, _r = get(port, "/victims?prefix=10.0.0.0/16")
+        assert body["count"] == 6
+
+        status, body, _r = get(port, "/domains?domain=x.com")
+        assert status == 200 and body["provider"] == "p"
+        status, body, _r = get(port, "/domains")
+        assert body == {"domains": 1, "protected": 1}
+
+        status, body, _r = get(port, "/stats")
+        assert body["accepted"] == {"dps": 1, "telescope": 6}
+
+        status, body, _r = get(port, "/digest")
+        assert body["digest"] == service.store.state_digest()
+
+    def test_metrics_exposition(self, served):
+        _service, port = served
+        post(port, "/ingest/attacks", [attack(1)])
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/metrics", timeout=10
+        ) as response:
+            text = response.read().decode()
+        assert "# TYPE serve_queue_depth gauge" in text
+        assert "serve_wal_appends_total" in text
+
+    def test_rejected_only_batch_is_400(self, served):
+        _service, port = served
+        status, body, _r = post(
+            port, "/ingest/attacks", [{"source": "telescope"}]
+        )
+        assert status == 400
+        assert body["reasons"] == {"missing-field:target": 1}
+
+    def test_bad_json_and_unknown_paths(self, served):
+        _service, port = served
+        status, body, _r = post(port, "/ingest/attacks", b"not json", raw=True)
+        assert status == 400
+        status, body, _r = post(port, "/ingest/attacks?feed=nope", [attack(1)])
+        assert status == 400 and "unknown feed" in body["error"]
+        status, _body, _r = get(port, "/no/such")
+        assert status == 404
+        status, body, _r = get(port, "/attacks")
+        assert status == 400 and "ip=" in body["error"]
+        status, _body, _r = get(port, "/attacks?prefix=10.0.0.0/8")
+        assert status == 400
+        status, _body, _r = get(port, "/domains?domain=never-seen.example")
+        assert status == 404
+
+
+class TestShedding:
+    def test_503_with_retry_after(self, tmp_path):
+        service = LiveIngestService(
+            ServeConfig(
+                data_dir=tmp_path / "serve",
+                queue_size=16,
+                high_watermark=8,
+                low_watermark=2,
+                retry_after=2.5,
+                apply_delay=0.05,
+            ),
+            metrics=MetricsRegistry(),
+        )
+        service.start()
+        server = ServeHTTPServer(("127.0.0.1", 0), service)
+        port = server.server_address[1]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            saw_503 = None
+            for base in range(0, 64, 8):
+                status, body, response = post(
+                    port, "/ingest/attacks",
+                    [attack(base + j) for j in range(8)],
+                )
+                if status == 503:
+                    saw_503 = (body, response)
+                    break
+            assert saw_503 is not None, "overload never answered 503"
+            body, response = saw_503
+            assert response.headers["Retry-After"] == "2.5"
+            assert body["retry_after"] == 2.5
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.stop()
+
+
+class TestKill9Subprocess:
+    def test_kill9_then_recover_state_equivalent(self, tmp_path):
+        result = run_kill9_recover(tmp_path, events=50, recovery_budget=30.0)
+        assert result.passed, result.detail
+        endpoint = read_endpoint_file(tmp_path / "kill9")
+        assert endpoint["host"] == "127.0.0.1"
