@@ -87,7 +87,11 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
         log.debug("http", request=format % args)
 
     def _send_json(
-        self, status: int, body: dict, retry_after: Optional[float] = None
+        self,
+        status: int,
+        body: dict,
+        retry_after: Optional[float] = None,
+        close: bool = False,
     ) -> None:
         payload = json.dumps(body, sort_keys=True).encode("utf-8")
         self.send_response(status)
@@ -95,6 +99,12 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(payload)))
         if retry_after is not None:
             self.send_header("Retry-After", f"{retry_after:g}")
+        if close:
+            # Used when the request body was left unread: on a
+            # keep-alive connection those bytes would otherwise be
+            # parsed as the next request.
+            self.send_header("Connection", "close")
+            self.close_connection = True
         self.end_headers()
         self.wfile.write(payload)
 
@@ -109,7 +119,11 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
     def _read_records(self) -> Optional[list]:
         length = int(self.headers.get("Content-Length") or 0)
         if length <= 0 or length > MAX_BODY_BYTES:
-            self._send_json(400, {"error": "body required (JSON records)"})
+            # The body (oversized, or pending with no declared length)
+            # stays unread, so this connection cannot be reused.
+            self._send_json(
+                400, {"error": "body required (JSON records)"}, close=True
+            )
             return None
         try:
             data = json.loads(self.rfile.read(length).decode("utf-8"))

@@ -101,6 +101,7 @@ class RecoveryInfo:
     snapshot_seq: int = 0
     replayed: int = 0
     torn_lines: int = 0
+    tail_trimmed_bytes: int = 0
     discarded_snapshots: int = 0
     replay_rejected: int = 0
     duration_s: float = 0.0
@@ -111,6 +112,7 @@ class RecoveryInfo:
             "snapshot_seq": self.snapshot_seq,
             "replayed": self.replayed,
             "torn_lines": self.torn_lines,
+            "tail_trimmed_bytes": self.tail_trimmed_bytes,
             "discarded_snapshots": self.discarded_snapshots,
             "replay_rejected": self.replay_rejected,
             "duration_s": self.duration_s,
@@ -209,8 +211,22 @@ class LiveIngestService:
             "heartbeat timeouts the watchdog observed",
         )
         # Intake lock serializes seq assignment + WAL append + enqueue,
-        # making WAL order identical to apply order.
+        # making WAL order identical to apply order. It also guards the
+        # accepted/dropped mirrors, so quiesce() never sees an enqueued
+        # entry before its accounting.
         self._intake_lock = threading.Lock()
+        # Stats lock guards the pre-admission mirrors (rejected/refused)
+        # that concurrent handler threads update outside the intake lock.
+        self._stats_lock = threading.Lock()
+        # Snapshot lock serializes snapshot + WAL rotation between the
+        # applier and the drain path (a timed-out drain can leave both
+        # threads wanting to snapshot).
+        self._snapshot_lock = threading.Lock()
+        # applied_events + applied_dps at the moment recovery finished:
+        # quiesce() measures applier progress relative to this, since
+        # snapshot-loaded and replayed records were never "accepted" in
+        # this process's lifetime.
+        self._recovery_base = 0
         self._seq = 0
         self._applied_seq = 0
         self._applied_since_snapshot = 0
@@ -246,6 +262,17 @@ class LiveIngestService:
     def _recover(self) -> RecoveryInfo:
         started = self._clock()
         info = RecoveryInfo()
+        # Cut any crash-torn bytes off the tail segment *first*: replay
+        # merely skips a torn final line, but this process is about to
+        # append to that segment, and appending onto a partial line
+        # would merge an acknowledged record into it — unrecoverable on
+        # the next crash. Truncating keeps the segment append-safe and
+        # keeps max_seq() from undercounting past the tear (so the torn
+        # record's sequence number can be reused without a stale
+        # duplicate surviving on disk).
+        tail_segments = self.wal.segments()
+        if tail_segments:
+            info.tail_trimmed_bytes = self.wal.repair_tail(tail_segments[-1])
         # Newest snapshot that both verifies (checksums, at the store
         # layer) and decodes (state version, here). Either failure mode
         # discards the snapshot and falls back one generation — the WAL
@@ -293,6 +320,9 @@ class LiveIngestService:
             self.wal.open_segment(segment_first_seq(segments[-1].name))
         else:
             self.wal.open_segment(self._seq + 1)
+        self._recovery_base = (
+            self.store.applied_events + self.store.applied_dps
+        )
         info.duration_s = self._clock() - started
         self.recovery = info
         self._m_recovery_s.set(info.duration_s)
@@ -335,9 +365,19 @@ class LiveIngestService:
             self._applier.join(timeout=max(timeout, 1.0))
         if self._watchdog is not None:
             self._watchdog.join(timeout=1.0)
-        self._snapshot_now()
-        self.wal.flush()
-        self.wal.close()
+        if self._applier is not None and self._applier.is_alive():
+            # The applier outlived its join (huge backlog, injected
+            # apply delay): it may be mid-snapshot itself, so skip the
+            # final snapshot rather than race it — the flushed WAL alone
+            # already preserves everything acknowledged.
+            log.warning(
+                "applier still running after drain; skipping final snapshot"
+            )
+        else:
+            self._snapshot_now()
+        with self._snapshot_lock:
+            self.wal.flush()
+            self.wal.close()
         log.info("service drained", drained=drained, seq=self._applied_seq)
         return drained
 
@@ -347,17 +387,25 @@ class LiveIngestService:
         Queue depth alone is not enough: the applier takes entries in
         batches, so the queue can read empty while a batch is still
         being applied. This settles on the accounting identity instead —
-        applied + apply-rejected + dropped catches up with accepted.
-        Drills and tests use it; the serving path never needs to.
+        applied + apply-rejected + dropped catches up with accepted,
+        where applied counts only records applied *in this process*
+        (``_recovery_base`` subtracts what the snapshot and WAL replay
+        contributed, which was never accepted in this lifetime). The
+        mirrors are read under the intake lock, so an entry is never
+        visible in the queue before its accounting. Drills and tests
+        use it; the serving path never needs to.
         """
         deadline = self._clock() + timeout
         while True:
-            admitted = sum(self.accepted_by_feed.values())
+            with self._intake_lock:
+                admitted = sum(self.accepted_by_feed.values())
+                dropped = sum(self.dropped_by_feed.values())
             settled = (
                 self.store.applied_events
                 + self.store.applied_dps
+                - self._recovery_base
                 + self.apply_rejected
-                + sum(self.dropped_by_feed.values())
+                + dropped
             )
             if self.queue.depth == 0 and settled >= admitted:
                 return True
@@ -392,9 +440,10 @@ class LiveIngestService:
             return result
         breaker = self.breakers[feed]
         if not breaker.allow():
-            self.refused_by_feed[feed] = (
-                self.refused_by_feed.get(feed, 0) + len(records)
-            )
+            with self._stats_lock:
+                self.refused_by_feed[feed] = (
+                    self.refused_by_feed.get(feed, 0) + len(records)
+                )
             result.retry_after = self.config.breaker_cooldown
             return result
         valid: List[dict] = []
@@ -410,16 +459,18 @@ class LiveIngestService:
                 result.reasons[reason] = result.reasons.get(reason, 0) + 1
                 self._m_rejected.inc(feed=feed, reason=reason)
         if result.rejected:
-            self.rejected_by_feed[feed] = (
-                self.rejected_by_feed.get(feed, 0) + result.rejected
-            )
+            with self._stats_lock:
+                self.rejected_by_feed[feed] = (
+                    self.rejected_by_feed.get(feed, 0) + result.rejected
+                )
         if not valid:
             return result
         retry_after = self.queue.refuse(feed, len(valid))
         if retry_after is not None:
-            self.refused_by_feed[feed] = (
-                self.refused_by_feed.get(feed, 0) + len(valid)
-            )
+            with self._stats_lock:
+                self.refused_by_feed[feed] = (
+                    self.refused_by_feed.get(feed, 0) + len(valid)
+                )
             result.shed = len(valid)
             result.retry_after = retry_after
             return result
@@ -450,10 +501,10 @@ class LiveIngestService:
                     self.dropped_by_feed[entry.feed] = (
                         self.dropped_by_feed.get(entry.feed, 0) + 1
                     )
+            self.accepted_by_feed[feed] = (
+                self.accepted_by_feed.get(feed, 0) + len(valid)
+            )
         result.accepted = len(valid)
-        self.accepted_by_feed[feed] = (
-            self.accepted_by_feed.get(feed, 0) + len(valid)
-        )
         return result
 
     # -- applier --------------------------------------------------------------
@@ -513,24 +564,28 @@ class LiveIngestService:
             self._snapshot_now()
 
     def _snapshot_now(self) -> None:
-        seq = self._applied_seq
-        payload = {"seq": seq, "state": self.store.state_dict()}
-        self.snapshots.save(seq, payload)
-        # Rotate under the intake lock: concurrent appends must not race
-        # the segment switch, and the fresh segment starts above every
-        # sequence number handed out so far.
-        with self._intake_lock:
-            self.wal.rotate(self._seq + 1)
-        # Prune only up to the *oldest retained* snapshot, not this one:
-        # if this snapshot is later found corrupt, recovery falls back to
-        # an older one and needs the WAL span between them intact.
-        retained = self.snapshots.seqs()
-        if retained:
-            self.wal.prune(retained[0])
-        self._applied_since_snapshot = 0
-        self._last_snapshot_at = self._clock()
-        self._m_snapshot_age.set(0.0)
-        log.debug("rolling snapshot", seq=seq)
+        # The snapshot lock serializes snapshot + rotation against the
+        # drain path's final snapshot and WAL close.
+        with self._snapshot_lock:
+            seq = self._applied_seq
+            payload = {"seq": seq, "state": self.store.state_dict()}
+            self.snapshots.save(seq, payload)
+            # Rotate under the intake lock: concurrent appends must not
+            # race the segment switch, and the fresh segment starts
+            # above every sequence number handed out so far.
+            with self._intake_lock:
+                self.wal.rotate(self._seq + 1)
+            # Prune only up to the *oldest retained* snapshot, not this
+            # one: if this snapshot is later found corrupt, recovery
+            # falls back to an older one and needs the WAL span between
+            # them intact.
+            retained = self.snapshots.seqs()
+            if retained:
+                self.wal.prune(retained[0])
+            self._applied_since_snapshot = 0
+            self._last_snapshot_at = self._clock()
+            self._m_snapshot_age.set(0.0)
+            log.debug("rolling snapshot", seq=seq)
 
     # -- watchdog -------------------------------------------------------------
 
@@ -553,6 +608,12 @@ class LiveIngestService:
 
     def stats(self) -> dict:
         """Operational snapshot for ``GET /stats`` (plain values)."""
+        with self._intake_lock:
+            accepted = dict(sorted(self.accepted_by_feed.items()))
+            dropped = dict(sorted(self.dropped_by_feed.items()))
+        with self._stats_lock:
+            rejected = dict(sorted(self.rejected_by_feed.items()))
+            refused = dict(sorted(self.refused_by_feed.items()))
         return {
             "uptime_s": self._clock() - self._started_at,
             "seq": self._seq,
@@ -560,10 +621,10 @@ class LiveIngestService:
             "queue_depth": self.queue.depth,
             "shedding": self.queue.shedding,
             "draining": self._draining.is_set(),
-            "accepted": dict(sorted(self.accepted_by_feed.items())),
-            "rejected": dict(sorted(self.rejected_by_feed.items())),
-            "refused": dict(sorted(self.refused_by_feed.items())),
-            "dropped": dict(sorted(self.dropped_by_feed.items())),
+            "accepted": accepted,
+            "rejected": rejected,
+            "refused": refused,
+            "dropped": dropped,
             "apply_rejected": self.apply_rejected,
             "watchdog_stalls": self.watchdog_stalls,
             "snapshot_seqs": self.snapshots.seqs(),

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 from collections import deque
 from typing import Deque, Dict, List, Optional, Set
 
@@ -90,6 +91,13 @@ class LiveFusedStore:
         self.max_events_per_victim = max_events_per_victim
         self.applied_events = 0
         self.applied_dps = 0
+        # One writer (the applier) but many reader threads (HTTP
+        # handlers) iterate the index dicts/sets below; without a lock a
+        # concurrent apply raises "changed size during iteration" inside
+        # a query and /digest can capture a half-applied record.
+        # Re-entrant because summary() and state_digest() call other
+        # locked methods.
+        self._lock = threading.RLock()
         self._by_victim: Dict[int, Deque[dict]] = {}
         self._victims_by_slash24: Dict[int, Set[int]] = {}
         self._victims_by_slash16: Dict[int, Set[int]] = {}
@@ -111,103 +119,116 @@ class LiveFusedStore:
         property replay determinism rests on.
         """
         event = event_from_dict(record)
-        self.fusion.ingest(event)
-        normalized = event_to_dict(event)
-        victim = event.target
-        ring = self._by_victim.get(victim)
-        if ring is None:
-            ring = deque(maxlen=self.max_events_per_victim)
-            self._by_victim[victim] = ring
-        ring.append(normalized)
-        self._victims_by_slash24.setdefault(slash24(victim), set()).add(victim)
-        self._victims_by_slash16.setdefault(slash16(victim), set()).add(victim)
-        self.applied_events += 1
+        with self._lock:
+            self.fusion.ingest(event)
+            normalized = event_to_dict(event)
+            victim = event.target
+            ring = self._by_victim.get(victim)
+            if ring is None:
+                ring = deque(maxlen=self.max_events_per_victim)
+                self._by_victim[victim] = ring
+            ring.append(normalized)
+            self._victims_by_slash24.setdefault(
+                slash24(victim), set()
+            ).add(victim)
+            self._victims_by_slash16.setdefault(
+                slash16(victim), set()
+            ).add(victim)
+            self.applied_events += 1
         self._m_applied.inc(kind="attack")
 
     def apply_dps(self, record: dict) -> None:
         """Apply one validated DPS status record (latest-by-day wins)."""
         normalized = normalize_dps_record(record)
         domain = normalized["domain"]
-        current = self._dps.get(domain)
-        if current is None or normalized["day"] >= current["day"]:
-            self._dps[domain] = normalized
-        self.applied_dps += 1
+        with self._lock:
+            current = self._dps.get(domain)
+            if current is None or normalized["day"] >= current["day"]:
+                self._dps[domain] = normalized
+            self.applied_dps += 1
         self._m_applied.inc(kind="dps")
 
     # -- queries --------------------------------------------------------------
 
     def events_for_ip(self, ip: int, limit: int = 50) -> List[dict]:
         """Most recent events against one victim IP, newest first."""
-        ring = self._by_victim.get(ip)
-        if not ring:
-            return []
-        return list(ring)[-limit:][::-1]
+        with self._lock:
+            ring = self._by_victim.get(ip)
+            if not ring:
+                return []
+            return list(ring)[-limit:][::-1]
 
     def events_for_prefix(
         self, base: int, length: int, limit: int = 50
     ) -> List[dict]:
         """Most recent events against any victim in a /24 or /16."""
-        if length == 24:
-            victims = self._victims_by_slash24.get(slash24(base), ())
-        elif length == 16:
-            victims = self._victims_by_slash16.get(slash16(base), ())
-        else:
-            raise ValueError("prefix queries support /24 and /16 only")
-        merged: List[dict] = []
-        for victim in victims:
-            merged.extend(self._by_victim.get(victim, ()))
+        with self._lock:
+            if length == 24:
+                victims = self._victims_by_slash24.get(slash24(base), ())
+            elif length == 16:
+                victims = self._victims_by_slash16.get(slash16(base), ())
+            else:
+                raise ValueError("prefix queries support /24 and /16 only")
+            merged: List[dict] = []
+            for victim in victims:
+                merged.extend(self._by_victim.get(victim, ()))
         merged.sort(key=lambda e: (e["start_ts"], e["target"]), reverse=True)
         return merged[:limit]
 
     def victims_in_prefix(self, base: int, length: int) -> List[int]:
-        if length == 24:
-            return sorted(self._victims_by_slash24.get(slash24(base), ()))
-        if length == 16:
-            return sorted(self._victims_by_slash16.get(slash16(base), ()))
+        with self._lock:
+            if length == 24:
+                return sorted(self._victims_by_slash24.get(slash24(base), ()))
+            if length == 16:
+                return sorted(self._victims_by_slash16.get(slash16(base), ()))
         raise ValueError("prefix queries support /24 and /16 only")
 
     def domain_status(self, domain: str) -> Optional[dict]:
         """Latest DPS status for one domain, or None if never reported."""
-        record = self._dps.get(domain)
-        return dict(record) if record else None
+        with self._lock:
+            record = self._dps.get(domain)
+            return dict(record) if record else None
 
     def protected_domains(self) -> int:
-        return sum(1 for r in self._dps.values() if r["active"])
+        with self._lock:
+            return sum(1 for r in self._dps.values() if r["active"])
 
     def summary(self) -> dict:
         """Live Table-1-style aggregates plus stream health."""
-        summary = self.fusion.running_summary()
-        summary.update(
-            {
-                "days_closed": len(self.fusion.summaries),
-                "alerts": len(self.fusion.alerts),
-                "indexed_victims": len(self._by_victim),
-                "dps_domains": len(self._dps),
-                "dps_protected": self.protected_domains(),
-                "applied_events": self.applied_events,
-                "applied_dps": self.applied_dps,
-            }
-        )
+        with self._lock:
+            summary = self.fusion.running_summary()
+            summary.update(
+                {
+                    "days_closed": len(self.fusion.summaries),
+                    "alerts": len(self.fusion.alerts),
+                    "indexed_victims": len(self._by_victim),
+                    "dps_domains": len(self._dps),
+                    "dps_protected": self.protected_domains(),
+                    "applied_events": self.applied_events,
+                    "applied_dps": self.applied_dps,
+                }
+            )
         return summary
 
     # -- durable state --------------------------------------------------------
 
     def state_dict(self) -> dict:
         """Canonical JSON-able capture of the entire store."""
-        return {
-            "version": STORE_STATE_VERSION,
-            "max_events_per_victim": self.max_events_per_victim,
-            "applied_events": self.applied_events,
-            "applied_dps": self.applied_dps,
-            "fusion": self.fusion.state_dict(),
-            "by_victim": {
-                str(victim): list(ring)
-                for victim, ring in sorted(self._by_victim.items())
-            },
-            "dps": {
-                domain: self._dps[domain] for domain in sorted(self._dps)
-            },
-        }
+        with self._lock:
+            return {
+                "version": STORE_STATE_VERSION,
+                "max_events_per_victim": self.max_events_per_victim,
+                "applied_events": self.applied_events,
+                "applied_dps": self.applied_dps,
+                "fusion": self.fusion.state_dict(),
+                "by_victim": {
+                    str(victim): list(ring)
+                    for victim, ring in sorted(self._by_victim.items())
+                },
+                "dps": {
+                    domain: self._dps[domain] for domain in sorted(self._dps)
+                },
+            }
 
     @classmethod
     def from_state_dict(

@@ -217,6 +217,62 @@ class WriteAheadLog:
     def close(self) -> None:
         self._close_handle()
 
+    # -- repair ---------------------------------------------------------------
+
+    @staticmethod
+    def _valid_shape(data) -> bool:
+        return (
+            isinstance(data, dict)
+            and isinstance(data.get("seq"), int)
+            and data.get("kind") in WAL_KINDS
+            and isinstance(data.get("record"), dict)
+        )
+
+    def repair_tail(self, path: Path) -> int:
+        """Truncate *path* to the end of its last complete, parseable line.
+
+        A crash mid-append leaves at most one torn final line, which
+        replay tolerates — but *continuing* the segment in append mode
+        would concatenate the first post-recovery record onto the
+        partial line, merging an acknowledged record into an
+        unparseable line that poisons the segment tail on the next
+        replay. Recovery therefore cuts the torn bytes before reopening
+        the segment. Returns bytes removed (0: segment was intact).
+        """
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return 0
+        keep = 0
+        offset = 0
+        while offset < len(raw):
+            newline = raw.find(b"\n", offset)
+            if newline == -1:
+                break  # unterminated tail line: torn by definition
+            line = raw[offset:newline].strip()
+            offset = newline + 1
+            if line:
+                try:
+                    data = json.loads(line.decode("utf-8"))
+                except (ValueError, UnicodeDecodeError):
+                    break
+                if not self._valid_shape(data):
+                    break
+            keep = offset
+        if keep >= len(raw):
+            return 0
+        with open(path, "r+b") as handle:
+            handle.truncate(keep)
+            handle.flush()
+            os.fsync(handle.fileno())
+        trimmed = len(raw) - keep
+        log.warning(
+            "wal tail repaired (torn bytes truncated)",
+            segment=path.name,
+            trimmed_bytes=trimmed,
+        )
+        return trimmed
+
     # -- replay ---------------------------------------------------------------
 
     def _iter_segment(
@@ -244,12 +300,7 @@ class WriteAheadLog:
                         line=index + 1,
                     )
                 return
-            if (
-                not isinstance(data, dict)
-                or not isinstance(data.get("seq"), int)
-                or data.get("kind") not in WAL_KINDS
-                or not isinstance(data.get("record"), dict)
-            ):
+            if not self._valid_shape(data):
                 report.torn_lines += 1
                 return
             yield data

@@ -87,6 +87,44 @@ class TestWriteAheadLog:
         assert [r.seq for r in records] == [1, 2]
         assert report.torn_lines == 1
 
+    def test_repair_tail_truncates_torn_bytes(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.append(1, KIND_ATTACK, attack(1))
+        wal.append(2, KIND_ATTACK, attack(2))
+        wal.close()
+        segment = next(tmp_path.glob("wal-*.jsonl"))
+        with open(segment, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 3, "kind": "att')  # crash mid-append
+        trimmed = WriteAheadLog(tmp_path).repair_tail(segment)
+        assert trimmed > 0
+        # The file now ends at the last complete line: appending to it
+        # is safe, and a second repair is a no-op.
+        assert segment.read_text(encoding="utf-8").endswith("\n")
+        assert WriteAheadLog(tmp_path).repair_tail(segment) == 0
+        records, report = WriteAheadLog(tmp_path).replay()
+        assert [r.seq for r in records] == [1, 2]
+        assert report.torn_lines == 0
+
+    def test_repair_tail_then_append_survives_second_replay(self, tmp_path):
+        """The double-crash scenario: a torn tail must not swallow
+        records appended after recovery continues the segment."""
+        wal = WriteAheadLog(tmp_path)
+        wal.append(1, KIND_ATTACK, attack(1))
+        wal.close()
+        segment = next(tmp_path.glob("wal-*.jsonl"))
+        with open(segment, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 2, "kind": "att')  # crash mid-append
+        recovered = WriteAheadLog(tmp_path)
+        recovered.repair_tail(segment)
+        recovered.open_segment(segment_first_seq(segment.name))
+        recovered.append(2, KIND_ATTACK, attack(2))
+        recovered.append(3, KIND_ATTACK, attack(3))
+        recovered.close()
+        records, report = WriteAheadLog(tmp_path).replay()
+        assert [r.seq for r in records] == [1, 2, 3]
+        assert report.torn_lines == 0
+        assert WriteAheadLog(tmp_path).max_seq() == 3
+
     def test_rotate_and_prune_respect_coverage(self, tmp_path):
         wal = WriteAheadLog(tmp_path)
         wal.open_segment(1)

@@ -224,6 +224,48 @@ def test_all_snapshots_corrupt_recovers_from_wal_alone(tmp_path):
         recovered.stop()
 
 
+def test_torn_tail_survives_second_crash(tmp_path):
+    """Crash mid-append, recover, ingest more, crash again: the records
+    acknowledged after the first recovery must replay — continuing the
+    tail segment may not concatenate onto the torn line (the
+    double-crash hazard repair_tail exists for)."""
+    rng = random.Random(21)
+    items = make_stream(rng, count=40)
+    first, second = items[:20], items[20:]
+    expected = reference_digest(items)
+    data_dir = tmp_path / "serve"
+
+    service = service_at(data_dir, snapshot_every=1000)  # WAL-only
+    service.start()
+    for kind, record in first:
+        assert service.submit(feed_for(kind, record), kind, [record]).accepted
+    assert service.quiesce(timeout=30)
+    service.stop()
+
+    # Simulate kill -9 mid-append: a torn, unacknowledged final line.
+    segments = sorted((data_dir / "wal").glob("wal-*.jsonl"))
+    with open(segments[-1], "a", encoding="utf-8") as handle:
+        handle.write('{"seq": 9999, "kind": "att')
+
+    middle = service_at(data_dir, snapshot_every=1000)
+    info = middle.start()
+    assert info.tail_trimmed_bytes > 0
+    for kind, record in second:
+        assert middle.submit(feed_for(kind, record), kind, [record]).accepted
+    assert middle.quiesce(timeout=30)
+    live_digest = middle.store.state_digest()
+    assert live_digest == expected
+    middle.stop()  # second hard kill
+
+    recovered = service_at(data_dir, snapshot_every=1000)
+    recovered.start()
+    try:
+        assert recovered.quiesce(timeout=30)
+        assert recovered.store.state_digest() == expected
+    finally:
+        recovered.stop()
+
+
 def test_shed_tombstones_keep_recovery_equivalent(tmp_path):
     """Drop-oldest sheds must be replayed as drops, not as applies."""
     data_dir = tmp_path / "serve"
