@@ -1,29 +1,34 @@
-"""Live ingestion service under concurrent load, at 1x and 2x capacity.
+"""Live ingestion service under concurrent load, plus read scale-out.
 
-The tentpole's overload contract is *bounded latency, explicit refusal*:
-when offered load exceeds what the applier can absorb, the service must
-answer quickly (503 + Retry-After or drop-oldest shedding) instead of
-letting request latency grow without bound. This bench drives the real
-HTTP stack with concurrent ingest workers plus a query worker:
+The serve tentpole's overload contract is *bounded latency, explicit
+refusal*: when offered load exceeds what the applier can absorb, the
+service must answer quickly (503 + Retry-After or drop-oldest shedding)
+instead of letting request latency grow without bound. The replication
+tentpole adds a second contract: a ``--replica-of`` follower absorbs the
+read load while the primary ingests, so query latency on the follower
+must be no worse than querying the ingesting node itself.
 
-* **steady**   — offered load the applier can sustain;
-* **overload** — the same workers at 2x the offered rate.
+Two benches, both driving the real HTTP stack through
+:class:`~repro.serve.client.ServeClient` (its un-retried
+``request_once`` — retry loops would falsify latency numbers):
 
-The acceptance bar, asserted here and recorded in
-``benchmarks/out/serve_load.json``: overload p99 ingest latency stays
-within ``P99_BOUND_S`` (refusing fast is the point), and the overload
-arm actually sheds (refusal + drop rate above zero).
+* ``serve_load``     — steady vs 2x-capacity ingest arms; overload p99
+  must stay under ``P99_BOUND_S`` and the arm must actually shed;
+* ``serve_scaleout`` — query p50/p99 against a single ingesting node vs
+  against a follower replicating from it; the follower must answer
+  within ``SCALEOUT_TOLERANCE`` of the single-node baseline (generous:
+  these are sub-millisecond numbers on a loopback socket).
+
+Results land in ``benchmarks/out/serve_load.json`` and
+``benchmarks/out/serve_scaleout.json``.
 """
 
-import json
-import statistics
 import threading
 import time
-import urllib.error
-import urllib.request
 
 from bench_util import write_bench_json
 from repro.obs.metrics import MetricsRegistry
+from repro.serve.client import ServeClient
 from repro.serve.http import ServeHTTPServer
 from repro.serve.service import LiveIngestService, ServeConfig
 
@@ -32,6 +37,11 @@ BATCH = 16
 ARM_SECONDS = 3.0
 APPLY_DELAY = 0.002  # per-batch applier stall: makes capacity finite
 P99_BOUND_S = 0.5    # overload answers (even refusals) must stay under this
+
+SCALEOUT_SECONDS = 3.0
+SCALEOUT_RATE_PER_S = 60.0   # primary ingest pressure during query runs
+SCALEOUT_TOLERANCE = 3.0     # follower p99 <= max(tol * baseline, floor)
+SCALEOUT_FLOOR_S = 0.05      # absolute floor so loopback noise can't flake
 
 
 def _percentile(samples, q):
@@ -55,8 +65,8 @@ def _event(i):
 class _LoadArm:
     """One measured arm: N ingest workers at a target request rate."""
 
-    def __init__(self, port, requests_per_worker_s):
-        self.port = port
+    def __init__(self, url, requests_per_worker_s):
+        self.client = ServeClient([url], timeout=10.0)
         self.interval = 1.0 / requests_per_worker_s
         self.latencies = []
         self.statuses = {202: 0, 503: 0}
@@ -65,26 +75,22 @@ class _LoadArm:
         self._stop = threading.Event()
 
     def _post(self, worker, sequence):
-        body = json.dumps(
-            [_event(worker * 1_000_000 + sequence * BATCH + j)
-             for j in range(BATCH)]
-        ).encode("utf-8")
-        request = urllib.request.Request(
-            f"http://127.0.0.1:{self.port}/ingest/attacks?feed=telescope",
-            data=body, headers={"Content-Type": "application/json"},
-        )
+        body = {
+            "records": [
+                _event(worker * 1_000_000 + sequence * BATCH + j)
+                for j in range(BATCH)
+            ]
+        }
         start = time.perf_counter()
-        try:
-            with urllib.request.urlopen(request, timeout=10) as response:
-                status = response.status
-                response.read()
-        except urllib.error.HTTPError as error:
-            status = error.code
-            error.read()
+        response = self.client.request_once(
+            "POST", "/ingest/attacks?feed=telescope", body
+        )
         elapsed = time.perf_counter() - start
         with self._lock:
             self.latencies.append(elapsed)
-            self.statuses[status] = self.statuses.get(status, 0) + 1
+            self.statuses[response.status] = (
+                self.statuses.get(response.status, 0) + 1
+            )
 
     def _ingest_worker(self, worker):
         sequence = 0
@@ -100,13 +106,10 @@ class _LoadArm:
         while not self._stop.is_set():
             start = time.perf_counter()
             try:
-                with urllib.request.urlopen(
-                    f"http://127.0.0.1:{self.port}"
-                    "/attacks?prefix=10.0.0.0/16&limit=50",
-                    timeout=10,
-                ) as response:
-                    response.read()
-            except urllib.error.URLError:
+                self.client.request_once(
+                    "GET", "/attacks?prefix=10.0.0.0/16&limit=50"
+                )
+            except OSError:
                 pass
             with self._lock:
                 self.query_latencies.append(time.perf_counter() - start)
@@ -143,25 +146,40 @@ class _LoadArm:
         }
 
 
-def _run_arm(tmp_path, name, requests_per_worker_s, seconds):
+def _spawn_node(tmp_path, name, replica_of=None, follower_id=None,
+                queue_size=256, high=192, low=64):
+    """An in-process service + HTTP server; returns (service, server, url)."""
     service = LiveIngestService(
         ServeConfig(
             data_dir=tmp_path / name,
-            queue_size=256,
-            high_watermark=192,
-            low_watermark=64,
+            queue_size=queue_size,
+            high_watermark=high,
+            low_watermark=low,
             snapshot_every_events=5000,
             apply_delay=APPLY_DELAY,
+            replica_of=replica_of,
+            follower_id=follower_id,
+            poll_interval_s=0.05,
         ),
         metrics=MetricsRegistry(),
     )
     service.start()
     server = ServeHTTPServer(("127.0.0.1", 0), service)
     port = server.server_address[1]
-    thread = threading.Thread(target=server.serve_forever, daemon=True)
-    thread.start()
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    return service, server, f"http://127.0.0.1:{port}"
+
+
+def _teardown(service, server):
+    server.shutdown()
+    server.server_close()
+    service.stop()
+
+
+def _run_arm(tmp_path, name, requests_per_worker_s, seconds):
+    service, server, url = _spawn_node(tmp_path, name)
     try:
-        arm = _LoadArm(port, requests_per_worker_s)
+        arm = _LoadArm(url, requests_per_worker_s)
         arm.run(seconds)
         summary = arm.summary()
         summary["dropped"] = sum(service.dropped_by_feed.values())
@@ -169,9 +187,7 @@ def _run_arm(tmp_path, name, requests_per_worker_s, seconds):
         summary["applied_events"] = stats["summary"]["applied_events"]
         return summary
     finally:
-        server.shutdown()
-        server.server_close()
-        service.stop()
+        _teardown(service, server)
 
 
 def test_serve_overload_latency(benchmark, tmp_path, write_report):
@@ -236,4 +252,139 @@ def test_serve_overload_latency(benchmark, tmp_path, write_report):
         wall_s=2 * ARM_SECONDS,
         events_per_s=steady["applied_events"] / ARM_SECONDS,
         extra={"steady": steady, "overload": overload},
+    )
+
+
+# -- read scale-out ------------------------------------------------------------
+
+
+def _drive_ingest(url, stop, rate_per_s):
+    """Steady ingest pressure against *url* until *stop* is set."""
+    client = ServeClient([url], timeout=10.0)
+    interval = 1.0 / rate_per_s
+    sequence = 0
+    while not stop.is_set():
+        began = time.perf_counter()
+        body = {
+            "records": [_event(sequence * BATCH + j) for j in range(BATCH)]
+        }
+        try:
+            client.request_once("POST", "/ingest/attacks?feed=telescope",
+                                body)
+        except OSError:
+            pass
+        sequence += 1
+        remaining = interval - (time.perf_counter() - began)
+        if remaining > 0:
+            stop.wait(remaining)
+
+
+def _measure_queries(url, seconds, pace=0.01):
+    """Query latencies at a fixed pace against one node."""
+    client = ServeClient([url], timeout=10.0)
+    latencies = []
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        start = time.perf_counter()
+        try:
+            client.request_once(
+                "GET", "/attacks?prefix=10.0.0.0/16&limit=50"
+            )
+        except OSError:
+            pass
+        latencies.append(time.perf_counter() - start)
+        time.sleep(pace)
+    return latencies
+
+
+def _queries_under_ingest(query_url, ingest_url, seconds):
+    stop = threading.Event()
+    driver = threading.Thread(
+        target=_drive_ingest, args=(ingest_url, stop, SCALEOUT_RATE_PER_S),
+        daemon=True,
+    )
+    driver.start()
+    try:
+        return _measure_queries(query_url, seconds)
+    finally:
+        stop.set()
+        driver.join(timeout=10)
+
+
+def test_serve_follower_read_scaleout(tmp_path, write_report):
+    # Baseline: one node both ingests and answers queries.
+    solo, solo_server, solo_url = _spawn_node(tmp_path, "solo")
+    try:
+        baseline = _queries_under_ingest(solo_url, solo_url,
+                                         SCALEOUT_SECONDS)
+    finally:
+        _teardown(solo, solo_server)
+
+    # Scale-out: queries hit a follower replicating off the primary.
+    primary, primary_server, primary_url = _spawn_node(tmp_path, "primary")
+    follower, follower_server, follower_url = _spawn_node(
+        tmp_path, "follower", replica_of=primary_url,
+        follower_id="bench-f1",
+    )
+    try:
+        scaled = _queries_under_ingest(follower_url, primary_url,
+                                       SCALEOUT_SECONDS)
+        lag = follower.shipper.lag() if follower.shipper else None
+        follower_applied = follower.applied_seq
+    finally:
+        _teardown(follower, follower_server)
+        _teardown(primary, primary_server)
+
+    base = {
+        "queries": len(baseline),
+        "p50_s": _percentile(baseline, 0.50),
+        "p99_s": _percentile(baseline, 0.99),
+    }
+    scale = {
+        "queries": len(scaled),
+        "p50_s": _percentile(scaled, 0.50),
+        "p99_s": _percentile(scaled, 0.99),
+        "replication_lag_records": lag,
+        "follower_applied_seq": follower_applied,
+    }
+    assert base["p99_s"] is not None and scale["p99_s"] is not None
+    bound = max(SCALEOUT_TOLERANCE * base["p99_s"], SCALEOUT_FLOOR_S)
+    assert scale["p99_s"] <= bound, (
+        f"follower query p99 {scale['p99_s'] * 1000:.1f}ms exceeds "
+        f"{bound * 1000:.1f}ms (baseline "
+        f"{base['p99_s'] * 1000:.1f}ms x {SCALEOUT_TOLERANCE:g})"
+    )
+    # The follower must actually be replicating, not idling empty.
+    assert follower_applied > 0, "follower applied nothing during the run"
+
+    lines = [
+        f"Serve read scale-out ({SCALEOUT_SECONDS:g}s arms, primary "
+        f"ingesting {SCALEOUT_RATE_PER_S:g} req/s x {BATCH} records)",
+        "",
+        f"{'arm':<22} {'queries':>8} {'p50_ms':>8} {'p99_ms':>8}",
+        f"{'single-node':<22} {base['queries']:>8} "
+        f"{base['p50_s'] * 1000:>8.2f} {base['p99_s'] * 1000:>8.2f}",
+        f"{'follower (replica)':<22} {scale['queries']:>8} "
+        f"{scale['p50_s'] * 1000:>8.2f} {scale['p99_s'] * 1000:>8.2f}",
+        "",
+        f"follower applied seq: {follower_applied}, "
+        f"end-of-run lag: {lag} records",
+        f"bound: p99 <= max({SCALEOUT_TOLERANCE:g} x baseline, "
+        f"{SCALEOUT_FLOOR_S * 1000:g}ms)",
+    ]
+    write_report("serve_scaleout", "\n".join(lines))
+    write_bench_json(
+        "serve_scaleout",
+        params={
+            "arm_seconds": SCALEOUT_SECONDS,
+            "ingest_rate_per_s": SCALEOUT_RATE_PER_S,
+            "batch": BATCH,
+            "tolerance": SCALEOUT_TOLERANCE,
+            "floor_s": SCALEOUT_FLOOR_S,
+        },
+        wall_s=2 * SCALEOUT_SECONDS,
+        events_per_s=(
+            follower_applied / SCALEOUT_SECONDS if follower_applied else 0.0
+        ),
+        extra={"single_node": base, "follower": scale},
     )

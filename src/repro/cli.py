@@ -24,11 +24,17 @@ Commands:
   poison shard) must recover byte-identically or degrade visibly, never
   hang (``--quick`` is the CI smoke variant). With ``--serve`` the drill
   targets the live service instead: ingest burst, slow consumer, and a
-  kill -9 of a real serve subprocess with a state-equivalence verdict;
+  kill -9 of a real serve subprocess with a state-equivalence verdict.
+  With ``--serve-cluster`` it drills the replication cluster: the
+  primary is SIGKILLed mid-burst, a follower is promoted, and the
+  verdict checks zero acked-record loss, digest equivalence against a
+  truncated replay of the dead primary's WAL, and epoch fencing;
 * ``serve``    — run the live ingestion service: accepted events are
   WAL-logged before acknowledgment, state is snapshotted on a rolling
   schedule, and a killed process recovers on restart value-identical to
-  an uninterrupted run. SIGTERM drains gracefully and exits 0.
+  an uninterrupted run. SIGTERM drains gracefully and exits 0. With
+  ``--replica-of URL`` the node is a read-only follower streaming the
+  primary's WAL; ``serve-promote`` makes a follower the new primary.
 
 ``simulate`` and ``resume`` accept the parallel-execution knobs
 (``--workers``, ``--shards``, ``--exec-mode``, ``--task-deadline``) — a
@@ -335,6 +341,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="work directory for the --serve scenarios "
              "(default: a temporary directory)",
     )
+    chaos.add_argument(
+        "--serve-cluster", action="store_true",
+        help="drill the replication cluster: kill -9 the primary "
+             "mid-burst, promote a follower, verify zero acked loss + "
+             "digest equivalence + epoch fencing",
+    )
     _add_metrics_arg(chaos)
 
     serve = subparsers.add_parser(
@@ -404,7 +416,52 @@ def _build_parser() -> argparse.ArgumentParser:
         help="chaos hook: slow the applier by this much per record "
              "(slow-consumer drills; default: 0)",
     )
+    serve.add_argument(
+        "--replica-of", default=None, metavar="URL",
+        help="run as a read-only follower replicating the primary at "
+             "URL's WAL; writes answer 409 with the primary's address",
+    )
+    serve.add_argument(
+        "--follower-id", default=None, metavar="ID",
+        help="identity this follower reports to the primary "
+             "(default: the data dir's name)",
+    )
+    serve.add_argument(
+        "--poll-interval", type=float, default=0.25, metavar="SECONDS",
+        help="replication poll cadence on a follower (default: 0.25)",
+    )
+    serve.add_argument(
+        "--sync-replicas", type=int, default=0, metavar="N",
+        help="primary: acknowledge a batch only after N followers "
+             "committed it (0 = asynchronous; default: 0)",
+    )
+    serve.add_argument(
+        "--sync-timeout", type=float, default=5.0, metavar="SECONDS",
+        help="how long a batch waits for --sync-replicas confirmations "
+             "before answering 503 (default: 5)",
+    )
     _add_metrics_arg(serve)
+
+    promote = subparsers.add_parser(
+        "serve-promote",
+        help="promote a running follower to primary (epoch bump; the "
+             "old primary is fenced by the new epoch)",
+    )
+    promote.add_argument(
+        "--data-dir", type=Path, default=None, metavar="DIR",
+        help="the follower's data dir (its endpoint.json names the "
+             "node to promote)",
+    )
+    promote.add_argument(
+        "--url", default=None, metavar="URL",
+        help="address of the follower to promote (alternative to "
+             "--data-dir)",
+    )
+    promote.add_argument(
+        "--fence", default=None, metavar="URL",
+        help="also fence the old primary at URL with the new epoch "
+             "(skip if it is already dead)",
+    )
 
     metrics_cmd = subparsers.add_parser(
         "metrics",
@@ -804,6 +861,31 @@ def cmd_robustness(args: argparse.Namespace) -> int:
 
 def cmd_chaos(args: argparse.Namespace) -> int:
     telemetry = _enable_metrics(args)
+    if args.serve_cluster:
+        import tempfile
+
+        from repro.serve.chaos import run_cluster_failover
+
+        work_dir = args.serve_dir
+        if work_dir is None:
+            work_dir = Path(tempfile.mkdtemp(prefix="repro-cluster-chaos-"))
+        results = [
+            run_cluster_failover(
+                work_dir, quick=args.quick,
+                scenario_budget=args.scenario_budget,
+            )
+        ]
+        print("=== Serve cluster drill ===")
+        for result in results:
+            verdict = "PASS" if result.passed else "FAIL"
+            print(
+                f"{verdict} {result.name:<16} [{result.expect}] "
+                f"({result.elapsed:.1f}s): {result.detail}"
+            )
+        failed = sum(1 for r in results if not r.passed)
+        print(f"{len(results) - failed}/{len(results)} scenarios passed")
+        _finish_metrics(telemetry, args.run_dir)
+        return 0 if failed == 0 else 1
     if args.serve:
         import tempfile
 
@@ -860,6 +942,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
         wal_fsync_every=args.wal_fsync_every,
         max_events_per_victim=args.max_events_per_victim,
         apply_delay=args.apply_delay,
+        replica_of=args.replica_of,
+        follower_id=args.follower_id,
+        poll_interval_s=args.poll_interval,
+        sync_replicas=args.sync_replicas,
+        sync_timeout_s=args.sync_timeout,
     )
     try:
         return run_service(
@@ -872,6 +959,51 @@ def cmd_serve(args: argparse.Namespace) -> int:
         # The data dir doubles as the run dir: a graceful exit leaves
         # metrics.json next to the snapshots for `repro report`.
         _finish_metrics(telemetry, args.data_dir)
+
+
+def cmd_serve_promote(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeClient, ServeClientError
+    from repro.serve.http import read_endpoint_file
+
+    if args.url:
+        url = args.url.rstrip("/")
+    elif args.data_dir:
+        try:
+            info = read_endpoint_file(args.data_dir)
+        except (OSError, ValueError) as exc:
+            print(
+                f"cannot read endpoint file in {args.data_dir}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        url = f"http://{info['host']}:{info['port']}"
+    else:
+        print("need --data-dir or --url", file=sys.stderr)
+        return 2
+    client = ServeClient([url])
+    try:
+        outcome = client.promote(url)
+    except ServeClientError as exc:
+        print(f"promotion failed: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"promoted {url}: role={outcome['role']} epoch={outcome['epoch']} "
+        f"seq={outcome['seq']} applied_seq={outcome['applied_seq']}"
+    )
+    if args.fence:
+        response = client.fence(
+            args.fence, outcome["epoch"], primary_url=url
+        )
+        if response.status == 200:
+            print(f"fenced {args.fence} at epoch {outcome['epoch']}")
+        else:
+            print(
+                f"fence of {args.fence} answered {response.status}: "
+                f"{response.body}",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
 
 
 def cmd_metrics(args: argparse.Namespace) -> int:
@@ -918,6 +1050,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "robustness": cmd_robustness,
         "chaos": cmd_chaos,
         "serve": cmd_serve,
+        "serve-promote": cmd_serve_promote,
         "metrics": cmd_metrics,
         "trace": cmd_trace,
     }

@@ -302,6 +302,73 @@ def render_flight_report(run_dir: Union[str, Path]) -> str:
             )
         lines.append("")
 
+    # -- replication / cluster -----------------------------------------------
+    if _metric_series(metrics, "serve_role"):
+        role_code = int(_metric_total(metrics, "serve_role"))
+        role = {0: "primary", 1: "replica", 2: "fenced"}.get(role_code, "?")
+        epoch = int(_metric_total(metrics, "serve_epoch"))
+        lines.append("cluster:")
+        line = f"  role {role}, epoch {epoch}"
+        promotions = _metric_total(metrics, "serve_promotions_total")
+        fences = _metric_total(metrics, "serve_fences_total")
+        if promotions or fences:
+            line += (
+                f", {_fmt_count(promotions)} promotion(s), "
+                f"{_fmt_count(fences)} fence(s)"
+            )
+        lines.append(line)
+        if _metric_series(metrics, "serve_replication_state"):
+            state_code = int(
+                _metric_total(metrics, "serve_replication_state")
+            )
+            state = {
+                0: "init", 1: "streaming", 2: "bootstrapping", 3: "error",
+            }.get(state_code, "?")
+            committed = _metric_total(
+                metrics, "serve_replication_committed_seq"
+            )
+            lag = _metric_total(metrics, "serve_replication_lag_records")
+            lines.append(
+                f"  shipper: {state}, committed seq "
+                f"{_fmt_count(committed)}, lag {_fmt_count(lag)} record(s)"
+            )
+            polls = _metric_total(metrics, "serve_replication_polls_total")
+            errors = _metric_total(metrics, "serve_replication_errors_total")
+            fetch_mb = _metric_total(
+                metrics, "serve_replication_fetch_bytes_total"
+            ) / 1e6
+            bootstraps = _metric_total(
+                metrics, "serve_replication_bootstraps_total"
+            )
+            line = (
+                f"  {_fmt_count(polls)} poll(s), {_fmt_count(errors)} "
+                f"error(s), {fetch_mb:.2f} MB fetched"
+            )
+            if bootstraps:
+                line += f", {_fmt_count(bootstraps)} snapshot bootstrap(s)"
+            lines.append(line)
+        follower_lags = _metric_series(
+            metrics, "serve_replication_follower_lag"
+        )
+        if follower_lags:
+            lines.append(
+                "  followers: "
+                + ", ".join(
+                    f"{s.get('labels', {}).get('follower', '?')} lag "
+                    f"{_fmt_count(s.get('value', 0))}"
+                    for s in sorted(
+                        follower_lags,
+                        key=lambda s: s.get("labels", {}).get("follower", ""),
+                    )
+                )
+            )
+        sync_refused = _metric_total(metrics, "serve_sync_refused_total")
+        if sync_refused:
+            lines.append(
+                f"  sync-ack refused: {_fmt_count(sync_refused)} record(s)"
+            )
+        lines.append("")
+
     # -- trace summary -------------------------------------------------------
     if trace:
         total = sum(span.get("duration", 0.0) for span in trace)

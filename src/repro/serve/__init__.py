@@ -23,10 +23,23 @@ The robustness envelope, not the endpoints, is the point:
 * **supervision** (:mod:`repro.serve.service`) — the applier runs under
   a heartbeat watchdog with per-feed circuit breakers, and SIGTERM
   triggers a graceful drain (flush WAL, final snapshot, answer in-flight
-  queries, exit 0).
+  queries, exit 0);
+* **replication** (:mod:`repro.serve.replication`,
+  :mod:`repro.serve.client`) — a primary ships its WAL over HTTP to N
+  read-only followers (``--replica-of URL``) that replay it through the
+  same recovery path; failover is explicit promotion with epoch fencing,
+  convergence is digest-verified, and a follower behind the pruned WAL
+  bootstraps from a snapshot. One ``kill -9`` no longer takes the query
+  API down — a follower keeps answering, and one of them takes over.
 """
 
 from repro.serve.admission import AdmissionQueue, SubmitResult
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.replication import (
+    ClusterState,
+    ShipperCursor,
+    WalShipper,
+)
 from repro.serve.service import LiveIngestService, RecoveryInfo, ServeConfig
 from repro.serve.snapshot import SnapshotManager
 from repro.serve.state import LiveFusedStore
@@ -34,11 +47,16 @@ from repro.serve.wal import WriteAheadLog
 
 __all__ = [
     "AdmissionQueue",
+    "ClusterState",
     "LiveFusedStore",
     "LiveIngestService",
     "RecoveryInfo",
+    "ServeClient",
+    "ServeClientError",
     "ServeConfig",
+    "ShipperCursor",
     "SnapshotManager",
     "SubmitResult",
+    "WalShipper",
     "WriteAheadLog",
 ]

@@ -46,13 +46,23 @@ class QueueEntry:
 
 @dataclass
 class SubmitResult:
-    """What one ingest batch got: accepted seqs, rejects, or a 503."""
+    """What one ingest batch got: accepted seqs, rejects, 503 — or 409.
+
+    ``last_seq`` is the highest sequence number assigned to this batch
+    (0 when nothing was accepted): the client-visible ack watermark that
+    failover drills compare a promoted follower's replication cursor
+    against. ``read_only`` marks a write refused by a replica or fenced
+    node — an HTTP 409 carrying ``primary_url`` as the place to go.
+    """
 
     accepted: int = 0
     rejected: int = 0
     shed: int = 0
     retry_after: Optional[float] = None
     reasons: Dict[str, int] = field(default_factory=dict)
+    last_seq: int = 0
+    read_only: bool = False
+    primary_url: Optional[str] = None
 
     @property
     def refused(self) -> bool:
@@ -65,8 +75,13 @@ class SubmitResult:
             "shed": self.shed,
             "reasons": self.reasons,
         }
+        if self.accepted:
+            body["last_seq"] = self.last_seq
         if self.retry_after is not None:
             body["retry_after"] = self.retry_after
+        if self.read_only:
+            body["read_only"] = True
+            body["primary_url"] = self.primary_url
         return body
 
 
@@ -130,6 +145,18 @@ class AdmissionQueue:
     def shedding(self) -> bool:
         with self._lock:
             return self._shedding
+
+    def min_seq(self) -> Optional[int]:
+        """Smallest sequence number still queued (None: queue empty).
+
+        Entries are queued in sequence order, so this is the head
+        entry's seq. Replication's *stable frontier* rests on it: a
+        sequence below every queued entry can no longer be evicted by
+        drop-oldest, so no future ``shed`` tombstone can name it — a
+        follower may apply it without waiting for more of the log.
+        """
+        with self._lock:
+            return self._entries[0].seq if self._entries else None
 
     def _update_shedding_locked(self) -> None:
         depth = len(self._entries)

@@ -17,10 +17,22 @@ production, each with a deterministic verdict.
 * ``kill9-recover`` — a real ``python -m repro serve`` subprocess is
   SIGKILLed mid-ingest and restarted; the recovered process must report
   a state digest identical to the victim's last acknowledged state, in
-  bounded time.
+  bounded time;
+* ``cluster-failover`` (``chaos --serve-cluster``) — a primary with two
+  ``--replica-of`` followers under synchronous-ack ingest is SIGKILLed
+  mid-burst; the drill promotes the most-caught-up follower and proves
+  **zero acked loss** (the promoted node's replication cursor covers
+  every acknowledged sequence), **digest equivalence** (its state digest
+  equals a truncated offline replay of the dead primary's own WAL — the
+  oracle for "what the acked stream fuses to"), and **epoch fencing**
+  (the restarted old primary is fenced by the new epoch, refuses writes
+  with a 409 pointing at its successor, and refuses a *stale* fence).
 
-Verdicts reuse :class:`~repro.pipeline.chaos.ScenarioResult` so the CLI
-renders both drills the same way.
+All HTTP in this module goes through
+:class:`~repro.serve.client.ServeClient` — the same Retry-After/failover
+behavior operators get, not bespoke drill plumbing. Verdicts reuse
+:class:`~repro.pipeline.chaos.ScenarioResult` so the CLI renders both
+drills the same way.
 """
 
 from __future__ import annotations
@@ -30,23 +42,36 @@ import os
 import signal
 import subprocess
 import sys
+import threading
 import time
-import urllib.error
-import urllib.request
 from pathlib import Path
 from typing import List, Optional, Tuple
 
 from repro.log import get_logger
 from repro.pipeline.chaos import ScenarioResult
+from repro.pipeline.runner import RetryPolicy
+from repro.serve.client import ServeClient, ServeClientError
 from repro.serve.http import ENDPOINT_FILE
-from repro.serve.service import LiveIngestService, ServeConfig
-from repro.serve.wal import KIND_ATTACK
+from repro.serve.service import LiveIngestService, ServeConfig, WAL_DIR
+from repro.serve.state import LiveFusedStore
+from repro.serve.wal import KIND_ATTACK, WriteAheadLog
 
 log = get_logger("serve.chaos")
 
 EXPECT_SHED = "deterministic load shedding"
 EXPECT_HYSTERESIS = "shed mode entered and left"
 EXPECT_EQUIVALENT = "state-equivalent recovery"
+EXPECT_FAILOVER = "zero acked loss + fenced old primary"
+
+#: Client retry schedule for drills: bounded and fast, seeded jitter so
+#: a failing drill replays the same timing.
+_DRILL_RETRY = RetryPolicy(
+    max_attempts=4,
+    backoff_base=0.05,
+    backoff_max=0.5,
+    jitter=True,
+    jitter_seed=7,
+)
 
 
 def _event(i: int) -> dict:
@@ -202,36 +227,29 @@ def wait_for_endpoint(
     """Block until the service wrote its endpoint file and answers."""
     path = data_dir / ENDPOINT_FILE
     deadline = time.monotonic() + timeout
+    probe = RetryPolicy(max_attempts=1)
     while time.monotonic() < deadline:
         if path.exists():
             try:
                 info = json.loads(path.read_text(encoding="utf-8"))
-                _get_json(info["host"], info["port"], "/healthz")
+                url = f"http://{info['host']}:{info['port']}"
+                ServeClient([url], retry=probe, timeout=5.0).get_json(
+                    "/healthz"
+                )
                 return info["host"], info["port"]
-            except (ValueError, KeyError, OSError):
+            except (ValueError, KeyError, OSError, ServeClientError):
                 pass
         time.sleep(0.05)
     raise TimeoutError(f"service at {data_dir} never became ready")
 
 
-def _get_json(host: str, port: int, path: str) -> dict:
-    with urllib.request.urlopen(
-        f"http://{host}:{port}{path}", timeout=10
-    ) as response:
-        return json.loads(response.read())
+def _node_url(data_dir: Path, timeout: float = 20.0) -> str:
+    host, port = wait_for_endpoint(data_dir, timeout=timeout)
+    return f"http://{host}:{port}"
 
 
-def _post_json(host: str, port: int, path: str, body) -> Tuple[int, dict]:
-    request = urllib.request.Request(
-        f"http://{host}:{port}{path}",
-        data=json.dumps(body).encode("utf-8"),
-        headers={"Content-Type": "application/json"},
-    )
-    try:
-        with urllib.request.urlopen(request, timeout=10) as response:
-            return response.status, json.loads(response.read())
-    except urllib.error.HTTPError as error:
-        return error.code, json.loads(error.read())
+def _client(*urls: str) -> ServeClient:
+    return ServeClient(list(urls), retry=_DRILL_RETRY, timeout=10.0)
 
 
 def _spawn_serve(data_dir: Path, extra: Tuple[str, ...] = ()) -> subprocess.Popen:
@@ -248,11 +266,11 @@ def _spawn_serve(data_dir: Path, extra: Tuple[str, ...] = ()) -> subprocess.Pope
     )
 
 
-def _await_applied(host: str, port: int, budget: float) -> dict:
+def _await_applied(client: ServeClient, url: str, budget: float) -> dict:
     """Poll /stats until the applier caught up with intake."""
     deadline = time.monotonic() + budget
     while True:
-        stats = _get_json(host, port, "/stats")
+        stats = client.stats(endpoint=url)
         if stats["applied_seq"] >= stats["seq"] and stats["queue_depth"] == 0:
             return stats
         if time.monotonic() >= deadline:
@@ -274,19 +292,22 @@ def run_kill9_recover(
     victim = _spawn_serve(data_dir)
     restarted: Optional[subprocess.Popen] = None
     try:
-        host, port = wait_for_endpoint(data_dir)
+        url = _node_url(data_dir)
+        client = _client(url)
         for base in range(0, events, 30):
             batch = [_event(base + j) for j in range(min(30, events - base))]
-            status, _body = _post_json(
-                host, port, "/ingest/attacks?feed=telescope", batch
+            response = client.post_json(
+                "/ingest/attacks?feed=telescope", {"records": batch},
+                endpoint=url,
             )
-            if status not in (202,):
+            if response.status != 202:
                 return ScenarioResult(
                     "kill9-recover", EXPECT_EQUIVALENT, False,
-                    f"ingest answered {status}", time.monotonic() - started,
+                    f"ingest answered {response.status}",
+                    time.monotonic() - started,
                 )
-        _await_applied(host, port, budget / 2)
-        before = _get_json(host, port, "/digest")
+        _await_applied(client, url, budget / 2)
+        before = client.digest(endpoint=url)
         os.kill(victim.pid, signal.SIGKILL)
         victim.wait(timeout=10)
         # The endpoint file still names the dead process; remove it so
@@ -294,10 +315,11 @@ def run_kill9_recover(
         (data_dir / ENDPOINT_FILE).unlink()
         restart_begin = time.monotonic()
         restarted = _spawn_serve(data_dir)
-        host, port = wait_for_endpoint(data_dir)
+        url = _node_url(data_dir)
         recovery_elapsed = time.monotonic() - restart_begin
-        after = _get_json(host, port, "/digest")
-        stats = _get_json(host, port, "/stats")
+        client = _client(url)
+        after = client.digest(endpoint=url)
+        stats = client.stats(endpoint=url)
         problems = []
         if after["digest"] != before["digest"]:
             problems.append(
@@ -338,6 +360,277 @@ def run_kill9_recover(
                     proc.kill()
 
 
+# -- cluster failover ----------------------------------------------------------
+
+
+def _oracle_digest(primary_dir: Path, upto_seq: int) -> str:
+    """Digest of a clean, truncated replay of the dead primary's WAL.
+
+    The ground truth for failover: the state the acked stream fuses to
+    at ``upto_seq``, computed offline from the victim's intact data dir
+    with the same deterministic apply the live nodes use (including the
+    whole-log shed set — a tombstone past the cut still sheds records
+    under it). A promoted follower that matches this digest provably
+    holds the primary's acknowledged history, not an approximation.
+    """
+    wal = WriteAheadLog(primary_dir / WAL_DIR)
+    records, _report = wal.replay(after_seq=0, upto_seq=upto_seq)
+    store = LiveFusedStore(
+        baseline_days=7, alert_factor=3.0, max_events_per_victim=256
+    )
+    for record in records:
+        try:
+            if record.kind == KIND_ATTACK:
+                store.apply_attack(record.record)
+            else:
+                store.apply_dps(record.record)
+        except ValueError:
+            # Deterministic apply rejection: the live nodes skipped this
+            # record identically.
+            continue
+    return store.state_digest()
+
+
+def _settled_committed(client: ServeClient, url: str, budget: float) -> int:
+    """A follower's committed seq once it stops advancing (primary dead)."""
+    deadline = time.monotonic() + budget
+    last = -1
+    while time.monotonic() < deadline:
+        rep = client.stats(endpoint=url).get("replication") or {}
+        committed = int(rep.get("committed_seq") or 0)
+        if committed == last:
+            return committed
+        last = committed
+        time.sleep(0.2)
+    return max(0, last)
+
+
+def run_cluster_failover(
+    work_dir: Path, quick: bool = False, scenario_budget: float = 240.0
+) -> ScenarioResult:
+    """Kill -9 the primary mid-burst; promote; verify loss, digest, fence."""
+    started = time.monotonic()
+    work_dir = Path(work_dir)
+    work_dir.mkdir(parents=True, exist_ok=True)
+    primary_dir = work_dir / "cluster-primary"
+    follower_dirs = [work_dir / "cluster-f1", work_dir / "cluster-f2"]
+    batches = 8 if quick else 24
+    batch_size = 25
+    # The primary never snapshots: its WAL then spans the whole run from
+    # sequence one, which is what makes the offline oracle replay — and
+    # the restarted old primary's recovery — cover everything. Sync-ack
+    # with one replica means every 202 is committed on a follower before
+    # the client hears it: the invariant the kill tries to break.
+    primary_flags = (
+        "--snapshot-every", "100000", "--snapshot-interval", "100000",
+        "--sync-replicas", "1", "--sync-timeout", "20",
+        "--retry-after", "0.2",
+    )
+    procs: List[subprocess.Popen] = []
+    try:
+        primary_proc = _spawn_serve(primary_dir, primary_flags)
+        procs.append(primary_proc)
+        primary_url = _node_url(primary_dir)
+        for index, follower_dir in enumerate(follower_dirs):
+            procs.append(
+                _spawn_serve(
+                    follower_dir,
+                    (
+                        "--replica-of", primary_url,
+                        "--follower-id", f"f{index + 1}",
+                        "--poll-interval", "0.05",
+                        "--snapshot-every", "100000",
+                        "--snapshot-interval", "100000",
+                    ),
+                )
+            )
+        follower_urls = [_node_url(d) for d in follower_dirs]
+        client = _client(primary_url, *follower_urls)
+        # Both followers must be registered before the burst, or the
+        # first sync-ack batch eats the whole sync timeout.
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            status = client.replication_status(endpoint=primary_url)
+            if len(status.get("followers") or {}) >= len(follower_urls):
+                break
+            time.sleep(0.1)
+        else:
+            raise TimeoutError("followers never registered with the primary")
+
+        # Burst from a separate thread, kill -9 mid-flight.
+        burst_state = {"acked": 0, "sent": 0, "refused_after_kill": False}
+
+        def _burst() -> None:
+            sender = _client(primary_url)
+            for batch_index in range(batches):
+                batch = [
+                    _event(batch_index * batch_size + j)
+                    for j in range(batch_size)
+                ]
+                burst_state["sent"] += len(batch)
+                try:
+                    response = sender.post_json(
+                        "/ingest/attacks?feed=telescope",
+                        {"records": batch},
+                        endpoint=primary_url,
+                    )
+                except ServeClientError:
+                    # The primary is dead: nothing past this point was
+                    # acknowledged, so nothing past this point is owed.
+                    burst_state["refused_after_kill"] = True
+                    return
+                if response.status == 202:
+                    burst_state["acked"] = max(
+                        burst_state["acked"],
+                        int(response.body.get("last_seq") or 0),
+                    )
+
+        burst = threading.Thread(target=_burst, name="cluster-burst")
+        burst.start()
+        kill_threshold = (batches * batch_size) // 3
+        while burst.is_alive() and burst_state["acked"] < kill_threshold:
+            time.sleep(0.02)
+        os.kill(primary_proc.pid, signal.SIGKILL)
+        primary_proc.wait(timeout=10)
+        burst.join(timeout=scenario_budget / 3)
+        acked = burst_state["acked"]
+
+        # Promote the most-caught-up follower (highest settled cursor).
+        committed_by_url = {
+            url: _settled_committed(client, url, budget=20.0)
+            for url in follower_urls
+        }
+        promoted_url = max(committed_by_url, key=committed_by_url.get)
+        standby_url = next(u for u in follower_urls if u != promoted_url)
+        if quick:
+            client.promote(promoted_url)
+        else:
+            # Full drill exercises the operator path, not just the API.
+            completed = subprocess.run(
+                [
+                    sys.executable, "-m", "repro", "serve-promote",
+                    "--url", promoted_url,
+                ],
+                capture_output=True, text=True, timeout=60,
+            )
+            if completed.returncode != 0:
+                raise RuntimeError(
+                    f"serve-promote failed: {completed.stderr.strip()}"
+                )
+        health = client.get_json("/healthz", endpoint=promoted_url)
+        new_epoch = int(health["epoch"])
+
+        problems: List[str] = []
+        if health["role"] != "primary":
+            problems.append(f"promoted node's role is {health['role']!r}")
+        promoted_stats = client.stats(endpoint=promoted_url)
+        promoted_committed = int(
+            (promoted_stats.get("replication") or {}).get("committed_seq")
+            or 0
+        )
+        if promoted_committed < acked:
+            problems.append(
+                f"acked records lost: cursor {promoted_committed} "
+                f"< acked {acked}"
+            )
+        # Digest equivalence against the truncated oracle — checked
+        # before any post-failover write can move the promoted state.
+        promoted_digest = client.digest(endpoint=promoted_url)
+        oracle = _oracle_digest(
+            primary_dir, int(promoted_digest["applied_seq"])
+        )
+        if promoted_digest["digest"] != oracle:
+            problems.append(
+                "promoted digest diverges from the primary's WAL replay "
+                f"({promoted_digest['digest'][:12]} != {oracle[:12]})"
+            )
+        standby_digest = client.digest(endpoint=standby_url)
+        standby_oracle = _oracle_digest(
+            primary_dir, int(standby_digest["applied_seq"])
+        )
+        if standby_digest["digest"] != standby_oracle:
+            problems.append("standby follower digest diverges from oracle")
+        # The new primary takes writes.
+        post = client.post_json(
+            "/ingest/attacks?feed=telescope",
+            {"records": [_event(batches * batch_size + 1)]},
+            endpoint=promoted_url,
+        )
+        if post.status != 202:
+            problems.append(
+                f"promoted node refused a write ({post.status})"
+            )
+        # Resurrect the old primary and fence it: it must refuse writes
+        # (pointing at its successor) and refuse a stale-epoch fence.
+        (primary_dir / ENDPOINT_FILE).unlink()
+        procs.append(_spawn_serve(primary_dir, primary_flags))
+        old_url = _node_url(primary_dir)
+        fence = client.fence(old_url, new_epoch, primary_url=promoted_url)
+        if fence.status != 200:
+            problems.append(f"fence answered {fence.status}")
+        stale = client.fence(old_url, 1, primary_url=promoted_url)
+        if stale.status != 409:
+            problems.append(
+                f"stale-epoch fence was not refused ({stale.status})"
+            )
+        fenced_write = client.post_json(
+            "/ingest/attacks?feed=telescope",
+            {"records": [_event(0)]},
+            endpoint=old_url,
+        )
+        if fenced_write.status != 409:
+            problems.append(
+                f"fenced primary accepted a write ({fenced_write.status})"
+            )
+        elif fenced_write.body.get("primary_url") != promoted_url:
+            problems.append("fenced 409 does not hint the new primary")
+        # Leave a machine-readable verdict where CI can pick it up.
+        verdict = {
+            "acked_last_seq": acked,
+            "sent_records": burst_state["sent"],
+            "promoted_url": promoted_url,
+            "promoted_committed_seq": promoted_committed,
+            "promoted_applied_seq": int(promoted_digest["applied_seq"]),
+            "promoted_digest": promoted_digest["digest"],
+            "oracle_digest": oracle,
+            "new_epoch": new_epoch,
+            "problems": problems,
+        }
+        (work_dir / "cluster-failover-verdict.json").write_text(
+            json.dumps(verdict, indent=2) + "\n", encoding="utf-8"
+        )
+        elapsed = time.monotonic() - started
+        if problems:
+            return ScenarioResult(
+                "cluster-failover", EXPECT_FAILOVER, False,
+                "; ".join(problems), elapsed,
+            )
+        return ScenarioResult(
+            "cluster-failover", EXPECT_FAILOVER, True,
+            f"acked {acked} seqs; promoted follower cursor "
+            f"{promoted_committed} covers them; digest == WAL-replay "
+            f"oracle at seq {promoted_digest['applied_seq']}; old primary "
+            f"fenced at epoch {new_epoch}, stale fence refused",
+            elapsed,
+        )
+    except (
+        TimeoutError, OSError, RuntimeError,
+        ServeClientError, subprocess.SubprocessError,
+    ) as exc:
+        return ScenarioResult(
+            "cluster-failover", EXPECT_FAILOVER, False,
+            f"{type(exc).__name__}: {exc}", time.monotonic() - started,
+        )
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+
+
 def run_serve_chaos_drill(
     work_dir: Path, quick: bool = False, scenario_budget: float = 120.0
 ) -> List[ScenarioResult]:
@@ -362,8 +655,10 @@ def run_serve_chaos_drill(
 
 __all__ = [
     "EXPECT_EQUIVALENT",
+    "EXPECT_FAILOVER",
     "EXPECT_HYSTERESIS",
     "EXPECT_SHED",
+    "run_cluster_failover",
     "run_ingest_burst",
     "run_kill9_recover",
     "run_serve_chaos_drill",

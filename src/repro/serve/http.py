@@ -12,15 +12,31 @@ Endpoints::
     GET  /stats                       operational stats (queue, shed, recovery)
     GET  /digest                      state digest (the equivalence oracle)
     GET  /metrics                     Prometheus text exposition
-    POST /ingest/attacks?feed=F       ingest attack events (202 / 503)
-    POST /ingest/dps                  ingest DPS status records (202 / 503)
+    POST /ingest/attacks?feed=F       ingest attack events (202 / 503 / 409)
+    POST /ingest/dps                  ingest DPS status records (202 / 503 / 409)
+
+Replication (cluster wiring; see :mod:`repro.serve.replication`)::
+
+    GET  /replication/status          shipping state + stable frontier
+                                      (?follower=ID&committed=N piggybacks
+                                      the follower's cursor for sync acks)
+    GET  /replication/segment?first=N&offset=M[&limit=K]
+                                      raw WAL segment bytes (octet-stream,
+                                      X-Repro-Epoch / X-Repro-Role headers)
+    GET  /replication/snapshot        newest snapshot payload (bootstrap)
+    POST /promote                     follower takes over as primary
+    POST /replication/fence           {"epoch": E, "primary_url": U} — step
+                                      down before a newer epoch (409: stale)
 
 Ingest bodies are JSON: either a bare array of records or
 ``{"records": [...]}``. A refused batch answers **503** with a
 ``Retry-After`` header — the admission queue is above its high
 watermark, a feed's circuit breaker is open, or the service is draining
 — and the client is expected to back off and resend; nothing refused was
-logged, so nothing refused is owed durability.
+logged, so nothing refused is owed durability. A write sent to a replica
+or fenced node answers **409** with ``primary_url`` naming where writes
+go — read-only enforcement, not backpressure, so retrying here is
+pointless and redirecting is right.
 
 The server is a ``ThreadingHTTPServer``: handler threads only validate
 and append (WAL + queue), the single applier thread owns all state
@@ -43,6 +59,7 @@ from urllib.parse import parse_qs, urlparse
 
 from repro.log import get_logger
 from repro.net.addressing import parse_ipv4
+from repro.serve.replication import write_json_atomic
 from repro.serve.service import (
     ATTACK_FEEDS,
     FEED_DPS,
@@ -116,6 +133,31 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(payload)
 
+    def _send_bytes(self, payload: bytes) -> None:
+        """Raw bytes with cluster headers (the WAL segment fetch path)."""
+        self.send_response(200)
+        self.send_header("Content-Type", "application/octet-stream")
+        self.send_header("Content-Length", str(len(payload)))
+        self.send_header("X-Repro-Epoch", str(self.service.cluster.epoch))
+        self.send_header("X-Repro-Role", self.service.cluster.role)
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _read_json_object(self) -> Optional[dict]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._send_json(400, {"error": "JSON body required"}, close=True)
+            return None
+        try:
+            data = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            self._send_json(400, {"error": "body is not valid JSON"})
+            return None
+        if not isinstance(data, dict):
+            self._send_json(400, {"error": "expected a JSON object"})
+            return None
+        return data
+
     def _read_records(self) -> Optional[list]:
         length = int(self.headers.get("Content-Length") or 0)
         if length <= 0 or length > MAX_BODY_BYTES:
@@ -160,7 +202,13 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
             if path == "/healthz":
                 self._send_json(
                     200,
-                    {"ok": True, "draining": self.service._draining.is_set()},
+                    {
+                        "ok": True,
+                        "draining": self.service._draining.is_set(),
+                        "role": self.service.cluster.role,
+                        "epoch": self.service.cluster.epoch,
+                        "primary_url": self.service.cluster.primary_url,
+                    },
                 )
             elif path == "/summary":
                 self._send_json(200, self.service.store.summary())
@@ -195,6 +243,12 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
                     self.service.metrics.render_prometheus(),
                     "text/plain; version=0.0.4",
                 )
+            elif path == "/replication/status":
+                self._get_replication_status(query)
+            elif path == "/replication/segment":
+                self._get_segment(query)
+            elif path == "/replication/snapshot":
+                self._get_snapshot()
             else:
                 self._send_json(404, {"error": f"no such endpoint: {path}"})
         except ValueError as exc:
@@ -243,12 +297,55 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
                 },
             )
 
+    # -- replication ----------------------------------------------------------
+
+    def _get_replication_status(self, query: dict) -> None:
+        follower = query.get("follower")
+        committed: Optional[int] = None
+        if "committed" in query:
+            try:
+                committed = int(query["committed"])
+            except ValueError:
+                raise ValueError("?committed= must be an integer")
+        self._send_json(
+            200, self.service.replication_status(follower, committed)
+        )
+
+    def _get_segment(self, query: dict) -> None:
+        try:
+            first = int(query["first"])
+            offset = int(query.get("offset", 0))
+            limit = int(query.get("limit", 1 << 20))
+        except (KeyError, ValueError):
+            raise ValueError("need ?first=N&offset=M[&limit=K]")
+        limit = max(1, min(limit, 8 << 20))
+        chunk = self.service.wal.read_chunk(first, offset, limit)
+        if chunk is None:
+            # Pruned (or never existed): the follower's next status poll
+            # sees the new oldest_seq and bootstraps if it must.
+            self._send_json(
+                404, {"error": f"no WAL segment starting at seq {first}"}
+            )
+            return
+        self._send_bytes(chunk)
+
+    def _get_snapshot(self) -> None:
+        loaded = self.service.snapshots.load_newest_valid()
+        if not loaded.found:
+            self._send_json(404, {"error": "no valid snapshot yet"})
+            return
+        self._send_json(200, loaded.payload)
+
     # -- POST -----------------------------------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802
         path = urlparse(self.path).path
         query = self._query()
-        if path == "/ingest/attacks":
+        if path == "/promote":
+            self._send_json(200, self.service.promote())
+        elif path == "/replication/fence":
+            self._post_fence()
+        elif path == "/ingest/attacks":
             feed = query.get("feed", ATTACK_FEEDS[0])
             if feed not in ATTACK_FEEDS:
                 self._send_json(
@@ -265,12 +362,46 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
         else:
             self._send_json(404, {"error": f"no such endpoint: {path}"})
 
+    def _post_fence(self) -> None:
+        body = self._read_json_object()
+        if body is None:
+            return
+        epoch = body.get("epoch")
+        if not isinstance(epoch, int) or isinstance(epoch, bool):
+            self._send_json(400, {"error": '"epoch" must be an integer'})
+            return
+        primary_url = body.get("primary_url")
+        if primary_url is not None and not isinstance(primary_url, str):
+            self._send_json(400, {"error": '"primary_url" must be a string'})
+            return
+        if self.service.fence(epoch, primary_url):
+            self._send_json(
+                200,
+                {
+                    "fenced": True,
+                    "role": self.service.cluster.role,
+                    "epoch": self.service.cluster.epoch,
+                },
+            )
+        else:
+            self._send_json(
+                409,
+                {
+                    "fenced": False,
+                    "error": "stale epoch",
+                    "epoch": self.service.cluster.epoch,
+                },
+            )
+
     def _ingest(self, feed: str, kind: str) -> None:
         records = self._read_records()
         if records is None:
             return
         result = self.service.submit(feed, kind, records)
-        if result.refused:
+        if result.read_only:
+            # Not backpressure: this node does not take writes at all.
+            self._send_json(409, result.to_dict())
+        elif result.refused:
             self._send_json(
                 503, result.to_dict(), retry_after=result.retry_after
             )
@@ -293,13 +424,13 @@ class ServeHTTPServer(ThreadingHTTPServer):
 def write_endpoint_file(
     data_dir: Path, host: str, port: int, pid: int
 ) -> Path:
-    path = Path(data_dir) / ENDPOINT_FILE
-    path.write_text(
-        json.dumps({"host": host, "port": port, "pid": pid}, sort_keys=True)
-        + "\n",
-        encoding="utf-8",
+    # Atomic (temp + rename): drill poll loops and cluster peers read
+    # this file while it is being (re)written and must never see a torn
+    # prefix of the old and new address.
+    return write_json_atomic(
+        Path(data_dir) / ENDPOINT_FILE,
+        {"host": host, "port": port, "pid": pid},
     )
-    return path
 
 
 def read_endpoint_file(data_dir: Path) -> dict:

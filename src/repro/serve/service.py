@@ -43,6 +43,14 @@ from repro.log import get_logger
 from repro.obs.metrics import MetricsRegistry, NullRegistry, get_registry
 from repro.pipeline.datasets import event_from_dict, event_to_dict
 from repro.serve.admission import AdmissionQueue, QueueEntry, SubmitResult
+from repro.serve.replication import (
+    ClusterState,
+    ROLE_FENCED,
+    ROLE_PRIMARY,
+    ROLE_REPLICA,
+    ShipperCursor,
+    WalShipper,
+)
 from repro.serve.snapshot import SnapshotManager, snapshot_stage_name
 from repro.serve.state import (
     LiveFusedStore,
@@ -52,6 +60,7 @@ from repro.serve.wal import (
     KIND_ATTACK,
     KIND_DPS,
     KIND_SHED,
+    WalRecord,
     WriteAheadLog,
 )
 from repro.store.checkpoint import CheckpointStore
@@ -66,6 +75,9 @@ ALL_SERVE_FEEDS = ATTACK_FEEDS + (FEED_DPS,)
 
 #: Subdirectory of the data dir holding WAL segments.
 WAL_DIR = "wal"
+
+#: Role as the ``serve_role`` gauge value.
+ROLE_CODES = {ROLE_PRIMARY: 0, ROLE_REPLICA: 1, ROLE_FENCED: 2}
 
 
 @dataclass(frozen=True)
@@ -92,6 +104,15 @@ class ServeConfig:
     #: Chaos/test hook: seconds the applier sleeps per record (a slow
     #: consumer without monkeypatching).
     apply_delay: float = 0.0
+    #: Replication. ``replica_of`` makes this node a read-only follower
+    #: of the primary at that base URL; ``sync_replicas`` (primary side)
+    #: makes each accepted batch wait for that many followers to commit
+    #: its highest sequence before acknowledging.
+    replica_of: Optional[str] = None
+    follower_id: Optional[str] = None
+    poll_interval_s: float = 0.25
+    sync_replicas: int = 0
+    sync_timeout_s: float = 5.0
 
 
 @dataclass
@@ -174,6 +195,34 @@ class LiveIngestService:
             for feed in ALL_SERVE_FEEDS
         }
         self.recovery = RecoveryInfo()
+        # Cluster identity: the durable file wins over a fresh default,
+        # but an explicit --replica-of always demotes this node — except
+        # a fenced node, which stays fenced until a newer epoch says
+        # otherwise.
+        loaded_cluster = ClusterState.load(self.data_dir)
+        if config.replica_of and (
+            loaded_cluster is None or loaded_cluster.role != ROLE_FENCED
+        ):
+            self.cluster = ClusterState(
+                role=ROLE_REPLICA,
+                epoch=loaded_cluster.epoch if loaded_cluster else 1,
+                primary_url=config.replica_of,
+            )
+        elif loaded_cluster is not None:
+            self.cluster = loaded_cluster
+        else:
+            self.cluster = ClusterState(role=ROLE_PRIMARY, epoch=1)
+        self.shipper: Optional[WalShipper] = None
+        self.promotions = 0
+        self.fences = 0
+        self.sync_refused = 0
+        # Follower bookkeeping (primary side): follower id -> committed
+        # seq + when it last reported, fed by status-poll piggybacks.
+        self._followers: Dict[str, Dict[str, float]] = {}
+        self._sync_cond = threading.Condition()
+        # Serializes role transitions (promote/fence) against each other;
+        # readers see the cluster state by atomic reference swap.
+        self._cluster_lock = threading.Lock()
         # Plain mirrors of the hot counters, so /stats and tests work
         # without a live metrics registry.
         self.accepted_by_feed: Dict[str, int] = {}
@@ -210,6 +259,31 @@ class LiveIngestService:
             "serve_watchdog_stalls_total",
             "heartbeat timeouts the watchdog observed",
         )
+        self._m_role = registry.gauge(
+            "serve_role", "cluster role (0 primary, 1 replica, 2 fenced)"
+        )
+        self._m_epoch = registry.gauge(
+            "serve_epoch", "cluster epoch this node believes in"
+        )
+        self._m_promotions = registry.counter(
+            "serve_promotions_total", "times this node took over as primary"
+        )
+        self._m_fences = registry.counter(
+            "serve_fences_total",
+            "times this node was fenced by a newer epoch",
+        )
+        self._m_sync_refused = registry.counter(
+            "serve_sync_refused_total",
+            "batches refused because followers did not confirm in time",
+        )
+        self._m_follower_lag = registry.gauge(
+            "serve_replication_follower_lag",
+            "records each follower trails this primary by", ("follower",),
+        )
+        self._m_followers = registry.gauge(
+            "serve_replication_followers", "followers reporting to this node"
+        )
+        self._publish_cluster_gauges()
         # Intake lock serializes seq assignment + WAL append + enqueue,
         # making WAL order identical to apply order. It also guards the
         # accepted/dropped mirrors, so quiesce() never sees an enqueued
@@ -243,6 +317,7 @@ class LiveIngestService:
     def start(self) -> RecoveryInfo:
         """Recover durable state, then start the applier and watchdog."""
         info = self._recover()
+        self.cluster.save(self.data_dir)
         self._applier = threading.Thread(
             target=self._apply_loop, name="repro-serve-applier", daemon=True
         )
@@ -251,9 +326,26 @@ class LiveIngestService:
             target=self._watch_loop, name="repro-serve-watchdog", daemon=True
         )
         self._watchdog.start()
+        if self.cluster.role == ROLE_REPLICA and self.cluster.primary_url:
+            self.shipper = WalShipper(
+                self,
+                self.cluster.primary_url,
+                poll_interval=self.config.poll_interval_s,
+                follower_id=self.config.follower_id,
+                metrics=self.metrics,
+            )
+            # The local WAL (just recovered) is the commit truth; the
+            # cursor file contributes resume offsets and the epoch.
+            self.shipper.resume_from(
+                ShipperCursor.load(self.data_dir), self._seq
+            )
+            self.shipper.start()
+        self._publish_cluster_gauges()
         log.info(
             "service started",
             data_dir=str(self.data_dir),
+            role=self.cluster.role,
+            epoch=self.cluster.epoch,
             snapshot_seq=info.snapshot_seq,
             replayed=info.replayed,
         )
@@ -348,6 +440,8 @@ class LiveIngestService:
         """
         timeout = timeout if timeout is not None else self.config.drain_timeout
         self._draining.set()
+        if self.shipper is not None:
+            self.shipper.stop()
         deadline = self._clock() + timeout
         drained = True
         while self.queue.depth > 0:
@@ -416,6 +510,8 @@ class LiveIngestService:
     def stop(self) -> None:
         """Hard stop (tests): no drain, no final snapshot."""
         self._draining.set()
+        if self.shipper is not None:
+            self.shipper.stop()
         self._stop.set()
         self.queue.wake()
         if self._applier is not None:
@@ -435,6 +531,13 @@ class LiveIngestService:
             result.reasons["unknown-feed"] = len(records)
             return result
         result = SubmitResult()
+        if self.cluster.role != ROLE_PRIMARY:
+            # Followers and fenced ex-primaries take no writes: accepting
+            # one would fork the sequence space. 409 + where to go.
+            result.read_only = True
+            result.primary_url = self.cluster.primary_url
+            result.reasons["read-only"] = len(records)
+            return result
         if self._draining.is_set():
             result.retry_after = self.config.retry_after
             return result
@@ -505,7 +608,251 @@ class LiveIngestService:
                 self.accepted_by_feed.get(feed, 0) + len(valid)
             )
         result.accepted = len(valid)
+        result.last_seq = entries[-1].seq
+        if self.config.sync_replicas > 0:
+            if not self._await_followers(
+                result.last_seq, self.config.sync_timeout_s
+            ):
+                # The batch *is* durable locally (WAL'd above) — what
+                # failed is the replication guarantee. Answer 503 so the
+                # client retries against a cluster that can honor it. A
+                # retry may duplicate records in the stream; both copies
+                # replicate and replay identically everywhere, so the
+                # digest contract holds — at-least-once, not exactly-once,
+                # is sync mode's documented trade.
+                self.sync_refused += len(valid)
+                self._m_sync_refused.inc(len(valid))
+                result.reasons["sync-timeout"] = len(valid)
+                result.retry_after = self.config.retry_after
         return result
+
+    # -- replication ----------------------------------------------------------
+
+    @property
+    def applied_seq(self) -> int:
+        """Highest sequence number applied to (or committed into) the store."""
+        return self._applied_seq
+
+    def _publish_cluster_gauges(self) -> None:
+        self._m_role.set(ROLE_CODES.get(self.cluster.role, -1))
+        self._m_epoch.set(self.cluster.epoch)
+
+    def note_follower(self, follower_id: str, committed_seq: int) -> None:
+        """Record a follower's committed cursor (status-poll piggyback)."""
+        with self._sync_cond:
+            self._followers[follower_id] = {
+                "committed_seq": committed_seq,
+                "at": self._clock(),
+            }
+            count = len(self._followers)
+            self._sync_cond.notify_all()
+        self._m_followers.set(count)
+        self._m_follower_lag.set(
+            max(0, self._seq - committed_seq), follower=follower_id
+        )
+
+    def _await_followers(self, seq: int, timeout: float) -> bool:
+        """Block until ``sync_replicas`` followers committed *seq*."""
+        deadline = self._clock() + timeout
+        with self._sync_cond:
+            while True:
+                confirmed = sum(
+                    1
+                    for info in self._followers.values()
+                    if info["committed_seq"] >= seq
+                )
+                if confirmed >= self.config.sync_replicas:
+                    return True
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    return False
+                self._sync_cond.wait(min(remaining, 0.25))
+
+    def replication_status(
+        self,
+        follower_id: Optional[str] = None,
+        committed: Optional[int] = None,
+    ) -> dict:
+        """Primary-side shipping state (``GET /replication/status``).
+
+        The **stable frontier** is the load-bearing field: ``stable_seq``
+        is computed under the intake lock *before* segment sizes are
+        sampled, so the byte ranges a follower fetches from this reply
+        provably contain every ``shed`` tombstone that can name a
+        sequence at or under the frontier — a record below it is safe to
+        apply the moment it is parsed.
+        """
+        if follower_id and committed is not None:
+            self.note_follower(follower_id, committed)
+        with self._intake_lock:
+            seq = self._seq
+            queued_min = self.queue.min_seq()
+            stable = queued_min - 1 if queued_min is not None else seq
+        segments = self.wal.segment_sizes()
+        with self._sync_cond:
+            followers = {
+                fid: {
+                    "committed_seq": int(info["committed_seq"]),
+                    "age_s": round(self._clock() - info["at"], 3),
+                }
+                for fid, info in sorted(self._followers.items())
+            }
+        status = {
+            "role": self.cluster.role,
+            "epoch": self.cluster.epoch,
+            "primary_url": self.cluster.primary_url,
+            "seq": seq,
+            "applied_seq": self._applied_seq,
+            "stable_seq": stable,
+            "oldest_seq": self.wal.oldest_seq(),
+            "segments": segments,
+            "snapshot_seqs": self.snapshots.seqs(),
+            "followers": followers,
+            "sync_replicas": self.config.sync_replicas,
+        }
+        if self.shipper is not None:
+            status["replication"] = self.shipper.status()
+        return status
+
+    def replicate_commit(self, batch: List[WalRecord]) -> int:
+        """Commit replicated records: local WAL append, then apply.
+
+        The follower-side write path — the shipper is its only caller
+        and the only writer on a replica (external ingest is refused by
+        role), so the records carry the primary's sequence numbers
+        untouched and the local WAL stays byte-order == seq-order. Apply
+        rejections are deterministic and counted exactly like the
+        primary's, keeping the state digest contract intact.
+        """
+        if not batch:
+            return 0
+        with self._intake_lock:
+            for record in batch:
+                self.wal.append(record.seq, record.kind, record.record)
+            if batch[-1].seq > self._seq:
+                self._seq = batch[-1].seq
+        for record in batch:
+            try:
+                self._apply_record(
+                    record.kind, record.record, feed="replication"
+                )
+            except ValueError:
+                self.apply_rejected += 1
+                self._m_apply_rejected.inc(feed="replication")
+            self._applied_seq = max(self._applied_seq, record.seq)
+            self._applied_since_snapshot += 1
+            self._beat()
+        self._maybe_snapshot()
+        return len(batch)
+
+    def bootstrap_from_snapshot(self, seq: int, state: dict) -> None:
+        """Replace local state wholesale with a primary snapshot.
+
+        The catch-up reset for a follower whose cursor fell below the
+        primary's pruned WAL. Save-then-wipe ordering is crash-safe:
+        dying between the local snapshot save and the WAL wipe leaves
+        only WAL records at or below the new snapshot sequence, which
+        replay skips; dying before the save leaves the previous local
+        state intact and the next poll bootstraps again.
+        """
+        store = LiveFusedStore.from_state_dict(state, metrics=self.metrics)
+        with self._snapshot_lock, self._intake_lock:
+            self.store = store
+            self._seq = seq
+            self._applied_seq = seq
+            self.snapshots.save(seq, {"seq": seq, "state": store.state_dict()})
+            self.wal.close()
+            for path in self.wal.segments():
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    pass
+            self.wal.open_segment(seq + 1)
+            self._applied_since_snapshot = 0
+            self._last_snapshot_at = self._clock()
+            self._recovery_base = store.applied_events + store.applied_dps
+        log.info("bootstrapped from snapshot", seq=seq)
+
+    def promote(self) -> dict:
+        """Take over as primary: stop streaming, bump the epoch, open up.
+
+        Fetched-but-uncommitted lines the shipper still held (beyond the
+        stable frontier) are discarded with it: under synchronous
+        replication the old primary never acknowledged them without this
+        follower committing first, so dropping them loses nothing acked.
+        The epoch bump is what fences the old primary — its writes (and
+        stale fence attempts) carry a smaller epoch from here on.
+        """
+        with self._cluster_lock:
+            if self.cluster.role == ROLE_PRIMARY:
+                return {
+                    "promoted": False,
+                    "role": self.cluster.role,
+                    "epoch": self.cluster.epoch,
+                    "seq": self._seq,
+                    "applied_seq": self._applied_seq,
+                }
+            epoch_seen = self.cluster.epoch
+            if self.shipper is not None:
+                self.shipper.stop()
+                epoch_seen = max(epoch_seen, self.shipper.known_epoch)
+            self.cluster = ClusterState(
+                role=ROLE_PRIMARY, epoch=epoch_seen + 1, primary_url=None
+            )
+            self.cluster.save(self.data_dir)
+            self.promotions += 1
+            self._m_promotions.inc()
+            self._publish_cluster_gauges()
+        # Seal the reign boundary: snapshot + fresh WAL segment, so the
+        # new epoch's writes start on a segment of their own.
+        self._snapshot_now()
+        log.info(
+            "promoted to primary", epoch=self.cluster.epoch, seq=self._seq
+        )
+        return {
+            "promoted": True,
+            "role": self.cluster.role,
+            "epoch": self.cluster.epoch,
+            "seq": self._seq,
+            "applied_seq": self._applied_seq,
+        }
+
+    def fence(self, epoch: int, primary_url: Optional[str] = None) -> bool:
+        """Step down before a newer epoch; False refuses a stale fence.
+
+        A fenced ex-primary keeps serving reads (possibly of a diverged
+        suffix the new primary never saw — that divergence is exactly
+        why it must not take writes) and points clients at its
+        successor. A replica getting fenced merely records the newer
+        epoch and primary hint.
+        """
+        with self._cluster_lock:
+            if epoch <= self.cluster.epoch:
+                log.warning(
+                    "stale fence refused",
+                    requested_epoch=epoch,
+                    current_epoch=self.cluster.epoch,
+                )
+                return False
+            new_role = (
+                ROLE_FENCED
+                if self.cluster.role in (ROLE_PRIMARY, ROLE_FENCED)
+                else self.cluster.role
+            )
+            self.cluster = ClusterState(
+                role=new_role, epoch=epoch, primary_url=primary_url
+            )
+            self.cluster.save(self.data_dir)
+            self.fences += 1
+            self._m_fences.inc()
+            self._publish_cluster_gauges()
+            with self._intake_lock:
+                self.wal.flush()
+        log.warning(
+            "fenced by newer epoch", epoch=epoch, role=new_role,
+            primary=primary_url,
+        )
+        return True
 
     # -- applier --------------------------------------------------------------
 
@@ -614,10 +961,20 @@ class LiveIngestService:
         with self._stats_lock:
             rejected = dict(sorted(self.rejected_by_feed.items()))
             refused = dict(sorted(self.refused_by_feed.items()))
+        replication = (
+            self.shipper.status() if self.shipper is not None else None
+        )
         return {
             "uptime_s": self._clock() - self._started_at,
             "seq": self._seq,
             "applied_seq": self._applied_seq,
+            "role": self.cluster.role,
+            "epoch": self.cluster.epoch,
+            "primary_url": self.cluster.primary_url,
+            "replication": replication,
+            "promotions": self.promotions,
+            "fences": self.fences,
+            "sync_refused": self.sync_refused,
             "queue_depth": self.queue.depth,
             "shedding": self.queue.shedding,
             "draining": self._draining.is_set(),

@@ -27,6 +27,15 @@ applied — recovery stays value-identical even across an overload burst.
 Replay is tolerant of a torn tail: a crash mid-append leaves at most one
 unparseable final line per segment, which is discarded (and counted) —
 it was never acknowledged, so discarding it is correct, not lossy.
+
+Because sequence assignment and the append happen under one lock, WAL
+*byte order is sequence order* — which is what makes the log shippable:
+a follower that copies segment bytes in order and replays them lands on
+the same state. :meth:`WriteAheadLog.segment_sizes` and
+:meth:`WriteAheadLog.read_chunk` are the primary-side streaming
+primitives (:mod:`repro.serve.replication` pulls through them), and
+``replay(upto_seq=...)`` is the truncated-replay oracle failover drills
+compare a promoted follower against.
 """
 
 from __future__ import annotations
@@ -130,6 +139,60 @@ class WriteAheadLog:
                 found.append((first, path))
         return [path for _first, path in sorted(found)]
 
+    def oldest_seq(self) -> Optional[int]:
+        """First-seq of the oldest segment on disk (None: empty log).
+
+        Everything below this may have been pruned away; a follower whose
+        cursor sits under it cannot catch up from the WAL alone and must
+        bootstrap from a snapshot instead.
+        """
+        segments = self.segments()
+        if not segments:
+            return None
+        return segment_first_seq(segments[0].name)
+
+    def segment_sizes(self) -> List[Tuple[int, int]]:
+        """``(first_seq, byte_size)`` per segment, in first-seq order.
+
+        Sizes are read *after* whatever was appended so far was flushed
+        to the OS (every append flushes), so a byte range below a
+        reported size is stable: re-reading it always yields the same
+        bytes. A segment vanishing between listing and stat (pruned
+        concurrently) is simply omitted — the follower notices via
+        :meth:`oldest_seq` on its next status poll.
+        """
+        sizes: List[Tuple[int, int]] = []
+        for path in self.segments():
+            first = segment_first_seq(path.name)
+            if first is None:  # pragma: no cover - segments() filtered
+                continue
+            try:
+                sizes.append((first, path.stat().st_size))
+            except OSError:
+                continue
+        return sizes
+
+    def read_chunk(
+        self, first_seq: int, offset: int, max_bytes: int = 1 << 20
+    ) -> Optional[bytes]:
+        """Raw bytes of one segment from *offset* (None: no such segment).
+
+        The replication fetch path: followers pull segment bytes in
+        order and append them to their own log. The read may end
+        mid-line when it races a concurrent append — the shipper buffers
+        the partial tail until the rest arrives, so chunk boundaries
+        need no alignment.
+        """
+        if offset < 0 or max_bytes < 1:
+            raise ValueError("offset must be >= 0 and max_bytes >= 1")
+        path = self.directory / segment_name(first_seq)
+        try:
+            with open(path, "rb") as handle:
+                handle.seek(offset)
+                return handle.read(max_bytes)
+        except OSError:
+            return None
+
     def open_segment(self, first_seq: int) -> None:
         """Start appending to the segment that begins at *first_seq*.
 
@@ -164,6 +227,9 @@ class WriteAheadLog:
             if path == self._current_path:
                 continue
             if index + 1 >= len(segments):
+                # The newest segment is never pruned, current or not: a
+                # rotation racing this scan could otherwise delete the
+                # segment the rotated-to handle is about to continue.
                 continue
             next_first = segment_first_seq(segments[index + 1].name)
             if next_first is not None and next_first <= upto_seq + 1:
@@ -306,7 +372,7 @@ class WriteAheadLog:
             yield data
 
     def replay(
-        self, after_seq: int = 0
+        self, after_seq: int = 0, upto_seq: Optional[int] = None
     ) -> Tuple[List[WalRecord], ReplayReport]:
         """All apply-able records with ``seq > after_seq``, in order.
 
@@ -315,6 +381,15 @@ class WriteAheadLog:
         yields every non-shed record that is neither covered by the
         snapshot nor shed. Segments are small — they only span the
         distance since the last snapshot — so the double read is cheap.
+
+        *upto_seq* truncates the replay at a sequence number while the
+        shed set is still computed from the **whole** log: a tombstone
+        with a sequence above the cut can shed a record below it (the
+        drop decision is logged after the records it evicts), and the
+        live process never applied that record either. This is the
+        oracle failover drills replay a dead primary's log through: the
+        state at ``upto_seq`` as the primary itself would have recovered
+        it.
         """
         report = ReplayReport()
         shed: set = set()
@@ -336,6 +411,8 @@ class WriteAheadLog:
         for data in parsed:
             seq = data["seq"]
             if seq <= after_seq or seq in shed or data["kind"] == KIND_SHED:
+                continue
+            if upto_seq is not None and seq > upto_seq:
                 continue
             if seq in seen:
                 continue
