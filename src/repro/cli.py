@@ -489,6 +489,48 @@ def _build_parser() -> argparse.ArgumentParser:
         "--format", choices=("chrome", "jsonl"), default="chrome",
         help="output format (default: chrome)",
     )
+
+    simtest = subparsers.add_parser(
+        "simtest",
+        help="deterministic cluster simulation: seeded fault-schedule "
+             "sweeps with durability/consistency oracles, trace replay "
+             "and trace shrinking",
+    )
+    simtest.add_argument(
+        "--seeds", default="0..9", metavar="A..B",
+        help="seed range to sweep, inclusive (either 'A..B' or a single "
+             "seed; default: 0..9)",
+    )
+    simtest.add_argument(
+        "--nodes", type=int, default=3, metavar="N",
+        help="virtual cluster size: one primary plus N-1 followers "
+             "(default: 3)",
+    )
+    simtest.add_argument(
+        "--steps", type=int, default=80, metavar="N",
+        help="fault-schedule length per seed (default: 80)",
+    )
+    simtest.add_argument(
+        "--out", type=Path, default=Path("simtest-failures"), metavar="DIR",
+        help="directory for failing-seed traces (default: "
+             "simtest-failures/)",
+    )
+    simtest.add_argument(
+        "--shrink-failures", action="store_true",
+        help="also minimize each failing trace (greedy delta debugging) "
+             "and write a .min.json next to it",
+    )
+    simtest.add_argument(
+        "--replay", type=Path, default=None, metavar="TRACE",
+        help="re-execute a recorded trace instead of sweeping; exits 0 "
+             "when the replay reproduces the trace's recorded "
+             "violations (an empty list for corpus traces)",
+    )
+    simtest.add_argument(
+        "--shrink", type=Path, default=None, metavar="TRACE",
+        help="minimize a failing trace instead of sweeping; writes "
+             "TRACE.min.json unless --out names a directory to use",
+    )
     return parser
 
 
@@ -1037,6 +1079,85 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_seed_range(text: str) -> range:
+    if ".." in text:
+        first, _, last = text.partition("..")
+        start, stop = int(first), int(last)
+    else:
+        start = stop = int(text)
+    if stop < start:
+        raise ValueError(f"empty seed range: {text}")
+    return range(start, stop + 1)
+
+
+def cmd_simtest(args: argparse.Namespace) -> int:
+    # Imported lazily: the simulation harness pulls in the whole serve
+    # layer, which the analytics subcommands never need.
+    from repro.simtest import (
+        default_spec, run_sim, run_trace, trace_to_json,
+    )
+    from repro.simtest.shrink import shrink_trace
+
+    if args.replay is not None:
+        trace = json.loads(args.replay.read_text(encoding="utf-8"))
+        result = run_trace(trace)
+        recorded = trace.get("violations", [])
+        if result["violations"] == recorded:
+            print(
+                f"replay OK: {len(trace['ops'])} ops reproduced "
+                f"{len(recorded)} recorded violation(s)"
+            )
+            return 0
+        print("replay DIVERGED from recorded violations:", file=sys.stderr)
+        print(json.dumps(result["violations"], indent=2), file=sys.stderr)
+        return 1
+
+    if args.shrink is not None:
+        trace = json.loads(args.shrink.read_text(encoding="utf-8"))
+        try:
+            minimized, runs = shrink_trace(trace)
+        except ValueError as exc:
+            print(f"cannot shrink: {exc}", file=sys.stderr)
+            return 2
+        out = args.shrink.with_suffix(".min.json")
+        out.write_text(trace_to_json(minimized), encoding="utf-8")
+        print(
+            f"shrunk {len(trace['ops'])} -> {len(minimized['ops'])} ops "
+            f"in {runs} runs: {out}"
+        )
+        return 0
+
+    try:
+        seeds = _parse_seed_range(args.seeds)
+    except ValueError as exc:
+        print(f"bad --seeds: {exc}", file=sys.stderr)
+        return 2
+    config = default_spec(nodes=args.nodes, steps=args.steps)
+    failures = 0
+    for seed in seeds:
+        trace = run_sim(seed, config)
+        if not trace["violations"]:
+            print(f"seed {seed}: ok")
+            continue
+        failures += 1
+        oracles = sorted({v.get("oracle", "?") for v in trace["violations"]})
+        args.out.mkdir(parents=True, exist_ok=True)
+        path = args.out / f"seed-{seed}.json"
+        path.write_text(trace_to_json(trace), encoding="utf-8")
+        print(f"seed {seed}: FAIL {oracles} -> {path}")
+        if args.shrink_failures:
+            minimized, runs = shrink_trace(trace)
+            mini_path = args.out / f"seed-{seed}.min.json"
+            mini_path.write_text(trace_to_json(minimized), encoding="utf-8")
+            print(
+                f"seed {seed}: shrunk {len(trace['ops'])} -> "
+                f"{len(minimized['ops'])} ops in {runs} runs -> {mini_path}"
+            )
+    total = len(seeds)
+    print(f"simtest: {total - failures}/{total} seeds passed")
+    return 1 if failures else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.verbose or args.log_json:
@@ -1053,6 +1174,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve-promote": cmd_serve_promote,
         "metrics": cmd_metrics,
         "trace": cmd_trace,
+        "simtest": cmd_simtest,
     }
     return handlers[args.command](args)
 

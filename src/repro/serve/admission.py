@@ -68,6 +68,22 @@ class SubmitResult:
     def refused(self) -> bool:
         return self.retry_after is not None
 
+    def http_status(self) -> int:
+        """The HTTP status this outcome maps to.
+
+        One place instead of per-handler conditionals: 409 for writes
+        refused by role, 503 for anything refused with a Retry-After
+        (shedding, draining, degraded disk, sync timeout), 400 when the
+        whole batch failed validation, else 202.
+        """
+        if self.read_only:
+            return 409
+        if self.refused:
+            return 503
+        if self.accepted == 0 and self.rejected:
+            return 400
+        return 202
+
     def to_dict(self) -> dict:
         body = {
             "accepted": self.accepted,
@@ -222,6 +238,23 @@ class AdmissionQueue:
                 maxsize=self.maxsize,
             )
         return dropped
+
+    def unshift(self, entries: List[QueueEntry]) -> None:
+        """Put evicted entries back at the head, oldest first.
+
+        The undo for :meth:`push`'s drop-oldest handback, used when the
+        drop could not be made durable (the shed tombstone append
+        failed): the entries were never taken by the applier, so
+        restoring them at the head preserves sequence order. Depth may
+        transiently exceed ``maxsize``; the watermark flags update so
+        intake keeps refusing until the applier drains the excess.
+        """
+        if not entries:
+            return
+        with self._lock:
+            self._entries[:0] = entries
+            self._update_shedding_locked()
+            self._not_empty.notify_all()
 
     # -- applier side ----------------------------------------------------------
 

@@ -26,13 +26,12 @@ from __future__ import annotations
 
 import json
 import time
-import urllib.error
-import urllib.request
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.log import get_logger
 from repro.pipeline.runner import RetryPolicy
+from repro.serve.transport import HttpTransport, TransportError
 
 log = get_logger("serve.client")
 
@@ -74,6 +73,7 @@ class ServeClient:
         retry: Optional[RetryPolicy] = None,
         timeout: float = 10.0,
         sleep: Callable[[float], None] = time.sleep,
+        transport=None,
     ) -> None:
         if isinstance(endpoints, str):
             endpoints = [endpoints]
@@ -82,6 +82,9 @@ class ServeClient:
         self.endpoints: List[str] = [e.rstrip("/") for e in endpoints]
         self.retry = retry if retry is not None else DEFAULT_RETRY
         self.timeout = timeout
+        self.transport = (
+            transport if transport is not None else HttpTransport()
+        )
         self._sleep = sleep
         self._active = 0
         # Visible counters the drills assert on.
@@ -116,21 +119,13 @@ class ServeClient:
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(
-            f"{endpoint}{path}", data=data, headers=headers, method=method
+        response = self.transport.exchange(
+            method, f"{endpoint}{path}", body=data, headers=headers,
+            timeout=self.timeout,
         )
-        try:
-            with urllib.request.urlopen(
-                request, timeout=self.timeout
-            ) as response:
-                payload = response.read()
-                status = response.status
-                retry_after = response.headers.get("Retry-After")
-        except urllib.error.HTTPError as error:
-            payload = error.read()
-            status = error.code
-            retry_after = error.headers.get("Retry-After")
-            error.close()
+        payload = response.data
+        status = response.status
+        retry_after = response.header("Retry-After")
         parsed: dict = {}
         if payload:
             try:
@@ -179,7 +174,7 @@ class ServeClient:
         for attempt in range(1, attempts + 1):
             try:
                 response = self._exchange(method, target, path, body)
-            except (urllib.error.URLError, OSError, TimeoutError) as exc:
+            except (TransportError, OSError, TimeoutError) as exc:
                 last_error = f"{target}: {exc}"
                 if attempt >= attempts:
                     break

@@ -205,6 +205,7 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
                     {
                         "ok": True,
                         "draining": self.service._draining.is_set(),
+                        "degraded": self.service.degraded,
                         "role": self.service.cluster.role,
                         "epoch": self.service.cluster.epoch,
                         "primary_url": self.service.cluster.primary_url,
@@ -398,17 +399,12 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
         if records is None:
             return
         result = self.service.submit(feed, kind, records)
-        if result.read_only:
-            # Not backpressure: this node does not take writes at all.
-            self._send_json(409, result.to_dict())
-        elif result.refused:
-            self._send_json(
-                503, result.to_dict(), retry_after=result.retry_after
-            )
-        elif result.accepted == 0 and result.rejected:
-            self._send_json(400, result.to_dict())
-        else:
-            self._send_json(202, result.to_dict())
+        status = result.http_status()
+        self._send_json(
+            status,
+            result.to_dict(),
+            retry_after=result.retry_after if status == 503 else None,
+        )
 
 
 class ServeHTTPServer(ThreadingHTTPServer):

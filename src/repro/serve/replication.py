@@ -57,10 +57,7 @@ from __future__ import annotations
 
 import json
 import threading
-import time
-import urllib.error
 import urllib.parse
-import urllib.request
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
@@ -68,6 +65,7 @@ from typing import Dict, List, Optional, Tuple, Union
 from repro.log import get_logger
 from repro.obs.metrics import get_registry
 from repro.pipeline.runner import RetryPolicy
+from repro.serve.transport import HttpTransport, TransportError
 from repro.serve.wal import KIND_SHED, WAL_KINDS, WalRecord
 from repro.store.atomic import atomic_write_text
 
@@ -264,6 +262,7 @@ class WalShipper:
         retry: Optional[RetryPolicy] = None,
         timeout: float = 10.0,
         metrics=None,
+        transport=None,
     ) -> None:
         self.service = service
         self.primary_url = primary_url.rstrip("/")
@@ -271,6 +270,9 @@ class WalShipper:
         self.follower_id = follower_id or Path(service.data_dir).name
         self.fetch_chunk_bytes = fetch_chunk_bytes
         self.timeout = timeout
+        self.transport = (
+            transport if transport is not None else HttpTransport()
+        )
         self.retry = retry if retry is not None else RetryPolicy(
             max_attempts=1_000_000,
             backoff_base=max(0.05, poll_interval / 2),
@@ -299,6 +301,11 @@ class WalShipper:
         self._shed: set = set()
         self._max_parsed_seq = 0
         self._cursor_dirty = False
+        #: Sticky divergence latch: once the primary is seen *behind* our
+        #: committed sequence the stream is poisoned (see poll_once) and
+        #: every subsequent poll refuses, even after the primary's
+        #: sequence grows past us again with different bytes.
+        self._diverged: Optional[str] = None
         registry = metrics if metrics is not None else get_registry()
         self._m_state = registry.gauge(
             "serve_replication_state",
@@ -399,16 +406,16 @@ class WalShipper:
     def _get(self, path: str) -> bytes:
         url = f"{self.primary_url}{path}"
         try:
-            with urllib.request.urlopen(url, timeout=self.timeout) as resp:
-                return resp.read()
-        except urllib.error.HTTPError as error:
-            body = error.read()
-            error.close()
-            raise ReplicationError(
-                f"GET {path} -> {error.code}: {body[:200]!r}"
-            ) from error
-        except (urllib.error.URLError, OSError, TimeoutError) as error:
+            response = self.transport.exchange(
+                "GET", url, timeout=self.timeout
+            )
+        except TransportError as error:
             raise ReplicationError(f"GET {path}: {error}") from error
+        if not 200 <= response.status < 300:
+            raise ReplicationError(
+                f"GET {path} -> {response.status}: {response.data[:200]!r}"
+            )
+        return response.data
 
     def _get_json(self, path: str) -> dict:
         raw = self._get(path)
@@ -436,7 +443,10 @@ class WalShipper:
         while not self._stop.is_set():
             try:
                 self.poll_once()
-            except ReplicationError as exc:
+            except (ReplicationError, OSError) as exc:
+                # OSError covers *local* trouble — a follower whose own
+                # disk refuses the replicated append (ENOSPC) must keep
+                # the poll loop alive to resume once space returns.
                 self.errors += 1
                 self._error_streak += 1
                 self._m_errors.inc()
@@ -458,6 +468,10 @@ class WalShipper:
         self._m_polls.inc()
         status = self._fetch_status()
         self._check_epoch(status)
+        # Rewind must be checked *before* the bootstrap branch: a rewound
+        # primary that also pruned could otherwise talk this follower into
+        # bootstrapping away its own (now unique) copy of acked records.
+        self._check_rewind(status)
         if self._needs_bootstrap(status):
             self._bootstrap()
             status = self._fetch_status()
@@ -497,6 +511,28 @@ class WalShipper:
                 "replication source is not primary", role=role,
                 primary=self.primary_url,
             )
+
+    def _check_rewind(self, status: dict) -> None:
+        """Fail-stop when the primary's WAL rewound below our commit.
+
+        A primary that lost its acked-but-unfsynced WAL tail to a power
+        cut can come back reporting a highest sequence *below* what this
+        follower already committed. Continuing to stream would misalign
+        byte offsets and silently fork history once the primary reassigns
+        those sequences to different records — found by the simulation
+        harness (corpus trace ``primary-rewind``). The only safe move is
+        to refuse, permanently: an operator (or the failover drill) must
+        re-seed this follower or promote it.
+        """
+        if self._diverged is not None:
+            raise ReplicationError(self._diverged)
+        seq = int(status.get("seq") or 0)
+        if seq < self.committed_seq:
+            self._diverged = (
+                f"primary rewound to seq {seq} below committed "
+                f"{self.committed_seq}; refusing to stream a forked history"
+            )
+            raise ReplicationError(self._diverged)
 
     # -- bootstrap -------------------------------------------------------------
 
@@ -556,9 +592,15 @@ class WalShipper:
                 continue
             offset = self._fetched.get(first, 0)
             while offset < size and not self._stop.is_set():
+                # Cap at the status-reported size: the primary fsyncs
+                # before reporting, so bytes below it are power-loss
+                # durable — but the segment may have grown (unsynced)
+                # since, and fetching past the report would reintroduce
+                # the rewind hazard the fsync barrier exists to close.
+                limit = min(self.fetch_chunk_bytes, size - offset)
                 chunk = self._get(
                     f"/replication/segment?first={first}"
-                    f"&offset={offset}&limit={self.fetch_chunk_bytes}"
+                    f"&offset={offset}&limit={limit}"
                 )
                 if not chunk:
                     break
@@ -637,11 +679,17 @@ class WalShipper:
                 continue
             else:
                 batch.append(WalRecord(line.seq, line.kind, line.record))
-        self._pending = keep
         if batch:
+            # Commit BEFORE mutating any shipper state: if the local WAL
+            # append fails (disk full), the pending lines must survive
+            # for the retry, or the shipper would advance committed_seq
+            # over a gap once the disk frees up and never re-fetch the
+            # lost records (found by the simulation harness: corpus
+            # trace ``follower-enospc-gap``).
             self.service.replicate_commit(batch)
             for record in batch:
                 self._m_commits.inc(kind=record.kind)
+        self._pending = keep
         # Advance the resolved byte offsets: lines at or under the
         # frontier form a contiguous byte prefix (byte order == seq
         # order), so the last such line per segment is the resume point.

@@ -113,6 +113,15 @@ class ServeConfig:
     poll_interval_s: float = 0.25
     sync_replicas: int = 0
     sync_timeout_s: float = 5.0
+    #: Manual drive: no applier/watchdog/shipper threads are started —
+    #: the caller owns all interleaving by calling :meth:`tick_apply`
+    #: and ``shipper.poll_once()`` itself. The deterministic simulation
+    #: harness is the intended driver.
+    manual_drive: bool = False
+    #: Never prune WAL segments. Keeps the full log from sequence 1
+    #: available for the offline replay oracle (digest checking) at the
+    #: cost of unbounded disk — simulation and deep-recovery tests only.
+    wal_keep_all: bool = False
 
 
 @dataclass
@@ -125,6 +134,9 @@ class RecoveryInfo:
     tail_trimmed_bytes: int = 0
     discarded_snapshots: int = 0
     replay_rejected: int = 0
+    #: WAL lines whose sequence number appeared more than once (replay
+    #: keeps the first copy; see ReplayReport.duplicate_seqs).
+    replay_duplicates: int = 0
     duration_s: float = 0.0
     fresh_start: bool = True
 
@@ -136,6 +148,7 @@ class RecoveryInfo:
             "tail_trimmed_bytes": self.tail_trimmed_bytes,
             "discarded_snapshots": self.discarded_snapshots,
             "replay_rejected": self.replay_rejected,
+            "replay_duplicates": self.replay_duplicates,
             "duration_s": self.duration_s,
             "fresh_start": self.fresh_start,
         }
@@ -149,11 +162,22 @@ class LiveIngestService:
         config: ServeConfig,
         metrics=None,
         clock: Callable[[], float] = time.monotonic,
+        disk=None,
+        snapshot_store=None,
+        transport=None,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         self.config = config
         self.data_dir = Path(config.data_dir)
         self.data_dir.mkdir(parents=True, exist_ok=True)
         self._clock = clock
+        self._sleep = sleep
+        self._transport = transport
+        #: Injectable hook the sync-replication wait calls instead of
+        #: blocking on the condition variable: under manual drive there
+        #: is no shipper thread to confirm commits, so the driver pumps
+        #: follower polls (and the simulated clock) here.
+        self.sync_pump: Optional[Callable[[], None]] = None
         # A server's /metrics endpoint is part of its API: when neither
         # the caller nor process telemetry provides a live registry,
         # make one rather than silently serving an empty exposition.
@@ -172,9 +196,12 @@ class LiveIngestService:
             self.data_dir / WAL_DIR,
             fsync_every=config.wal_fsync_every,
             metrics=registry,
+            disk=disk,
         )
         self.snapshots = SnapshotManager(
-            CheckpointStore(self.data_dir, metrics=registry),
+            snapshot_store
+            if snapshot_store is not None
+            else CheckpointStore(self.data_dir, metrics=registry),
             keep=config.snapshot_keep,
             metrics=registry,
         )
@@ -231,6 +258,13 @@ class LiveIngestService:
         self.dropped_by_feed: Dict[str, int] = {}
         self.apply_rejected = 0
         self.watchdog_stalls = 0
+        # Disk-full degradation: set when a WAL append or snapshot write
+        # raises OSError; reads keep serving, ingest answers 503 until a
+        # probe append succeeds (see submit / _enter_degraded).
+        self.degraded = False
+        self.degraded_reason = ""
+        self.wal_errors = 0
+        self._last_wal_error = 0.0
         self._m_rejected = registry.counter(
             "serve_rejected_total", "ingest records rejected by validation",
             ("feed", "reason"),
@@ -276,6 +310,14 @@ class LiveIngestService:
             "serve_sync_refused_total",
             "batches refused because followers did not confirm in time",
         )
+        self._m_degraded = registry.gauge(
+            "serve_degraded",
+            "1 while ingest is refused because durable writes fail",
+        )
+        self._m_wal_errors = registry.counter(
+            "serve_wal_errors_total",
+            "durable-write failures (WAL append / snapshot save)", ("op",),
+        )
         self._m_follower_lag = registry.gauge(
             "serve_replication_follower_lag",
             "records each follower trails this primary by", ("follower",),
@@ -318,14 +360,17 @@ class LiveIngestService:
         """Recover durable state, then start the applier and watchdog."""
         info = self._recover()
         self.cluster.save(self.data_dir)
-        self._applier = threading.Thread(
-            target=self._apply_loop, name="repro-serve-applier", daemon=True
-        )
-        self._applier.start()
-        self._watchdog = threading.Thread(
-            target=self._watch_loop, name="repro-serve-watchdog", daemon=True
-        )
-        self._watchdog.start()
+        if not self.config.manual_drive:
+            self._applier = threading.Thread(
+                target=self._apply_loop, name="repro-serve-applier",
+                daemon=True,
+            )
+            self._applier.start()
+            self._watchdog = threading.Thread(
+                target=self._watch_loop, name="repro-serve-watchdog",
+                daemon=True,
+            )
+            self._watchdog.start()
         if self.cluster.role == ROLE_REPLICA and self.cluster.primary_url:
             self.shipper = WalShipper(
                 self,
@@ -333,13 +378,15 @@ class LiveIngestService:
                 poll_interval=self.config.poll_interval_s,
                 follower_id=self.config.follower_id,
                 metrics=self.metrics,
+                transport=self._transport,
             )
             # The local WAL (just recovered) is the commit truth; the
             # cursor file contributes resume offsets and the epoch.
             self.shipper.resume_from(
                 ShipperCursor.load(self.data_dir), self._seq
             )
-            self.shipper.start()
+            if not self.config.manual_drive:
+                self.shipper.start()
         self._publish_cluster_gauges()
         log.info(
             "service started",
@@ -392,6 +439,7 @@ class LiveIngestService:
                 info.discarded_snapshots += 1
         records, report = self.wal.replay(after_seq=info.snapshot_seq)
         info.torn_lines = report.torn_lines
+        info.replay_duplicates = report.duplicate_seqs
         for record in records:
             try:
                 self._apply_record(record.kind, record.record, feed="replay")
@@ -452,7 +500,11 @@ class LiveIngestService:
                     depth=self.queue.depth,
                 )
                 break
-            time.sleep(0.02)
+            if self.config.manual_drive:
+                # No applier thread: apply the backlog inline.
+                self.tick_apply()
+            else:
+                self._sleep(0.02)
         self._stop.set()
         self.queue.wake()
         if self._applier is not None:
@@ -505,7 +557,10 @@ class LiveIngestService:
                 return True
             if self._clock() >= deadline:
                 return False
-            time.sleep(0.01)
+            if self.config.manual_drive:
+                self.tick_apply()
+            else:
+                self._sleep(0.01)
 
     def stop(self) -> None:
         """Hard stop (tests): no drain, no final snapshot."""
@@ -539,6 +594,17 @@ class LiveIngestService:
             result.reasons["read-only"] = len(records)
             return result
         if self._draining.is_set():
+            result.retry_after = self.config.retry_after
+            return result
+        if self.degraded and not self._probe_due():
+            # Durable writes are failing (disk full): refuse fast.
+            # Reads stay up; one submit per retry_after window gets
+            # through below as the recovery probe.
+            with self._stats_lock:
+                self.refused_by_feed[feed] = (
+                    self.refused_by_feed.get(feed, 0) + len(records)
+                )
+            result.reasons["degraded"] = len(records)
             result.retry_after = self.config.retry_after
             return result
         breaker = self.breakers[feed]
@@ -577,37 +643,72 @@ class LiveIngestService:
             result.shed = len(valid)
             result.retry_after = retry_after
             return result
+        degraded_before = self.degraded
         with self._intake_lock:
             entries = []
+            append_error: Optional[OSError] = None
             for record in valid:
+                # Sequence numbers advance only on a successful append:
+                # an ENOSPC'd record was never acked, so its candidate
+                # sequence is safely reused (WAL.append repaired any
+                # partial bytes away).
+                try:
+                    self.wal.append(self._seq + 1, kind, record)
+                except OSError as exc:
+                    append_error = exc
+                    break
                 self._seq += 1
-                self.wal.append(self._seq, kind, record)
                 entries.append(
                     QueueEntry(
                         seq=self._seq, kind=kind, feed=feed, record=record
                     )
                 )
-            dropped = self.queue.push(entries)
+            if append_error is not None:
+                self._enter_degraded("append", append_error)
+            elif degraded_before:
+                # The probe append went through: disk is back.
+                self._clear_degraded()
+            dropped = self.queue.push(entries) if entries else []
             if dropped:
                 # Make the drop decision durable *before* acknowledging,
                 # so replay and the live process agree on what was shed.
-                self._seq += 1
-                self.wal.append(
-                    self._seq,
-                    KIND_SHED,
-                    {
-                        "seqs": [entry.seq for entry in dropped],
-                        "feed": feed,
-                    },
-                )
+                try:
+                    self.wal.append(
+                        self._seq + 1,
+                        KIND_SHED,
+                        {
+                            "seqs": [entry.seq for entry in dropped],
+                            "feed": feed,
+                        },
+                    )
+                    self._seq += 1
+                except OSError as exc:
+                    # Tombstone did not land: put the dropped entries
+                    # back so live state matches a replay that never saw
+                    # the tombstone. The queue grows past its bound for
+                    # a moment; degraded mode throttles further intake.
+                    self.queue.unshift(dropped)
+                    dropped = []
+                    self._enter_degraded("append", exc)
                 for entry in dropped:
                     self.dropped_by_feed[entry.feed] = (
                         self.dropped_by_feed.get(entry.feed, 0) + 1
                     )
-            self.accepted_by_feed[feed] = (
-                self.accepted_by_feed.get(feed, 0) + len(valid)
-            )
-        result.accepted = len(valid)
+            if entries:
+                self.accepted_by_feed[feed] = (
+                    self.accepted_by_feed.get(feed, 0) + len(entries)
+                )
+        result.accepted = len(entries)
+        not_logged = len(valid) - len(entries)
+        if not_logged:
+            with self._stats_lock:
+                self.refused_by_feed[feed] = (
+                    self.refused_by_feed.get(feed, 0) + not_logged
+                )
+            result.reasons["degraded"] = not_logged
+            result.retry_after = self.config.retry_after
+        if not entries:
+            return result
         result.last_seq = entries[-1].seq
         if self.config.sync_replicas > 0:
             if not self._await_followers(
@@ -620,9 +721,9 @@ class LiveIngestService:
                 # replicate and replay identically everywhere, so the
                 # digest contract holds — at-least-once, not exactly-once,
                 # is sync mode's documented trade.
-                self.sync_refused += len(valid)
-                self._m_sync_refused.inc(len(valid))
-                result.reasons["sync-timeout"] = len(valid)
+                self.sync_refused += len(entries)
+                self._m_sync_refused.inc(len(entries))
+                result.reasons["sync-timeout"] = len(entries)
                 result.retry_after = self.config.retry_after
         return result
 
@@ -652,10 +753,18 @@ class LiveIngestService:
         )
 
     def _await_followers(self, seq: int, timeout: float) -> bool:
-        """Block until ``sync_replicas`` followers committed *seq*."""
+        """Block until ``sync_replicas`` followers committed *seq*.
+
+        With a ``sync_pump`` installed (manual drive) the wait never
+        blocks on the condition variable — there is no other thread to
+        signal it. Instead the pump is called between checks; it is
+        expected to advance follower replication and the injected clock,
+        so the deadline can expire deterministically.
+        """
         deadline = self._clock() + timeout
-        with self._sync_cond:
-            while True:
+        pump = self.sync_pump
+        while True:
+            with self._sync_cond:
                 confirmed = sum(
                     1
                     for info in self._followers.values()
@@ -666,7 +775,10 @@ class LiveIngestService:
                 remaining = deadline - self._clock()
                 if remaining <= 0:
                     return False
-                self._sync_cond.wait(min(remaining, 0.25))
+                if pump is None:
+                    self._sync_cond.wait(min(remaining, 0.25))
+            if pump is not None:
+                pump()
 
     def replication_status(
         self,
@@ -685,6 +797,15 @@ class LiveIngestService:
         if follower_id and committed is not None:
             self.note_follower(follower_id, committed)
         with self._intake_lock:
+            # Fsync before reporting: every byte a follower can learn
+            # about from this reply is power-loss durable on this node.
+            # Without this, a follower could fetch flushed-but-unsynced
+            # bytes, the primary could lose them to a power cut, reuse
+            # the sequence numbers for different records — and the
+            # follower would commit the phantom history (found by the
+            # simulation harness: digest forks after primary power
+            # crashes). The fsync is amortized across the poll interval.
+            self.wal.flush()
             seq = self._seq
             queued_min = self.queue.min_seq()
             stable = queued_min - 1 if queued_min is not None else seq
@@ -727,8 +848,18 @@ class LiveIngestService:
         if not batch:
             return 0
         with self._intake_lock:
-            for record in batch:
-                self.wal.append(record.seq, record.kind, record.record)
+            try:
+                for record in batch:
+                    self.wal.append(record.seq, record.kind, record.record)
+            except OSError as exc:
+                # Propagate to the shipper (it will not advance its
+                # committed cursor and re-fetches the batch later; the
+                # replayed duplicates are deduped by sequence number)
+                # but keep the node marked degraded meanwhile.
+                self._enter_degraded("append", exc)
+                raise
+            if self.degraded:
+                self._clear_degraded()
             if batch[-1].seq > self._seq:
                 self._seq = batch[-1].seq
         for record in batch:
@@ -865,7 +996,6 @@ class LiveIngestService:
             raise ValueError(f"unknown record kind {kind!r}")
 
     def _apply_loop(self) -> None:
-        delay = self.config.apply_delay
         while True:
             batch = self.queue.take(
                 max_items=self.config.apply_batch, timeout=0.1
@@ -875,28 +1005,77 @@ class LiveIngestService:
                 if self._stop.is_set():
                     return
                 continue
-            for entry in batch:
-                if delay:
-                    time.sleep(delay)
-                try:
-                    self._apply_record(entry.kind, entry.record, entry.feed)
-                except ValueError as exc:
-                    # Deterministic rejection (e.g. out-of-order beyond
-                    # tolerance): counted, breaker-charged, and — because
-                    # the same record replays to the same rejection —
-                    # recovery stays value-identical.
-                    self.apply_rejected += 1
-                    self._m_apply_rejected.inc(feed=entry.feed)
-                    self.breakers[entry.feed].record_failure(str(exc))
-                else:
-                    self.breakers[entry.feed].record_success()
-                self._applied_seq = max(self._applied_seq, entry.seq)
-                self._applied_since_snapshot += 1
-                self._beat()
-            self._maybe_snapshot()
+            self._apply_batch(batch)
+
+    def _apply_batch(self, batch: List[QueueEntry]) -> None:
+        delay = self.config.apply_delay
+        for entry in batch:
+            if delay:
+                self._sleep(delay)
+            try:
+                self._apply_record(entry.kind, entry.record, entry.feed)
+            except ValueError as exc:
+                # Deterministic rejection (e.g. out-of-order beyond
+                # tolerance): counted, breaker-charged, and — because
+                # the same record replays to the same rejection —
+                # recovery stays value-identical.
+                self.apply_rejected += 1
+                self._m_apply_rejected.inc(feed=entry.feed)
+                self.breakers[entry.feed].record_failure(str(exc))
+            else:
+                self.breakers[entry.feed].record_success()
+            self._applied_seq = max(self._applied_seq, entry.seq)
+            self._applied_since_snapshot += 1
+            self._beat()
+        self._maybe_snapshot()
+
+    def tick_apply(self) -> int:
+        """Apply one queued batch inline; the manual-drive step.
+
+        Returns how many entries were applied. Never blocks: an empty
+        queue only beats the heartbeat. The simulation scheduler calls
+        this instead of the applier thread existing.
+        """
+        batch = self.queue.take(
+            max_items=self.config.apply_batch, timeout=None
+        )
+        if not batch:
+            self._beat()
+            return 0
+        self._apply_batch(batch)
+        return len(batch)
 
     def _beat(self) -> None:
         self._last_beat = self._clock()
+
+    # -- degraded mode ---------------------------------------------------------
+
+    def _probe_due(self) -> bool:
+        """One submit per retry_after window probes a degraded disk."""
+        return (
+            self._clock() - self._last_wal_error >= self.config.retry_after
+        )
+
+    def _enter_degraded(self, op: str, exc: OSError) -> None:
+        self.wal_errors += 1
+        self._m_wal_errors.inc(op=op)
+        self._last_wal_error = self._clock()
+        if not self.degraded:
+            self.degraded = True
+            self.degraded_reason = f"{op}: {exc}"
+            self._m_degraded.set(1)
+            log.error(
+                "durable writes failing; ingest degraded to read-only",
+                op=op,
+                error=str(exc),
+            )
+
+    def _clear_degraded(self) -> None:
+        if self.degraded:
+            self.degraded = False
+            self.degraded_reason = ""
+            self._m_degraded.set(0)
+            log.info("durable writes recovered; ingest re-enabled")
 
     def _maybe_snapshot(self) -> None:
         due_events = (
@@ -916,18 +1095,26 @@ class LiveIngestService:
         with self._snapshot_lock:
             seq = self._applied_seq
             payload = {"seq": seq, "state": self.store.state_dict()}
-            self.snapshots.save(seq, payload)
-            # Rotate under the intake lock: concurrent appends must not
-            # race the segment switch, and the fresh segment starts
-            # above every sequence number handed out so far.
-            with self._intake_lock:
-                self.wal.rotate(self._seq + 1)
+            try:
+                self.snapshots.save(seq, payload)
+                # Rotate under the intake lock: concurrent appends must
+                # not race the segment switch, and the fresh segment
+                # starts above every sequence number handed out so far.
+                with self._intake_lock:
+                    self.wal.rotate(self._seq + 1)
+            except OSError as exc:
+                # A full disk must not kill the applier: note it, stay
+                # on the current WAL segment, and let the next due
+                # snapshot (or ingest probe) retry. Nothing acked is at
+                # risk — the WAL that backs this state is still intact.
+                self._enter_degraded("snapshot", exc)
+                return
             # Prune only up to the *oldest retained* snapshot, not this
             # one: if this snapshot is later found corrupt, recovery
             # falls back to an older one and needs the WAL span between
             # them intact.
             retained = self.snapshots.seqs()
-            if retained:
+            if retained and not self.config.wal_keep_all:
                 self.wal.prune(retained[0])
             self._applied_since_snapshot = 0
             self._last_snapshot_at = self._clock()
@@ -978,6 +1165,9 @@ class LiveIngestService:
             "queue_depth": self.queue.depth,
             "shedding": self.queue.shedding,
             "draining": self._draining.is_set(),
+            "degraded": self.degraded,
+            "degraded_reason": self.degraded_reason,
+            "wal_errors": self.wal_errors,
             "accepted": accepted,
             "rejected": rejected,
             "refused": refused,

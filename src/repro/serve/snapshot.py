@@ -61,10 +61,13 @@ class SnapshotManager:
     ) -> None:
         if keep < 1:
             raise ValueError("must keep at least one snapshot")
+        # Paths become real CheckpointStores; anything else only has to
+        # duck-type stages/save/load/discard — the simulation harness
+        # substitutes an in-memory store with seeded corruption here.
         self.store = (
-            store
-            if isinstance(store, CheckpointStore)
-            else CheckpointStore(store)
+            CheckpointStore(store)
+            if isinstance(store, (str, Path))
+            else store
         )
         self.keep = keep
         registry = metrics if metrics is not None else get_registry()

@@ -1,0 +1,86 @@
+"""The wire seam: one exchange interface under every serve-layer caller.
+
+:class:`~repro.serve.client.ServeClient` and
+:class:`~repro.serve.replication.WalShipper` both used to open their own
+``urllib`` connections, which made their network behavior impossible to
+substitute without monkeypatching. They now share this interface:
+
+* ``exchange`` performs one request/response round-trip. HTTP error
+  *statuses* (4xx/5xx) return as a :class:`TransportResponse` — they are
+  protocol answers, not transport failures.
+* A failure to complete the round-trip at all (connection refused, DNS,
+  timeout) raises :class:`TransportError`.
+
+:class:`HttpTransport` is the production implementation. The
+deterministic simulation harness (:mod:`repro.simtest`) provides
+``SimTransport``, which routes ``sim://node`` URLs to in-process service
+objects under a seeded fault schedule — same interface, no sockets.
+
+:class:`TransportError` subclasses :class:`OSError` so callers that
+already treat connection trouble as ``OSError`` keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+class TransportError(OSError):
+    """The round-trip could not be completed (no response at all)."""
+
+
+@dataclass
+class TransportResponse:
+    """One raw HTTP-shaped answer: status, body bytes, headers."""
+
+    status: int
+    data: bytes = b""
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    def header(self, name: str) -> Optional[str]:
+        """Case-insensitive header lookup."""
+        lowered = name.lower()
+        for key, value in self.headers.items():
+            if key.lower() == lowered:
+                return value
+        return None
+
+
+class HttpTransport:
+    """Production transport: one ``urllib`` connection per exchange."""
+
+    def exchange(
+        self,
+        method: str,
+        url: str,
+        body: Optional[bytes] = None,
+        headers: Optional[Dict[str, str]] = None,
+        timeout: float = 10.0,
+    ) -> TransportResponse:
+        request = urllib.request.Request(
+            url, data=body, headers=dict(headers or {}), method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=timeout
+            ) as response:
+                return TransportResponse(
+                    status=response.status,
+                    data=response.read(),
+                    headers=dict(response.headers.items()),
+                )
+        except urllib.error.HTTPError as error:
+            data = error.read()
+            header_items = dict(error.headers.items())
+            error.close()
+            return TransportResponse(
+                status=error.code, data=data, headers=header_items
+            )
+        except (urllib.error.URLError, OSError) as error:
+            raise TransportError(f"{method} {url}: {error}") from error
+
+
+__all__ = ["HttpTransport", "TransportError", "TransportResponse"]

@@ -41,13 +41,13 @@ compare a promoted follower against.
 from __future__ import annotations
 
 import json
-import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.log import get_logger
 from repro.obs.metrics import get_registry
+from repro.serve.disk import LocalDisk
 
 log = get_logger("serve.wal")
 
@@ -94,6 +94,12 @@ class ReplayReport:
     shed_seqs: int = 0
     torn_lines: int = 0
     segments: int = 0
+    #: Lines whose ``seq`` was already yielded by an earlier line. Byte
+    #: order is normally sequence order, but a repair-tail + replication
+    #: refetch race (or a copied-around data dir) can leave the same
+    #: sequence on disk twice; replay keeps the first copy and counts
+    #: the rest here instead of applying them twice.
+    duplicate_seqs: int = 0
 
 
 class WriteAheadLog:
@@ -108,11 +114,13 @@ class WriteAheadLog:
         directory: Union[str, Path],
         fsync_every: int = 64,
         metrics=None,
+        disk=None,
     ) -> None:
         if fsync_every < 1:
             raise ValueError("fsync_every must be at least one append")
         self.directory = Path(directory)
-        self.directory.mkdir(parents=True, exist_ok=True)
+        self.disk = disk if disk is not None else LocalDisk()
+        self.disk.mkdir(self.directory)
         self.fsync_every = fsync_every
         self._handle = None
         self._current_path: Optional[Path] = None
@@ -133,10 +141,10 @@ class WriteAheadLog:
     def segments(self) -> List[Path]:
         """Segment files on disk, in first-seq order."""
         found = []
-        for path in self.directory.iterdir():
-            first = segment_first_seq(path.name)
+        for name in self.disk.listdir(self.directory):
+            first = segment_first_seq(name)
             if first is not None:
-                found.append((first, path))
+                found.append((first, self.directory / name))
         return [path for _first, path in sorted(found)]
 
     def oldest_seq(self) -> Optional[int]:
@@ -167,7 +175,7 @@ class WriteAheadLog:
             if first is None:  # pragma: no cover - segments() filtered
                 continue
             try:
-                sizes.append((first, path.stat().st_size))
+                sizes.append((first, self.disk.size(path)))
             except OSError:
                 continue
         return sizes
@@ -186,12 +194,7 @@ class WriteAheadLog:
         if offset < 0 or max_bytes < 1:
             raise ValueError("offset must be >= 0 and max_bytes >= 1")
         path = self.directory / segment_name(first_seq)
-        try:
-            with open(path, "rb") as handle:
-                handle.seek(offset)
-                return handle.read(max_bytes)
-        except OSError:
-            return None
+        return self.disk.read_chunk(path, offset, max_bytes)
 
     def open_segment(self, first_seq: int) -> None:
         """Start appending to the segment that begins at *first_seq*.
@@ -201,7 +204,7 @@ class WriteAheadLog:
         """
         self._close_handle()
         self._current_path = self.directory / segment_name(first_seq)
-        self._handle = open(self._current_path, "a", encoding="utf-8")
+        self._handle = self.disk.open_append(self._current_path)
         self._appends_since_fsync = 0
 
     def rotate(self, next_seq: int) -> None:
@@ -234,7 +237,7 @@ class WriteAheadLog:
             next_first = segment_first_seq(segments[index + 1].name)
             if next_first is not None and next_first <= upto_seq + 1:
                 try:
-                    path.unlink()
+                    self.disk.unlink(path)
                     removed += 1
                 except FileNotFoundError:
                     pass
@@ -245,7 +248,15 @@ class WriteAheadLog:
     # -- appending ------------------------------------------------------------
 
     def append(self, seq: int, kind: str, record: dict) -> None:
-        """Append one record and flush it to the OS (ack-safe)."""
+        """Append one record and flush it to the OS (ack-safe).
+
+        A failed append (ENOSPC) may have written a *partial* line; left
+        in place it would glue itself onto the next successful append and
+        take an acknowledged record down with it. So on ``OSError`` the
+        segment is repaired — handle closed, partial bytes truncated
+        away, handle reopened — before the error propagates; the caller
+        (which never acked this record) may retry the sequence number.
+        """
         if kind not in WAL_KINDS:
             raise ValueError(f"unknown WAL record kind: {kind!r}")
         if self._handle is None:
@@ -255,8 +266,21 @@ class WriteAheadLog:
             sort_keys=True,
             separators=(",", ":"),
         )
-        self._handle.write(line + "\n")
-        self._handle.flush()
+        try:
+            self.disk.append(self._handle, (line + "\n").encode("utf-8"))
+        except OSError:
+            path = self._current_path
+            try:
+                self.disk.close(self._handle)
+            except OSError:  # pragma: no cover - close after ENOSPC
+                pass
+            self._handle = None
+            self._appends_since_fsync = 0
+            if path is not None:
+                self.repair_tail(path)
+                self._current_path = path
+                self._handle = self.disk.open_append(path)
+            raise
         self._m_appends.inc(kind=kind)
         self._m_bytes.inc(len(line) + 1)
         self._appends_since_fsync += 1
@@ -266,7 +290,7 @@ class WriteAheadLog:
     def _fsync(self) -> None:
         if self._handle is None or self._appends_since_fsync == 0:
             return
-        os.fsync(self._handle.fileno())
+        self.disk.fsync(self._handle)
         self._m_fsyncs.inc()
         self._appends_since_fsync = 0
 
@@ -277,7 +301,7 @@ class WriteAheadLog:
     def _close_handle(self) -> None:
         if self._handle is not None:
             self._fsync()
-            self._handle.close()
+            self.disk.close(self._handle)
             self._handle = None
 
     def close(self) -> None:
@@ -306,7 +330,7 @@ class WriteAheadLog:
         the segment. Returns bytes removed (0: segment was intact).
         """
         try:
-            raw = path.read_bytes()
+            raw = self.disk.read_bytes(path)
         except OSError:
             return 0
         keep = 0
@@ -327,10 +351,7 @@ class WriteAheadLog:
             keep = offset
         if keep >= len(raw):
             return 0
-        with open(path, "r+b") as handle:
-            handle.truncate(keep)
-            handle.flush()
-            os.fsync(handle.fileno())
+        self.disk.truncate(path, keep)
         trimmed = len(raw) - keep
         log.warning(
             "wal tail repaired (torn bytes truncated)",
@@ -345,7 +366,9 @@ class WriteAheadLog:
         self, path: Path, report: ReplayReport
     ) -> Iterator[dict]:
         try:
-            text = path.read_text(encoding="utf-8", errors="replace")
+            text = self.disk.read_bytes(path).decode(
+                "utf-8", errors="replace"
+            )
         except OSError:
             return
         lines = text.splitlines()
@@ -415,6 +438,7 @@ class WriteAheadLog:
             if upto_seq is not None and seq > upto_seq:
                 continue
             if seq in seen:
+                report.duplicate_seqs += 1
                 continue
             seen.add(seq)
             records.append(WalRecord(seq, data["kind"], data["record"]))

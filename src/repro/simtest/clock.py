@@ -1,0 +1,41 @@
+"""Virtual time for the simulation: nothing waits, everything advances.
+
+Every ``time.monotonic``/``time.sleep`` in the serve layer is injectable
+(``LiveIngestService(clock=..., sleep=...)``); the harness passes one
+:class:`SimClock` everywhere, so timeouts, breaker cooldowns, snapshot
+intervals and retry backoffs all read the same deterministic timeline —
+and a "five second" sync timeout costs zero wall-clock.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """A monotonic clock that only moves when told to."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        #: Total simulated seconds slept through :meth:`sleep`.
+        self.slept = 0.0
+
+    def __call__(self) -> float:
+        """Callable like ``time.monotonic`` (the clock seam's shape)."""
+        return self._now
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError("time only moves forward in the simulation")
+        self._now += seconds
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        """Injectable ``time.sleep``: advancing time *is* sleeping."""
+        if seconds > 0:
+            self.slept += seconds
+            self.advance(seconds)
+
+
+__all__ = ["SimClock"]

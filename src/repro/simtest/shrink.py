@@ -1,0 +1,125 @@
+"""Greedy fault-schedule minimization (delta debugging on op lists).
+
+A failing trace from the seed sweep usually carries dozens of irrelevant
+ops around the handful that actually interact. The shrinker re-runs the
+executor on candidate subsets — determinism makes every re-run
+faithful — and keeps any reduction that still fails:
+
+1. **Chunk removal**: try deleting windows of ops, halving the window
+   size down to single ops (classic ddmin shape, greedy variant).
+2. **Op simplification**: per surviving op, try cheaper parameters —
+   one-record ingests, zero-keep power cuts, un-torn disk-full — so the
+   committed corpus trace reads as close to the invariant boundary as
+   possible.
+
+The failure signature is the set of oracle names that fired; a shrink
+step only counts when the *same* oracle still fires, so minimization
+cannot wander from a durability violation to an unrelated crash.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.simtest.harness import TRACE_VERSION, execute_ops
+
+
+def _signature(violations: List[dict]) -> frozenset:
+    return frozenset(v.get("oracle", "?") for v in violations)
+
+
+def _still_fails(seed: int, config: dict, ops: List[dict],
+                 signature: frozenset) -> Tuple[bool, List[dict], dict]:
+    violations, summary = execute_ops(seed, config, ops)
+    return signature <= _signature(violations), violations, summary
+
+
+def _simplify_op(op: dict) -> Optional[dict]:
+    """A strictly-simpler variant of *op*, or None if already minimal."""
+    kind = op.get("op")
+    if kind == "ingest" and int(op.get("count", 1)) > 1:
+        smaller = dict(op)
+        smaller["count"] = 1
+        return smaller
+    if kind == "crash" and op.get("mode") == "power" \
+            and float(op.get("keep_fraction", 0.0)) > 0.0:
+        smaller = dict(op)
+        smaller["keep_fraction"] = 0.0
+        return smaller
+    if kind == "disk_full" and int(op.get("torn", 0)) > 0:
+        smaller = dict(op)
+        smaller["torn"] = 0
+        return smaller
+    if kind == "advance" and float(op.get("seconds", 0.0)) > 0.1:
+        smaller = dict(op)
+        smaller["seconds"] = 0.1
+        return smaller
+    return None
+
+
+def shrink_trace(trace: dict, max_runs: int = 400) -> Tuple[dict, int]:
+    """Minimize a failing trace; returns (minimized trace, runs used).
+
+    The input trace must fail (non-empty ``violations``); raises
+    ``ValueError`` when its baseline re-run passes — a trace that no
+    longer reproduces must not be silently "minimized" to nothing.
+    """
+    seed = int(trace["seed"])
+    config = dict(trace["config"])
+    ops = list(trace["ops"])
+    runs = 1
+    baseline, summary = execute_ops(seed, config, ops)
+    if not baseline:
+        raise ValueError(
+            "trace does not fail on re-run; nothing to shrink"
+        )
+    signature = _signature(baseline)
+    violations = baseline
+    # Phase 1: chunked removal, window halving to 1.
+    chunk = max(1, len(ops) // 2)
+    while chunk >= 1 and runs < max_runs:
+        index = 0
+        while index < len(ops) and runs < max_runs:
+            candidate = ops[:index] + ops[index + chunk:]
+            runs += 1
+            fails, cand_violations, cand_summary = _still_fails(
+                seed, config, candidate, signature
+            )
+            if fails and len(candidate) < len(ops):
+                ops = candidate
+                violations, summary = cand_violations, cand_summary
+                # Same index now points at the next window.
+            else:
+                index += chunk
+        chunk //= 2
+    # Phase 2: per-op parameter simplification to a fixpoint.
+    changed = True
+    while changed and runs < max_runs:
+        changed = False
+        for index in range(len(ops)):
+            simpler = _simplify_op(ops[index])
+            if simpler is None:
+                continue
+            candidate = ops[:index] + [simpler] + ops[index + 1:]
+            runs += 1
+            fails, cand_violations, cand_summary = _still_fails(
+                seed, config, candidate, signature
+            )
+            if fails:
+                ops = candidate
+                violations, summary = cand_violations, cand_summary
+                changed = True
+            if runs >= max_runs:
+                break
+    minimized = {
+        "version": TRACE_VERSION,
+        "seed": seed,
+        "config": config,
+        "ops": ops,
+        "violations": violations,
+        "summary": summary,
+    }
+    return minimized, runs
+
+
+__all__ = ["shrink_trace"]

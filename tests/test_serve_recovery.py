@@ -202,6 +202,122 @@ def test_corrupt_newest_snapshot_falls_back_to_older(tmp_path):
         recovered.stop()
 
 
+def test_corrupt_newest_two_snapshots_fall_back_to_third(tmp_path):
+    """Snapshot fallback is a chain, not a single step: with three
+    rolling snapshots retained and the newest two corrupted, recovery
+    must land on the third and replay the longer WAL tail exactly."""
+    rng = random.Random(17)
+    items = make_stream(rng, count=90)
+    expected = reference_digest(items)
+    data_dir = tmp_path / "serve"
+    config = ServeConfig(
+        data_dir=data_dir,
+        snapshot_every_events=10,
+        snapshot_keep=4,
+        apply_batch=5,
+        queue_size=4096,
+        wal_keep_all=True,  # pruning follows the oldest snapshot; keep
+                            # the full log so a deep fallback can replay
+    )
+    service = LiveIngestService(config, metrics=MetricsRegistry())
+    service.start()
+    for kind, record in items:
+        service.submit(feed_for(kind, record), kind, [record])
+    assert service.quiesce(timeout=30)
+    service.stop()
+
+    store = CheckpointStore(data_dir)
+    seqs = service.snapshots.seqs()
+    assert len(seqs) >= 3, "drill needs at least three rolling snapshots"
+    for seq in seqs[-2:]:
+        payload = store.payload_path(snapshot_stage_name(seq))
+        payload.write_bytes(b"\x00garbage\x00" + payload.read_bytes())
+
+    recovered = LiveIngestService(config, metrics=MetricsRegistry())
+    info = recovered.start()
+    try:
+        assert info.discarded_snapshots == 2
+        assert info.snapshot_seq == seqs[-3]
+        assert info.replayed > 0
+        assert recovered.quiesce(timeout=30)
+        assert recovered.store.state_digest() == expected
+    finally:
+        recovered.stop()
+
+
+def test_every_snapshot_corrupt_replays_wal_from_seq_zero(tmp_path):
+    """The last rung of the fallback ladder: every snapshot is garbage,
+    but with the full WAL retained recovery rebuilds from sequence 1."""
+    rng = random.Random(23)
+    items = make_stream(rng, count=60)
+    expected = reference_digest(items)
+    data_dir = tmp_path / "serve"
+    config = ServeConfig(
+        data_dir=data_dir,
+        snapshot_every_events=10,
+        snapshot_keep=4,
+        apply_batch=5,
+        queue_size=4096,
+        wal_keep_all=True,
+    )
+    service = LiveIngestService(config, metrics=MetricsRegistry())
+    service.start()
+    for kind, record in items:
+        service.submit(feed_for(kind, record), kind, [record])
+    assert service.quiesce(timeout=30)
+    service.stop()
+
+    store = CheckpointStore(data_dir)
+    seqs = service.snapshots.seqs()
+    assert seqs, "drill needs snapshots to corrupt"
+    for seq in seqs:
+        payload = store.payload_path(snapshot_stage_name(seq))
+        payload.write_bytes(b"\x00garbage\x00" + payload.read_bytes())
+
+    recovered = LiveIngestService(config, metrics=MetricsRegistry())
+    info = recovered.start()
+    try:
+        assert info.discarded_snapshots == len(seqs)
+        assert info.snapshot_seq == 0
+        assert info.replayed == len(items)
+        assert recovered.store.state_digest() == expected
+    finally:
+        recovered.stop()
+
+
+def test_duplicate_wal_seqs_dedupe_and_are_counted(tmp_path):
+    """A follower that re-appends a batch after a failed commit leaves
+    duplicate sequence numbers in its WAL; replay must apply each seq
+    once and surface the count in RecoveryInfo.replay_duplicates."""
+    rng = random.Random(31)
+    items = make_stream(rng, count=20)
+    expected = reference_digest(items)
+    data_dir = tmp_path / "serve"
+    service = service_at(data_dir, snapshot_every=1000)  # WAL-only
+    service.start()
+    for kind, record in items:
+        assert service.submit(feed_for(kind, record), kind, [record]).accepted
+    assert service.quiesce(timeout=30)
+    service.stop()
+
+    segments = sorted((data_dir / "wal").glob("wal-*.jsonl"))
+    lines = segments[-1].read_text(encoding="utf-8").splitlines(keepends=True)
+    assert len(lines) >= 4
+    # Re-append the last three committed lines verbatim — the torn-retry
+    # shape: same seqs, same payloads, appended again.
+    with open(segments[-1], "a", encoding="utf-8") as handle:
+        handle.writelines(lines[-3:])
+
+    recovered = service_at(data_dir, snapshot_every=1000)
+    info = recovered.start()
+    try:
+        assert info.replay_duplicates == 3
+        assert info.replayed == len(items)
+        assert recovered.store.state_digest() == expected
+    finally:
+        recovered.stop()
+
+
 def test_all_snapshots_corrupt_recovers_from_wal_alone(tmp_path):
     rng = random.Random(11)
     items = make_stream(rng, count=30)

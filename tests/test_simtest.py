@@ -1,0 +1,265 @@
+"""Tests for the deterministic cluster simulation harness.
+
+Four layers of assurance:
+
+1. The fault primitives behave as documented (SimClock, SimDisk power
+   cuts / torn ENOSPC appends, MemorySnapshotStore corruption).
+2. Determinism: the same seed produces byte-identical traces, and a
+   trace replays to the byte — the property everything else (CI gating,
+   shrinking, corpus regression) rests on.
+3. The committed regression corpus replays to its recorded outcome, and
+   a bounded fresh sweep stays violation-free.
+4. Oracle sensitivity: re-introducing a fixed serve-layer bug (the
+   fsync barrier before replication_status) makes the digest oracle
+   fire again, and the shrinker reduces that failure while preserving
+   its signature — the harness is shown to *detect*, not just pass.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import wal as walmod
+from repro.serve.service import LiveIngestService, ServeConfig
+from repro.serve.transport import TransportError
+from repro.serve.wal import KIND_ATTACK
+from repro.simtest import (
+    MemorySnapshotStore,
+    SimClock,
+    SimDisk,
+    SimTransport,
+    default_spec,
+    run_sim,
+    run_trace,
+    shrink_trace,
+    trace_to_json,
+)
+
+CORPUS_DIR = Path(__file__).parent / "simtest_corpus"
+
+
+# -- fault primitives ----------------------------------------------------------
+
+
+def test_sim_clock_advances_and_sleeps_without_waiting():
+    clock = SimClock()
+    assert clock() == 0.0
+    clock.advance(1.5)
+    clock.sleep(0.25)
+    assert clock.now() == pytest.approx(1.75)
+    assert clock.slept == pytest.approx(0.25)
+    with pytest.raises(ValueError):
+        clock.advance(-1.0)
+
+
+def test_sim_disk_power_cut_rolls_back_to_fsynced_length():
+    disk = SimDisk()
+    handle = disk.open_append("wal/seg.jsonl")
+    disk.append(handle, b"synced-line\n")
+    disk.fsync(handle)
+    disk.append(handle, b"unsynced-line\n")
+    lost = disk.crash_power(keep_unsynced_fraction=0.0)
+    assert disk.read_bytes("wal/seg.jsonl") == b"synced-line\n"
+    assert list(lost.values()) == [b"unsynced-line\n"]
+
+
+def test_sim_disk_partial_power_cut_leaves_torn_tail():
+    disk = SimDisk()
+    handle = disk.open_append("wal/seg.jsonl")
+    disk.append(handle, b"first\n")
+    disk.fsync(handle)
+    disk.append(handle, b"0123456789")
+    disk.crash_power(keep_unsynced_fraction=0.5)
+    # Half the unsynced tail survives: a mid-line cut, the torn case.
+    assert disk.read_bytes("wal/seg.jsonl") == b"first\n01234"
+
+
+def test_sim_disk_process_crash_keeps_flushed_bytes():
+    disk = SimDisk()
+    handle = disk.open_append("wal/seg.jsonl")
+    disk.append(handle, b"flushed-but-not-synced\n")
+    disk.crash_process()
+    assert disk.read_bytes("wal/seg.jsonl") == b"flushed-but-not-synced\n"
+
+
+def test_sim_disk_enospc_append_raises_and_can_tear():
+    disk = SimDisk()
+    handle = disk.open_append("wal/seg.jsonl")
+    disk.append(handle, b"ok\n")
+    disk.set_full(True, partial_next_append=4)
+    with pytest.raises(OSError):
+        disk.append(handle, b"doomed-record\n")
+    # The first failing append landed a 4-byte torn prefix.
+    assert disk.read_bytes("wal/seg.jsonl") == b"ok\ndoom"
+    disk.set_full(False)
+    disk.append(handle, b"after\n")
+    assert disk.read_bytes("wal/seg.jsonl").endswith(b"after\n")
+
+
+def test_memory_snapshot_store_enospc_and_corruption():
+    store = MemorySnapshotStore()
+    store.save("snap-1", {"seq": 1})
+    store.fail_saves = True
+    with pytest.raises(OSError):
+        store.save("snap-2", {"seq": 2})
+    store.fail_saves = False
+    store.save("snap-2", {"seq": 2})
+    assert store.corrupt_newest(1) == 1
+    assert store.load("snap-1") == {"seq": 1}
+
+
+def test_sim_transport_partitions_and_crashed_nodes():
+    clock = SimClock()
+    transport = SimTransport(seed=1, clock=clock)
+    service_box = {"svc": None}
+    transport.register("n0", lambda: service_box["svc"])
+    bound = transport.bind("client")
+    url = transport.url_of("n0") + "/healthz"
+    # Crashed (service None): connection refused.
+    with pytest.raises(TransportError):
+        bound.exchange("GET", url)
+    transport.partition("client", "n0")
+    with pytest.raises(TransportError):
+        bound.exchange("GET", url)
+    transport.heal("client", "n0")
+    assert not transport.partitioned("client", "n0")
+
+
+# -- degraded mode through the simulated disk ----------------------------------
+
+
+def _manual_service(tmp_path, disk, clock):
+    return LiveIngestService(
+        ServeConfig(
+            data_dir=tmp_path / "node",
+            manual_drive=True,
+            wal_keep_all=True,
+            retry_after=0.2,
+            queue_size=64,
+        ),
+        metrics=MetricsRegistry(),
+        clock=clock,
+        disk=disk,
+        snapshot_store=MemorySnapshotStore(),
+        sleep=clock.sleep,
+    )
+
+
+def _attack(n):
+    return {
+        "source": "telescope",
+        "target": (10 << 24) + n,
+        "start_ts": float(n),
+        "end_ts": float(n) + 30.0,
+        "intensity": 50.0,
+    }
+
+
+def test_disk_full_degrades_to_read_only_and_probe_recovers(tmp_path):
+    disk, clock = SimDisk(), SimClock()
+    service = _manual_service(tmp_path, disk, clock)
+    registry = service.metrics
+    service.start()
+    try:
+        assert service.submit("telescope", KIND_ATTACK, [_attack(0)]).accepted
+        disk.set_full(True)
+        refused = service.submit("telescope", KIND_ATTACK, [_attack(1)])
+        assert refused.accepted == 0
+        assert refused.http_status() == 503
+        assert refused.retry_after is not None
+        assert service.degraded
+        assert registry.value("serve_degraded") == 1
+        assert registry.value("serve_wal_errors_total", op="append") >= 1
+        # While degraded and inside the probe window: fast refusal, no
+        # further disk traffic.
+        fast = service.submit("telescope", KIND_ATTACK, [_attack(2)])
+        assert fast.reasons.get("degraded")
+        assert fast.http_status() == 503
+        # Disk returns; the next submit past the window is the probe.
+        disk.set_full(False)
+        clock.advance(0.5)
+        probe = service.submit("telescope", KIND_ATTACK, [_attack(3)])
+        assert probe.accepted == 1
+        assert not service.degraded
+        assert registry.value("serve_degraded") == 0
+        while service.tick_apply():
+            pass
+        assert service.applied_seq == service._seq
+    finally:
+        service.stop()
+
+
+# -- determinism + sweep -------------------------------------------------------
+
+
+def test_same_seed_produces_byte_identical_traces():
+    config = default_spec(nodes=3, steps=30)
+    first = trace_to_json(run_sim(5, config))
+    second = trace_to_json(run_sim(5, config))
+    assert first == second
+
+
+def test_trace_replay_is_byte_identical():
+    config = default_spec(nodes=3, steps=30)
+    trace = run_sim(9, config)
+    replayed = run_trace(json.loads(trace_to_json(trace)))
+    assert trace_to_json(replayed) == trace_to_json(trace)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_seed_sweep_passes_oracles(seed):
+    trace = run_sim(seed, default_spec(nodes=3, steps=40))
+    assert trace["violations"] == [], trace["violations"]
+
+
+# -- regression corpus ---------------------------------------------------------
+
+
+def _corpus_traces():
+    paths = sorted(CORPUS_DIR.glob("*.json"))
+    assert paths, "regression corpus must not be empty"
+    return paths
+
+
+@pytest.mark.parametrize(
+    "path", _corpus_traces(), ids=lambda p: p.stem
+)
+def test_corpus_trace_replays_to_recorded_outcome(path):
+    trace = json.loads(path.read_text(encoding="utf-8"))
+    result = run_trace(trace)
+    assert result["violations"] == trace["violations"], (
+        f"{path.name}: replay diverged from recorded outcome "
+        f"(a fixed bug has regressed, or the harness changed semantics)"
+    )
+
+
+# -- oracle sensitivity + shrinker ---------------------------------------------
+
+
+def test_digest_oracle_detects_missing_fsync_barrier(monkeypatch):
+    """Re-introduce the primary-rewind bug; the oracle must catch it.
+
+    The fix under guard: replication_status fsyncs before reporting, so
+    followers never learn of power-loss-volatile bytes. With flush
+    disabled, the corpus seed's schedule forks the follower digests —
+    and the shrinker must reduce the failure while keeping its
+    signature.
+    """
+    monkeypatch.setattr(walmod.WriteAheadLog, "flush", lambda self: None)
+    config = default_spec(nodes=3, steps=60)
+    trace = run_sim(0, config)
+    oracles = {v.get("oracle") for v in trace["violations"]}
+    assert "digest" in oracles, trace["violations"]
+    minimized, runs = shrink_trace(trace, max_runs=200)
+    assert 0 < len(minimized["ops"]) < len(trace["ops"])
+    assert "digest" in {v.get("oracle") for v in minimized["violations"]}
+    assert runs >= 1
+
+
+def test_shrinker_refuses_passing_trace():
+    trace = run_sim(1, default_spec(nodes=3, steps=30))
+    assert trace["violations"] == []
+    with pytest.raises(ValueError):
+        shrink_trace(trace)
