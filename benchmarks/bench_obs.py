@@ -22,9 +22,16 @@ import time
 
 from bench_util import write_bench_json
 from repro.obs import Telemetry
+from repro.obs.trace import SpanTracer
 from repro.pipeline.runner import run_resilient
+from repro.serve.service import LiveIngestService, ServeConfig
+from repro.serve.wal import KIND_ATTACK
 
 ROUNDS = 3
+
+#: Serve-path arm: batches x batch size ingested per timed round.
+SERVE_BATCHES = 40
+SERVE_BATCH_SIZE = 50
 
 
 def _timed_runs(bench_config, telemetry):
@@ -89,4 +96,103 @@ def test_telemetry_overhead(benchmark, bench_config, write_report):
     assert disabled_overhead_pct < 5.0, (
         f"disabled telemetry cost {disabled_overhead_pct:.2f}% "
         "(bar: <5%)"
+    )
+
+
+def _serve_event(i):
+    return {
+        "source": "telescope",
+        "target": (10 << 24) + (i % 2048),
+        "start_ts": float(i),
+        "end_ts": float(i) + 30.0,
+        "intensity": 100.0 + (i % 13),
+    }
+
+
+def _serve_ingest_wall(data_dir, tracer, traced):
+    """Seconds to ingest + quiesce one fixed workload through submit()."""
+    config = ServeConfig(
+        data_dir=data_dir,
+        queue_size=8192,
+        snapshot_every_events=100_000,
+        snapshot_interval_s=100_000.0,
+        wal_fsync_every=1024,
+    )
+    service = LiveIngestService(config, tracer=tracer)
+    service.start()
+    try:
+        start = time.perf_counter()
+        for i in range(SERVE_BATCHES):
+            batch = [
+                _serve_event(i * SERVE_BATCH_SIZE + j)
+                for j in range(SERVE_BATCH_SIZE)
+            ]
+            service.submit(
+                "telescope", KIND_ATTACK, batch,
+                trace=f"bench-{i:06d}" if traced else None,
+            )
+        assert service.quiesce(timeout=60.0)
+        return time.perf_counter() - start
+    finally:
+        service.stop()
+
+
+def test_serve_flight_recorder_overhead(tmp_path, write_report):
+    """The flight recorder must be free while dormant on the serve path.
+
+    *dormant*: the default serve configuration — null tracer, untraced
+    WAL appends — with all flight-recorder seams (request log, history
+    ring, span hooks) compiled in. *armed*: live SpanTracer plus a trace
+    ID on every batch. The gate mirrors the pipeline arm: dormant stays
+    within 5% of the fastest observed configuration.
+    """
+    _serve_ingest_wall(tmp_path / "warmup", None, False)
+    dormant_walls = [
+        _serve_ingest_wall(tmp_path / f"dormant-{r}", None, False)
+        for r in range(ROUNDS)
+    ]
+    armed_walls = [
+        _serve_ingest_wall(tmp_path / f"armed-{r}", SpanTracer(), True)
+        for r in range(ROUNDS)
+    ]
+    dormant = min(dormant_walls)
+    armed = min(armed_walls)
+    fastest = min(dormant, armed)
+    dormant_overhead_pct = (dormant - fastest) / fastest * 100
+    armed_overhead_pct = (armed - dormant) / dormant * 100
+    events = SERVE_BATCHES * SERVE_BATCH_SIZE
+
+    lines = [
+        "Serve-path flight recorder overhead "
+        f"(best of {ROUNDS} rounds, {events} records/round)",
+        "",
+        f"{'configuration':<12} {'best_s':>8} {'mean_s':>8}",
+        f"{'dormant':<12} {dormant:>8.3f} "
+        f"{statistics.mean(dormant_walls):>8.3f}",
+        f"{'armed':<12} {armed:>8.3f} "
+        f"{statistics.mean(armed_walls):>8.3f}",
+        "",
+        f"dormant vs fastest: {dormant_overhead_pct:+.2f}%",
+        f"armed   vs dormant: {armed_overhead_pct:+.2f}%",
+    ]
+    write_report("serve_flight_recorder", "\n".join(lines))
+    write_bench_json(
+        "serve_flight_recorder",
+        params={
+            "rounds": ROUNDS,
+            "batches": SERVE_BATCHES,
+            "batch_size": SERVE_BATCH_SIZE,
+        },
+        wall_s=dormant,
+        events_per_s=events / dormant if dormant else None,
+        extra={
+            "dormant_wall_s": [round(w, 6) for w in dormant_walls],
+            "armed_wall_s": [round(w, 6) for w in armed_walls],
+            "dormant_overhead_pct": round(dormant_overhead_pct, 3),
+            "armed_overhead_pct": round(armed_overhead_pct, 3),
+        },
+    )
+    assert dormant_overhead_pct < 5.0, (
+        f"dormant flight recorder cost {dormant_overhead_pct:.2f}% "
+        "on the serve path (bar: <5%)"
     )

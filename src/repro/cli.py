@@ -34,7 +34,10 @@ Commands:
   schedule, and a killed process recovers on restart value-identical to
   an uninterrupted run. SIGTERM drains gracefully and exits 0. With
   ``--replica-of URL`` the node is a read-only follower streaming the
-  primary's WAL; ``serve-promote`` makes a follower the new primary.
+  primary's WAL; ``serve-promote`` makes a follower the new primary;
+* ``top``      — live ops console over a running cluster: polls each
+  node's ``/status`` and the primary's ``/metrics/history`` and renders
+  a dashboard frame per interval (``--once`` for CI and scripts).
 
 ``simulate`` and ``resume`` accept the parallel-execution knobs
 (``--workers``, ``--shards``, ``--exec-mode``, ``--task-deadline``) — a
@@ -488,6 +491,35 @@ def _build_parser() -> argparse.ArgumentParser:
     trace_cmd.add_argument(
         "--format", choices=("chrome", "jsonl"), default="chrome",
         help="output format (default: chrome)",
+    )
+
+    top = subparsers.add_parser(
+        "top",
+        help="live ops console over a serve cluster: polls each node's "
+             "/status (plus the primary's /metrics/history) and renders "
+             "one dashboard frame per interval",
+    )
+    top.add_argument(
+        "--url", action="append", default=None, metavar="URL",
+        help="node address to watch (repeatable)",
+    )
+    top.add_argument(
+        "--data-dir", action="append", type=Path, default=None,
+        metavar="DIR",
+        help="node data dir; its endpoint.json names the address "
+             "(repeatable, combinable with --url)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="poll cadence (default: 2.0)",
+    )
+    top.add_argument(
+        "--windows", type=int, default=12, metavar="N",
+        help="metrics-history windows to fetch per frame (default: 12)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit (CI / scripting)",
     )
 
     simtest = subparsers.add_parser(
@@ -996,6 +1028,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             host=args.host,
             port=args.port,
             metrics=telemetry.metrics if telemetry is not None else None,
+            tracer=telemetry.tracer if telemetry is not None else None,
         )
     finally:
         # The data dir doubles as the run dir: a graceful exit leaves
@@ -1046,6 +1079,72 @@ def cmd_serve_promote(args: argparse.Namespace) -> int:
             )
             return 1
     return 0
+
+
+def _top_urls(args: argparse.Namespace) -> list:
+    from repro.serve.http import read_endpoint_file
+
+    urls = [url.rstrip("/") for url in (args.url or [])]
+    for data_dir in args.data_dir or []:
+        try:
+            info = read_endpoint_file(data_dir)
+        except (OSError, ValueError) as exc:
+            print(
+                f"cannot read endpoint file in {data_dir}: {exc}",
+                file=sys.stderr,
+            )
+            continue
+        urls.append(f"http://{info['host']}:{info['port']}")
+    return urls
+
+
+def _top_frame(client, urls: list, windows: int) -> str:
+    from repro.obs.console import render_dashboard
+    from repro.serve.transport import TransportError
+
+    nodes = []
+    history = None
+    for url in urls:
+        try:
+            response = client.request_once("GET", "/status", endpoint=url)
+            doc = response.body if response.status == 200 else None
+            error = None if doc else f"status {response.status}"
+        except (TransportError, OSError) as exc:
+            doc, error = None, str(exc)
+        nodes.append({"url": url, "status": doc, "error": error})
+        if doc is not None and history is None and doc.get("role") == "primary":
+            try:
+                answer = client.request_once(
+                    "GET", f"/metrics/history?last={windows}", endpoint=url
+                )
+                if answer.status == 200:
+                    history = answer.body
+            except (TransportError, OSError):
+                pass
+    return render_dashboard(nodes, history)
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.serve.client import ServeClient
+
+    urls = _top_urls(args)
+    if not urls:
+        print("need at least one --url or --data-dir", file=sys.stderr)
+        return 2
+    client = ServeClient(urls)
+    if args.once:
+        print(_top_frame(client, urls, args.windows), end="")
+        return 0
+    try:
+        while True:
+            # ANSI clear + home: repaint in place like top(1).
+            frame = _top_frame(client, urls, args.windows)
+            print(f"\x1b[2J\x1b[H{frame}", end="", flush=True)
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def cmd_metrics(args: argparse.Namespace) -> int:
@@ -1172,6 +1271,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "chaos": cmd_chaos,
         "serve": cmd_serve,
         "serve-promote": cmd_serve_promote,
+        "top": cmd_top,
         "metrics": cmd_metrics,
         "trace": cmd_trace,
         "simtest": cmd_simtest,

@@ -1,0 +1,191 @@
+"""Live ops console rendering for the serve cluster (``repro top``).
+
+Pure functions from status documents to text: the CLI polls each node's
+``/status`` (and optionally the primary's ``/metrics/history``), and
+:func:`render_dashboard` turns whatever came back into one fixed-width
+frame. Keeping the renderer free of I/O and clocks means the ``--once``
+mode used in CI and tests is deterministic: same input documents, same
+bytes out.
+
+Input shape: one dict per node, ``{"url": ..., "status": <the /status
+document or None>, "error": <str or None>}`` — unreachable nodes render
+as a line with the error instead of vanishing, because "a node is gone"
+is exactly what an ops console must show.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+#: Slow requests shown across the whole cluster.
+SLOW_ROWS = 5
+#: Busiest rate series shown from the metrics history window.
+RATE_ROWS = 6
+
+
+def _fmt(value: Any, width: int) -> str:
+    return str(value).ljust(width)[:width]
+
+
+def _fmt_age(seconds: Any) -> str:
+    try:
+        s = float(seconds)
+    except (TypeError, ValueError):
+        return "-"
+    if s < 120:
+        return f"{s:.1f}s"
+    if s < 7200:
+        return f"{s / 60:.1f}m"
+    return f"{s / 3600:.1f}h"
+
+
+def _fmt_bytes(count: Any) -> str:
+    try:
+        n = float(count)
+    except (TypeError, ValueError):
+        return "-"
+    for unit in ("B", "KB", "MB", "GB"):
+        if n < 1024 or unit == "GB":
+            return f"{n:.0f}{unit}" if unit == "B" else f"{n:.1f}{unit}"
+        n /= 1024.0
+    return f"{n:.1f}GB"
+
+
+def _node_rows(nodes: Sequence[Dict[str, Any]]) -> List[str]:
+    header = (
+        f"{_fmt('NODE', 14)} {_fmt('ROLE', 8)} {_fmt('EPOCH', 5)} "
+        f"{_fmt('SEQ', 8)} {_fmt('APPLIED', 8)} {_fmt('QUEUE', 6)} "
+        f"{_fmt('WAL', 12)} {_fmt('SNAP-AGE', 8)} {_fmt('FLAGS', 10)} "
+        f"{_fmt('UPTIME', 7)}"
+    )
+    rows = [header]
+    for entry in nodes:
+        doc = entry.get("status")
+        if not doc:
+            error = entry.get("error") or "no status"
+            rows.append(
+                f"{_fmt(entry.get('url', '?'), 14)} "
+                f"{_fmt('DOWN', 8)} {error}"
+            )
+            continue
+        wal = doc.get("wal", {})
+        flags = [
+            flag
+            for flag, on in (
+                ("degraded", doc.get("degraded")),
+                ("draining", doc.get("draining")),
+                ("shedding", doc.get("shedding")),
+            )
+            if on
+        ]
+        rows.append(
+            f"{_fmt(doc.get('node', '?'), 14)} "
+            f"{_fmt(doc.get('role', '?'), 8)} "
+            f"{_fmt(doc.get('epoch', '?'), 5)} "
+            f"{_fmt(doc.get('seq', '?'), 8)} "
+            f"{_fmt(doc.get('applied_seq', '?'), 8)} "
+            f"{_fmt(doc.get('queue_depth', '?'), 6)} "
+            f"{_fmt(_fmt_bytes(wal.get('bytes')) + '/' + str(wal.get('segments', '?')), 12)} "
+            f"{_fmt(_fmt_age(doc.get('snapshots', {}).get('newest_age_s')), 8)} "
+            f"{_fmt(','.join(flags) if flags else 'ok', 10)} "
+            f"{_fmt(_fmt_age(doc.get('uptime_s')), 7)}"
+        )
+    return rows
+
+
+def _replication_rows(nodes: Sequence[Dict[str, Any]]) -> List[str]:
+    rows: List[str] = []
+    for entry in nodes:
+        doc = entry.get("status")
+        if not doc:
+            continue
+        node = doc.get("node", "?")
+        for fid, info in sorted(doc.get("followers", {}).items()):
+            rows.append(
+                f"  {node} -> {fid}: committed={info.get('committed_seq')} "
+                f"lag={info.get('seq_lag')} "
+                f"age={_fmt_age(info.get('age_s'))}"
+            )
+        shipping = doc.get("replication")
+        if shipping:
+            rows.append(
+                f"  {node} <- {shipping.get('primary_url', '?')}: "
+                f"committed={shipping.get('committed_seq')} "
+                f"lag={shipping.get('lag_records')}rec/"
+                f"{_fmt_bytes(shipping.get('lag_bytes'))} "
+                f"commit-age={_fmt_age(shipping.get('last_commit_age_s'))} "
+                f"state={shipping.get('state', '?')}"
+            )
+    return rows
+
+
+def _slow_rows(nodes: Sequence[Dict[str, Any]]) -> List[str]:
+    slow: List[Dict[str, Any]] = []
+    for entry in nodes:
+        doc = entry.get("status")
+        if not doc:
+            continue
+        slow.extend(doc.get("requests", {}).get("slow", []))
+    slow.sort(
+        key=lambda r: (-float(r.get("duration_s", 0.0)), str(r.get("trace_id")))
+    )
+    return [
+        f"  {r.get('duration_s', 0.0) * 1000:.1f}ms "
+        f"{r.get('method', '?')} {r.get('endpoint', '?')} "
+        f"status={r.get('status', '?')} node={r.get('node', '?')} "
+        f"trace={r.get('trace_id', '?')}"
+        for r in slow[:SLOW_ROWS]
+    ]
+
+
+def _history_rows(history: Optional[Dict[str, Any]]) -> List[str]:
+    if not history or not history.get("windows"):
+        return []
+    window = history["windows"][-1]
+    rows = [
+        f"  window ts={window.get('ts')} dt={window.get('dt')}s "
+        f"({history.get('window_count')}/{history.get('capacity')} windows)"
+    ]
+    rates = sorted(
+        window.get("rates", {}).items(), key=lambda kv: (-kv[1], kv[0])
+    )
+    for key, rate in rates[:RATE_ROWS]:
+        if rate > 0:
+            rows.append(f"  {rate:>10.1f}/s  {key}")
+    for key, row in sorted(window.get("quantiles", {}).items()):
+        quantiles = " ".join(
+            f"{q}={row[q] * 1000:.1f}ms"
+            for q in ("p50", "p90", "p99")
+            if q in row
+        )
+        rows.append(f"  {key}: n={row.get('count')} {quantiles}")
+    return rows
+
+
+def render_dashboard(
+    nodes: Sequence[Dict[str, Any]],
+    history: Optional[Dict[str, Any]] = None,
+) -> str:
+    """One console frame: node table, replication, slow requests, rates."""
+    up = sum(1 for entry in nodes if entry.get("status"))
+    lines = [f"repro cluster console — {up}/{len(nodes)} nodes up", ""]
+    lines.extend(_node_rows(nodes))
+    replication = _replication_rows(nodes)
+    if replication:
+        lines.append("")
+        lines.append("replication:")
+        lines.extend(replication)
+    slow = _slow_rows(nodes)
+    if slow:
+        lines.append("")
+        lines.append("slow requests:")
+        lines.extend(slow)
+    history_rows = _history_rows(history)
+    if history_rows:
+        lines.append("")
+        lines.append("metrics history:")
+        lines.extend(history_rows)
+    return "\n".join(lines) + "\n"
+
+
+__all__ = ["RATE_ROWS", "SLOW_ROWS", "render_dashboard"]

@@ -329,6 +329,12 @@ def _escape_label(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
+def _escape_help(value: str) -> str:
+    # HELP lines escape only backslash and newline — double quotes stay
+    # literal (the exposition format quotes label values, not help text).
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _render_labels(labels: Dict[str, str], extra: str = "") -> str:
     parts = [
         f'{name}="{_escape_label(str(value))}"'
@@ -354,7 +360,7 @@ def prometheus_from_snapshot(snapshot: Dict[str, Any]) -> str:
     for name in sorted(snapshot.get("metrics", {})):
         family = snapshot["metrics"][name]
         if family.get("help"):
-            lines.append(f"# HELP {name} {family['help']}")
+            lines.append(f"# HELP {name} {_escape_help(family['help'])}")
         lines.append(f"# TYPE {name} {family['type']}")
         for series in family.get("series", []):
             labels = series.get("labels", {})

@@ -19,6 +19,10 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 from repro.obs import METRICS_FILE, PROFILE_FILE, TRACE_JSONL_FILE
+from repro.obs.timeseries import HISTORY_FILE
+
+#: Slowest ``serve.http`` spans listed in the slow-request section.
+SLOW_REQUEST_ROWS = 5
 
 #: The runner's serialized DataQualityReport (written by the CLI).
 QUALITY_FILE = "quality.json"
@@ -58,6 +62,7 @@ def load_run_artifacts(run_dir: Union[str, Path]) -> Dict[str, Any]:
         "profile": _read_json(run_dir, PROFILE_FILE),
         "quality": _read_json(run_dir, QUALITY_FILE),
         "trace": _read_jsonl(run_dir, TRACE_JSONL_FILE),
+        "history": _read_jsonl(run_dir, HISTORY_FILE),
     }
 
 
@@ -366,6 +371,91 @@ def render_flight_report(run_dir: Union[str, Path]) -> str:
         if sync_refused:
             lines.append(
                 f"  sync-ack refused: {_fmt_count(sync_refused)} record(s)"
+            )
+        lines.append("")
+
+    # -- cluster health (the flight recorder's telemetry) --------------------
+    health: List[str] = []
+    wal_segments = _metric_total(metrics, "serve_wal_segments")
+    if wal_segments:
+        wal_disk_mb = _metric_total(metrics, "serve_wal_disk_bytes") / 1e6
+        health.append(
+            f"  WAL on disk: {_fmt_count(wal_segments)} segment(s), "
+            f"{wal_disk_mb:.2f} MB"
+        )
+    lag_bytes = _metric_series(metrics, "serve_replication_lag_bytes")
+    if lag_bytes:
+        commit_age = _metric_total(
+            metrics, "serve_replication_last_commit_age_seconds"
+        )
+        health.append(
+            f"  replication byte lag: "
+            f"{_fmt_count(_metric_total(metrics, 'serve_replication_lag_bytes'))} B, "
+            f"last commit {commit_age:.1f}s ago"
+        )
+    follower_ages = _metric_series(
+        metrics, "serve_replication_follower_age_seconds"
+    )
+    if follower_ages:
+        health.append(
+            "  follower freshness: "
+            + ", ".join(
+                f"{s.get('labels', {}).get('follower', '?')} reported "
+                f"{s.get('value', 0):.1f}s ago"
+                for s in sorted(
+                    follower_ages,
+                    key=lambda s: s.get("labels", {}).get("follower", ""),
+                )
+            )
+        )
+    http_series = _metric_series(metrics, "serve_http_request_seconds")
+    if http_series:
+        count = sum(s.get("count", 0) for s in http_series)
+        total_s = sum(s.get("sum", 0.0) for s in http_series)
+        mean_ms = (total_s / count * 1000) if count else 0.0
+        errors = sum(
+            s.get("count", 0)
+            for s in http_series
+            if str(s.get("labels", {}).get("status", "")).startswith("5")
+        )
+        health.append(
+            f"  HTTP: {_fmt_count(count)} request(s), mean {mean_ms:.1f}ms, "
+            f"{_fmt_count(errors)} 5xx"
+        )
+    history = art["history"]
+    if history:
+        spanned = history[-1].get("ts", 0.0) - history[0].get("ts", 0.0)
+        health.append(
+            f"  metrics history: {len(history)} window(s) "
+            f"covering {spanned:.1f}s"
+        )
+    if health:
+        lines.append("cluster health:")
+        lines.extend(health)
+        lines.append("")
+
+    # -- slow requests (from the exported serve.http spans) ------------------
+    http_spans = [
+        span for span in (trace or [])
+        if span.get("name") == "serve.http"
+    ]
+    if http_spans:
+        slowest = sorted(
+            http_spans,
+            key=lambda s: (
+                -float(s.get("duration", 0.0)),
+                str(s.get("attrs", {}).get("trace_id", "")),
+            ),
+        )[:SLOW_REQUEST_ROWS]
+        lines.append("slowest requests:")
+        for span in slowest:
+            attrs = span.get("attrs", {})
+            lines.append(
+                f"  {span.get('duration', 0.0) * 1000:8.1f}ms "
+                f"{attrs.get('method', '?')} {attrs.get('endpoint', '?')} "
+                f"status={attrs.get('status', '?')} "
+                f"node={attrs.get('node', '?')} "
+                f"trace={attrs.get('trace_id', '?')}"
             )
         lines.append("")
 

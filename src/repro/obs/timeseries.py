@@ -1,0 +1,312 @@
+"""Rolling flight recorder: metrics history windows + recent requests.
+
+The artifact model of :mod:`repro.obs` (PR 4) is *post-mortem*: counters
+accumulate for a whole process lifetime and land in ``metrics.json`` at
+exit. A long-running serve cluster needs the orthogonal view — *what
+changed in the last few seconds* — without growing memory forever.
+This module adds the two bounded recorders the flight recorder is built
+from:
+
+* :class:`MetricsHistory` samples a :class:`~repro.obs.metrics.MetricsRegistry`
+  on an injectable clock and keeps a fixed-capacity ring of **windows**:
+  gauge values, per-second counter rates and per-window histogram
+  quantiles (computed from cumulative-bucket deltas, so each window
+  describes only the traffic inside it). Served at ``/metrics/history``
+  and persisted as JSONL next to the other run artifacts.
+* :class:`RequestLog` keeps a bounded ring of the most recent requests
+  (trace id, endpoint, status, duration) plus a separate ring of
+  requests slower than a capture threshold, for ``/status`` and the
+  flight report's slow-request section.
+
+Both are deterministic under an injected clock: every float is rounded,
+iteration orders are sorted, and eviction is purely capacity-driven —
+two identical schedules export byte-identical documents.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import TYPE_COUNTER, TYPE_GAUGE, TYPE_HISTOGRAM
+
+#: Default quantiles derived per window from histogram bucket deltas.
+DEFAULT_QUANTILES = (0.5, 0.9, 0.99)
+
+#: Default JSONL artifact name for persisted history windows.
+HISTORY_FILE = "metrics-history.jsonl"
+
+
+def histogram_quantile(
+    bounds: Sequence[float],
+    cumulative: Sequence[float],
+    total: float,
+    q: float,
+) -> Optional[float]:
+    """Estimate the *q*-quantile of a cumulative-bucket histogram.
+
+    ``bounds`` are the finite bucket upper bounds (sorted ascending) and
+    ``cumulative[i]`` the count of observations ``<= bounds[i]``;
+    ``total`` includes the ``+Inf`` bucket. Linear interpolation within
+    the containing bucket, Prometheus ``histogram_quantile`` style: the
+    first bucket interpolates from 0, and a rank falling in ``+Inf``
+    clamps to the highest finite bound. Returns ``None`` when empty.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if total <= 0 or not bounds:
+        return None
+    rank = q * total
+    previous_bound = 0.0
+    previous_cum = 0.0
+    for bound, cum in zip(bounds, cumulative):
+        if rank <= cum:
+            if cum <= previous_cum:
+                return float(bound)
+            fraction = (rank - previous_cum) / (cum - previous_cum)
+            return previous_bound + fraction * (bound - previous_bound)
+        previous_bound = float(bound)
+        previous_cum = cum
+    return float(bounds[-1])
+
+
+def series_key(name: str, labels: Dict[str, Any]) -> str:
+    """Stable flat key for one series: ``name{a="x",b="y"}`` (sorted)."""
+    if not labels:
+        return name
+    rendered = ",".join(
+        f'{key}="{labels[key]}"' for key in sorted(labels)
+    )
+    return f"{name}{{{rendered}}}"
+
+
+def _round(value: float, digits: int = 6) -> float:
+    return round(float(value), digits)
+
+
+class MetricsHistory:
+    """Fixed-capacity ring of derived metrics windows.
+
+    ``sample()`` takes one window now; ``maybe_sample()`` takes one only
+    if at least ``interval_s`` elapsed since the previous window, which
+    is how the serve watch loop drives it without owning a timer. The
+    clock is injectable so tests (and the simulation harness) produce
+    byte-identical histories.
+    """
+
+    def __init__(
+        self,
+        registry: Any,
+        clock: Any,
+        interval_s: float = 5.0,
+        capacity: int = 240,
+        quantiles: Sequence[float] = DEFAULT_QUANTILES,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("history capacity must be >= 1")
+        if interval_s <= 0:
+            raise ValueError("history interval must be > 0")
+        self._registry = registry
+        self._clock = clock
+        self.interval_s = float(interval_s)
+        self.capacity = int(capacity)
+        self.quantiles = tuple(float(q) for q in quantiles)
+        self._lock = threading.Lock()
+        self._windows: Deque[Dict[str, Any]] = deque(maxlen=self.capacity)
+        self._last_ts: Optional[float] = None
+        self._prev_counters: Dict[str, float] = {}
+        # key -> (cumulative bucket counts..., total count)
+        self._prev_hist: Dict[str, Tuple[Tuple[float, ...], float]] = {}
+        self._bounds: Dict[str, Tuple[float, ...]] = {}
+
+    def maybe_sample(self) -> Optional[Dict[str, Any]]:
+        """Take a window iff the sampling interval has elapsed."""
+        with self._lock:
+            now = self._clock()
+            if (
+                self._last_ts is not None
+                and now - self._last_ts < self.interval_s
+            ):
+                return None
+            return self._sample_locked(now)
+
+    def sample(self) -> Dict[str, Any]:
+        """Take a window unconditionally (tests, drain paths)."""
+        with self._lock:
+            return self._sample_locked(self._clock())
+
+    def _sample_locked(self, now: float) -> Dict[str, Any]:
+        snapshot = self._registry.snapshot()
+        dt = 0.0 if self._last_ts is None else max(0.0, now - self._last_ts)
+        gauges: Dict[str, float] = {}
+        rates: Dict[str, float] = {}
+        quantile_rows: Dict[str, Dict[str, Any]] = {}
+        counters: Dict[str, float] = {}
+        hist: Dict[str, Tuple[Tuple[float, ...], float]] = {}
+        for name in sorted(snapshot.get("metrics", {})):
+            family = snapshot["metrics"][name]
+            kind = family.get("type")
+            for series in family.get("series", []):
+                key = series_key(name, series.get("labels", {}))
+                if kind == TYPE_GAUGE:
+                    gauges[key] = _round(series.get("value", 0.0))
+                elif kind == TYPE_COUNTER:
+                    value = float(series.get("value", 0.0))
+                    counters[key] = value
+                    if dt > 0:
+                        delta = value - self._prev_counters.get(key, 0.0)
+                        rates[key] = _round(max(0.0, delta) / dt)
+                elif kind == TYPE_HISTOGRAM:
+                    row = self._histogram_window(key, series, dt)
+                    hist[key] = (
+                        tuple(
+                            float(series["buckets"][str(b)])
+                            for b in self._bounds[key]
+                        ),
+                        float(series.get("count", 0.0)),
+                    )
+                    if row is not None:
+                        quantile_rows[key] = row
+        window = {
+            "ts": _round(now),
+            "dt": _round(dt),
+            "gauges": gauges,
+            "rates": rates,
+            "quantiles": quantile_rows,
+        }
+        self._windows.append(window)
+        self._last_ts = now
+        self._prev_counters = counters
+        self._prev_hist = hist
+        return window
+
+    def _histogram_window(
+        self, key: str, series: Dict[str, Any], dt: float
+    ) -> Optional[Dict[str, Any]]:
+        bounds = self._bounds.get(key)
+        if bounds is None:
+            bounds = tuple(
+                sorted(float(b) for b in series.get("buckets", {}))
+            )
+            self._bounds[key] = bounds
+        if not bounds:
+            return None
+        cumulative = tuple(
+            float(series["buckets"][str(b)]) for b in bounds
+        )
+        count = float(series.get("count", 0.0))
+        prev = self._prev_hist.get(key)
+        if prev is not None and dt > 0:
+            prev_cum, prev_count = prev
+            delta_cum = tuple(
+                max(0.0, c - p) for c, p in zip(cumulative, prev_cum)
+            )
+            delta_count = max(0.0, count - prev_count)
+        else:
+            delta_cum, delta_count = cumulative, count
+        if delta_count <= 0:
+            return None
+        row: Dict[str, Any] = {"count": _round(delta_count)}
+        for q in self.quantiles:
+            estimate = histogram_quantile(bounds, delta_cum, delta_count, q)
+            if estimate is not None:
+                row[f"p{int(q * 100)}"] = _round(estimate)
+        return row
+
+    def windows(self, last: Optional[int] = None) -> List[Dict[str, Any]]:
+        with self._lock:
+            items = list(self._windows)
+        if last is not None and last >= 0:
+            items = items[-last:] if last else []
+        return items
+
+    def history_doc(self, last: Optional[int] = None) -> Dict[str, Any]:
+        """The ``/metrics/history`` response body."""
+        windows = self.windows(last)
+        return {
+            "interval_s": _round(self.interval_s),
+            "capacity": self.capacity,
+            "window_count": len(windows),
+            "windows": windows,
+        }
+
+    def to_jsonl(self) -> str:
+        """One window per line, oldest first — the persisted artifact."""
+        windows = self.windows()
+        if not windows:
+            return ""
+        return "\n".join(
+            json.dumps(w, sort_keys=True, separators=(",", ":"))
+            for w in windows
+        ) + "\n"
+
+
+class RequestLog:
+    """Bounded recent-requests ring with a slow-request capture ring."""
+
+    def __init__(
+        self,
+        clock: Any,
+        capacity: int = 256,
+        slow_threshold_s: float = 0.5,
+        slow_capacity: int = 64,
+    ) -> None:
+        if capacity < 1 or slow_capacity < 1:
+            raise ValueError("request log capacities must be >= 1")
+        self._clock = clock
+        self.capacity = int(capacity)
+        self.slow_threshold_s = float(slow_threshold_s)
+        self._lock = threading.Lock()
+        self._recent: Deque[Dict[str, Any]] = deque(maxlen=self.capacity)
+        self._slow: Deque[Dict[str, Any]] = deque(maxlen=int(slow_capacity))
+        self.total = 0
+
+    def record(
+        self,
+        trace_id: str,
+        endpoint: str,
+        method: str,
+        status: int,
+        duration_s: float,
+        **attrs: Any,
+    ) -> Dict[str, Any]:
+        entry: Dict[str, Any] = {
+            "ts": _round(self._clock()),
+            "trace_id": trace_id,
+            "endpoint": endpoint,
+            "method": method,
+            "status": int(status),
+            "duration_s": _round(duration_s),
+        }
+        for key in sorted(attrs):
+            if attrs[key] is not None:
+                entry[key] = attrs[key]
+        with self._lock:
+            self.total += 1
+            self._recent.append(entry)
+            if duration_s >= self.slow_threshold_s:
+                self._slow.append(entry)
+        return entry
+
+    def recent(self, last: Optional[int] = None) -> List[Dict[str, Any]]:
+        with self._lock:
+            items = list(self._recent)
+        if last is not None and last >= 0:
+            items = items[-last:] if last else []
+        return items
+
+    def slow(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return list(self._slow)
+
+
+__all__ = [
+    "DEFAULT_QUANTILES",
+    "HISTORY_FILE",
+    "MetricsHistory",
+    "RequestLog",
+    "histogram_quantile",
+    "series_key",
+]

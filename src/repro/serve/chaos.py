@@ -248,8 +248,11 @@ def _node_url(data_dir: Path, timeout: float = 20.0) -> str:
     return f"http://{host}:{port}"
 
 
-def _client(*urls: str) -> ServeClient:
-    return ServeClient(list(urls), retry=_DRILL_RETRY, timeout=10.0)
+def _client(*urls: str, trace_prefix: str = "client") -> ServeClient:
+    return ServeClient(
+        list(urls), retry=_DRILL_RETRY, timeout=10.0,
+        trace_prefix=trace_prefix,
+    )
 
 
 def _spawn_serve(data_dir: Path, extra: Tuple[str, ...] = ()) -> subprocess.Popen:
@@ -391,6 +394,47 @@ def _oracle_digest(primary_dir: Path, upto_seq: int) -> str:
     return store.state_digest()
 
 
+def _merge_cluster_trace(work_dir: Path, node_dirs: List[Path]) -> List[str]:
+    """Merge per-node ``trace.jsonl`` files; return cross-node trace IDs.
+
+    Reads the flight-recorder spans each surviving node exported at
+    graceful shutdown, writes the union to ``cluster-trace.jsonl``, and
+    returns the burst-client trace IDs whose spans were recorded on two
+    or more distinct nodes — the end-to-end propagation proof: the ID a
+    client attached at ingress came back out of another node's WAL
+    apply path.
+    """
+    spans: List[dict] = []
+    for node_dir in node_dirs:
+        path = node_dir / "trace.jsonl"
+        if not path.exists():
+            continue
+        for line in path.read_text(encoding="utf-8").splitlines():
+            if line:
+                try:
+                    spans.append(json.loads(line))
+                except ValueError:
+                    continue
+    (work_dir / "cluster-trace.jsonl").write_text(
+        "".join(
+            json.dumps(span, sort_keys=True) + "\n" for span in spans
+        ),
+        encoding="utf-8",
+    )
+    nodes_by_trace: dict = {}
+    for span in spans:
+        attrs = span.get("attrs") or {}
+        trace_id = attrs.get("trace_id")
+        node = attrs.get("node")
+        if isinstance(trace_id, str) and trace_id.startswith("burst-") and node:
+            nodes_by_trace.setdefault(trace_id, set()).add(node)
+    return sorted(
+        trace_id
+        for trace_id, nodes in nodes_by_trace.items()
+        if len(nodes) >= 2
+    )
+
+
 def _settled_committed(client: ServeClient, url: str, budget: float) -> int:
     """A follower's committed seq once it stops advancing (primary dead)."""
     deadline = time.monotonic() + budget
@@ -431,8 +475,12 @@ def run_cluster_failover(
         primary_proc = _spawn_serve(primary_dir, primary_flags)
         procs.append(primary_proc)
         primary_url = _node_url(primary_dir)
+        follower_procs: List[subprocess.Popen] = []
         for index, follower_dir in enumerate(follower_dirs):
-            procs.append(
+            # --metrics arms the flight recorder: a graceful exit leaves
+            # trace.jsonl (with WAL-propagated client trace IDs) and
+            # metrics artifacts in each follower's data dir.
+            follower_procs.append(
                 _spawn_serve(
                     follower_dir,
                     (
@@ -441,9 +489,11 @@ def run_cluster_failover(
                         "--poll-interval", "0.05",
                         "--snapshot-every", "100000",
                         "--snapshot-interval", "100000",
+                        "--metrics",
                     ),
                 )
             )
+        procs.extend(follower_procs)
         follower_urls = [_node_url(d) for d in follower_dirs]
         client = _client(primary_url, *follower_urls)
         # Both followers must be registered before the burst, or the
@@ -461,7 +511,9 @@ def run_cluster_failover(
         burst_state = {"acked": 0, "sent": 0, "refused_after_kill": False}
 
         def _burst() -> None:
-            sender = _client(primary_url)
+            # Distinct trace prefix: the cross-node evidence below must
+            # match *this* client's writes, not drill bookkeeping polls.
+            sender = _client(primary_url, trace_prefix="burst")
             for batch_index in range(batches):
                 batch = [
                     _event(batch_index * batch_size + j)
@@ -584,6 +636,37 @@ def run_cluster_failover(
             )
         elif fenced_write.body.get("primary_url") != promoted_url:
             problems.append("fenced 409 does not hint the new primary")
+        # Flight-recorder evidence, gathered over HTTP while the
+        # followers still serve: one /status document and the rolling
+        # metrics history from the new primary.
+        promoted_status = client.get_json("/status", endpoint=promoted_url)
+        (work_dir / "promoted-status.json").write_text(
+            json.dumps(promoted_status, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        history = client.get_json(
+            "/metrics/history?last=5", endpoint=promoted_url
+        )
+        if not history.get("window_count"):
+            problems.append("/metrics/history returned no windows")
+        lag_gauges = {}
+        windows = history.get("windows") or [{}]
+        for key, value in (windows[-1].get("gauges") or {}).items():
+            if key.startswith("serve_replication_lag"):
+                lag_gauges[key] = value
+        # Graceful follower shutdown *before* reading artifacts: the
+        # flight recorder flushes trace.jsonl and metrics on SIGTERM.
+        for proc in follower_procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in follower_procs:
+            if proc.poll() is None:
+                proc.wait(timeout=30)
+        cross_node = _merge_cluster_trace(work_dir, follower_dirs)
+        if not cross_node:
+            problems.append(
+                "no burst trace ID appears in spans on two distinct nodes"
+            )
         # Leave a machine-readable verdict where CI can pick it up.
         verdict = {
             "acked_last_seq": acked,
@@ -594,6 +677,13 @@ def run_cluster_failover(
             "promoted_digest": promoted_digest["digest"],
             "oracle_digest": oracle,
             "new_epoch": new_epoch,
+            "history_windows": int(history.get("window_count") or 0),
+            "replication_lag_gauges": lag_gauges,
+            "follower_lag": promoted_status.get("followers", {}),
+            "requests_seen": promoted_status.get("requests", {}).get(
+                "total", 0
+            ),
+            "cross_node_traces": cross_node[:5],
             "problems": problems,
         }
         (work_dir / "cluster-failover-verdict.json").write_text(
@@ -610,7 +700,9 @@ def run_cluster_failover(
             f"acked {acked} seqs; promoted follower cursor "
             f"{promoted_committed} covers them; digest == WAL-replay "
             f"oracle at seq {promoted_digest['applied_seq']}; old primary "
-            f"fenced at epoch {new_epoch}, stale fence refused",
+            f"fenced at epoch {new_epoch}, stale fence refused; "
+            f"{len(cross_node)} trace IDs span two nodes, "
+            f"{verdict['history_windows']} history windows",
             elapsed,
         )
     except (

@@ -25,6 +25,7 @@ the behavior the drills want when they kill nodes mid-burst.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Union
@@ -58,6 +59,8 @@ class ClientResponse:
     status: int
     body: dict = field(default_factory=dict)
     endpoint: str = ""
+    #: Trace ID the server echoed (or the one this client sent).
+    trace_id: str = ""
 
     @property
     def ok(self) -> bool:
@@ -74,6 +77,7 @@ class ServeClient:
         timeout: float = 10.0,
         sleep: Callable[[float], None] = time.sleep,
         transport=None,
+        trace_prefix: str = "client",
     ) -> None:
         if isinstance(endpoints, str):
             endpoints = [endpoints]
@@ -87,10 +91,19 @@ class ServeClient:
         )
         self._sleep = sleep
         self._active = 0
+        self.trace_prefix = trace_prefix
+        self._trace_lock = threading.Lock()
+        self._trace_counter = 0
         # Visible counters the drills assert on.
         self.retries = 0
         self.failovers = 0
         self.redirects = 0
+
+    def mint_trace_id(self) -> str:
+        """Next trace ID: one per *logical* request, not per attempt."""
+        with self._trace_lock:
+            self._trace_counter += 1
+            return f"{self.trace_prefix}-{self._trace_counter:06d}"
 
     # -- plumbing -------------------------------------------------------------
 
@@ -111,7 +124,8 @@ class ServeClient:
         self.failovers += 1
 
     def _exchange(
-        self, method: str, endpoint: str, path: str, body: Optional[dict]
+        self, method: str, endpoint: str, path: str, body: Optional[dict],
+        trace: Optional[str] = None,
     ) -> ClientResponse:
         """One HTTP round-trip; HTTP error statuses return, not raise."""
         data = None
@@ -119,6 +133,8 @@ class ServeClient:
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        if trace:
+            headers["X-Repro-Trace-Id"] = trace
         response = self.transport.exchange(
             method, f"{endpoint}{path}", body=data, headers=headers,
             timeout=self.timeout,
@@ -139,11 +155,15 @@ class ServeClient:
                 parsed["retry_after"] = float(retry_after)
             except ValueError:
                 pass
-        return ClientResponse(status=status, body=parsed, endpoint=endpoint)
+        echoed = response.header("X-Repro-Trace-Id")
+        return ClientResponse(
+            status=status, body=parsed, endpoint=endpoint,
+            trace_id=echoed if echoed else (trace or ""),
+        )
 
     def request_once(
         self, method: str, path: str, body: Optional[dict] = None,
-        endpoint: Optional[str] = None,
+        endpoint: Optional[str] = None, trace: Optional[str] = None,
     ) -> ClientResponse:
         """One un-retried exchange: every status returns as-is.
 
@@ -152,11 +172,11 @@ class ServeClient:
         falsify the numbers. Connection errors still raise.
         """
         target = endpoint.rstrip("/") if endpoint else self.active_endpoint
-        return self._exchange(method, target, path, body)
+        return self._exchange(method, target, path, body, trace=trace)
 
     def request(
         self, method: str, path: str, body: Optional[dict] = None,
-        endpoint: Optional[str] = None,
+        endpoint: Optional[str] = None, trace: Optional[str] = None,
     ) -> ClientResponse:
         """Send with backoff/failover until a non-retryable answer.
 
@@ -166,14 +186,22 @@ class ServeClient:
         else — including 4xx — returns as-is; pinning *endpoint*
         disables failover and redirects for that call (the drills use it
         to address one specific node).
+
+        One trace ID covers the whole logical request: minted up front
+        (or passed in by the caller) and re-sent on every retry,
+        redirect, and failover, so the cluster-side spans for all
+        attempts correlate.
         """
         pinned = endpoint is not None
         target = endpoint.rstrip("/") if endpoint else self.active_endpoint
+        trace = trace if trace is not None else self.mint_trace_id()
         last_error: Optional[str] = None
         attempts = self.retry.max_attempts
         for attempt in range(1, attempts + 1):
             try:
-                response = self._exchange(method, target, path, body)
+                response = self._exchange(
+                    method, target, path, body, trace=trace
+                )
             except (TransportError, OSError, TimeoutError) as exc:
                 last_error = f"{target}: {exc}"
                 if attempt >= attempts:

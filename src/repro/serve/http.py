@@ -12,6 +12,8 @@ Endpoints::
     GET  /stats                       operational stats (queue, shed, recovery)
     GET  /digest                      state digest (the equivalence oracle)
     GET  /metrics                     Prometheus text exposition
+    GET  /metrics/history[?last=N]    rolling flight-recorder windows
+    GET  /status                      one-document topology + health snapshot
     POST /ingest/attacks?feed=F       ingest attack events (202 / 503 / 409)
     POST /ingest/dps                  ingest DPS status records (202 / 503 / 409)
 
@@ -38,6 +40,14 @@ or fenced node answers **409** with ``primary_url`` naming where writes
 go — read-only enforcement, not backpressure, so retrying here is
 pointless and redirecting is right.
 
+Every request carries a trace ID: an incoming ``X-Repro-Trace-Id``
+header is honored (so a client's ID follows its write into the WAL and
+across replication), otherwise the node mints one. The ID is echoed in
+the response header, recorded in the service's bounded request log
+(with a slow-request capture ring), timed into the
+``serve_http_request_seconds`` histogram, and — when tracing is on —
+attached to a ``serve.http`` span.
+
 The server is a ``ThreadingHTTPServer``: handler threads only validate
 and append (WAL + queue), the single applier thread owns all state
 mutation, and reads hit indexes guarded by the GIL plus the store's
@@ -59,6 +69,7 @@ from urllib.parse import parse_qs, urlparse
 
 from repro.log import get_logger
 from repro.net.addressing import parse_ipv4
+from repro.obs.timeseries import HISTORY_FILE
 from repro.serve.replication import write_json_atomic
 from repro.serve.service import (
     ATTACK_FEEDS,
@@ -102,6 +113,52 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         log.debug("http", request=format % args)
+
+    def send_response(self, code: int, message: Optional[str] = None) -> None:
+        # First (and only) place every handler passes through on its way
+        # out: remember the status for the request log and echo the
+        # trace ID so callers can correlate their request with spans.
+        self._status_code = code
+        super().send_response(code, message)
+        trace_id = getattr(self, "_trace_id", None)
+        if trace_id:
+            self.send_header("X-Repro-Trace-Id", trace_id)
+
+    def _instrumented(self, method: str, route) -> None:
+        """Wrap one request in trace/span/request-log/latency plumbing."""
+        service = self.service
+        endpoint = urlparse(self.path).path
+        incoming = self.headers.get("X-Repro-Trace-Id")
+        self._trace_id = incoming if incoming else service.mint_trace_id()
+        self._status_code = 0
+        started = service._clock()
+        with service.tracer.span(
+            "serve.http",
+            trace_id=self._trace_id,
+            endpoint=endpoint,
+            method=method,
+            node=service.node_name,
+            role=service.cluster.role,
+            epoch=service.cluster.epoch,
+        ) as span:
+            route()
+            span.set_attr(status=self._status_code)
+        duration_s = service._clock() - started
+        service.requests.record(
+            self._trace_id,
+            endpoint,
+            method,
+            self._status_code,
+            duration_s,
+            node=service.node_name,
+            role=service.cluster.role,
+        )
+        self.server.request_seconds.observe(  # type: ignore[attr-defined]
+            duration_s,
+            endpoint=endpoint,
+            method=method,
+            status=str(self._status_code),
+        )
 
     def _send_json(
         self,
@@ -196,21 +253,14 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
     # -- GET ------------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802
+        self._instrumented("GET", self._route_get)
+
+    def _route_get(self) -> None:
         path = urlparse(self.path).path
         query = self._query()
         try:
             if path == "/healthz":
-                self._send_json(
-                    200,
-                    {
-                        "ok": True,
-                        "draining": self.service._draining.is_set(),
-                        "degraded": self.service.degraded,
-                        "role": self.service.cluster.role,
-                        "epoch": self.service.cluster.epoch,
-                        "primary_url": self.service.cluster.primary_url,
-                    },
-                )
+                self._get_healthz()
             elif path == "/summary":
                 self._send_json(200, self.service.store.summary())
             elif path == "/attacks":
@@ -244,6 +294,10 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
                     self.service.metrics.render_prometheus(),
                     "text/plain; version=0.0.4",
                 )
+            elif path == "/metrics/history":
+                self._get_metrics_history(query)
+            elif path == "/status":
+                self._send_json(200, self.service.status_doc())
             elif path == "/replication/status":
                 self._get_replication_status(query)
             elif path == "/replication/segment":
@@ -254,6 +308,35 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
                 self._send_json(404, {"error": f"no such endpoint: {path}"})
         except ValueError as exc:
             self._send_json(400, {"error": str(exc)})
+
+    def _get_healthz(self) -> None:
+        service = self.service
+        seg_count, wal_bytes = service._update_wal_gauges()
+        self._send_json(
+            200,
+            {
+                "ok": True,
+                "draining": service._draining.is_set(),
+                "degraded": service.degraded,
+                "role": service.cluster.role,
+                "epoch": service.cluster.epoch,
+                "primary_url": service.cluster.primary_url,
+                "wal_segments": seg_count,
+                "wal_bytes": wal_bytes,
+                "snapshot_age_s": round(
+                    service._clock() - service._last_snapshot_at, 3
+                ),
+            },
+        )
+
+    def _get_metrics_history(self, query: dict) -> None:
+        last: Optional[int] = None
+        if "last" in query:
+            try:
+                last = max(0, int(query["last"]))
+            except ValueError:
+                raise ValueError("?last= must be an integer")
+        self._send_json(200, self.service.history.history_doc(last))
 
     def _get_attacks(self, query: dict) -> None:
         limit = self._limit(query)
@@ -340,6 +423,9 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
     # -- POST -----------------------------------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802
+        self._instrumented("POST", self._route_post)
+
+    def _route_post(self) -> None:
         path = urlparse(self.path).path
         query = self._query()
         if path == "/promote":
@@ -398,7 +484,7 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
         records = self._read_records()
         if records is None:
             return
-        result = self.service.submit(feed, kind, records)
+        result = self.service.submit(feed, kind, records, trace=self._trace_id)
         status = result.http_status()
         self._send_json(
             status,
@@ -415,6 +501,11 @@ class ServeHTTPServer(ThreadingHTTPServer):
     def __init__(self, address, service: LiveIngestService) -> None:
         super().__init__(address, ServeRequestHandler)
         self.service = service
+        self.request_seconds = service.metrics.histogram(
+            "serve_http_request_seconds",
+            "HTTP request wall time by endpoint/method/status",
+            ("endpoint", "method", "status"),
+        )
 
 
 def write_endpoint_file(
@@ -440,6 +531,7 @@ def run_service(
     host: str = "127.0.0.1",
     port: int = 0,
     metrics=None,
+    tracer=None,
     install_signals: bool = True,
     ready_event: Optional[threading.Event] = None,
 ) -> int:
@@ -454,7 +546,7 @@ def run_service(
     """
     import os
 
-    service = LiveIngestService(config, metrics=metrics)
+    service = LiveIngestService(config, metrics=metrics, tracer=tracer)
     info = service.start()
     server = ServeHTTPServer((host, port), service)
     bound_host, bound_port = server.server_address[:2]
@@ -492,6 +584,15 @@ def run_service(
         server.server_close()
         server_thread.join(timeout=2.0)
         service.drain()
+        try:
+            # Final flight-recorder window + persisted history, so even a
+            # short-lived node leaves a non-empty JSONL behind.
+            service.history.sample()
+            (service.data_dir / HISTORY_FILE).write_text(
+                service.history.to_jsonl(), encoding="utf-8"
+            )
+        except OSError:
+            pass
     return 0
 
 

@@ -240,6 +240,7 @@ class _ParsedLine:
     record: dict
     segment_first: int
     end_offset: int
+    trace: Optional[str] = None
 
 
 class WalShipper:
@@ -339,6 +340,22 @@ class WalShipper:
             "serve_replication_bootstraps_total",
             "snapshot bootstraps (follower fell behind the pruned WAL)",
         )
+        self._m_lag_bytes = registry.gauge(
+            "serve_replication_lag_bytes",
+            "WAL bytes the primary reports that this follower "
+            "has not fetched yet",
+        )
+        self._m_commit_age = registry.gauge(
+            "serve_replication_last_commit_age_seconds",
+            "seconds since this follower last committed replicated records",
+        )
+        self._last_commit_at = self.service._clock()
+        self._reported_bytes = 0
+        self._fetched_bytes = 0
+        #: Current poll cycle's trace ID (None between polls). Minted per
+        #: cycle, attached to every fetch the cycle performs, so one
+        #: replication round is one trace on both sides of the wire.
+        self._poll_trace: Optional[str] = None
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -394,6 +411,10 @@ class WalShipper:
             "committed_seq": self.committed_seq,
             "last_primary_seq": self.last_primary_seq,
             "lag_records": self.lag(),
+            "lag_bytes": self.lag_bytes(),
+            "last_commit_age_s": round(
+                max(0.0, self.service._clock() - self._last_commit_at), 3
+            ),
             "epoch": self.known_epoch,
             "bootstraps": self.bootstraps,
             "polls": self.polls,
@@ -401,13 +422,22 @@ class WalShipper:
             "pending_lines": len(self._pending),
         }
 
+    def lag_bytes(self) -> int:
+        """Reported-but-unfetched WAL bytes (0 before the first poll)."""
+        return max(0, self._reported_bytes - self._fetched_bytes)
+
     # -- transport -------------------------------------------------------------
 
     def _get(self, path: str) -> bytes:
         url = f"{self.primary_url}{path}"
+        headers = (
+            {"X-Repro-Trace-Id": self._poll_trace}
+            if self._poll_trace is not None
+            else None
+        )
         try:
             response = self.transport.exchange(
-                "GET", url, timeout=self.timeout
+                "GET", url, headers=headers, timeout=self.timeout
             )
         except TransportError as error:
             raise ReplicationError(f"GET {path}: {error}") from error
@@ -466,22 +496,47 @@ class WalShipper:
         """One full replication cycle; returns the primary status seen."""
         self.polls += 1
         self._m_polls.inc()
-        status = self._fetch_status()
-        self._check_epoch(status)
-        # Rewind must be checked *before* the bootstrap branch: a rewound
-        # primary that also pruned could otherwise talk this follower into
-        # bootstrapping away its own (now unique) copy of acked records.
-        self._check_rewind(status)
-        if self._needs_bootstrap(status):
-            self._bootstrap()
-            status = self._fetch_status()
-            self._check_epoch(status)
-        self._set_state(STATE_STREAMING)
-        self.last_primary_seq = int(status.get("seq") or 0)
-        self._fetch_new_bytes(status)
-        stable = int(status.get("stable_seq") or 0)
-        self._commit_upto(min(stable, self._max_parsed_seq))
+        # One trace per cycle: every fetch this poll performs carries it,
+        # so the primary's request log names the cycle and the follower's
+        # span below bounds it.
+        self._poll_trace = f"{self.follower_id}-poll-{self.polls:06d}"
+        try:
+            with self.service.tracer.span(
+                "replication.poll",
+                trace_id=self._poll_trace,
+                node=self.follower_id,
+                primary=self.primary_url,
+            ) as span:
+                status = self._fetch_status()
+                self._check_epoch(status)
+                # Rewind must be checked *before* the bootstrap branch: a
+                # rewound primary that also pruned could otherwise talk
+                # this follower into bootstrapping away its own (now
+                # unique) copy of acked records.
+                self._check_rewind(status)
+                if self._needs_bootstrap(status):
+                    self._bootstrap()
+                    status = self._fetch_status()
+                    self._check_epoch(status)
+                self._set_state(STATE_STREAMING)
+                self.last_primary_seq = int(status.get("seq") or 0)
+                self._fetch_new_bytes(status)
+                stable = int(status.get("stable_seq") or 0)
+                committed_before = self.committed_seq
+                self._commit_upto(min(stable, self._max_parsed_seq))
+                if self.committed_seq > committed_before:
+                    self._last_commit_at = self.service._clock()
+                span.set_attr(
+                    committed_seq=self.committed_seq,
+                    lag_records=self.lag(),
+                )
+        finally:
+            self._poll_trace = None
         self._m_lag.set(self.lag())
+        self._m_lag_bytes.set(self.lag_bytes())
+        self._m_commit_age.set(
+            max(0.0, self.service._clock() - self._last_commit_at)
+        )
         self._m_committed.set(self.committed_seq)
         if self._cursor_dirty:
             self._persist_cursor()
@@ -545,12 +600,18 @@ class WalShipper:
     def _bootstrap(self) -> None:
         """Reset from the primary's newest snapshot (WAL was pruned past us)."""
         self._set_state(STATE_BOOTSTRAPPING)
-        payload = self._get_json("/replication/snapshot")
-        seq = payload.get("seq")
-        state = payload.get("state")
-        if not isinstance(seq, int) or not isinstance(state, dict):
-            raise ReplicationError("bootstrap snapshot payload malformed")
-        self.service.bootstrap_from_snapshot(seq, state)
+        with self.service.tracer.span(
+            "replication.bootstrap",
+            trace_id=self._poll_trace,
+            node=self.follower_id,
+            primary=self.primary_url,
+        ):
+            payload = self._get_json("/replication/snapshot")
+            seq = payload.get("seq")
+            state = payload.get("state")
+            if not isinstance(seq, int) or not isinstance(state, dict):
+                raise ReplicationError("bootstrap snapshot payload malformed")
+            self.service.bootstrap_from_snapshot(seq, state)
         self.committed_seq = seq
         self._buffers.clear()
         self._fetched.clear()
@@ -576,6 +637,7 @@ class WalShipper:
             for first, size in (status.get("segments") or [])
         ]
         sizes.sort()
+        self._reported_bytes = sum(size for _first, size in sizes)
         for index, (first, size) in enumerate(sizes):
             next_first = (
                 sizes[index + 1][0] if index + 1 < len(sizes) else None
@@ -608,6 +670,9 @@ class WalShipper:
                 offset += len(chunk)
                 self._fetched[first] = offset
                 self._parse(first, chunk, offset)
+        self._fetched_bytes = sum(
+            min(self._fetched.get(first, 0), size) for first, size in sizes
+        )
 
     def _parse(self, segment_first: int, chunk: bytes, end_offset: int
                ) -> None:
@@ -658,9 +723,11 @@ class WalShipper:
                     s for s in record.get("seqs", ()) if isinstance(s, int)
                 )
             elif seq > self.committed_seq:
+                trace = data.get("trace")
                 self._pending.append(
                     _ParsedLine(seq, kind, record, segment_first,
-                                consumed_upto)
+                                consumed_upto,
+                                trace if isinstance(trace, str) else None)
                 )
         self._buffers[segment_first] = buffer
 
@@ -678,7 +745,9 @@ class WalShipper:
             elif line.seq in self._shed or line.seq <= self.committed_seq:
                 continue
             else:
-                batch.append(WalRecord(line.seq, line.kind, line.record))
+                batch.append(
+                    WalRecord(line.seq, line.kind, line.record, line.trace)
+                )
         if batch:
             # Commit BEFORE mutating any shipper state: if the local WAL
             # append fails (disk full), the pending lines must survive

@@ -41,6 +41,8 @@ from repro.core.events import validate_event_dict
 from repro.exec.breaker import CircuitBreaker
 from repro.log import get_logger
 from repro.obs.metrics import MetricsRegistry, NullRegistry, get_registry
+from repro.obs.timeseries import MetricsHistory, RequestLog
+from repro.obs.trace import NULL_TRACER
 from repro.pipeline.datasets import event_from_dict, event_to_dict
 from repro.serve.admission import AdmissionQueue, QueueEntry, SubmitResult
 from repro.serve.replication import (
@@ -122,6 +124,14 @@ class ServeConfig:
     #: available for the offline replay oracle (digest checking) at the
     #: cost of unbounded disk — simulation and deep-recovery tests only.
     wal_keep_all: bool = False
+    #: Flight recorder: metrics-history sampling cadence and ring size
+    #: (:class:`~repro.obs.timeseries.MetricsHistory`), recent-request
+    #: ring size and the slow-request capture threshold
+    #: (:class:`~repro.obs.timeseries.RequestLog`).
+    history_interval_s: float = 5.0
+    history_capacity: int = 240
+    recent_requests: int = 256
+    slow_request_threshold_s: float = 0.5
 
 
 @dataclass
@@ -166,6 +176,7 @@ class LiveIngestService:
         snapshot_store=None,
         transport=None,
         sleep: Callable[[float], None] = time.sleep,
+        tracer=None,
     ) -> None:
         self.config = config
         self.data_dir = Path(config.data_dir)
@@ -173,6 +184,9 @@ class LiveIngestService:
         self._clock = clock
         self._sleep = sleep
         self._transport = transport
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Node identity in trace IDs and the /status document.
+        self.node_name = config.follower_id or "node"
         #: Injectable hook the sync-replication wait calls instead of
         #: blocking on the condition variable: under manual drive there
         #: is no shipper thread to confirm commits, so the driver pumps
@@ -325,6 +339,31 @@ class LiveIngestService:
         self._m_followers = registry.gauge(
             "serve_replication_followers", "followers reporting to this node"
         )
+        self._m_follower_age = registry.gauge(
+            "serve_replication_follower_age_seconds",
+            "seconds since each follower last reported", ("follower",),
+        )
+        self._m_wal_segments = registry.gauge(
+            "serve_wal_segments", "WAL segment files on disk"
+        )
+        self._m_wal_disk_bytes = registry.gauge(
+            "serve_wal_disk_bytes", "WAL bytes currently on disk"
+        )
+        # Flight recorder: rolling metrics windows + recent-request ring,
+        # both on the injected clock so tests replay byte-identically.
+        self.history = MetricsHistory(
+            registry,
+            clock,
+            interval_s=config.history_interval_s,
+            capacity=config.history_capacity,
+        )
+        self.requests = RequestLog(
+            clock,
+            capacity=config.recent_requests,
+            slow_threshold_s=config.slow_request_threshold_s,
+        )
+        self._trace_lock = threading.Lock()
+        self._trace_counter = 0
         self._publish_cluster_gauges()
         # Intake lock serializes seq assignment + WAL append + enqueue,
         # making WAL order identical to apply order. It also guards the
@@ -577,10 +616,22 @@ class LiveIngestService:
 
     # -- intake ---------------------------------------------------------------
 
+    def mint_trace_id(self) -> str:
+        """A fresh node-scoped trace ID (deterministic counter + name)."""
+        with self._trace_lock:
+            self._trace_counter += 1
+            return f"{self.node_name}-{self._trace_counter:06d}"
+
     def submit(
-        self, feed: str, kind: str, records: List[dict]
+        self, feed: str, kind: str, records: List[dict],
+        trace: Optional[str] = None,
     ) -> SubmitResult:
-        """Validate, admit, log and enqueue one ingest batch."""
+        """Validate, admit, log and enqueue one ingest batch.
+
+        *trace* tags each accepted record's WAL line with the request
+        trace ID, which is how a client-visible request stays nameable
+        on every follower the record ships to.
+        """
         if feed not in ALL_SERVE_FEEDS:
             result = SubmitResult(rejected=len(records))
             result.reasons["unknown-feed"] = len(records)
@@ -653,7 +704,7 @@ class LiveIngestService:
                 # sequence is safely reused (WAL.append repaired any
                 # partial bytes away).
                 try:
-                    self.wal.append(self._seq + 1, kind, record)
+                    self.wal.append(self._seq + 1, kind, record, trace=trace)
                 except OSError as exc:
                     append_error = exc
                     break
@@ -711,9 +762,18 @@ class LiveIngestService:
             return result
         result.last_seq = entries[-1].seq
         if self.config.sync_replicas > 0:
-            if not self._await_followers(
-                result.last_seq, self.config.sync_timeout_s
-            ):
+            with self.tracer.span(
+                "serve.sync.wait",
+                trace_id=trace,
+                node=self.node_name,
+                seq=result.last_seq,
+                sync_replicas=self.config.sync_replicas,
+            ) as sync_span:
+                confirmed = self._await_followers(
+                    result.last_seq, self.config.sync_timeout_s
+                )
+                sync_span.set_attr(confirmed=confirmed)
+            if not confirmed:
                 # The batch *is* durable locally (WAL'd above) — what
                 # failed is the replication guarantee. Answer 503 so the
                 # client retries against a cluster that can honor it. A
@@ -751,6 +811,7 @@ class LiveIngestService:
         self._m_follower_lag.set(
             max(0, self._seq - committed_seq), follower=follower_id
         )
+        self._m_follower_age.set(0.0, follower=follower_id)
 
     def _await_followers(self, seq: int, timeout: float) -> bool:
         """Block until ``sync_replicas`` followers committed *seq*.
@@ -810,14 +871,19 @@ class LiveIngestService:
             queued_min = self.queue.min_seq()
             stable = queued_min - 1 if queued_min is not None else seq
         segments = self.wal.segment_sizes()
+        self._update_wal_gauges(segments)
         with self._sync_cond:
             followers = {
                 fid: {
                     "committed_seq": int(info["committed_seq"]),
+                    "seq_lag": max(0, seq - int(info["committed_seq"])),
                     "age_s": round(self._clock() - info["at"], 3),
                 }
                 for fid, info in sorted(self._followers.items())
             }
+        for fid, info in followers.items():
+            self._m_follower_lag.set(info["seq_lag"], follower=fid)
+            self._m_follower_age.set(info["age_s"], follower=fid)
         status = {
             "role": self.cluster.role,
             "epoch": self.cluster.epoch,
@@ -850,7 +916,10 @@ class LiveIngestService:
         with self._intake_lock:
             try:
                 for record in batch:
-                    self.wal.append(record.seq, record.kind, record.record)
+                    self.wal.append(
+                        record.seq, record.kind, record.record,
+                        trace=record.trace,
+                    )
             except OSError as exc:
                 # Propagate to the shipper (it will not advance its
                 # committed cursor and re-fetches the batch later; the
@@ -863,13 +932,34 @@ class LiveIngestService:
             if batch[-1].seq > self._seq:
                 self._seq = batch[-1].seq
         for record in batch:
-            try:
-                self._apply_record(
-                    record.kind, record.record, feed="replication"
-                )
-            except ValueError:
-                self.apply_rejected += 1
-                self._m_apply_rejected.inc(feed="replication")
+            # A traced record gets a follower-side apply span carrying
+            # the originating request's trace ID — the cross-node half
+            # of the flight recorder's request story.
+            if record.trace is not None:
+                with self.tracer.span(
+                    "serve.replicate.apply",
+                    trace_id=record.trace,
+                    seq=record.seq,
+                    kind=record.kind,
+                    node=self.node_name,
+                    role=self.cluster.role,
+                    epoch=self.cluster.epoch,
+                ):
+                    try:
+                        self._apply_record(
+                            record.kind, record.record, feed="replication"
+                        )
+                    except ValueError:
+                        self.apply_rejected += 1
+                        self._m_apply_rejected.inc(feed="replication")
+            else:
+                try:
+                    self._apply_record(
+                        record.kind, record.record, feed="replication"
+                    )
+                except ValueError:
+                    self.apply_rejected += 1
+                    self._m_apply_rejected.inc(feed="replication")
             self._applied_seq = max(self._applied_seq, record.seq)
             self._applied_since_snapshot += 1
             self._beat()
@@ -1129,6 +1219,11 @@ class LiveIngestService:
             age = self._clock() - self._last_beat
             self._m_heartbeat_age.set(age)
             self._m_snapshot_age.set(self._clock() - self._last_snapshot_at)
+            try:
+                self._update_wal_gauges()
+            except OSError:
+                pass
+            self.history.maybe_sample()
             if age > self.config.heartbeat_timeout and self.queue.depth > 0:
                 self.watchdog_stalls += 1
                 self._m_stalls.inc()
@@ -1139,6 +1234,70 @@ class LiveIngestService:
                 )
 
     # -- introspection --------------------------------------------------------
+
+    def _update_wal_gauges(self, segments=None) -> tuple:
+        """Refresh segment-count / bytes-on-disk gauges; returns both."""
+        if segments is None:
+            segments = self.wal.segment_sizes()
+        total = sum(size for _first, size in segments)
+        self._m_wal_segments.set(len(segments))
+        self._m_wal_disk_bytes.set(total)
+        return len(segments), total
+
+    def status_doc(self, recent: int = 20) -> dict:
+        """Topology + health as one JSON document (``GET /status``).
+
+        Every value is either integral or rounded, so the document is
+        byte-deterministic under an injected clock — the property the
+        ops console and the simulation harness both lean on.
+        """
+        segments = self.wal.segment_sizes()
+        seg_count, wal_bytes = self._update_wal_gauges(segments)
+        seq = self._seq
+        with self._sync_cond:
+            followers = {
+                fid: {
+                    "committed_seq": int(info["committed_seq"]),
+                    "seq_lag": max(0, seq - int(info["committed_seq"])),
+                    "age_s": round(self._clock() - info["at"], 3),
+                }
+                for fid, info in sorted(self._followers.items())
+            }
+        doc = {
+            "node": self.node_name,
+            "role": self.cluster.role,
+            "epoch": self.cluster.epoch,
+            "primary_url": self.cluster.primary_url,
+            "seq": seq,
+            "applied_seq": self._applied_seq,
+            "queue_depth": self.queue.depth,
+            "shedding": self.queue.shedding,
+            "draining": self._draining.is_set(),
+            "degraded": self.degraded,
+            "uptime_s": round(self._clock() - self._started_at, 3),
+            "wal": {
+                "segments": seg_count,
+                "bytes": wal_bytes,
+                "oldest_seq": self.wal.oldest_seq(),
+            },
+            "snapshots": {
+                "seqs": self.snapshots.seqs(),
+                "newest_age_s": round(
+                    self._clock() - self._last_snapshot_at, 3
+                ),
+            },
+            "followers": followers,
+            "sync_replicas": self.config.sync_replicas,
+            "requests": {
+                "total": self.requests.total,
+                "slow_threshold_s": self.requests.slow_threshold_s,
+                "recent": self.requests.recent(recent),
+                "slow": self.requests.slow(),
+            },
+        }
+        if self.shipper is not None:
+            doc["replication"] = self.shipper.status()
+        return doc
 
     def stats(self) -> dict:
         """Operational snapshot for ``GET /stats`` (plain values)."""

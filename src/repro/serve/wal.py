@@ -84,6 +84,11 @@ class WalRecord:
     seq: int
     kind: str
     record: dict
+    #: Request trace ID riding along with the record (None: untraced).
+    #: Optional and ignored by recovery semantics — it exists so a
+    #: follower applying shipped bytes can attribute the apply back to
+    #: the client request that produced the write.
+    trace: Optional[str] = None
 
 
 @dataclass
@@ -247,8 +252,13 @@ class WriteAheadLog:
 
     # -- appending ------------------------------------------------------------
 
-    def append(self, seq: int, kind: str, record: dict) -> None:
+    def append(self, seq: int, kind: str, record: dict,
+               trace: Optional[str] = None) -> None:
         """Append one record and flush it to the OS (ack-safe).
+
+        *trace* optionally tags the line with the request trace ID that
+        produced it; untraced lines keep the historical byte format, and
+        readers that predate the field ignore the extra key.
 
         A failed append (ENOSPC) may have written a *partial* line; left
         in place it would glue itself onto the next successful append and
@@ -261,11 +271,10 @@ class WriteAheadLog:
             raise ValueError(f"unknown WAL record kind: {kind!r}")
         if self._handle is None:
             self.open_segment(seq)
-        line = json.dumps(
-            {"seq": seq, "kind": kind, "record": record},
-            sort_keys=True,
-            separators=(",", ":"),
-        )
+        payload = {"seq": seq, "kind": kind, "record": record}
+        if trace is not None:
+            payload["trace"] = trace
+        line = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         try:
             self.disk.append(self._handle, (line + "\n").encode("utf-8"))
         except OSError:
@@ -441,7 +450,11 @@ class WriteAheadLog:
                 report.duplicate_seqs += 1
                 continue
             seen.add(seq)
-            records.append(WalRecord(seq, data["kind"], data["record"]))
+            trace = data.get("trace")
+            records.append(WalRecord(
+                seq, data["kind"], data["record"],
+                trace if isinstance(trace, str) else None,
+            ))
         records.sort(key=lambda r: r.seq)
         report.records = len(records)
         return records, report

@@ -607,9 +607,12 @@ class _Sim:
             path = "/ingest/dps"
         else:
             path = f"/ingest/attacks?feed={feed}"
+        # Trace ID derived from the op itself, not a counter: replays
+        # and shrunk traces tag the same write with the same ID.
+        trace = f"ingest-{feed}-{int(op.get('start', 0))}"
         try:
             response = self.client.request(
-                "POST", path, body={"records": records}
+                "POST", path, body={"records": records}, trace=trace
             )
         except (ServeClientError, TransportError, OSError):
             # The write never got a 202: it is *allowed* to be lost.

@@ -66,16 +66,53 @@ def _ingest_response(result: SubmitResult) -> TransportResponse:
 
 
 def dispatch(service, method: str, path: str,
-             body: Optional[bytes] = None) -> TransportResponse:
-    """Route one request to a live service object, http.py-compatibly."""
+             body: Optional[bytes] = None,
+             headers=None) -> TransportResponse:
+    """Route one request to a live service object, http.py-compatibly.
+
+    Mirrors the real handler's flight-recorder plumbing too: an incoming
+    ``X-Repro-Trace-Id`` is honored (else the node mints one,
+    deterministically — node name + counter), the request lands in the
+    service's bounded request log, a ``serve.http`` span wraps the
+    route, and the trace ID is echoed in the response headers.
+    """
     parsed = urllib.parse.urlsplit(path)
     route = parsed.path
     query = {
         key: values[-1]
         for key, values in urllib.parse.parse_qs(parsed.query).items()
     }
+    trace = None
+    if headers:
+        trace = headers.get("X-Repro-Trace-Id")
+    if not trace:
+        trace = service.mint_trace_id()
+    started = service._clock()
+    with service.tracer.span(
+        "serve.http",
+        trace_id=trace,
+        endpoint=route,
+        method=method,
+        node=service.node_name,
+        role=service.cluster.role,
+        epoch=service.cluster.epoch,
+    ) as span:
+        response = _route(service, method, route, query, body, trace)
+        span.set_attr(status=response.status)
+    service.requests.record(
+        trace, route, method, response.status,
+        max(0.0, service._clock() - started),
+        node=service.node_name, role=service.cluster.role,
+    )
+    response.headers["X-Repro-Trace-Id"] = trace
+    return response
+
+
+def _route(service, method: str, route: str, query: dict,
+           body: Optional[bytes], trace: str) -> TransportResponse:
     if method == "GET":
         if route == "/healthz":
+            seg_count, wal_bytes = service._update_wal_gauges()
             return _json_response(200, {
                 "ok": True,
                 "draining": service._draining.is_set(),
@@ -83,7 +120,24 @@ def dispatch(service, method: str, path: str,
                 "role": service.cluster.role,
                 "epoch": service.cluster.epoch,
                 "primary_url": service.cluster.primary_url,
+                "wal_segments": seg_count,
+                "wal_bytes": wal_bytes,
+                "snapshot_age_s": round(
+                    service._clock() - service._last_snapshot_at, 3
+                ),
             })
+        if route == "/status":
+            return _json_response(200, service.status_doc())
+        if route == "/metrics/history":
+            last = None
+            if "last" in query:
+                try:
+                    last = max(0, int(query["last"]))
+                except ValueError:
+                    return _json_response(
+                        400, {"error": "?last= must be an integer"}
+                    )
+            return _json_response(200, service.history.history_doc(last))
         if route == "/stats":
             return _json_response(200, service.stats())
         if route == "/digest":
@@ -158,7 +212,7 @@ def dispatch(service, method: str, path: str,
                 feed, kind = "dps", KIND_DPS
             else:
                 feed, kind = query.get("feed", "telescope"), KIND_ATTACK
-            result = service.submit(feed, kind, records)
+            result = service.submit(feed, kind, records, trace=trace)
             return _ingest_response(result)
         return _json_response(404, {"error": f"no such endpoint: {route}"})
     return _json_response(405, {"error": f"method {method} not supported"})
@@ -291,14 +345,14 @@ class SimTransport:
             # instead of a fresh one — reordering, stale epochs included.
             self._count("stale_reply")
             return self._reply_cache[cache_key]
-        response = dispatch(service, method, path, body)
+        response = dispatch(service, method, path, body, headers)
         if self.on_response is not None:
             self.on_response(target, method, path, response)
         if duplicate:
             # The request was delivered twice; the second delivery's
             # side effects happen, the second response wins.
             self._count("duplicate")
-            response = dispatch(service, method, path, body)
+            response = dispatch(service, method, path, body, headers)
             if self.on_response is not None:
                 self.on_response(target, method, path, response)
         self._reply_cache[cache_key] = response

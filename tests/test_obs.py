@@ -31,6 +31,7 @@ from repro.obs import (
     get_telemetry,
     set_telemetry,
 )
+from repro.obs.console import render_dashboard
 from repro.obs.metrics import (
     MetricsRegistry,
     NULL_REGISTRY,
@@ -39,6 +40,12 @@ from repro.obs.metrics import (
     set_registry,
 )
 from repro.obs.profile import NULL_PROFILER, StageProfiler
+from repro.obs.timeseries import (
+    MetricsHistory,
+    RequestLog,
+    histogram_quantile,
+    series_key,
+)
 from repro.obs.trace import NULL_TRACER, SpanTracer
 from repro.pipeline.datasets import (
     REASON_DUPLICATE,
@@ -517,3 +524,251 @@ class TestCLITelemetry:
         capsys.readouterr()
         assert not (run_dir / METRICS_FILE).exists()
         assert not (run_dir / TRACE_FILE).exists()
+
+
+class TestHistogramQuantile:
+    def test_interpolates_within_the_containing_bucket(self):
+        # 10 obs <= 1, 10 more <= 2, 20 more <= 4; the median rank (20)
+        # lands exactly at the top of the second bucket.
+        assert histogram_quantile((1, 2, 4), (10, 20, 40), 40, 0.5) == 2.0
+        # Rank 30 is halfway through the (2, 4] bucket.
+        assert histogram_quantile((1, 2, 4), (10, 20, 40), 40, 0.75) == 3.0
+
+    def test_first_bucket_interpolates_from_zero(self):
+        assert histogram_quantile((10,), (4,), 4, 0.5) == 5.0
+
+    def test_rank_in_inf_bucket_clamps_to_highest_finite_bound(self):
+        # All 10 observations exceed every finite bound.
+        assert histogram_quantile((1, 2), (0, 0), 10, 0.9) == 2.0
+
+    def test_empty_histogram_returns_none(self):
+        assert histogram_quantile((1, 2), (0, 0), 0, 0.5) is None
+        assert histogram_quantile((), (), 5, 0.5) is None
+
+    def test_quantile_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            histogram_quantile((1,), (1,), 1, 1.5)
+        with pytest.raises(ValueError):
+            histogram_quantile((1,), (1,), 1, -0.1)
+
+    def test_series_key_sorts_labels(self):
+        assert series_key("m", {}) == "m"
+        assert series_key("m", {"b": 2, "a": 1}) == 'm{a="1",b="2"}'
+
+
+class TestMetricsHistory:
+    def test_first_window_has_gauges_but_no_rates(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth", "").set(7)
+        registry.counter("hits_total", "").inc(3)
+        history = MetricsHistory(registry, FakeClock(step=1.0))
+        window = history.sample()
+        assert window["dt"] == 0.0
+        assert window["gauges"] == {"depth": 7.0}
+        assert window["rates"] == {}
+
+    def test_counter_rates_are_per_second_deltas(self):
+        registry = MetricsRegistry()
+        hits = registry.counter("hits_total", "", ("kind",))
+        history = MetricsHistory(registry, FakeClock(step=2.0))
+        history.sample()
+        hits.inc(10, kind="a")
+        window = history.sample()  # dt == 2.0s
+        assert window["rates"] == {'hits_total{kind="a"}': 5.0}
+        # No new increments: the next window reports a zero rate.
+        assert history.sample()["rates"] == {'hits_total{kind="a"}': 0.0}
+
+    def test_histogram_quantiles_cover_only_the_window(self):
+        registry = MetricsRegistry()
+        latency = registry.histogram("lat_seconds", "", (), buckets=(1, 2, 4))
+        history = MetricsHistory(registry, FakeClock(step=1.0))
+        for _ in range(4):
+            latency.observe(0.5)
+        history.sample()
+        # Second window sees only the four new, slower observations.
+        for _ in range(4):
+            latency.observe(3.0)
+        row = history.sample()["quantiles"]["lat_seconds"]
+        assert row["count"] == 4.0
+        assert 2.0 < row["p50"] <= 4.0
+
+    def test_ring_evicts_oldest_windows(self):
+        registry = MetricsRegistry()
+        history = MetricsHistory(registry, FakeClock(step=1.0), capacity=3)
+        for _ in range(5):
+            history.sample()
+        windows = history.windows()
+        assert len(windows) == 3
+        assert [w["ts"] for w in windows] == [3.0, 4.0, 5.0]
+        assert [w["ts"] for w in history.windows(last=2)] == [4.0, 5.0]
+        assert history.windows(last=0) == []
+        doc = history.history_doc(last=2)
+        assert doc["window_count"] == 2 and doc["capacity"] == 3
+
+    def test_maybe_sample_respects_the_interval(self):
+        registry = MetricsRegistry()
+        clock = FakeClock(step=1.0)
+        history = MetricsHistory(registry, clock, interval_s=5.0)
+        assert history.maybe_sample() is not None  # first call always fires
+        assert history.maybe_sample() is None      # 1s later: too soon
+        clock.now += 10.0
+        assert history.maybe_sample() is not None
+
+    def test_identical_schedules_export_identical_jsonl(self):
+        def run():
+            registry = MetricsRegistry()
+            hits = registry.counter("hits_total", "")
+            history = MetricsHistory(registry, FakeClock(step=1.0))
+            for i in range(4):
+                hits.inc(i + 1)
+                history.sample()
+            return history.to_jsonl()
+
+        first, second = run(), run()
+        assert first == second
+        assert [json.loads(line) for line in first.splitlines()]
+
+    def test_rejects_degenerate_configuration(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            MetricsHistory(registry, FakeClock(), capacity=0)
+        with pytest.raises(ValueError):
+            MetricsHistory(registry, FakeClock(), interval_s=0)
+
+
+class TestRequestLog:
+    def test_recent_ring_evicts_but_total_keeps_counting(self):
+        log = RequestLog(FakeClock(step=1.0), capacity=3)
+        for i in range(5):
+            log.record(f"t-{i:06d}", "/attacks", "GET", 200, 0.01)
+        assert log.total == 5
+        assert [r["trace_id"] for r in log.recent()] == [
+            "t-000002", "t-000003", "t-000004",
+        ]
+        assert [r["trace_id"] for r in log.recent(last=1)] == ["t-000004"]
+        assert log.recent(last=0) == []
+
+    def test_slow_requests_are_captured_separately(self):
+        log = RequestLog(FakeClock(step=1.0), slow_threshold_s=0.5)
+        log.record("fast", "/healthz", "GET", 200, 0.01)
+        slow_entry = log.record("slow", "/ingest/attacks", "POST", 202, 0.9)
+        assert [r["trace_id"] for r in log.slow()] == ["slow"]
+        assert slow_entry["duration_s"] == 0.9
+
+    def test_extra_attrs_are_sorted_and_none_dropped(self):
+        log = RequestLog(FakeClock(step=1.0))
+        entry = log.record(
+            "t", "/x", "GET", 200, 0.1, node="f1", role=None, zone="a",
+        )
+        assert entry["node"] == "f1" and entry["zone"] == "a"
+        assert "role" not in entry
+
+
+class TestPrometheusEscaping:
+    def test_help_escapes_backslash_and_newline_not_quotes(self):
+        registry = MetricsRegistry()
+        registry.counter("odd_total", 'path "C:\\tmp"\nsecond line').inc()
+        text = prometheus_from_snapshot(registry.snapshot())
+        assert (
+            '# HELP odd_total path "C:\\\\tmp"\\nsecond line' in text
+        )
+        assert "\nsecond line" not in text.replace("\\nsecond", "")
+
+    def test_label_values_escape_quotes_backslashes_newlines(self):
+        registry = MetricsRegistry()
+        registry.counter("odd_total", "", ("path",)).inc(
+            path='a"b\\c\nd'
+        )
+        text = prometheus_from_snapshot(registry.snapshot())
+        assert 'path="a\\"b\\\\c\\nd"' in text
+
+    def test_round_trips_through_metrics_json(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("odd_total", "line1\nline2").inc()
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps(registry.snapshot()), encoding="utf-8")
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+        assert prometheus_from_snapshot(loaded) == prometheus_from_snapshot(
+            registry.snapshot()
+        )
+
+
+class TestConsoleRenderer:
+    @staticmethod
+    def _status(node, role="primary", **overrides):
+        doc = {
+            "node": node,
+            "role": role,
+            "epoch": 3,
+            "seq": 120,
+            "applied_seq": 120,
+            "queue_depth": 0,
+            "shedding": False,
+            "draining": False,
+            "degraded": False,
+            "uptime_s": 42.5,
+            "wal": {"segments": 2, "bytes": 2048, "oldest_seq": 1},
+            "snapshots": {"seqs": [100], "newest_age_s": 7.0},
+            "followers": {},
+            "requests": {"total": 9, "slow_threshold_s": 0.5, "slow": []},
+        }
+        doc.update(overrides)
+        return doc
+
+    def test_renders_nodes_replication_and_down_peers(self):
+        nodes = [
+            {
+                "url": "http://p:1",
+                "status": self._status(
+                    "p",
+                    followers={
+                        "f1": {"committed_seq": 118, "seq_lag": 2,
+                               "age_s": 0.4},
+                    },
+                ),
+                "error": None,
+            },
+            {"url": "http://f2:1", "status": None,
+             "error": "connection refused"},
+        ]
+        frame = render_dashboard(nodes)
+        assert frame.startswith("repro cluster console — 1/2 nodes up")
+        assert "p -> f1: committed=118 lag=2 age=0.4s" in frame
+        assert "DOWN" in frame and "connection refused" in frame
+        assert frame == render_dashboard(nodes)  # pure: same bytes out
+
+    def test_renders_slow_requests_and_history(self):
+        slow = [{
+            "trace_id": "burst-000007", "endpoint": "/ingest/attacks",
+            "method": "POST", "status": 202, "duration_s": 0.8,
+            "node": "p",
+        }]
+        nodes = [{
+            "url": "http://p:1",
+            "status": self._status(
+                "p",
+                degraded=True,
+                requests={"total": 9, "slow_threshold_s": 0.5,
+                          "slow": slow},
+            ),
+            "error": None,
+        }]
+        history = {
+            "interval_s": 5.0, "capacity": 240, "window_count": 1,
+            "windows": [{
+                "ts": 10.0, "dt": 5.0,
+                "gauges": {},
+                "rates": {"serve_wal_appends_total": 12.5},
+                "quantiles": {
+                    "serve_http_request_seconds": {
+                        "count": 4.0, "p50": 0.02, "p99": 0.5,
+                    },
+                },
+            }],
+        }
+        frame = render_dashboard(nodes, history)
+        assert "800.0ms POST /ingest/attacks" in frame
+        assert "trace=burst-000007" in frame
+        assert "degraded" in frame
+        assert "12.5/s  serve_wal_appends_total" in frame
+        assert "p50=20.0ms" in frame and "p99=500.0ms" in frame

@@ -442,7 +442,7 @@ class ScriptedTransport:
         self.steps = list(steps)
         self.calls = []
 
-    def __call__(self, method, endpoint, path, body):
+    def __call__(self, method, endpoint, path, body, trace=None):
         self.calls.append((method, endpoint, path))
         if not self.steps:
             raise AssertionError("transport script exhausted")

@@ -192,3 +192,93 @@ class TestKill9Subprocess:
         assert result.passed, result.detail
         endpoint = read_endpoint_file(tmp_path / "kill9")
         assert endpoint["host"] == "127.0.0.1"
+
+
+class TestFlightRecorderEndpoints:
+    def test_status_document(self, served):
+        service, port = served
+        post(port, "/ingest/attacks", [attack(i) for i in range(4)])
+        assert service.quiesce(timeout=10)
+        status, body, _r = get(port, "/status")
+        assert status == 200
+        assert body["node"] == service.node_name
+        assert body["role"] == "primary"
+        assert body["seq"] >= 1 and body["applied_seq"] == body["seq"]
+        assert body["wal"]["segments"] >= 1 and body["wal"]["bytes"] > 0
+        assert body["degraded"] is False and body["draining"] is False
+        # The /status request itself is already in the request log.
+        assert body["requests"]["total"] >= 1
+        recent = body["requests"]["recent"]
+        assert any(r["endpoint"] == "/ingest/attacks" for r in recent)
+        assert all("trace_id" in r and "duration_s" in r for r in recent)
+
+    def test_metrics_history_endpoint(self, served):
+        service, port = served
+        post(port, "/ingest/attacks", [attack(1)])
+        assert service.quiesce(timeout=10)
+        # The watch loop samples on a wall-clock interval; drive the
+        # recorder directly so the test stays fast and deterministic.
+        service.history.sample()
+        service.history.sample()
+        status, body, _r = get(port, "/metrics/history")
+        assert status == 200
+        assert body["window_count"] >= 2
+        assert body["windows"][-1]["gauges"]["serve_queue_depth"] == 0.0
+        status, body, _r = get(port, "/metrics/history?last=1")
+        assert status == 200 and body["window_count"] == 1
+        status, _body, _r = get(port, "/metrics/history?last=bogus")
+        assert status == 400
+
+    def test_healthz_reports_wal_and_snapshot_freshness(self, served):
+        service, port = served
+        post(port, "/ingest/attacks", [attack(1)])
+        assert service.quiesce(timeout=10)
+        status, body, _r = get(port, "/healthz")
+        assert status == 200
+        assert body["wal_segments"] >= 1
+        assert body["wal_bytes"] > 0
+        assert body["snapshot_age_s"] >= 0
+        assert body["degraded"] is False
+
+    def test_incoming_trace_id_is_honored_and_echoed(self, served):
+        service, port = served
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}/ingest/attacks",
+            data=json.dumps([attack(1)]).encode("utf-8"),
+            headers={
+                "Content-Type": "application/json",
+                "X-Repro-Trace-Id": "client-000042",
+            },
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            assert response.status == 202
+            assert response.headers["X-Repro-Trace-Id"] == "client-000042"
+        assert service.quiesce(timeout=10)
+        entries = [
+            r for r in service.requests.recent()
+            if r["endpoint"] == "/ingest/attacks"
+        ]
+        assert entries and entries[-1]["trace_id"] == "client-000042"
+        # The WAL record carries the trace too, so a follower replaying
+        # it can attribute the write back to the originating request.
+        records, _report = service.wal.replay()
+        assert records and records[-1].trace == "client-000042"
+
+    def test_server_mints_trace_ids_when_absent(self, served):
+        service, port = served
+        _status, _body, response = get(port, "/healthz")
+        minted = response.headers["X-Repro-Trace-Id"]
+        assert minted.startswith(f"{service.node_name}-")
+        _status, _body, second = get(port, "/healthz")
+        assert second.headers["X-Repro-Trace-Id"] != minted
+
+    def test_request_latency_histogram_is_labeled(self, served):
+        _service, port = served
+        get(port, "/healthz")
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/metrics", timeout=10
+        ) as response:
+            text = response.read().decode()
+        assert "# TYPE serve_http_request_seconds histogram" in text
+        assert 'endpoint="/healthz"' in text
+        assert 'method="GET"' in text and 'status="200"' in text

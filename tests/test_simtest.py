@@ -263,3 +263,114 @@ def test_shrinker_refuses_passing_trace():
     assert trace["violations"] == []
     with pytest.raises(ValueError):
         shrink_trace(trace)
+
+
+# -- flight recorder: cross-node trace propagation -----------------------------
+
+
+def test_trace_id_propagates_primary_to_follower_deterministically(tmp_path):
+    """One traced client write shows up, attributed, on both sim nodes.
+
+    The trace ID attached at the client rides the WAL line to the
+    follower, whose ``serve.replicate.apply`` span carries it — and the
+    whole exchange is byte-deterministic under the simulated clock.
+    """
+    from repro.obs.trace import SpanTracer
+    from repro.serve.client import ServeClient
+
+    def run(base_dir):
+        clock = SimClock()
+        transport = SimTransport(seed=0, clock=clock)
+        services = {}
+        tracers = {}
+
+        def make(name, replica_of=None):
+            tracer = SpanTracer(clock=clock)
+            service = LiveIngestService(
+                ServeConfig(
+                    data_dir=base_dir / name,
+                    manual_drive=True,
+                    wal_keep_all=True,
+                    replica_of=replica_of,
+                    follower_id=name,
+                    poll_interval_s=0.1,
+                ),
+                metrics=MetricsRegistry(),
+                clock=clock,
+                disk=SimDisk(),
+                snapshot_store=MemorySnapshotStore(),
+                transport=transport.bind(name),
+                sleep=clock.sleep,
+                tracer=tracer,
+            )
+            services[name] = service
+            tracers[name] = tracer
+            transport.register(name, lambda n=name: services[n])
+            service.start()
+            return service
+
+        primary = make("n0")
+        follower = make("n1", replica_of=transport.url_of("n0"))
+        client = ServeClient(
+            [transport.url_of("n0")],
+            transport=transport.bind("client"),
+            sleep=clock.sleep,
+        )
+        try:
+            response = client.request(
+                "POST", "/ingest/attacks?feed=telescope",
+                body={"records": [_attack(i) for i in range(3)]},
+                trace="ingest-telescope-0",
+            )
+            assert response.status == 202
+            assert response.trace_id == "ingest-telescope-0"
+            while primary.tick_apply():
+                pass
+            for _ in range(5):
+                follower.shipper.poll_once()
+            while follower.tick_apply():
+                pass
+            records, _report = follower.wal.replay()
+            spans = {
+                name: [s.to_dict() for s in tracers[name].spans]
+                for name in sorted(tracers)
+            }
+            requests = {
+                name: services[name].requests.recent()
+                for name in sorted(services)
+            }
+            return records, spans, requests
+        finally:
+            follower.stop()
+            primary.stop()
+
+    records, spans, requests = run(tmp_path / "a")
+
+    # The follower's replayed WAL attributes every record to the client.
+    assert len(records) == 3
+    assert {r.trace for r in records} == {"ingest-telescope-0"}
+    # The ingest request hit the primary's request log with the ID...
+    ingest_rows = [
+        r for r in requests["n0"] if r["endpoint"] == "/ingest/attacks"
+    ]
+    assert ingest_rows and ingest_rows[0]["trace_id"] == "ingest-telescope-0"
+    # ...and the follower's apply span carries the same ID: the
+    # cross-node propagation proof, one ID on two distinct nodes.
+    applies = [
+        s for s in spans["n1"] if s["name"] == "serve.replicate.apply"
+    ]
+    assert applies
+    assert {s["attrs"]["trace_id"] for s in applies} == {"ingest-telescope-0"}
+    assert {s["attrs"]["node"] for s in applies} == {"n1"}
+    http_spans = [s for s in spans["n0"] if s["name"] == "serve.http"]
+    assert any(
+        s["attrs"]["trace_id"] == "ingest-telescope-0" for s in http_spans
+    )
+
+    # Same schedule, different directory: byte-identical evidence.
+    records2, spans2, requests2 = run(tmp_path / "b")
+    assert [r.trace for r in records2] == [r.trace for r in records]
+    assert json.dumps(spans2, sort_keys=True) == json.dumps(
+        spans, sort_keys=True
+    )
+    assert requests2 == requests
