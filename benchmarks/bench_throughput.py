@@ -1,12 +1,17 @@
 """Substrate throughput: reference vs. fast path for each hot loop.
 
 Not a paper table — these benches characterize the reproduction itself.
-Each of the five measured substrates runs twice over identical input:
+Each measured substrate runs twice over identical input:
 
 * ``rsdos``          — object batches + full-scan flow expiry (the seed
                        behavior) vs. columnar batches + heap expiry
+* ``rsdos_sketch``   — the columnar tier vs. the sketch tier
+                       (heavy-dict + count-min/HLL engine); reference
+                       here is the *columnar* fast path, so the speedup
+                       reads "sketch over exact-columnar"
 * ``honeypot``       — object request batches + full-scan expiry vs.
                        columnar request log + heap expiry
+* ``honeypot_sketch``— columnar tier vs. sketch tier on the request log
 * ``lpm``            — linear longest-prefix probing vs. the packed
                        per-length binary search
 * ``hosting``        — linear interval scan vs. the packed
@@ -15,7 +20,10 @@ Each of the five measured substrates runs twice over identical input:
 
 Equivalence is asserted in the same run that is timed: events, lookups
 and bytes must match exactly before a speedup is reported, so the bench
-doubles as an end-to-end equivalence check. Results land in
+doubles as an end-to-end equivalence check. The sketch arms are
+approximate by design, so they assert accuracy floors instead of
+identity: event-victim recall >= 0.95 against the columnar tier and
+top-100 per-victim count relative error <= 5%. Results land in
 ``benchmarks/out/throughput.json`` (schema: :mod:`bench_util`, with a
 ``substrates`` map of reference/fast rates and speedups) and a rendered
 ``throughput.txt``; ``tools/perf_compare.py`` gates CI on the committed
@@ -31,6 +39,7 @@ for the CI ``perf-smoke`` job::
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import os
 import random
@@ -46,6 +55,7 @@ from bench_util import write_bench_json
 from repro.honeypot.detection import (
     HoneypotDetector,
     detect_columns as detect_honeypot_columns,
+    detect_sketch as detect_honeypot_sketch,
 )
 from repro.honeypot.columnar import RequestColumns
 from repro.net.columnar import PacketColumns
@@ -63,7 +73,42 @@ from repro.pipeline.simulation import (
 from repro.telescope.rsdos import (
     RSDoSDetector,
     detect_columns as detect_telescope_columns,
+    detect_sketch as detect_telescope_sketch,
 )
+
+#: Accuracy floors asserted on the sketch arms (ISSUE acceptance gates).
+SKETCH_MIN_RECALL = 0.95
+SKETCH_MAX_COUNT_ERROR = 0.05
+SKETCH_ERROR_TOP_N = 100
+
+
+def _assert_sketch_accuracy(
+    name: str, exact_events, sketch_summary, sketch_events, exact_counts
+) -> None:
+    """Gate the sketch arm on recall + count error before reporting speed."""
+    exact_keys = {event.victim for event in exact_events}
+    sketch_keys = {event.victim for event in sketch_events}
+    recall = (
+        len(exact_keys & sketch_keys) / len(exact_keys) if exact_keys else 1.0
+    )
+    assert recall >= SKETCH_MIN_RECALL, (
+        f"{name}: sketch event recall {recall:.3f} < {SKETCH_MIN_RECALL}"
+    )
+    ranked = sorted(
+        exact_counts.items(), key=lambda kv: (-kv[1], kv[0])
+    )[:SKETCH_ERROR_TOP_N]
+    worst = max(
+        (
+            abs(sketch_summary.sketch.estimate(key) - true) / true
+            for key, true in ranked
+            if true > 0
+        ),
+        default=0.0,
+    )
+    assert worst <= SKETCH_MAX_COUNT_ERROR, (
+        f"{name}: sketch count relative error {worst:.4f} "
+        f"> {SKETCH_MAX_COUNT_ERROR}"
+    )
 
 #: Random address / query volumes per profile.
 PROFILES = {
@@ -73,10 +118,17 @@ PROFILES = {
 
 
 def _best_of(repeats: int, fn: Callable[[], Any]) -> Tuple[float, Any]:
-    """(best wall seconds, last result) over *repeats* runs."""
+    """(best wall seconds, last result) over *repeats* runs.
+
+    Collects garbage before every timed run: the object-path detectors
+    leave cyclic garbage whose deferred gen-2 collection would otherwise
+    be billed to whichever substrate happens to allocate next (observed
+    as a 3x phantom slowdown on the substrate timed after them).
+    """
     best = float("inf")
     result = None
     for _ in range(repeats):
+        gc.collect()
         start = time.perf_counter()
         result = fn()
         best = min(best, time.perf_counter() - start)
@@ -134,6 +186,32 @@ def measure_substrates(
     assert fast_events == ref_events, "columnar RSDoS diverged from reference"
     record("rsdos", "batches/s", len(capture), ref_s, fast_s)
 
+    # -- RSDoS sketch tier (reference = the columnar tier itself) ------------
+    sketch_config = sim.config.sketch_config()
+    columnar_s, columnar_events = _best_of(
+        repeats, lambda: detect_telescope_columns(rsdos_config, columns)
+    )
+    sketch_s, sketch_summary = _best_of(
+        repeats,
+        lambda: detect_telescope_sketch(
+            rsdos_config, columns, sketch_config=sketch_config
+        ),
+    )
+    exact_counts: Dict[int, int] = {}
+    for is_backscatter, victim, count in zip(
+        columns.backscatter, columns.srcs, columns.counts
+    ):
+        if is_backscatter:
+            exact_counts[victim] = exact_counts.get(victim, 0) + count
+    _assert_sketch_accuracy(
+        "rsdos_sketch",
+        columnar_events,
+        sketch_summary,
+        sketch_summary.events(),
+        exact_counts,
+    )
+    record("rsdos_sketch", "batches/s", len(capture), columnar_s, sketch_s)
+
     # -- honeypot detection --------------------------------------------------
     request_log = honeypot_capture(config, sim.ground_truth)
     request_columns = RequestColumns.from_batches(request_log)
@@ -149,6 +227,36 @@ def measure_substrates(
     )
     assert fast_events == ref_events, "columnar honeypot diverged"
     record("honeypot", "batches/s", len(request_log), ref_s, fast_s)
+
+    # -- honeypot sketch tier ------------------------------------------------
+    columnar_s, columnar_events = _best_of(
+        repeats, lambda: detect_honeypot_columns(hp_config, request_columns)
+    )
+    sketch_s, sketch_summary = _best_of(
+        repeats,
+        lambda: detect_honeypot_sketch(
+            hp_config, request_columns, sketch_config=sketch_config
+        ),
+    )
+    n_protocols = max(1, len(request_columns.protocols))
+    request_counts: Dict[int, int] = {}
+    for victim, protocol_id, count in zip(
+        request_columns.victims,
+        request_columns.protocol_ids,
+        request_columns.counts,
+    ):
+        key = victim * n_protocols + protocol_id
+        request_counts[key] = request_counts.get(key, 0) + count
+    _assert_sketch_accuracy(
+        "honeypot_sketch",
+        columnar_events,
+        sketch_summary,
+        sketch_summary.events(),
+        request_counts,
+    )
+    record(
+        "honeypot_sketch", "batches/s", len(request_log), columnar_s, sketch_s
+    )
 
     # -- longest-prefix match ------------------------------------------------
     routing = sim.topology.routing
@@ -214,7 +322,8 @@ def render(substrates: Dict[str, Dict[str, Any]], title: str) -> str:
     lines = [
         title,
         "(reference = seed implementation; fast = columnar/heap/packed "
-        "path; identical output asserted)",
+        "path; identical output asserted; *_sketch arms: reference = "
+        "columnar tier, accuracy floors asserted)",
         "",
         f"{'substrate':<14} {'unit':<10} {'reference/s':>12} "
         f"{'fast/s':>12} {'speedup':>8}",

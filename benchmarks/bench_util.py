@@ -6,19 +6,26 @@ compared mechanically instead of by eyeballing rendered text. One schema
 for all benches::
 
     {
-      "name":         "parallel",          # benchmark id (file name stem)
-      "params":       {...},               # knobs the number depends on
-      "wall_s":       1.234,               # headline wall-clock seconds
-      "events_per_s": 5678.9               # throughput (null: not event-shaped)
+      "name":           "parallel",        # benchmark id (file name stem)
+      "params":         {...},             # knobs the number depends on
+      "wall_s":         1.234,             # headline wall-clock seconds
+      "events_per_s":   5678.9,            # throughput (null: not event-shaped)
+      "python_version": "3.11.9",          # interpreter the numbers came from
+      "cpu_count":      8                  # host parallelism at measurement
     }
 
 Extra keys are allowed (per-configuration timings, overhead percentages)
-but the four schema keys are always present.
+but the six schema keys are always present. ``python_version`` and
+``cpu_count`` exist so committed baselines are comparable across
+environments — a speedup regression on a different interpreter or core
+count is a different conversation than one on the same hardware.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import platform
 from pathlib import Path
 from typing import Any, Dict, Optional
 
@@ -40,6 +47,8 @@ def write_bench_json(
         "events_per_s": (
             round(float(events_per_s), 3) if events_per_s is not None else None
         ),
+        "python_version": platform.python_version(),
+        "cpu_count": os.cpu_count(),
     }
     if extra:
         for key, value in extra.items():

@@ -97,7 +97,11 @@ from repro.pipeline.runner import (
     STAGE_ORDER,
     run_resilient,
 )
-from repro.pipeline.simulation import CAPTURE_CODECS, run_simulation
+from repro.pipeline.simulation import (
+    CAPTURE_CODECS,
+    DETECT_TIERS,
+    run_simulation,
+)
 from repro.serve.chaos import run_serve_chaos_drill
 from repro.serve.http import run_service
 from repro.serve.service import ServeConfig
@@ -171,6 +175,14 @@ def _add_exec_args(
              "'columnar' (structure-of-arrays fast path, default) or "
              "'object' (reference batch lists); output is byte-identical "
              "either way",
+    )
+    sub.add_argument(
+        "--detect-tier", choices=DETECT_TIERS, default=None,
+        help="detection tier for the observation stages: 'exact' "
+             "(reference batch detectors), 'columnar' (inlined exact "
+             "fast path) or 'sketch' (approximate bounded-memory "
+             "streaming sketches, fastest); default matches the "
+             "capture codec",
     )
     sub.add_argument(
         "--stage-cache", type=Path, default=None, metavar="DIR",
@@ -622,6 +634,7 @@ def _run_durable(
     deadline: Optional[float] = None,
     interrupt: Optional[InterruptGuard] = None,
     capture_codec: str = "columnar",
+    detect_tier: Optional[str] = None,
     stage_cache: Optional[Path] = None,
 ):
     """Run the pipeline durably and leave the fused events in the run dir."""
@@ -634,6 +647,7 @@ def _run_durable(
         deadline=deadline,
         interrupt=interrupt,
         capture_codec=capture_codec,
+        detect_tier=detect_tier,
         stage_cache=stage_cache,
     )
     result = pipeline.run()
@@ -681,6 +695,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                     "shards": exec_config.shards,
                     "exec_mode": exec_config.mode,
                     "capture_codec": args.capture_codec,
+                    "detect_tier": args.detect_tier,
                     "stage_cache": (
                         str(args.stage_cache)
                         if args.stage_cache is not None
@@ -697,6 +712,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                 deadline=args.deadline,
                 interrupt=guard,
                 capture_codec=args.capture_codec,
+                detect_tier=args.detect_tier,
                 stage_cache=args.stage_cache,
             )
         elif (
@@ -704,6 +720,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             or exec_faults is not None
             or args.deadline is not None
             or args.stage_cache is not None
+            or args.detect_tier is not None
         ):
             result = run_resilient(
                 config,
@@ -712,6 +729,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                 deadline=args.deadline,
                 interrupt=guard,
                 capture_codec=args.capture_codec,
+                detect_tier=args.detect_tier,
                 stage_cache=args.stage_cache,
             )
         else:
@@ -788,6 +806,11 @@ def cmd_resume(args: argparse.Namespace) -> int:
         if args.capture_codec is not None
         else meta.get("capture_codec") or "columnar"
     )
+    detect_tier = (
+        args.detect_tier
+        if args.detect_tier is not None
+        else meta.get("detect_tier")
+    )
     stage_cache = (
         args.stage_cache
         if args.stage_cache is not None
@@ -812,6 +835,7 @@ def cmd_resume(args: argparse.Namespace) -> int:
             deadline=args.deadline,
             interrupt=guard,
             capture_codec=capture_codec,
+            detect_tier=detect_tier,
             stage_cache=stage_cache,
         )
     except RunDeadlineExceeded as exc:

@@ -15,6 +15,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.honeypot.amppot import RequestBatch
 from repro.honeypot.columnar import RequestColumns
+from repro.sketch.engine import FlowSketch, SketchConfig
 
 DAY_SECONDS = 86400.0
 
@@ -304,3 +305,166 @@ def detect_columns(
     for record in flows.values():
         close(record)
     return events
+
+
+# Sketch-tier heavy-record slots (one record per victim/protocol pair):
+# 0 first_ts, 1 last_ts, 2 requests, 3 honeypot-id bitmask.
+# Slot 2 is the eviction count.
+_SKETCH_COUNT_SLOT = 2
+
+
+def _combine_honeypot_records(mine: list, theirs: list) -> None:
+    """Fold two per-pair records (shard merge): min/max stamps, sums, unions."""
+    if theirs[0] < mine[0]:
+        mine[0] = theirs[0]
+    if theirs[1] > mine[1]:
+        mine[1] = theirs[1]
+    mine[2] += theirs[2]
+    mine[3] |= theirs[3]
+
+
+class HoneypotSketch:
+    """Mergeable sketch-tier summary of one request-log shard.
+
+    Keys are the same packed ``victim * n_protocols + protocol_id``
+    integers the columnar tier uses; the protocol interning table rides
+    along so a merged summary can unpack them. Merging requires the
+    same table on both sides (always true for shards of one capture);
+    a summary of an empty capture merges with anything.
+    """
+
+    def __init__(
+        self,
+        config: DetectionConfig,
+        sketch_config: SketchConfig,
+        protocols: Tuple[str, ...],
+    ) -> None:
+        self.config = config
+        self.protocols = protocols
+        self.sketch = FlowSketch(sketch_config, count_slot=_SKETCH_COUNT_SLOT)
+
+    def merge(self, other: "HoneypotSketch") -> "HoneypotSketch":
+        if self.config != other.config:
+            raise ValueError(
+                f"cannot merge honeypot sketches with different detection "
+                f"configs: {self.config} vs {other.config}"
+            )
+        if self.protocols != other.protocols:
+            if not self.protocols and not self.sketch.heavy:
+                self.protocols = other.protocols
+            elif other.protocols or other.sketch.heavy:
+                raise ValueError(
+                    "cannot merge honeypot sketches with different protocol "
+                    f"tables: {self.protocols!r} vs {other.protocols!r}"
+                )
+        self.sketch.merge(other.sketch, _combine_honeypot_records)
+        return self
+
+    @classmethod
+    def merge_all(
+        cls, summaries: Iterable["HoneypotSketch"]
+    ) -> "HoneypotSketch":
+        merged = None
+        for summary in summaries:
+            merged = summary if merged is None else merged.merge(summary)
+        if merged is None:
+            raise ValueError("merge_all needs at least one summary")
+        return merged
+
+    def cardinality(self) -> float:
+        """Approximate distinct (victim, protocol) pairs observed."""
+        return self.sketch.cardinality()
+
+    def estimate(self, victim: int, protocol_id: int) -> int:
+        """Upper-bound request count for one victim/protocol pair."""
+        n_protocols = max(1, len(self.protocols))
+        return self.sketch.estimate(victim * n_protocols + protocol_id)
+
+    def events(self) -> List[AmpPotEvent]:
+        """Classify per-pair aggregates into approximate events.
+
+        One event per (victim, protocol) — neither idle-gap splitting
+        nor the 24h duration cap is applied at this tier, so a long
+        intermittent attack surfaces as one spanning event instead of
+        several. The request-count filter matches the exact tier's
+        strict ``> min_requests``.
+        """
+        min_requests = self.config.min_requests
+        protocols = self.protocols
+        n_protocols = max(1, len(protocols))
+        sketch = self.sketch
+        spilled = sketch.evictions > 0
+        spill_estimate = sketch.spill.estimate
+        events: List[AmpPotEvent] = []
+        for key, record in sketch.heavy.items():
+            requests = record[2]
+            if spilled:
+                requests += spill_estimate(key)
+            if requests <= min_requests:
+                continue
+            events.append(
+                AmpPotEvent(
+                    victim=key // n_protocols,
+                    start_ts=record[0],
+                    end_ts=record[1],
+                    protocol=protocols[key % n_protocols],
+                    requests=requests,
+                    honeypots=bin(record[3]).count("1"),
+                )
+            )
+        events.sort(
+            key=lambda event: (event.start_ts, event.victim, event.protocol)
+        )
+        return events
+
+
+def detect_sketch(
+    config: DetectionConfig,
+    columns: RequestColumns,
+    shard_index: int = 0,
+    n_shards: int = 1,
+    sketch_config: Optional[SketchConfig] = None,
+) -> HoneypotSketch:
+    """Sketch-tier ingestion of a columnar request log.
+
+    Per-row work is one dict hit plus three in-place mutations — no
+    expiry heap, no gap/cap bookkeeping. Returns the mergeable
+    :class:`HoneypotSketch`; call ``events()`` on the (merged) summary.
+    """
+    protocols = columns.protocols
+    n_protocols = max(1, len(protocols))
+    summary = HoneypotSketch(config, sketch_config or SketchConfig(), protocols)
+    sketch = summary.sketch
+    heavy = sketch.heavy
+    admit = sketch.admit
+    rows = zip(
+        columns.timestamps,
+        columns.victims,
+        columns.honeypot_ids,
+        columns.protocol_ids,
+        columns.counts,
+    )
+    if n_shards > 1:
+        for now, victim, honeypot_id, protocol_id, count in rows:
+            if victim % n_shards != shard_index:
+                continue
+            key = victim * n_protocols + protocol_id
+            try:
+                record = heavy[key]
+                record[1] = now
+                record[2] += count
+                record[3] |= 1 << honeypot_id
+            except KeyError:
+                admit(key, [now, now, count, 1 << honeypot_id])
+    else:
+        for now, victim, honeypot_id, protocol_id, count in rows:
+            key = victim * n_protocols + protocol_id
+            try:
+                record = heavy[key]
+                record[1] = now
+                record[2] += count
+                record[3] |= 1 << honeypot_id
+            except KeyError:
+                admit(key, [now, now, count, 1 << honeypot_id])
+    sketch.rows += len(columns)
+    return summary

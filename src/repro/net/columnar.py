@@ -16,10 +16,22 @@ into one ``ports`` column with a per-row offsets column (row *i* owns
 ``ports[offsets[i]:offsets[i+1]]``, stored sorted); ``None`` quoted
 protocols map to ``-1`` in a signed column.
 
-Two derived columns are precomputed at encode time — ``backscatter``
-(:attr:`PacketBatch.is_backscatter` as 0/1) and ``attack_protos``
-(:attr:`PacketBatch.attack_proto`) — so the classification branches run
-once per capture instead of once per detection shard.
+Three derived columns are precomputed at encode time — ``backscatter``
+(:attr:`PacketBatch.is_backscatter` as 0/1), ``attack_protos``
+(:attr:`PacketBatch.attack_proto`), and ``sketch_packed`` — so the
+classification branches run once per capture instead of once per
+detection shard.
+
+``sketch_packed`` packs every per-row quantity the sketch detection
+tier accumulates (tcp count, icmp count, bytes, distinct destinations)
+into one integer with 64-bit fields, choosing the tcp/icmp field by the
+row's response protocol *here*, where the protocol is already known.
+The sketch tier's hot loop then does a single ``record[2] += packed``
+per row — one add maintains all four running sums at once. Summing is
+safe because each field is non-negative and 64 bits wide: overflowing a
+field into its neighbor would take 2**64 (~1.8e19) packets or bytes for
+a single victim, far beyond any real capture. Non-backscatter rows
+(which the sketch tier skips) pack to 0.
 """
 
 from __future__ import annotations
@@ -27,11 +39,18 @@ from __future__ import annotations
 from array import array
 from typing import Iterable, List, Sequence
 
-from repro.net.packet import PacketBatch
+from repro.net.packet import PROTO_TCP, PacketBatch
 
 #: Bumped whenever the column layout changes; part of the stage-cache
 #: fingerprint so cached results never outlive their encoding.
-PACKET_COLUMNS_SCHEMA = 1
+PACKET_COLUMNS_SCHEMA = 2
+
+# ``sketch_packed`` field layout (bit offsets of each 64-bit field).
+SKETCH_PACKED_TCP_SHIFT = 0
+SKETCH_PACKED_ICMP_SHIFT = 64
+SKETCH_PACKED_BYTES_SHIFT = 128
+SKETCH_PACKED_DSTS_SHIFT = 192
+SKETCH_PACKED_FIELD_MASK = (1 << 64) - 1
 
 
 class PacketColumns:
@@ -51,6 +70,7 @@ class PacketColumns:
         "port_offsets",
         "backscatter",
         "attack_protos",
+        "sketch_packed",
     )
 
     def __init__(self) -> None:
@@ -69,6 +89,10 @@ class PacketColumns:
         # attributed attack protocol, precomputed once at encode time.
         self.backscatter = array("B")
         self.attack_protos = array("h")
+        # Derived: the sketch tier's per-row accumulator contributions
+        # packed into one integer (see module docstring). A plain list —
+        # packed values exceed 64 bits, so no array typecode fits.
+        self.sketch_packed: List[int] = []
 
     def __len__(self) -> int:
         return len(self.timestamps)
@@ -90,6 +114,8 @@ class PacketColumns:
         port_offsets = columns.port_offsets
         backscatter = columns.backscatter
         attack_protos = columns.attack_protos
+        sketch_packed = columns.sketch_packed
+        append_packed = sketch_packed.append
         for batch in batches:
             timestamps.append(batch.timestamp)
             srcs.append(batch.src)
@@ -105,8 +131,20 @@ class PacketColumns:
             if batch.src_ports:
                 ports.extend(sorted(batch.src_ports))
             port_offsets.append(len(ports))
-            backscatter.append(1 if batch.is_backscatter else 0)
+            is_backscatter = batch.is_backscatter
+            backscatter.append(1 if is_backscatter else 0)
             attack_protos.append(batch.attack_proto)
+            if is_backscatter:
+                append_packed(
+                    (
+                        batch.count
+                        << (0 if batch.proto == PROTO_TCP else 64)
+                    )
+                    | (batch.bytes << SKETCH_PACKED_BYTES_SHIFT)
+                    | (batch.distinct_dsts << SKETCH_PACKED_DSTS_SHIFT)
+                )
+            else:
+                append_packed(0)
         return columns
 
     def row(self, index: int) -> PacketBatch:
@@ -141,6 +179,11 @@ def encode_capture(capture: Sequence) -> PacketColumns:
 
 __all__ = [
     "PACKET_COLUMNS_SCHEMA",
+    "SKETCH_PACKED_TCP_SHIFT",
+    "SKETCH_PACKED_ICMP_SHIFT",
+    "SKETCH_PACKED_BYTES_SHIFT",
+    "SKETCH_PACKED_DSTS_SHIFT",
+    "SKETCH_PACKED_FIELD_MASK",
     "PacketColumns",
     "encode_capture",
 ]

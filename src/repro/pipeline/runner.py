@@ -80,6 +80,7 @@ from repro.store.checkpoint import CheckpointIssue, CheckpointStore
 from repro.store.stagecache import CACHE_MISS, StageCache, stage_fingerprint
 from repro.pipeline.simulation import (
     CAPTURE_CODECS,
+    DETECT_TIERS,
     SimulationResult,
     apply_dns_faults,
     assemble_result,
@@ -95,6 +96,7 @@ from repro.pipeline.simulation import (
     merge_telescope_shards,
     observe_honeypots,
     observe_telescope,
+    resolve_detect_tier,
     run_migration,
     schedule_attacks,
     telescope_capture,
@@ -260,15 +262,23 @@ class ResilientPipeline:
         breakers: Optional[Dict[str, CircuitBreaker]] = None,
         telemetry: Optional[Telemetry] = None,
         capture_codec: str = "columnar",
+        detect_tier: Optional[str] = None,
         stage_cache: Optional[Union[str, Path, StageCache]] = None,
     ) -> None:
         self.config = config
         if capture_codec not in CAPTURE_CODECS:
             raise ValueError(
                 f"unknown capture codec {capture_codec!r} "
-                f"(codecs: {', '.join(CAPTURE_CODECS)})"
+                f"(codecs: {', '.join(sorted(CAPTURE_CODECS))})"
             )
         self.capture_codec = capture_codec
+        if detect_tier is not None and detect_tier not in DETECT_TIERS:
+            raise ValueError(
+                f"unknown detect tier {detect_tier!r} "
+                f"(tiers: {', '.join(sorted(DETECT_TIERS))})"
+            )
+        # None means "match the capture codec" (resolved per stage call).
+        self.detect_tier = detect_tier
         self.telemetry = telemetry if telemetry is not None else get_telemetry()
         self.plan = plan if plan is not None else FaultPlan.none(
             config.n_days, config.n_honeypots
@@ -648,9 +658,11 @@ class ResilientPipeline:
     def _observe_telescope_supervised(self, ground_truth: Any) -> Any:
         config, fault = self.config, self.injectors.telescope
         codec = self.capture_codec
+        tier = self.detect_tier
         if not self.exec_config.parallel:
             return observe_telescope(
-                config, ground_truth, fault=fault, codec=codec
+                config, ground_truth, fault=fault, codec=codec,
+                detect_tier=tier,
             )
         # Capture consumes shared sequential RNG state and mutates the
         # injector's loss counters, so it runs here in the supervising
@@ -660,16 +672,20 @@ class ResilientPipeline:
         )
         shards = self._run_shards(
             "telescope",
-            lambda i, n: lambda: detect_telescope_shard(config, capture, i, n),
+            lambda i, n: lambda: detect_telescope_shard(
+                config, capture, i, n, tier
+            ),
         )
         return merge_telescope_shards(shards)
 
     def _observe_honeypots_supervised(self, ground_truth: Any) -> Any:
         config, fault = self.config, self.injectors.honeypot
         codec = self.capture_codec
+        tier = self.detect_tier
         if not self.exec_config.parallel:
             return observe_honeypots(
-                config, ground_truth, fault=fault, codec=codec
+                config, ground_truth, fault=fault, codec=codec,
+                detect_tier=tier,
             )
         request_log = honeypot_capture(
             config, ground_truth, fault=fault, codec=codec
@@ -677,7 +693,7 @@ class ResilientPipeline:
         shards = self._run_shards(
             "honeypot",
             lambda i, n: lambda: detect_honeypot_shard(
-                config, request_log, i, n
+                config, request_log, i, n, tier
             ),
         )
         return merge_honeypot_shards(shards)
@@ -1004,6 +1020,9 @@ class ResilientPipeline:
                 self.exec_config.n_shards if self.exec_config.parallel else 1
             ),
             capture_codec=self.capture_codec,
+            detect_tier=resolve_detect_tier(
+                self.detect_tier, self.capture_codec
+            ),
         )
 
     def _stage_cache_get(self, name: str) -> Any:
@@ -1167,6 +1186,7 @@ def run_resilient(
     interrupt: Optional[InterruptGuard] = None,
     telemetry: Optional[Telemetry] = None,
     capture_codec: str = "columnar",
+    detect_tier: Optional[str] = None,
     stage_cache: Optional[Union[str, Path, StageCache]] = None,
 ) -> SimulationResult:
     """One-shot convenience wrapper around :class:`ResilientPipeline`."""
@@ -1182,5 +1202,6 @@ def run_resilient(
         interrupt=interrupt,
         telemetry=telemetry,
         capture_codec=capture_codec,
+        detect_tier=detect_tier,
         stage_cache=stage_cache,
     ).run(baseline=baseline)

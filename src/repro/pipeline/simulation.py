@@ -42,7 +42,9 @@ from repro.honeypot.columnar import RequestColumns
 from repro.honeypot.detection import (
     AmpPotEvent,
     HoneypotDetector,
+    HoneypotSketch,
     detect_columns as detect_honeypot_columns,
+    detect_sketch as detect_honeypot_sketch,
 )
 from repro.net.columnar import PacketColumns
 from repro.internet.hosting import HostingEcosystem
@@ -52,10 +54,13 @@ from repro.log import get_logger
 from repro.pipeline.config import ScenarioConfig
 from repro.telescope.backscatter import BackscatterModel
 from repro.telescope.darknet import NetworkTelescope, TelescopeNoise
+from repro.sketch.engine import export_sketch_metrics
 from repro.telescope.rsdos import (
     RSDoSDetector,
     TelescopeEvent,
+    TelescopeSketch,
     detect_columns as detect_telescope_columns,
+    detect_sketch as detect_telescope_sketch,
 )
 
 log = get_logger("simulation")
@@ -65,6 +70,26 @@ log = get_logger("simulation")
 #: structure-of-arrays columns and detects over them (byte-identical
 #: events, several times faster).
 CAPTURE_CODECS = ("object", "columnar")
+
+#: Detection tiers the observation stages dispatch on. ``"exact"`` is the
+#: reference per-batch detector, ``"columnar"`` the inlined exact fast
+#: path, ``"sketch"`` the approximate bounded-memory engine
+#: (:mod:`repro.sketch`). ``None``/``"auto"`` matches the capture codec:
+#: object captures take the exact path, columnar captures the columnar
+#: path — the pre-tier behavior.
+DETECT_TIERS = ("exact", "columnar", "sketch")
+
+
+def resolve_detect_tier(detect_tier, codec: str = "object") -> str:
+    """Map an optional tier request onto a concrete tier name."""
+    if detect_tier is None or detect_tier == "auto":
+        return "columnar" if codec == "columnar" else "exact"
+    if detect_tier not in DETECT_TIERS:
+        raise ValueError(
+            f"unknown detect tier {detect_tier!r} "
+            f"(tiers: {', '.join(sorted(DETECT_TIERS))})"
+        )
+    return detect_tier
 
 
 @dataclass
@@ -208,7 +233,10 @@ def telescope_capture(
     fast path.
     """
     if codec not in CAPTURE_CODECS:
-        raise ValueError(f"unknown capture codec: {codec!r}")
+        raise ValueError(
+            f"unknown capture codec {codec!r} "
+            f"(codecs: {', '.join(sorted(CAPTURE_CODECS))})"
+        )
     noise = (
         TelescopeNoise(config.telescope_noise_config())
         if config.telescope_noise
@@ -242,21 +270,51 @@ def detect_telescope_shard(
     capture: List,
     shard_index: int,
     n_shards: int,
-) -> List[TelescopeEvent]:
+    detect_tier: Optional[str] = None,
+):
     """RSDoS over one victim-partition of the capture.
 
     Flows are keyed by victim (``batch.src``) and their content depends
     only on that victim's batches, so partitioning by ``victim % n`` and
     re-sorting reproduces the serial result exactly. Day-based sharding
     would *not*: flows and gap timeouts cross day boundaries.
+
+    ``detect_tier`` selects the detector; ``None`` matches the capture
+    representation (the pre-tier behavior). The ``"sketch"`` tier
+    returns a mergeable :class:`~repro.telescope.rsdos.TelescopeSketch`
+    instead of an event list — :func:`merge_telescope_shards`
+    materializes events from it.
     """
-    if isinstance(capture, PacketColumns):
-        return detect_telescope_columns(
-            config.rsdos_config(), capture, shard_index, n_shards
+    codec = "columnar" if isinstance(capture, PacketColumns) else "object"
+    tier = resolve_detect_tier(detect_tier, codec)
+    if tier == "sketch":
+        columns = (
+            capture
+            if isinstance(capture, PacketColumns)
+            else PacketColumns.from_batches(capture)
         )
+        return detect_telescope_sketch(
+            config.rsdos_config(),
+            columns,
+            shard_index,
+            n_shards,
+            sketch_config=config.sketch_config(),
+        )
+    if tier == "columnar":
+        columns = (
+            capture
+            if isinstance(capture, PacketColumns)
+            else PacketColumns.from_batches(capture)
+        )
+        return detect_telescope_columns(
+            config.rsdos_config(), columns, shard_index, n_shards
+        )
+    batches = (
+        capture.to_batches() if isinstance(capture, PacketColumns) else capture
+    )
     detector = RSDoSDetector(config.rsdos_config())
-    batches = (b for b in capture if b.src % n_shards == shard_index)
-    return list(detector.run(batches))
+    sharded = (b for b in batches if b.src % n_shards == shard_index)
+    return list(detector.run(sharded))
 
 
 def observe_telescope(
@@ -264,10 +322,13 @@ def observe_telescope(
     ground_truth: List[GroundTruthAttack],
     fault=None,
     codec: str = "object",
+    detect_tier: Optional[str] = None,
 ) -> List[TelescopeEvent]:
     """Stage 4: the darknet capture, optionally degraded, then RSDoS."""
     capture = telescope_capture(config, ground_truth, fault=fault, codec=codec)
-    events = _telescope_order(detect_telescope_shard(config, capture, 0, 1))
+    events = merge_telescope_shards(
+        [detect_telescope_shard(config, capture, 0, 1, detect_tier)]
+    )
     log.debug(
         "telescope observed",
         events=len(events),
@@ -276,10 +337,18 @@ def observe_telescope(
     return events
 
 
-def merge_telescope_shards(
-    shards: List[List[TelescopeEvent]],
-) -> List[TelescopeEvent]:
-    """Merge per-shard detections into the canonical (serial) order."""
+def merge_telescope_shards(shards: List) -> List[TelescopeEvent]:
+    """Merge per-shard detections into the canonical (serial) order.
+
+    Accepts either per-shard event lists (exact/columnar tiers) or
+    per-shard :class:`~repro.telescope.rsdos.TelescopeSketch` summaries,
+    which are merged structurally before approximate events are
+    materialized; fill/error gauges are exported for the merged sketch.
+    """
+    if shards and isinstance(shards[0], TelescopeSketch):
+        summary = TelescopeSketch.merge_all(shards)
+        export_sketch_metrics("telescope", summary.sketch)
+        return _telescope_order(summary.events())
     merged: List[TelescopeEvent] = []
     for shard in shards:
         merged.extend(shard)
@@ -300,7 +369,10 @@ def honeypot_capture(
     :class:`~repro.honeypot.columnar.RequestColumns`.
     """
     if codec not in CAPTURE_CODECS:
-        raise ValueError(f"unknown capture codec: {codec!r}")
+        raise ValueError(
+            f"unknown capture codec {codec!r} "
+            f"(codecs: {', '.join(sorted(CAPTURE_CODECS))})"
+        )
     fleet = AmpPotFleet(config.fleet_config())
     request_log = fleet.capture(
         ground_truth, n_days=config.n_days if config.honeypot_noise else 0
@@ -322,23 +394,50 @@ def detect_honeypot_shard(
     request_log: List,
     shard_index: int,
     n_shards: int,
-) -> List[AmpPotEvent]:
+    detect_tier: Optional[str] = None,
+):
     """Honeypot event extraction over one victim-partition of the log.
 
     Flows are keyed by (victim, protocol); a victim partition keeps every
     flow whole, and closure content is gap-driven per key (sweep timing
     only changes *when* a flow closes, never what it contains).
+
+    ``detect_tier`` selects the detector; ``None`` matches the capture
+    representation. The ``"sketch"`` tier returns a mergeable
+    :class:`~repro.honeypot.detection.HoneypotSketch`.
     """
-    if isinstance(request_log, RequestColumns):
-        return detect_honeypot_columns(
+    codec = "columnar" if isinstance(request_log, RequestColumns) else "object"
+    tier = resolve_detect_tier(detect_tier, codec)
+    if tier == "sketch":
+        columns = (
+            request_log
+            if isinstance(request_log, RequestColumns)
+            else RequestColumns.from_batches(request_log)
+        )
+        return detect_honeypot_sketch(
             config.honeypot_detection_config(),
-            request_log,
+            columns,
             shard_index,
             n_shards,
+            sketch_config=config.sketch_config(),
         )
+    if tier == "columnar":
+        columns = (
+            request_log
+            if isinstance(request_log, RequestColumns)
+            else RequestColumns.from_batches(request_log)
+        )
+        return detect_honeypot_columns(
+            config.honeypot_detection_config(), columns, shard_index, n_shards
+        )
+    batches = (
+        request_log.to_batches()
+        if isinstance(request_log, RequestColumns)
+        else request_log
+    )
     detector = HoneypotDetector(config.honeypot_detection_config())
-    batches = (b for b in request_log if b.victim % n_shards == shard_index)
-    return list(detector.run(batches))
+    sharded = (b for b in batches if b.victim % n_shards == shard_index)
+    return list(detector.run(sharded))
 
 
 def observe_honeypots(
@@ -346,22 +445,31 @@ def observe_honeypots(
     ground_truth: List[GroundTruthAttack],
     fault=None,
     codec: str = "object",
+    detect_tier: Optional[str] = None,
 ) -> List[AmpPotEvent]:
     """Stage 4b: the fleet's request log, optionally degraded, then events."""
     request_log = honeypot_capture(
         config, ground_truth, fault=fault, codec=codec
     )
-    events = _honeypot_order(
-        detect_honeypot_shard(config, request_log, 0, 1)
+    events = merge_honeypot_shards(
+        [detect_honeypot_shard(config, request_log, 0, 1, detect_tier)]
     )
     log.debug("honeypots observed", events=len(events))
     return events
 
 
-def merge_honeypot_shards(
-    shards: List[List[AmpPotEvent]],
-) -> List[AmpPotEvent]:
-    """Merge per-shard detections into the canonical (serial) order."""
+def merge_honeypot_shards(shards: List) -> List[AmpPotEvent]:
+    """Merge per-shard detections into the canonical (serial) order.
+
+    Accepts either per-shard event lists or per-shard
+    :class:`~repro.honeypot.detection.HoneypotSketch` summaries (sketch
+    tier), which are merged structurally before approximate events are
+    materialized; fill/error gauges are exported for the merged sketch.
+    """
+    if shards and isinstance(shards[0], HoneypotSketch):
+        summary = HoneypotSketch.merge_all(shards)
+        export_sketch_metrics("honeypot", summary.sketch)
+        return _honeypot_order(summary.events())
     merged: List[AmpPotEvent] = []
     for shard in shards:
         merged.extend(shard)

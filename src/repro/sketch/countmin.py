@@ -1,0 +1,151 @@
+"""Count-min sketch: approximate per-key counts in fixed space.
+
+Classic Cormode–Muthukrishnan structure: ``depth`` rows of ``width``
+counters; a key increments one counter per row, and its estimate is the
+minimum over its cells — an overestimate whose additive error is bounded
+by ``e / width * total`` with probability ``1 - e^-depth``.
+
+Two update disciplines:
+
+* **plain** (default) — increment every cell. Distributive: merging
+  per-shard sketches cell-wise is *identical* to sketching the combined
+  stream in any order. This is the variant the pipeline uses, because
+  the shard-merge identity gate demands partition invariance.
+* **conservative** — increment only the cells that equal the current
+  minimum (Estan–Varghese). Tighter point estimates, still never an
+  underestimate, but **not** distributive: a merged conservative sketch
+  is a valid upper bound yet can differ from single-stream ingestion.
+  Exercised by the accuracy harness to quantify the gap.
+
+Row placement uses Kirsch–Mitzenmacher double hashing over one seeded
+:func:`~repro.sketch.hashing.mix64` call per key, so a single mix feeds
+all ``depth`` rows.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterable, List, Sequence
+
+from repro.sketch.hashing import mix64, seed_tweak
+
+_LOW32 = 0xFFFFFFFF
+
+
+def _pow2_width(width: int) -> int:
+    if width < 2:
+        raise ValueError(f"count-min width must be >= 2, got {width}")
+    return 1 << (width - 1).bit_length()
+
+
+class CountMinSketch:
+    """Seeded count-min sketch over integer keys.
+
+    ``width`` is rounded up to a power of two so row indexing is a mask
+    instead of a modulo.
+    """
+
+    __slots__ = ("width", "depth", "seed", "conservative", "total", "_tweak", "rows")
+
+    def __init__(
+        self,
+        width: int = 2048,
+        depth: int = 4,
+        seed: int = 0,
+        conservative: bool = False,
+    ) -> None:
+        if depth < 1:
+            raise ValueError(f"count-min depth must be >= 1, got {depth}")
+        self.width = _pow2_width(width)
+        self.depth = depth
+        self.seed = seed
+        self.conservative = conservative
+        self.total = 0
+        self._tweak = seed_tweak(seed)
+        self.rows: List[array] = [array("Q", bytes(8 * self.width)) for _ in range(depth)]
+
+    # -- updates ------------------------------------------------------------
+
+    def _cells(self, key: int) -> List[int]:
+        digest = mix64(key, self._tweak)
+        base = digest & _LOW32
+        step = (digest >> 32) | 1
+        mask = self.width - 1
+        return [(base + i * step) & mask for i in range(self.depth)]
+
+    def update(self, key: int, count: int = 1) -> None:
+        """Add ``count`` occurrences of ``key``."""
+        self.total += count
+        cells = self._cells(key)
+        rows = self.rows
+        if self.conservative:
+            floor = min(row[cell] for row, cell in zip(rows, cells))
+            target = floor + count
+            for row, cell in zip(rows, cells):
+                if row[cell] < target:
+                    row[cell] = target
+        else:
+            for row, cell in zip(rows, cells):
+                row[cell] += count
+
+    def update_columns(self, keys: Sequence[int], counts: Sequence[int]) -> None:
+        """Batch update from parallel key/count arrays (columnar fast path)."""
+        if len(keys) != len(counts):
+            raise ValueError(
+                f"keys/counts length mismatch: {len(keys)} != {len(counts)}"
+            )
+        update = self.update
+        for key, count in zip(keys, counts):
+            update(key, count)
+
+    # -- queries ------------------------------------------------------------
+
+    def estimate(self, key: int) -> int:
+        """Upper-bound estimate of the count of ``key``."""
+        return min(row[cell] for row, cell in zip(self.rows, self._cells(key)))
+
+    def fill_ratio(self) -> float:
+        """Mean fraction of non-zero counters across rows (load gauge)."""
+        if not self.width:
+            return 0.0
+        occupied = sum(
+            sum(1 for cell in row if cell) for row in self.rows
+        )
+        return occupied / (self.width * self.depth)
+
+    def error_bound(self) -> float:
+        """Expected additive overcount: ``e / width * total`` (plain variant)."""
+        import math
+
+        return math.e / self.width * self.total
+
+    # -- composition --------------------------------------------------------
+
+    def merge(self, other: "CountMinSketch") -> "CountMinSketch":
+        """Cell-wise sum ``other`` into ``self`` and return ``self``.
+
+        Exact for the plain variant (partition invariant). For the
+        conservative variant the merged sketch remains a valid upper
+        bound but is not guaranteed identical to single-stream order.
+        """
+        if (self.width, self.depth, self.seed) != (other.width, other.depth, other.seed):
+            raise ValueError(
+                "cannot merge count-min sketches with different geometry: "
+                f"({self.width}x{self.depth} seed={self.seed}) vs "
+                f"({other.width}x{other.depth} seed={other.seed})"
+            )
+        for mine, theirs in zip(self.rows, other.rows):
+            for i, value in enumerate(theirs):
+                if value:
+                    mine[i] += value
+        self.total += other.total
+        return self
+
+    @classmethod
+    def merge_all(cls, sketches: Iterable["CountMinSketch"]) -> "CountMinSketch":
+        merged = None
+        for sketch in sketches:
+            merged = sketch if merged is None else merged.merge(sketch)
+        if merged is None:
+            raise ValueError("merge_all needs at least one sketch")
+        return merged

@@ -1,0 +1,297 @@
+"""FlowSketch: the composite summary behind the sketch detection tier.
+
+Layout borrowed from Elastic Sketch (Yang et al., SIGCOMM'18): a
+"heavy" exact table maps each tracked victim to a mutable stat record
+(first/last timestamp, packets, bytes, ...), and two probabilistic
+structures back it up —
+
+* a :class:`~repro.sketch.countmin.CountMinSketch` **spillover** that
+  absorbs the counts of evicted records, so estimates for keys that
+  passed through the heavy table stay upper-bounded instead of lost;
+* a :class:`~repro.sketch.hll.HyperLogLog` fed at **admission** time,
+  so the distinct-victim cardinality survives any number of evictions.
+
+The split keeps the per-row hot path — run by the detectors, not this
+class — a single ``dict`` hit plus in-place list mutation; sketch
+arithmetic is only paid on the rare admission/eviction path. Eviction
+follows the space-saving discipline (smallest count out, deterministic
+key tiebreak) via a lazy heap that tolerates counts growing behind its
+back.
+
+Partition invariance: with victim-disjoint shards every key's rows land
+in exactly one shard, HLL and plain count-min merges are exact, and the
+heavy-table union equals the single-shard table whenever no shard
+evicted. Default capacities are sized so shipped workloads never evict;
+the invariant degrades gracefully (upper bounds, not losses) when a
+hostile workload overflows them.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from operator import itemgetter
+from typing import Any, Callable, Dict, Iterable, List, Tuple, Union
+
+from repro.obs import get_registry
+from repro.sketch.countmin import CountMinSketch
+from repro.sketch.hll import HyperLogLog
+
+# Slot 0 of every heavy record is reserved by convention for the
+# detectors' first_ts; the eviction count reader is configurable — one
+# index, a tuple of indices whose values sum to the count, or any
+# picklable callable with value-based equality (e.g. the telescope tier
+# packs all its counters into one integer slot and supplies a decoder).
+
+
+@dataclass(frozen=True)
+class SketchConfig:
+    """Geometry knobs for one :class:`FlowSketch`.
+
+    ``capacity`` bounds the heavy table *per shard*. The default is
+    generous on purpose: staying above the distinct-key count of
+    shipped workloads makes sharded detection result-identical to
+    single-shard detection (no eviction, so the heavy union is exact).
+    Shrink it to trade accuracy for memory; the accuracy harness
+    quantifies the cost.
+    """
+
+    capacity: int = 1 << 16
+    cms_width: int = 4096
+    cms_depth: int = 4
+    hll_p: int = 12
+    seed: int = 1
+
+    def spill_sketch(self) -> CountMinSketch:
+        # Plain (non-conservative) update: the only distributive variant,
+        # required for shard-merge identity.
+        return CountMinSketch(
+            width=self.cms_width, depth=self.cms_depth, seed=self.seed
+        )
+
+    def cardinality_sketch(self) -> HyperLogLog:
+        return HyperLogLog(p=self.hll_p, seed=self.seed)
+
+
+class _SlotSum:
+    """Picklable count reader summing several record slots.
+
+    ``operator.itemgetter`` covers the single-slot case; this covers
+    split-count layouts, and stays a plain module-level class so
+    :class:`FlowSketch` instances survive the pickle hop between
+    supervised pool shards.
+    """
+
+    __slots__ = ("slots",)
+
+    def __init__(self, slots: Tuple[int, ...]) -> None:
+        self.slots = slots
+
+    def __call__(self, record: List[Any]) -> int:
+        total = 0
+        for slot in self.slots:
+            total += record[slot]
+        return total
+
+
+class FlowSketch:
+    """Heavy table + spillover CMS + admission HLL for one feed shard."""
+
+    __slots__ = (
+        "config",
+        "count_slot",
+        "heavy",
+        "spill",
+        "hll",
+        "rows",
+        "evictions",
+        "_heap",
+        "_count_of",
+        "_capacity",
+        "_hll_backlog",
+    )
+
+    def __init__(
+        self,
+        config: SketchConfig,
+        count_slot: Union[int, Tuple[int, ...], Callable[[List[Any]], int]] = 2,
+    ) -> None:
+        self.config = config
+        self.count_slot = count_slot
+        if isinstance(count_slot, tuple):
+            self._count_of = _SlotSum(count_slot)
+        elif callable(count_slot):
+            self._count_of = count_slot
+        else:
+            self._count_of = itemgetter(count_slot)
+        self.heavy: Dict[int, List[Any]] = {}
+        self.spill = config.spill_sketch()
+        self.hll = config.cardinality_sketch()
+        self.rows = 0
+        self.evictions = 0
+        self._capacity = config.capacity
+        # Built lazily on the first eviction: below capacity the heap is
+        # pure overhead on every admission.
+        self._heap: Any = None
+        # Admitted keys not yet folded into the HLL; hashing is deferred
+        # to the first cardinality observation so admissions stay cheap.
+        self._hll_backlog: List[int] = []
+
+    # -- admission / eviction (miss path only) ------------------------------
+
+    def admit(self, key: int, record: List[Any]) -> None:
+        """Insert a fresh record for ``key``, evicting if at capacity.
+
+        Detectors call this from their hot loop's miss branch; hits
+        mutate ``self.heavy[key]`` directly and never touch the sketch.
+        """
+        heavy = self.heavy
+        if len(heavy) >= self._capacity:
+            self._evict_min()
+        heavy[key] = record
+        self._hll_backlog.append(key)
+        if self._heap is not None:
+            heapq.heappush(self._heap, (self._count_of(record), key))
+
+    def _flush_hll(self) -> None:
+        """Fold deferred admissions into the HLL (query/merge time)."""
+        backlog = self._hll_backlog
+        if backlog:
+            add = self.hll.add
+            for key in backlog:
+                add(key)
+            backlog.clear()
+
+    def _evict_min(self) -> None:
+        """Fold the smallest-count record into the spillover sketch."""
+        heavy = self.heavy
+        count_of = self._count_of
+        heap = self._heap
+        if heap is None:
+            heap = self._heap = [
+                (count_of(record), key) for key, record in heavy.items()
+            ]
+            heapq.heapify(heap)
+        while True:
+            count, key = heapq.heappop(heap)
+            record = heavy.get(key)
+            if record is None:
+                continue  # ghost: evicted in an earlier round
+            current = count_of(record)
+            if current != count:
+                heapq.heappush(heap, (current, key))  # stale: grew since push
+                continue
+            del heavy[key]
+            self.spill.update(key, count)
+            self.evictions += 1
+            return
+
+    # -- queries ------------------------------------------------------------
+
+    def estimate(self, key: int) -> int:
+        """Upper-bound count for ``key`` across heavy table and spillover."""
+        record = self.heavy.get(key)
+        tracked = self._count_of(record) if record is not None else 0
+        if self.evictions:
+            return tracked + self.spill.estimate(key)
+        return tracked
+
+    def cardinality(self) -> float:
+        """Distinct keys ever admitted (survives evictions)."""
+        self._flush_hll()
+        return self.hll.cardinality()
+
+    def heavy_fill_ratio(self) -> float:
+        return len(self.heavy) / self.config.capacity
+
+    # -- composition --------------------------------------------------------
+
+    def merge(
+        self,
+        other: "FlowSketch",
+        combine: Callable[[List[Any], List[Any]], None],
+    ) -> "FlowSketch":
+        """Absorb ``other`` into ``self``; ``combine`` folds overlapping records.
+
+        ``combine(mine, theirs)`` mutates ``mine`` in place — the
+        detectors supply the slot-wise rule (min first_ts, max last_ts,
+        sum counters, union bitmasks).
+        """
+        if self.config != other.config:
+            raise ValueError(
+                f"cannot merge flow sketches with different configs: "
+                f"{self.config} vs {other.config}"
+            )
+        if self.count_slot != other.count_slot:
+            raise ValueError(
+                f"cannot merge flow sketches with different count slots: "
+                f"{self.count_slot} != {other.count_slot}"
+            )
+        heavy = self.heavy
+        for key, record in other.heavy.items():
+            mine = heavy.get(key)
+            if mine is None:
+                heavy[key] = record
+            else:
+                combine(mine, record)
+        self.spill.merge(other.spill)
+        self._flush_hll()
+        other._flush_hll()
+        self.hll.merge(other.hll)
+        self.rows += other.rows
+        self.evictions += other.evictions
+        # Invalidate the heap; a rebuild happens lazily if the merged
+        # table ever needs to evict.
+        self._heap = None
+        while len(heavy) > self._capacity:
+            self._evict_min()
+        return self
+
+
+def export_sketch_metrics(feed: str, sketch: FlowSketch) -> None:
+    """Publish fill and error-bound gauges for one merged feed summary.
+
+    No-ops (null registry) when telemetry is disabled.
+    """
+    sketch._flush_hll()  # gauges read HLL registers directly
+    registry = get_registry()
+    fill = registry.gauge(
+        "sketch_fill_ratio",
+        "occupancy of each sketch structure, by feed",
+        ("feed", "structure"),
+    )
+    fill.set(sketch.heavy_fill_ratio(), feed=feed, structure="heavy")
+    fill.set(sketch.spill.fill_ratio(), feed=feed, structure="countmin")
+    fill.set(sketch.hll.fill_ratio(), feed=feed, structure="hll")
+    bound = registry.gauge(
+        "sketch_error_bound",
+        "count-min additive / HLL relative error bounds, by feed",
+        ("feed", "structure"),
+    )
+    bound.set(sketch.spill.error_bound(), feed=feed, structure="countmin")
+    bound.set(sketch.hll.error_bound(), feed=feed, structure="hll")
+    volume = registry.gauge(
+        "sketch_rows_ingested",
+        "rows consumed by the sketch tier, by feed",
+        ("feed",),
+    )
+    volume.set(sketch.rows, feed=feed)
+    evictions = registry.gauge(
+        "sketch_evictions",
+        "heavy-table records spilled to count-min, by feed",
+        ("feed",),
+    )
+    evictions.set(sketch.evictions, feed=feed)
+
+
+def merge_flow_sketches(
+    sketches: Iterable[FlowSketch],
+    combine: Callable[[List[Any], List[Any]], None],
+) -> FlowSketch:
+    """Fold an iterable of shard sketches into the first one."""
+    merged = None
+    for sketch in sketches:
+        merged = sketch if merged is None else merged.merge(sketch, combine)
+    if merged is None:
+        raise ValueError("merge_flow_sketches needs at least one sketch")
+    return merged

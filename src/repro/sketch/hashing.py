@@ -1,0 +1,38 @@
+"""Seeded deterministic hashing shared by every sketch structure.
+
+Python's builtin ``hash()`` is salted per process (``PYTHONHASHSEED``)
+and identity on small ints, so it is unusable for sketches that must
+produce identical register states across processes, shards, and runs.
+This module provides a splitmix64-style finalizer over integer keys: two
+multiply-xorshift rounds, full 64-bit avalanche, pure stdlib arithmetic.
+
+All sketch keys in this codebase are already integers (victim addresses,
+``victim * n_protocols + protocol`` composites, prefix ids), so the
+mixer takes ints directly; callers with other key types hash them to an
+int first.
+"""
+
+from __future__ import annotations
+
+MASK64 = (1 << 64) - 1
+
+# splitmix64 finalizer constants (Steele et al., "Fast splittable
+# pseudorandom number generators").
+_C1 = 0xBF58476D1CE4E5B9
+_C2 = 0x94D049BB133111EB
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def seed_tweak(seed: int) -> int:
+    """Expand a small seed into a full-width xor tweak for :func:`mix64`."""
+    value = (seed & MASK64) * _GOLDEN & MASK64
+    value ^= value >> 31
+    return value or _GOLDEN
+
+
+def mix64(key: int, tweak: int = 0) -> int:
+    """Avalanche an integer key into a uniform 64-bit hash."""
+    value = (key ^ tweak) & MASK64
+    value = (value ^ (value >> 30)) * _C1 & MASK64
+    value = (value ^ (value >> 27)) * _C2 & MASK64
+    return value ^ (value >> 31)

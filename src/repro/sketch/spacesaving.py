@@ -1,0 +1,171 @@
+"""Space-saving heavy hitters: exact-capacity top-k tracking.
+
+Metwally et al.'s stream-summary: track at most ``capacity`` keys; when
+a new key arrives at a full table, the minimum-count entry is evicted
+and the newcomer inherits its count (recorded as the entry's ``error``,
+the maximum possible overcount). Guarantees: every key with true count
+above ``total / capacity`` is tracked, and each tracked count satisfies
+``true <= count <= true + error``.
+
+The minimum is found through a lazy heap: entries are pushed on every
+update and stale heap records (counts only grow) are refreshed on pop,
+giving O(log capacity) eviction without touching the per-update hit
+path. Ties — eviction victims and ``top()`` ordering — break on the
+smaller key, so the structure is fully deterministic.
+
+``merge()`` uses the standard union rule: keys missing from one summary
+are assumed to have that summary's minimum count there (its maximum
+undetected mass), then the union is re-truncated to capacity. Exact —
+identical to single-stream ingestion — whenever neither input evicted;
+an upper-bound approximation otherwise. The classic eviction race makes
+an *evicting* SpaceSaving order-dependent, which is exactly why the
+pipeline's :class:`~repro.sketch.engine.FlowSketch` sizes its heavy
+table to avoid eviction on shipped workloads.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+class SpaceSaving:
+    """Deterministic space-saving counter over integer keys."""
+
+    __slots__ = ("capacity", "total", "_entries", "_heap")
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"space-saving capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.total = 0
+        # key -> [count, error]
+        self._entries: Dict[int, List[int]] = {}
+        # lazy heap of (count, key); stale counts refreshed on pop
+        self._heap: List[Tuple[int, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._entries
+
+    # -- updates ------------------------------------------------------------
+
+    def _pop_min(self) -> Tuple[int, int]:
+        """Pop the entry with the smallest (count, key), refreshing stale heap rows."""
+        entries = self._entries
+        heap = self._heap
+        while True:
+            count, key = heapq.heappop(heap)
+            entry = entries.get(key)
+            if entry is None:
+                continue  # evicted earlier; heap row is a ghost
+            if entry[0] != count:
+                heapq.heappush(heap, (entry[0], key))  # stale: count grew
+                continue
+            return count, key
+
+    def update(self, key: int, count: int = 1) -> None:
+        """Add ``count`` occurrences of ``key``."""
+        self.total += count
+        entries = self._entries
+        entry = entries.get(key)
+        if entry is not None:
+            entry[0] += count
+            heapq.heappush(self._heap, (entry[0], key))
+            return
+        if len(entries) < self.capacity:
+            entries[key] = [count, 0]
+            heapq.heappush(self._heap, (count, key))
+            return
+        floor, victim = self._pop_min()
+        del entries[victim]
+        entries[key] = [floor + count, floor]
+        heapq.heappush(self._heap, (floor + count, key))
+
+    def update_columns(self, keys: Sequence[int], counts: Sequence[int]) -> None:
+        """Batch update from parallel key/count arrays (columnar fast path)."""
+        if len(keys) != len(counts):
+            raise ValueError(
+                f"keys/counts length mismatch: {len(keys)} != {len(counts)}"
+            )
+        update = self.update
+        for key, count in zip(keys, counts):
+            update(key, count)
+
+    # -- queries ------------------------------------------------------------
+
+    def estimate(self, key: int) -> int:
+        """Upper-bound count for ``key`` (its minimum count if untracked)."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            return entry[0]
+        return self._min_count()
+
+    def error(self, key: int) -> int:
+        """Maximum overcount baked into ``key``'s estimate."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            return entry[1]
+        return self._min_count()
+
+    def _min_count(self) -> int:
+        """Smallest tracked count — the ceiling on any untracked key's count."""
+        if len(self._entries) < self.capacity:
+            return 0
+        count, key = self._pop_min()
+        heapq.heappush(self._heap, (count, key))
+        return count
+
+    def top(self, k: int) -> List[Tuple[int, int, int]]:
+        """Top-``k`` as ``(key, count, error)``, count-descending, key tiebreak."""
+        ranked = sorted(
+            self._entries.items(), key=lambda item: (-item[1][0], item[0])
+        )
+        return [(key, entry[0], entry[1]) for key, entry in ranked[:k]]
+
+    # -- composition --------------------------------------------------------
+
+    def merge(self, other: "SpaceSaving") -> "SpaceSaving":
+        """Union ``other`` into ``self`` and return ``self``.
+
+        Keys absent from one side are credited that side's minimum count
+        (their maximum possible undetected mass) as both count and
+        error, then the union is trimmed back to capacity.
+        """
+        if self.capacity != other.capacity:
+            raise ValueError(
+                f"cannot merge space-saving summaries with different "
+                f"capacities: {self.capacity} != {other.capacity}"
+            )
+        mine_floor = self._min_count()
+        other_floor = other._min_count()
+        merged: Dict[int, List[int]] = {}
+        for key, (count, error) in self._entries.items():
+            merged[key] = [count + other_floor, error + other_floor]
+        for key, (count, error) in other._entries.items():
+            entry = merged.get(key)
+            if entry is not None:
+                # was credited other_floor above; replace with the real count
+                entry[0] += count - other_floor
+                entry[1] += error - other_floor
+            else:
+                merged[key] = [count + mine_floor, error + mine_floor]
+        if len(merged) > self.capacity:
+            ranked = sorted(merged.items(), key=lambda item: (-item[1][0], item[0]))
+            merged = dict(ranked[: self.capacity])
+        self._entries = merged
+        self._heap = [(entry[0], key) for key, entry in merged.items()]
+        heapq.heapify(self._heap)
+        self.total += other.total
+        return self
+
+    @classmethod
+    def merge_all(cls, summaries: Iterable["SpaceSaving"]) -> "SpaceSaving":
+        merged = None
+        for summary in summaries:
+            merged = summary if merged is None else merged.merge(summary)
+        if merged is None:
+            raise ValueError("merge_all needs at least one summary")
+        return merged

@@ -65,20 +65,24 @@ def stage_fingerprint(
     stage: str,
     n_shards: int = 1,
     capture_codec: str = "object",
+    detect_tier: str = "exact",
 ) -> str:
     """SHA-256 identity of one stage output.
 
     The fingerprint covers the scenario config (every dataclass field),
-    the stage name, the shard fan-out, the capture codec, and the schema
-    versions of the store and both columnar encodings — any change to any
-    of them must miss the cache. Canonical JSON (sorted keys, no
-    whitespace variance) keeps the digest stable across processes.
+    the stage name, the shard fan-out, the capture codec, the detection
+    tier, and the schema versions of the store and both columnar
+    encodings — any change to any of them must miss the cache (a
+    sketch-tier output must never be served to a columnar-tier run).
+    Canonical JSON (sorted keys, no whitespace variance) keeps the
+    digest stable across processes.
     """
     document = {
         "scenario": asdict(config) if is_dataclass(config) else dict(config),
         "stage": stage,
         "n_shards": n_shards,
         "capture_codec": capture_codec,
+        "detect_tier": detect_tier,
         "store_schema": STORE_SCHEMA_VERSION,
         "cache_schema": STAGE_CACHE_SCHEMA,
         "packet_columns_schema": PACKET_COLUMNS_SCHEMA,

@@ -16,10 +16,17 @@ Missing substrates in the candidate also fail (a deleted bench is not a
 passing bench). Prints a comparison table either way; exits 1 on any
 regression.
 
+``--require NAME:FLOOR`` (repeatable) additionally pins an **absolute**
+speedup floor on the *baseline* number — e.g. ``rsdos_sketch:5.0``
+asserts the committed baseline still claims the sketch tier is at least
+5x the columnar tier. The relative rule above tolerates slow CI runners;
+the absolute rule guards the committed claim itself from quietly eroding
+across baseline refreshes.
+
 Usage::
 
     python tools/perf_compare.py benchmarks/out/throughput.json \
-        candidate.json [--tolerance 1.5]
+        candidate.json [--tolerance 1.5] [--require rsdos_sketch:5.0]
 """
 
 from __future__ import annotations
@@ -70,6 +77,37 @@ def render(rows: list, tolerance: float) -> str:
     return "\n".join(lines)
 
 
+def parse_requirement(spec: str) -> tuple:
+    """``NAME:FLOOR`` -> (name, floor); raises SystemExit on bad specs."""
+    name, sep, floor_text = spec.partition(":")
+    if not sep or not name:
+        raise SystemExit(f"--require {spec!r}: expected NAME:FLOOR")
+    try:
+        floor = float(floor_text)
+    except ValueError:
+        raise SystemExit(f"--require {spec!r}: FLOOR must be a number")
+    if floor <= 0:
+        raise SystemExit(f"--require {spec!r}: FLOOR must be positive")
+    return name, floor
+
+
+def check_requirements(baseline: dict, requirements: list) -> list:
+    """Absolute-floor failures against the committed baseline numbers."""
+    failures = []
+    for name, floor in requirements:
+        entry = baseline.get(name)
+        if entry is None:
+            failures.append(f"{name}: required substrate missing from baseline")
+            continue
+        speedup = float(entry["speedup"])
+        if speedup < floor:
+            failures.append(
+                f"{name}: baseline speedup {speedup:.2f}x "
+                f"below required floor {floor:.2f}x"
+            )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", type=Path, help="committed bench JSON")
@@ -78,22 +116,33 @@ def main(argv=None) -> int:
         "--tolerance", type=float, default=1.5,
         help="allowed shrink factor on each speedup ratio (default: 1.5)",
     )
+    parser.add_argument(
+        "--require", action="append", default=[], metavar="NAME:FLOOR",
+        help="absolute speedup floor the committed baseline must meet "
+             "(repeatable, e.g. rsdos_sketch:5.0)",
+    )
     args = parser.parse_args(argv)
     if args.tolerance < 1.0:
         parser.error("--tolerance must be >= 1.0")
+    requirements = [parse_requirement(spec) for spec in args.require]
+    baseline = load_substrates(args.baseline)
     rows = compare(
-        load_substrates(args.baseline),
+        baseline,
         load_substrates(args.candidate),
         args.tolerance,
     )
     print(render(rows, args.tolerance))
+    failed = False
     regressed = [name for name, _, _, _, ok in rows if not ok]
     if regressed:
         print(
             f"regressed: {', '.join(regressed)}", file=sys.stderr
         )
-        return 1
-    return 0
+        failed = True
+    for failure in check_requirements(baseline, requirements):
+        print(f"requirement failed: {failure}", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":
